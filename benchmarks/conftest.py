@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure benchmarks.
+
+The social network and database are session-scoped: building them once
+mirrors the paper's setup (one Slashdot-derived dataset reused across
+experiments) and keeps benchmark time inside the measurement regions.
+Scale everything up with ``REPRO_BENCH_SCALE`` (see repro.bench).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_database, bench_network
+
+
+@pytest.fixture(scope="session")
+def network():
+    """The benchmark social network (cached across the whole session)."""
+    return bench_network()
+
+
+@pytest.fixture(scope="session")
+def database(network):
+    """The Friends/User flight database for the benchmark network."""
+    return bench_database(network)

@@ -1,0 +1,82 @@
+"""Ablation — the atom index, and the UCS-aware fallback.
+
+Two of DESIGN.md's called-out design choices:
+
+* the ``(Relation, Parameter, Value)`` atom index of paper §4.1.4 vs
+  the naive all-pairs unification scan when building the unifiability
+  graph;
+* the UCS-aware fallback (retry strongly connected cores) vs the
+  paper's default all-or-nothing component evaluation, on Figure
+  3(b)-style workloads where a dangling query blocks a viable core.
+"""
+
+from __future__ import annotations
+
+from repro.bench import scaled
+from repro.core import (build_unifiability_graph, coordinate,
+                        rename_workload_apart)
+from repro.db import Database
+from repro.lang import parse_ir
+from repro.workloads import two_way_pairs
+
+GRAPH_QUERIES = scaled(1_200, 6)
+
+
+def test_graph_build_with_index(benchmark, network):
+    queries = rename_workload_apart(
+        two_way_pairs(network, GRAPH_QUERIES, seed=41))
+    graph = benchmark.pedantic(
+        lambda: build_unifiability_graph(queries, use_index=True),
+        rounds=1, iterations=1)
+    assert len(graph) == GRAPH_QUERIES
+
+
+def test_graph_build_without_index(benchmark, network):
+    queries = rename_workload_apart(
+        two_way_pairs(network, GRAPH_QUERIES, seed=41))
+    graph = benchmark.pedantic(
+        lambda: build_unifiability_graph(queries, use_index=False),
+        rounds=1, iterations=1)
+    assert len(graph) == GRAPH_QUERIES
+
+
+def _figure3b_workload(copies: int):
+    """Many independent copies of the paper's Figure 3(b) situation."""
+    database = Database()
+    database.create_table("F", "fno int", "dest text")
+    database.create_table("A", "fno int", "airline text")
+    database.insert("F", [(122, "Paris"), (134, "Paris")])
+    database.insert("A", [(122, "Delta"), (134, "Lufthansa")])
+    queries = []
+    for index in range(copies):
+        jerry, kramer, frank = (f"J{index}", f"K{index}", f"Fr{index}")
+        queries.append(parse_ir(
+            f"{{R({kramer}, x)}} R({jerry}, x) <- F(x, Paris)",
+            f"jerry-{index}"))
+        queries.append(parse_ir(
+            f"{{R({jerry}, y)}} R({kramer}, y) <- F(y, Paris)",
+            f"kramer-{index}"))
+        # Frank needs Jerry on a United flight; none exists.
+        queries.append(parse_ir(
+            f"{{R({jerry}, z)}} R({frank}, z) <- F(z, Paris), "
+            f"A(z, United)", f"frank-{index}"))
+    return database, queries
+
+
+def test_without_ucs_fallback(benchmark):
+    database, queries = _figure3b_workload(scaled(50))
+    result = benchmark.pedantic(
+        lambda: coordinate(queries, database, check_safety=False),
+        rounds=1, iterations=1)
+    # All-or-nothing per component: nobody flies.
+    assert not result.answers
+
+
+def test_with_ucs_fallback(benchmark):
+    database, queries = _figure3b_workload(scaled(50))
+    result = benchmark.pedantic(
+        lambda: coordinate(queries, database, check_safety=False,
+                           ucs_fallback=True),
+        rounds=1, iterations=1)
+    # The Jerry/Kramer cores coordinate; the Franks fail.
+    assert len(result.answers) == 2 * scaled(50)

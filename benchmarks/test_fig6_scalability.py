@@ -1,0 +1,61 @@
+"""Figure 6 — scalability of two-way and three-way coordination.
+
+Paper series: query-set sizes from 5 to 100,000; incremental
+evaluation; three curves — two-way random workload, two-way best case
+(fully specific queries), three-way coordination.  All three are
+near-linear in the paper; the same should hold here (check the printed
+report's seconds column across sizes).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure6, run_incremental, scaled
+from repro.workloads import three_way_triangles, two_way_pairs
+
+#: Per-point workload size for the timed benchmarks.
+POINT_SIZE = scaled(1_200, 6)
+
+
+def test_two_way_generic(benchmark, network, database):
+    queries = two_way_pairs(network, POINT_SIZE, seed=11)
+    result = benchmark.pedantic(
+        lambda: run_incremental(database, queries),
+        rounds=1, iterations=1)
+    assert result["answered"] > 0
+
+
+def test_two_way_specific(benchmark, network, database):
+    queries = two_way_pairs(network, POINT_SIZE, specific=True, seed=12)
+    result = benchmark.pedantic(
+        lambda: run_incremental(database, queries),
+        rounds=1, iterations=1)
+    assert result["answered"] > 0
+
+
+def test_three_way(benchmark, network, database):
+    queries = three_way_triangles(network, POINT_SIZE, seed=13)
+    result = benchmark.pedantic(
+        lambda: run_incremental(database, queries),
+        rounds=1, iterations=1)
+    assert result["answered"] > 0
+
+
+def test_fig6_report(benchmark, network, database):
+    """Full Figure 6 sweep; prints the series tables the paper plots."""
+    all_series = benchmark.pedantic(
+        lambda: figure6(network=network, database=database),
+        rounds=1, iterations=1)
+    for series in all_series:
+        series.print()
+    # Shape check: the paper's curves are near-linear.  Skip the
+    # smallest points (fixed per-run setup dominates there) and demand
+    # the cost ratio between consecutive larger points stays within 4x
+    # of the size ratio.
+    for series in all_series:
+        xs, seconds = series.xs(), series.metric("seconds")
+        points = [(x, t) for x, t in zip(xs, seconds) if x >= 500]
+        for (x1, t1), (x2, t2) in zip(points, points[1:]):
+            growth = (t2 / t1) if t1 > 0 else 0
+            assert growth < 4.0 * (x2 / x1), (
+                f"{series.name}: super-linear blowup between "
+                f"{x1} and {x2} queries ({t1:.3f}s -> {t2:.3f}s)")

@@ -1,0 +1,47 @@
+"""Figure 7 — scalability in the number of postconditions.
+
+Paper series: 10,000 queries per run, postconditions per query swept
+from 1 to 5 (groups are (k+1)-cliques travelling together).  The figure
+splits total time into (a) time to find matching query sets and (b)
+MySQL evaluation time, with the database degrading much faster than
+matching as the join count grows.  The same split is reported here:
+matching (graph + Algorithm 1) vs the in-memory executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figure7, run_incremental, scaled
+from repro.workloads import clique_queries
+
+#: Queries per timed point (paper: 10,000).
+POINT_SIZE = scaled(1_200, 60)
+
+
+@pytest.mark.parametrize("postconditions", [1, 2, 3, 4, 5])
+def test_postcondition_count(benchmark, network, database,
+                             postconditions):
+    group = postconditions + 1
+    size = POINT_SIZE - (POINT_SIZE % group)
+    queries = clique_queries(network, size, postconditions,
+                             seed=postconditions)
+    result = benchmark.pedantic(
+        lambda: run_incremental(database, queries),
+        rounds=1, iterations=1)
+    assert result["answered"] > 0
+
+
+def test_fig7_report(benchmark, network, database):
+    """Full Figure 7 sweep; prints match vs database time per k."""
+    all_series = benchmark.pedantic(
+        lambda: figure7(network=network, database=database),
+        rounds=1, iterations=1)
+    for series in all_series:
+        series.print()
+    (series,) = all_series
+    # Shape check: the database share of the work should grow with the
+    # number of postconditions (more joins per combined query).
+    db_seconds = series.metric("db_seconds")
+    assert db_seconds[-1] > db_seconds[0], (
+        "database time should grow as postconditions increase")

@@ -1,0 +1,53 @@
+"""Figure 9 — stress-testing the safety check.
+
+Paper setup: load the system with 20,000 queries that cannot
+coordinate, then add sets of queries (5 … 100,000) that fail the safety
+check against the residents; the check's cost is linear in the added
+set and small in absolute terms.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure9, scaled, stopwatch
+from repro.core import SafetyChecker
+from repro.workloads import safety_stress_workload
+
+RESIDENTS = scaled(4_000)
+ADDITION = scaled(1_000)
+
+
+def test_safety_check_against_residents(benchmark, network):
+    workload = safety_stress_workload(network, RESIDENTS, (ADDITION,))
+    checker = SafetyChecker()
+    for query in workload.resident:
+        checker.add(query.rename_apart())
+    (batch,) = workload.additions
+
+    def check_batch() -> int:
+        rejected = 0
+        for query in batch:
+            if not checker.is_safe_to_add(query.rename_apart()):
+                rejected += 1
+        return rejected
+
+    rejected = benchmark.pedantic(check_batch, rounds=1, iterations=1)
+    # The workload is built so added variable-postcondition queries
+    # over-unify with resident heads: most must be rejected.
+    assert rejected > ADDITION // 2
+
+
+def test_fig9_report(benchmark, network):
+    """Full Figure 9 sweep; prints check time per added-set size."""
+    all_series = benchmark.pedantic(lambda: figure9(network=network),
+                                    rounds=1, iterations=1)
+    for series in all_series:
+        series.print()
+    (series,) = all_series
+    xs, seconds = series.xs(), series.metric("seconds")
+    # Shape check: near-linear in the added-set size.
+    for (x1, t1), (x2, t2) in zip(zip(xs, seconds),
+                                  zip(xs[1:], seconds[1:])):
+        if t1 <= 0:
+            continue
+        assert t2 / t1 < 3.0 * (x2 / x1), (
+            f"safety check super-linear between {x1} and {x2}")

@@ -1,0 +1,12 @@
+"""Setup shim for offline environments.
+
+The execution environment has no network and no `wheel` package, so
+PEP 660 editable installs (`pip install -e .`) cannot build the editable
+wheel.  `python setup.py develop` (or `pip install -e . --no-build-isolation`
+on machines that do have wheel) installs the package from pyproject.toml
+metadata via setuptools' legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Entry point: ``python -m repro.bench`` regenerates all figures."""
+
+from __future__ import annotations
+
+import argparse
+
+from .figures import figure6, figure7, figure8, figure9, run_all
+
+_FIGURES = {
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the figures of the entangled-queries "
+                    "paper (SIGMOD 2011, Section 5.3). Scale run sizes "
+                    "with the REPRO_BENCH_SCALE environment variable.")
+    parser.add_argument("figures", nargs="*", choices=[*_FIGURES, []],
+                        help="figure numbers to run (default: all)")
+    arguments = parser.parse_args()
+    if not arguments.figures:
+        run_all()
+        return
+    for number in arguments.figures:
+        for series in _FIGURES[number]():
+            series.print()
+
+
+if __name__ == "__main__":
+    main()

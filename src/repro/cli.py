@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Run the paper's introduction example end to end and print the
+    coordinated reservations.
+
+``coordinate DATA WORKLOAD``
+    Load a database from a data file (see :mod:`repro.dataio`) and an
+    entangled-query workload (one IR-syntax query per line), coordinate
+    them set-at-a-time, and print per-query answers and failures.
+
+``sql DATA "SELECT ..."``
+    Run a plain SQL SELECT against a data file.
+
+``bench [FIGURE ...]``
+    Regenerate the paper's figures (same as ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.evaluate import coordinate
+from .dataio import load_database
+from .db.sql import run_sql
+from .lang import parse_ir_workload
+from .workloads import build_intro_database
+
+
+def _command_demo(arguments: argparse.Namespace) -> int:
+    from .lang import parse_ir
+    database = build_intro_database()
+    queries = [
+        parse_ir("{Reservation(Jerry, x)} Reservation(Kramer, x) "
+                 "<- Flights(x, Paris)", "kramer"),
+        parse_ir("{Reservation(Kramer, y)} Reservation(Jerry, y) "
+                 "<- Flights(y, Paris), Airlines(y, United)", "jerry"),
+    ]
+    print("Entangled queries (paper Figure 2a):")
+    for query in queries:
+        print(f"  {query}")
+    result = coordinate(queries, database)
+    print("\nCoordinated answers:")
+    for query_id in sorted(result.answers):
+        print(f"  {query_id}: {result.answers[query_id].rows}")
+    return 0
+
+
+def _command_coordinate(arguments: argparse.Namespace) -> int:
+    database = load_database(arguments.data)
+    with open(arguments.workload) as handle:
+        queries = parse_ir_workload(handle.read())
+    if not queries:
+        print("workload is empty", file=sys.stderr)
+        return 1
+    result = coordinate(queries, database,
+                        check_safety=not arguments.no_safety,
+                        ucs_fallback=arguments.ucs_fallback)
+    for query_id in sorted(result.answers, key=repr):
+        print(f"answered  {query_id}: {result.answers[query_id].rows}")
+    for query_id in sorted(result.failures, key=repr):
+        reason = result.failures[query_id]
+        print(f"failed    {query_id}: {reason.value}")
+    timings = result.timings
+    print(f"-- graph {timings.graph_seconds:.3f}s  "
+          f"match {timings.match_seconds:.3f}s  "
+          f"db {timings.db_seconds:.3f}s")
+    return 0 if result.answers else 2
+
+
+def _command_sql(arguments: argparse.Namespace) -> int:
+    database = load_database(arguments.data)
+    for row in run_sql(database, arguments.query):
+        print("\t".join(str(value) for value in row))
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace) -> int:
+    from .bench.figures import figure6, figure7, figure8, figure9, run_all
+    figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9}
+    if not arguments.figures:
+        run_all()
+        return 0
+    for number in arguments.figures:
+        for series in figures[number]():
+            series.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Entangled queries: declarative data-driven "
+                    "coordination (SIGMOD 2011 reproduction).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run the paper's introduction example")
+    demo.set_defaults(handler=_command_demo)
+
+    coordinate_parser = subparsers.add_parser(
+        "coordinate", help="coordinate a workload file over a data file")
+    coordinate_parser.add_argument("data", help="data file (repro.dataio "
+                                                "format)")
+    coordinate_parser.add_argument("workload",
+                                   help="one IR query per line")
+    coordinate_parser.add_argument("--no-safety", action="store_true",
+                                   help="skip the safety repair")
+    coordinate_parser.add_argument("--ucs-fallback", action="store_true",
+                                   help="retry strongly connected cores "
+                                        "when a component finds no data")
+    coordinate_parser.set_defaults(handler=_command_coordinate)
+
+    sql = subparsers.add_parser(
+        "sql", help="run a plain SELECT against a data file")
+    sql.add_argument("data", help="data file (repro.dataio format)")
+    sql.add_argument("query", help="SELECT statement")
+    sql.set_defaults(handler=_command_sql)
+
+    bench = subparsers.add_parser(
+        "bench", help="regenerate the paper's figures")
+    bench.add_argument("figures", nargs="*",
+                       choices=["6", "7", "8", "9", []],
+                       help="figure numbers (default: all)")
+    bench.set_defaults(handler=_command_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Core of the reproduction: the entangled-query evaluation algorithm.
+
+Submodules follow the paper's structure:
+
+* :mod:`~repro.core.terms`, :mod:`~repro.core.unify`,
+  :mod:`~repro.core.query` — the intermediate representation (§2.2);
+* :mod:`~repro.core.safety`, :mod:`~repro.core.ucs` — the tractability
+  conditions (§3.1);
+* :mod:`~repro.core.atom_index`, :mod:`~repro.core.graph`,
+  :mod:`~repro.core.matching`, :mod:`~repro.core.combine`,
+  :mod:`~repro.core.evaluate` — the evaluation algorithm (§4);
+* :mod:`~repro.core.baseline` — the brute-force CSP search the algorithm
+  avoids (§2.3 / Theorem 2.1);
+* :mod:`~repro.core.extensions` — the §6 language extensions.
+"""
+
+from .terms import Atom, Constant, Term, Variable, atom
+from .unify import Unifier, mgu, mgu_all, unify_atoms, atoms_unifiable
+from .query import (EntangledQuery, GroundedQuery, assign_ids,
+                    is_coordinating_set, rename_workload_apart,
+                    validate_workload)
+from .atom_index import AtomIndex, NaiveAtomIndex
+from .graph import Edge, UnifiabilityGraph, build_unifiability_graph
+from .safety import (SafetyChecker, Violation, check_safety,
+                     enforce_safety, is_safe)
+from .ucs import (UcsReport, check_ucs, check_ucs_graph, is_ucs,
+                  scc_cores, simplified_graph,
+                  strongly_connected_components)
+from .matching import ComponentMatch, match_all, match_component
+from .combine import CombinedQuery, build_combined_query
+from .evaluate import (Answer, CoordinationResult, FailureReason,
+                       PhaseTimings, coordinate)
+from .baseline import (BaselineResult, exists_coordinating_set,
+                       find_coordinating_set, materialize_groundings)
+
+__all__ = [
+    "Atom", "Constant", "Term", "Variable", "atom",
+    "Unifier", "mgu", "mgu_all", "unify_atoms", "atoms_unifiable",
+    "EntangledQuery", "GroundedQuery", "assign_ids",
+    "is_coordinating_set", "rename_workload_apart", "validate_workload",
+    "AtomIndex", "NaiveAtomIndex",
+    "Edge", "UnifiabilityGraph", "build_unifiability_graph",
+    "SafetyChecker", "Violation", "check_safety", "enforce_safety",
+    "is_safe",
+    "UcsReport", "check_ucs", "check_ucs_graph", "is_ucs", "scc_cores",
+    "simplified_graph", "strongly_connected_components",
+    "ComponentMatch", "match_all", "match_component",
+    "CombinedQuery", "build_combined_query",
+    "Answer", "CoordinationResult", "FailureReason", "PhaseTimings",
+    "coordinate",
+    "BaselineResult", "exists_coordinating_set", "find_coordinating_set",
+    "materialize_groundings",
+]

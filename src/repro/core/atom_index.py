@@ -1,0 +1,161 @@
+"""The atom index of paper Section 4.1.4.
+
+Building the unifiability graph naively tries to unify every head atom
+with every postcondition atom — quadratic in the workload.  The paper's
+index maps ``(Relation, Parameter, Value) -> [atoms]`` where every
+variable is replaced by a distinguished wildcard ``Δ``.  A lookup for an
+atom ``R(v1 … vn)`` then intersects, over its *constant* positions,
+``L(R, i, vi) ∪ L(R, i, Δ)``; atoms with no constants fall back to the
+full per-relation bucket.
+
+The index stores opaque *entries* (here ``(query_id, atom_position)``
+handles) so the same structure indexes head atoms for postcondition
+lookups and postcondition atoms for head lookups.  Candidates returned by
+:meth:`lookup` are a superset of the truly unifiable atoms (repeated
+variables are not captured by the index), so callers re-verify with
+:func:`repro.core.unify.unify_atoms`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+from .terms import Atom, Constant, Variable
+
+#: The wildcard standing for "any variable" in index keys.
+DELTA = object()
+
+
+class AtomIndex:
+    """Index from ``(relation, position, value)`` to atom entries.
+
+    Entries are arbitrary hashable handles chosen by the caller; the atom
+    itself is stored alongside so lookups can re-verify unifiability.
+    """
+
+    __slots__ = ("_by_key", "_by_relation", "_atoms", "_arity_key")
+
+    def __init__(self) -> None:
+        # (relation, position, value-or-DELTA) -> set of entries
+        self._by_key: dict[tuple, set[Hashable]] = {}
+        # (relation, arity) -> set of entries (fallback for all-variable lookups)
+        self._by_relation: dict[tuple[str, int], set[Hashable]] = {}
+        # entry -> atom
+        self._atoms: dict[Hashable, Atom] = {}
+        self._arity_key = None  # reserved; arity participates in keys below
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, entry: Hashable) -> bool:
+        return entry in self._atoms
+
+    def atom_for(self, entry: Hashable) -> Atom:
+        """Return the atom stored under *entry*."""
+        return self._atoms[entry]
+
+    @staticmethod
+    def _keys_for(atom: Atom) -> Iterator[tuple]:
+        for position, term in enumerate(atom.args):
+            if isinstance(term, Constant):
+                yield (atom.relation, atom.arity, position, term.value)
+            else:
+                yield (atom.relation, atom.arity, position, DELTA)
+
+    def add(self, entry: Hashable, atom: Atom) -> None:
+        """Insert *atom* under handle *entry* (idempotent per entry)."""
+        if entry in self._atoms:
+            raise KeyError(f"entry {entry!r} already indexed")
+        self._atoms[entry] = atom
+        self._by_relation.setdefault(
+            (atom.relation, atom.arity), set()).add(entry)
+        for key in self._keys_for(atom):
+            self._by_key.setdefault(key, set()).add(entry)
+
+    def remove(self, entry: Hashable) -> None:
+        """Remove the atom stored under *entry* (missing entries ignored)."""
+        atom = self._atoms.pop(entry, None)
+        if atom is None:
+            return
+        bucket = self._by_relation.get((atom.relation, atom.arity))
+        if bucket is not None:
+            bucket.discard(entry)
+            if not bucket:
+                del self._by_relation[(atom.relation, atom.arity)]
+        for key in self._keys_for(atom):
+            key_bucket = self._by_key.get(key)
+            if key_bucket is not None:
+                key_bucket.discard(entry)
+                if not key_bucket:
+                    del self._by_key[key]
+
+    def lookup(self, probe: Atom) -> set[Hashable]:
+        """Return candidate entries whose atoms may unify with *probe*.
+
+        Implements the paper's intersection formula.  For each constant
+        position ``i`` of the probe the candidate set is narrowed to
+        entries whose atom has either the same constant or a variable at
+        position ``i``.  If the probe has no constants, all entries of the
+        relation (at matching arity) are candidates.
+        """
+        relation_bucket = self._by_relation.get((probe.relation, probe.arity))
+        if not relation_bucket:
+            return set()
+        candidates: Optional[set[Hashable]] = None
+        for position, term in enumerate(probe.args):
+            if not isinstance(term, Constant):
+                continue
+            exact = self._by_key.get(
+                (probe.relation, probe.arity, position, term.value), set())
+            wild = self._by_key.get(
+                (probe.relation, probe.arity, position, DELTA), set())
+            position_candidates = exact | wild
+            if candidates is None:
+                candidates = set(position_candidates)
+            else:
+                candidates &= position_candidates
+            if not candidates:
+                return set()
+        if candidates is None:
+            # All-variable probe: every atom of the relation is a candidate.
+            return set(relation_bucket)
+        return candidates
+
+    def entries(self) -> Iterator[tuple[Hashable, Atom]]:
+        """Yield (entry, atom) pairs currently indexed."""
+        return iter(self._atoms.items())
+
+
+class NaiveAtomIndex:
+    """Reference implementation without keys: scans every stored atom.
+
+    Used by tests to validate :class:`AtomIndex` candidate sets and by the
+    index ablation benchmark to quantify the speedup the real index buys.
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self) -> None:
+        self._atoms: dict[Hashable, Atom] = {}
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def atom_for(self, entry: Hashable) -> Atom:
+        return self._atoms[entry]
+
+    def add(self, entry: Hashable, atom: Atom) -> None:
+        if entry in self._atoms:
+            raise KeyError(f"entry {entry!r} already indexed")
+        self._atoms[entry] = atom
+
+    def remove(self, entry: Hashable) -> None:
+        self._atoms.pop(entry, None)
+
+    def lookup(self, probe: Atom) -> set[Hashable]:
+        from .unify import atoms_unifiable
+        return {entry for entry, atom in self._atoms.items()
+                if atoms_unifiable(probe, atom)}
+
+    def entries(self) -> Iterator[tuple[Hashable, Atom]]:
+        return iter(self._atoms.items())

@@ -1,0 +1,184 @@
+"""Brute-force coordinating-set search — the CSP baseline.
+
+The general semantics of Section 2.3 asks for a subset ``G' ⊆ G`` of
+groundings, at most one per query, whose heads mutually satisfy all
+postconditions.  Deciding existence is NP-complete (Theorem 2.1); this
+module implements the direct approach the paper's algorithm is designed
+to avoid:
+
+1. **materialize** the grounding set ``G`` by evaluating every query's
+   body on the database;
+2. **search** over subsets with backtracking.
+
+It serves two purposes: a correctness oracle for the fast algorithm on
+small instances (they must agree on answerability for safe + UCS
+workloads), and the baseline in the ablation benchmark quantifying what
+static matching buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..db.database import Database
+from ..db.expression import ConjunctiveQuery
+from ..errors import CoordinationError
+from .query import EntangledQuery, GroundedQuery, is_coordinating_set
+from .terms import Atom, Constant, Variable
+
+#: Safety valve: materialization stops (with an error) past this many
+#: groundings for a single query, because the search would be hopeless.
+DEFAULT_MAX_GROUNDINGS = 10_000
+
+
+def materialize_groundings(
+        query: EntangledQuery,
+        database: Database,
+        max_groundings: int = DEFAULT_MAX_GROUNDINGS
+) -> list[GroundedQuery]:
+    """All groundings of *query* on *database* (paper Section 2.3).
+
+    Each valuation of the body yields one grounding; the grounding keeps
+    only head and postconditions (bodies are discarded, as the paper
+    notes).  Duplicate groundings (different body valuations grounding
+    the head/postconditions identically) are collapsed.
+    """
+    body_query = ConjunctiveQuery(query.body)
+    seen: set[tuple] = set()
+    groundings: list[GroundedQuery] = []
+    for valuation in database.evaluate(body_query):
+        constants = {variable: Constant(value)
+                     for variable, value in valuation.items()}
+        grounding = query.ground(constants)
+        key = (grounding.head, grounding.postconditions)
+        if key in seen:
+            continue
+        seen.add(key)
+        groundings.append(grounding)
+        if len(groundings) > max_groundings:
+            raise CoordinationError(
+                f"query {query.query_id!r} has more than "
+                f"{max_groundings} groundings; brute force is hopeless")
+    return groundings
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineResult:
+    """Outcome of the brute-force search.
+
+    Attributes:
+        coordinating_set: the chosen groundings (possibly empty).
+        answered_ids: ids of queries with a grounding in the set.
+    """
+
+    coordinating_set: tuple[GroundedQuery, ...]
+
+    @property
+    def answered_ids(self) -> frozenset:
+        return frozenset(grounding.query_id
+                         for grounding in self.coordinating_set)
+
+    @property
+    def size(self) -> int:
+        return len(self.coordinating_set)
+
+
+def find_coordinating_set(
+        queries: Sequence[EntangledQuery],
+        database: Database,
+        require_all: bool = False,
+        maximize: bool = True,
+        max_groundings: int = DEFAULT_MAX_GROUNDINGS) -> BaselineResult:
+    """Backtracking search for a coordinating set.
+
+    Args:
+        queries: the workload (already validated; renaming apart is not
+            required since groundings contain no variables).
+        database: the database to ground against.
+        require_all: only accept sets containing a grounding for *every*
+            query; returns an empty result if impossible.
+        maximize: search for a maximum-cardinality coordinating set;
+            otherwise return the first maximal one found.
+        max_groundings: per-query materialization cap.
+
+    The search explores queries in order; each step either selects one of
+    the query's groundings or skips the query (unless *require_all*).
+    Partial assignments are pruned when a selected grounding has a
+    postcondition that no head of any selected-or-future grounding can
+    provide.
+    """
+    grounding_lists = [materialize_groundings(query, database,
+                                              max_groundings)
+                       for query in queries]
+
+    # Heads potentially available from query index >= i (suffix sets).
+    suffix_heads: list[set[Atom]] = [set() for _ in range(len(queries) + 1)]
+    for position in range(len(queries) - 1, -1, -1):
+        heads = set(suffix_heads[position + 1])
+        for grounding in grounding_lists[position]:
+            heads.update(grounding.head)
+        suffix_heads[position] = heads
+
+    best: list[GroundedQuery] = []
+    found_complete = False
+
+    def satisfied(postcondition: Atom, chosen_heads: set[Atom],
+                  position: int) -> bool:
+        return (postcondition in chosen_heads
+                or postcondition in suffix_heads[position])
+
+    def viable(chosen: list[GroundedQuery], position: int) -> bool:
+        chosen_heads = {atom for grounding in chosen
+                        for atom in grounding.head}
+        for grounding in chosen:
+            for postcondition in grounding.postconditions:
+                if not satisfied(postcondition, chosen_heads, position):
+                    return False
+        return True
+
+    def search(position: int, chosen: list[GroundedQuery]) -> bool:
+        """Returns True to cut the whole search (good-enough answer)."""
+        nonlocal best, found_complete
+        if position == len(queries):
+            if is_coordinating_set(chosen):
+                if require_all and len(chosen) < len(queries):
+                    return False
+                if len(chosen) > len(best):
+                    best = list(chosen)
+                if len(best) == len(queries):
+                    found_complete = True
+                    return True
+                return not maximize and bool(best)
+            return False
+        # Upper-bound prune: even selecting everything remaining cannot
+        # beat the best found so far.
+        if maximize and len(chosen) + (len(queries) - position) <= len(best):
+            return False
+        # Try each grounding of this query.
+        for grounding in grounding_lists[position]:
+            chosen.append(grounding)
+            if viable(chosen, position + 1):
+                if search(position + 1, chosen):
+                    chosen.pop()
+                    return True
+            chosen.pop()
+        # Try skipping this query (forbidden when every query must answer).
+        if not require_all and search(position + 1, chosen):
+            return True
+        return False
+
+    search(0, [])
+    if require_all and not found_complete:
+        return BaselineResult(coordinating_set=())
+    return BaselineResult(coordinating_set=tuple(best))
+
+
+def exists_coordinating_set(queries: Sequence[EntangledQuery],
+                            database: Database,
+                            max_groundings: int = DEFAULT_MAX_GROUNDINGS
+                            ) -> bool:
+    """Decision form of Theorem 2.1: does any nonempty set exist?"""
+    result = find_coordinating_set(queries, database, maximize=False,
+                                   max_groundings=max_groundings)
+    return result.size > 0

@@ -1,0 +1,133 @@
+"""Combined-query construction (paper Section 4.2).
+
+After matching, each surviving component is collapsed into one ordinary
+conjunctive query ``∧ Hi  <-  ∧ Bi ∧ φ_U`` where ``φ_U`` is the equality
+conjunction equivalent to the component's global most general unifier.
+Each answer to the combined query is a valuation that simultaneously
+grounds every constituent query's head — i.e. a coordinated answer.
+
+Two forms are produced:
+
+* the *raw* form — original atoms plus explicit equality comparisons —
+  which mirrors the paper's construction verbatim; and
+* the *simplified* form — the global unifier's substitution applied to
+  every atom, making the equalities vacuous (the paper's final example:
+  ``T(1) ∧ R(x1) ∧ S(x2) <- D1(x1,x2,x3) ∧ D2(x1) ∧ D3(1,x2)``).
+
+The simplified form is what gets sent to the database; the raw form is
+kept for display and for the tests that verify the two are equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..db.expression import Comparison, ConjunctiveQuery
+from ..errors import CoordinationError
+from .matching import ComponentMatch
+from .query import EntangledQuery
+from .terms import Atom, Constant, Term, Variable
+from .unify import Unifier
+
+
+@dataclass(frozen=True, slots=True)
+class CombinedQuery:
+    """The single query standing for a whole matched component.
+
+    Attributes:
+        survivors: query ids, in arrival order, that the query answers.
+        heads: per query id, its head atoms after simplification — these
+            are grounded by each valuation of ``query``.
+        query: the simplified conjunctive query over database relations.
+        raw_query: the unsimplified form (original bodies + φ_U).
+        unifier: the component's global most general unifier.
+    """
+
+    survivors: tuple
+    heads: dict
+    query: ConjunctiveQuery
+    raw_query: ConjunctiveQuery
+    unifier: Unifier
+
+    def ground_heads(self, valuation: Mapping[Variable, object]) -> dict:
+        """Ground every survivor's heads under a combined-query valuation.
+
+        Returns ``{query_id: (Atom, ...)}`` with fully ground atoms.
+        Raises CoordinationError if the valuation leaves a head variable
+        unbound (which would indicate a range-restriction bug upstream).
+        """
+        mapping: dict[Variable, Term] = {
+            variable: Constant(value)
+            for variable, value in valuation.items()}
+        result: dict = {}
+        for query_id, atoms in self.heads.items():
+            grounded = tuple(atom.substitute(mapping) for atom in atoms)
+            for atom in grounded:
+                if not atom.is_ground():
+                    raise CoordinationError(
+                        f"combined-query valuation does not ground head "
+                        f"{atom} of query {query_id!r}")
+            result[query_id] = grounded
+        return result
+
+
+def build_combined_query(
+        queries: Mapping,
+        match: ComponentMatch,
+        restrict_to: Optional[Sequence] = None) -> CombinedQuery:
+    """Build the combined query for a matched component.
+
+    *queries* maps query ids to :class:`EntangledQuery`.  By default the
+    combined query covers all of ``match.survivors``; *restrict_to*
+    narrows it to a subset (used by the UCS-aware fallback, which retries
+    on strongly connected cores).
+
+    Raises CoordinationError when the component has no consistent global
+    unifier — the paper rejects the whole component in that case.
+    """
+    if restrict_to is None:
+        members = list(match.survivors)
+        unifier = match.global_unifier
+    else:
+        member_set = set(restrict_to)
+        members = [query_id for query_id in match.survivors
+                   if query_id in member_set]
+        from .unify import mgu_all
+        unifier = mgu_all(match.unifiers[query_id] for query_id in members)
+    if unifier is None:
+        raise CoordinationError(
+            "component has no consistent global unifier; "
+            "all queries in it are rejected")
+    if not members:
+        raise CoordinationError("no surviving queries to combine")
+
+    body_atoms: list[Atom] = []
+    for query_id in members:
+        body_atoms.extend(queries[query_id].body)
+
+    # Raw form: original atoms plus φ_U as explicit equality comparisons.
+    phi = tuple(Comparison(left, "=", right)
+                for left, right in unifier.equality_pairs())
+    raw_query = ConjunctiveQuery(tuple(body_atoms), phi)
+
+    # Simplified form: substitute class representatives everywhere, which
+    # realises φ_U structurally (equated variables collapse; variables
+    # equated with constants become those constants).
+    substitution = unifier.substitution()
+    simplified_atoms = tuple(atom.substitute(substitution)
+                             for atom in body_atoms)
+    simplified = ConjunctiveQuery(simplified_atoms)
+
+    heads = {
+        query_id: tuple(atom.substitute(substitution)
+                        for atom in queries[query_id].head)
+        for query_id in members
+    }
+    return CombinedQuery(
+        survivors=tuple(members),
+        heads=heads,
+        query=simplified,
+        raw_query=raw_query,
+        unifier=unifier,
+    )

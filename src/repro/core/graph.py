@@ -1,0 +1,297 @@
+"""The unifiability graph (paper Section 4.1.1).
+
+A directed multigraph with one node per query.  There is an edge from
+``N(qi)`` to ``N(qj)`` for each pair ``(h, p)`` where ``h`` is a head atom
+of ``qi``, ``p`` a postcondition atom of ``qj``, and ``h`` unifies with
+``p`` — i.e. an edge points from the *provider* of an answer tuple to the
+*requirer*.
+
+The graph supports incremental insertion and removal of queries, which
+the engine's incremental mode relies on, and exposes the derived
+quantities the matching algorithm needs: per-postcondition incoming
+edges, successors/predecessors, and connected components.
+
+Self-edges (a query's own head satisfying its own postcondition) are
+excluded; see DESIGN.md §3 for why this interpretation is forced by the
+paper's own experimental workloads.
+"""
+
+from __future__ import annotations
+
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+from .atom_index import AtomIndex, NaiveAtomIndex
+from .query import EntangledQuery
+from .terms import Atom
+from .unify import Unifier, atoms_unifiable, unify_atoms
+
+#: Handle for a specific head atom: (query_id, head_position).
+HeadRef = tuple
+#: Handle for a specific postcondition atom: (query_id, pc_position).
+PcRef = tuple
+
+
+class Edge:
+    """One unifiable (head, postcondition) pair.
+
+    Attributes:
+        src: query id providing the head atom.
+        head_pos: index of the head atom within ``src``'s head.
+        dst: query id whose postcondition is satisfied.
+        pc_pos: index of the postcondition atom within ``dst``.
+        head_atom / pc_atom: the two atoms.
+        unifier: the most general unifier of the two atoms — computed
+            lazily, because graphs over large pending sets carry many
+            edges that matching never follows.
+    """
+
+    __slots__ = ("src", "head_pos", "dst", "pc_pos", "head_atom",
+                 "pc_atom", "_unifier")
+
+    def __init__(self, src: object, head_pos: int, dst: object,
+                 pc_pos: int, head_atom: Atom, pc_atom: Atom):
+        self.src = src
+        self.head_pos = head_pos
+        self.dst = dst
+        self.pc_pos = pc_pos
+        self.head_atom = head_atom
+        self.pc_atom = pc_atom
+        self._unifier: Optional[Unifier] = None
+
+    @property
+    def unifier(self) -> Unifier:
+        """The atoms' MGU (cached; the edge's existence guarantees it)."""
+        if self._unifier is None:
+            self._unifier = unify_atoms(self.head_atom, self.pc_atom)
+            assert self._unifier is not None, "edge atoms must unify"
+        return self._unifier
+
+    def __repr__(self) -> str:
+        return (f"Edge({self.src!r}[{self.head_pos}] -> "
+                f"{self.dst!r}[{self.pc_pos}])")
+
+
+class UnifiabilityGraph:
+    """Incremental multigraph over a set of entangled queries.
+
+    Queries must be renamed apart before insertion (the graph checks and
+    raises on shared variables only when ``strict_variables`` is set,
+    since the check is linear in query size).
+    """
+
+    def __init__(self, use_index: bool = True):
+        index_cls = AtomIndex if use_index else NaiveAtomIndex
+        self._queries: dict[object, EntangledQuery] = {}
+        self._head_index = index_cls()
+        self._pc_index = index_cls()
+        # dst query id -> pc position -> list of edges into that pc
+        self._in_edges: dict[object, dict[int, list[Edge]]] = {}
+        # src query id -> list of outgoing edges
+        self._out_edges: dict[object, list[Edge]] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, query_id: object) -> bool:
+        return query_id in self._queries
+
+    def query(self, query_id: object) -> EntangledQuery:
+        """Return the query stored under *query_id*."""
+        return self._queries[query_id]
+
+    def query_ids(self) -> Iterator[object]:
+        """Iterate over the ids of all queries in the graph."""
+        return iter(self._queries)
+
+    def queries(self) -> Iterator[EntangledQuery]:
+        """Iterate over all queries in the graph."""
+        return iter(self._queries.values())
+
+    def out_edges(self, query_id: object) -> list[Edge]:
+        """Edges from *query_id*'s heads to other queries' postconditions."""
+        return list(self._out_edges.get(query_id, ()))
+
+    def in_edges(self, query_id: object) -> list[Edge]:
+        """Edges into *query_id*'s postconditions, across all positions."""
+        per_pc = self._in_edges.get(query_id, {})
+        return [edge for edges in per_pc.values() for edge in edges]
+
+    def in_edges_for_pc(self, query_id: object, pc_pos: int) -> list[Edge]:
+        """Edges into one specific postcondition of *query_id*."""
+        return list(self._in_edges.get(query_id, {}).get(pc_pos, ()))
+
+    def indegree(self, query_id: object) -> int:
+        """INDEGREE(q): number of edges into the query node."""
+        return sum(len(edges)
+                   for edges in self._in_edges.get(query_id, {}).values())
+
+    def successors(self, query_id: object) -> set[object]:
+        """Distinct queries whose postconditions this query's heads satisfy."""
+        return {edge.dst for edge in self._out_edges.get(query_id, ())}
+
+    def predecessors(self, query_id: object) -> set[object]:
+        """Distinct queries whose heads satisfy this query's postconditions."""
+        return {edge.src for edge in self.in_edges(query_id)}
+
+    def unsatisfied_pcs(self, query_id: object) -> list[int]:
+        """Postcondition positions with no incoming edge."""
+        query = self._queries[query_id]
+        per_pc = self._in_edges.get(query_id, {})
+        return [position for position in range(query.pccount)
+                if not per_pc.get(position)]
+
+    def is_fully_matched(self, query_id: object) -> bool:
+        """True if every postcondition of the query has >= 1 incoming edge."""
+        return not self.unsatisfied_pcs(query_id)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add_query(self, query: EntangledQuery) -> list[Edge]:
+        """Insert a query, discovering edges in both directions.
+
+        Returns the new edges, which the incremental matcher uses to decide
+        which unifiers to refresh.  Self-edges are never created.
+        """
+        query_id = query.query_id
+        if query_id in self._queries:
+            raise KeyError(f"query id {query_id!r} already in graph")
+        self._queries[query_id] = query
+        self._in_edges[query_id] = {position: []
+                                    for position in range(query.pccount)}
+        self._out_edges[query_id] = []
+
+        new_edges: list[Edge] = []
+        # New heads may satisfy existing postconditions.
+        for head_pos, head in enumerate(query.head):
+            for entry in self._pc_index.lookup(head):
+                dst_id, pc_pos = entry
+                if dst_id == query_id:
+                    continue
+                pc_atom = self._pc_index.atom_for(entry)
+                if atoms_unifiable(head, pc_atom):
+                    new_edges.append(Edge(query_id, head_pos,
+                                          dst_id, pc_pos, head, pc_atom))
+        # Existing heads may satisfy the new postconditions.
+        for pc_pos, postcondition in enumerate(query.postconditions):
+            for entry in self._head_index.lookup(postcondition):
+                src_id, head_pos = entry
+                if src_id == query_id:
+                    continue
+                head = self._head_index.atom_for(entry)
+                if atoms_unifiable(head, postcondition):
+                    new_edges.append(Edge(src_id, head_pos,
+                                          query_id, pc_pos, head,
+                                          postcondition))
+        for edge in new_edges:
+            self._out_edges[edge.src].append(edge)
+            self._in_edges[edge.dst].setdefault(edge.pc_pos, []).append(edge)
+
+        # Index the new atoms last so the query cannot match itself.
+        for head_pos, head in enumerate(query.head):
+            self._head_index.add((query_id, head_pos), head)
+        for pc_pos, postcondition in enumerate(query.postconditions):
+            self._pc_index.add((query_id, pc_pos), postcondition)
+        return new_edges
+
+    def remove_query(self, query_id: object) -> None:
+        """Remove a query and all its incident edges."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            return
+        for head_pos in range(len(query.head)):
+            self._head_index.remove((query_id, head_pos))
+        for pc_pos in range(query.pccount):
+            self._pc_index.remove((query_id, pc_pos))
+        for edge in self._out_edges.pop(query_id, ()):
+            dst_pcs = self._in_edges.get(edge.dst)
+            if dst_pcs is not None:
+                bucket = dst_pcs.get(edge.pc_pos)
+                if bucket is not None:
+                    dst_pcs[edge.pc_pos] = [
+                        other for other in bucket if other.src != query_id]
+        for edge in self.in_edges(query_id):
+            src_out = self._out_edges.get(edge.src)
+            if src_out is not None:
+                self._out_edges[edge.src] = [
+                    other for other in src_out if other.dst != query_id]
+        self._in_edges.pop(query_id, None)
+
+    # ------------------------------------------------------------------
+    # partitioning (paper Section 4.1.2)
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> list[set[object]]:
+        """Weakly connected components of the graph.
+
+        These are the independent partitions of the workload: any
+        coordinating set spanning two components splits into coordinating
+        sets within each, so each component is processed separately (and,
+        in the engine, in parallel).
+        """
+        remaining = set(self._queries)
+        components: list[set[object]] = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in (self.successors(current)
+                                 | self.predecessors(current)):
+                    if neighbor in remaining:
+                        remaining.discard(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+    def component_of(self, query_id: object) -> set[object]:
+        """The weakly connected component containing *query_id*."""
+        component = {query_id}
+        frontier = [query_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in (self.successors(current)
+                             | self.predecessors(current)):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        return component
+
+    def descendants(self, query_id: object) -> set[object]:
+        """All queries reachable from *query_id* along forward edges.
+
+        Used by CLEANUP: when a query is unanswerable, every query that
+        (transitively) relies on one of its heads is unanswerable too
+        under safety.  The result excludes *query_id* itself unless it
+        lies on a cycle through itself.
+        """
+        visited: set[object] = set()
+        frontier = [query_id]
+        while frontier:
+            current = frontier.pop()
+            for successor in self.successors(current):
+                if successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+        return visited
+
+
+def build_unifiability_graph(queries: Iterable[EntangledQuery],
+                             use_index: bool = True) -> UnifiabilityGraph:
+    """Construct the unifiability graph for a workload.
+
+    Queries are inserted in order; callers must have renamed variables
+    apart (see :func:`repro.core.query.rename_workload_apart`).
+    """
+    graph = UnifiabilityGraph(use_index=use_index)
+    for query in queries:
+        graph.add_query(query)
+    return graph

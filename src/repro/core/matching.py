@@ -1,0 +1,302 @@
+"""Query matching: unifier propagation with cleanup (paper Section 4.1).
+
+Given the unifiability graph of a (component of a) workload, matching
+
+1. chooses, for every postcondition of every query, the head atom that
+   will satisfy it (under safety there is at most one candidate);
+2. initializes each node's unifier from its chosen in-edges;
+3. runs **Algorithm 1** — a work-queue fixpoint that pushes unifier
+   constraints forward along edges, merging with the most general
+   unifier, and removes nodes whose unifier collapses;
+4. removes *unanswerable* queries: any query with an unsatisfiable
+   postcondition, plus (CLEANUP) all its descendants, since under safety
+   they relied on its heads.
+
+The result is, per component, the set of surviving queries with their
+final unifiers — everything Section 4.2's combined-query construction
+needs.
+
+Conflict policies (DESIGN.md §3): when a postcondition has several
+candidate heads (the workload is not strictly safe — transiently common
+in the incremental engine), ``"first"`` picks the earliest-arrived
+provider, ``"error"`` raises :class:`repro.errors.SafetyViolation`, and
+``"backtrack"`` explores alternative choices for small components.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Optional, Sequence
+
+from ..errors import SafetyViolation
+from .graph import Edge, UnifiabilityGraph
+from .query import EntangledQuery
+from .unify import Unifier, mgu, mgu_all
+
+ConflictPolicy = Literal["first", "error", "backtrack"]
+
+#: Components with more than this many multi-candidate postconditions fall
+#: back from "backtrack" to "first" to bound the search.
+MAX_BACKTRACK_CHOICE_POINTS = 12
+
+
+@dataclass(slots=True)
+class ComponentMatch:
+    """Matching outcome for one connected component.
+
+    Attributes:
+        component: all query ids of the component, in arrival order.
+        survivors: ids of answerable queries, in arrival order.
+        removed: ids eliminated as unanswerable.
+        unifiers: final unifier per surviving query.
+        chosen_edges: for each surviving (query_id, pc_pos), the edge
+            providing that postcondition.
+        global_unifier: MGU of all survivor unifiers, or None if they are
+            jointly inconsistent (in which case the paper rejects the
+            whole component).
+    """
+
+    component: tuple
+    survivors: tuple
+    removed: frozenset
+    unifiers: dict
+    chosen_edges: dict
+    global_unifier: Optional[Unifier]
+
+    @property
+    def is_complete(self) -> bool:
+        """True if every query of the component survived matching."""
+        return not self.removed and self.global_unifier is not None
+
+    @property
+    def is_answerable(self) -> bool:
+        """True if at least one query survived with a consistent MGU."""
+        return bool(self.survivors) and self.global_unifier is not None
+
+
+def _choose_edges(graph: UnifiabilityGraph,
+                  component: Sequence,
+                  order: dict,
+                  policy: ConflictPolicy) -> tuple[dict, list]:
+    """Pick one providing edge per postcondition.
+
+    Returns ``(chosen, choice_points)`` where *chosen* maps
+    ``(query_id, pc_pos)`` to an Edge or None (unsatisfiable), and
+    *choice_points* lists the keys that had multiple candidates (for the
+    backtracking policy).
+    """
+    chosen: dict = {}
+    choice_points: list = []
+    member_set = set(component)
+    for query_id in component:
+        query = graph.query(query_id)
+        for pc_pos in range(query.pccount):
+            candidates = [edge for edge
+                          in graph.in_edges_for_pc(query_id, pc_pos)
+                          if edge.src in member_set]
+            if not candidates:
+                chosen[(query_id, pc_pos)] = None
+                continue
+            if len(candidates) > 1:
+                if policy == "error":
+                    raise SafetyViolation(
+                        f"postcondition {pc_pos} of query {query_id!r} has "
+                        f"{len(candidates)} candidate providers",
+                        offending_query_id=query_id,
+                        witnesses=tuple(edge.src for edge in candidates))
+                candidates.sort(key=lambda edge: (order[edge.src],
+                                                  edge.head_pos))
+                choice_points.append((query_id, pc_pos))
+            chosen[(query_id, pc_pos)] = candidates[0]
+            if len(candidates) > 1:
+                chosen[(query_id, pc_pos, "alternatives")] = candidates
+    return chosen, choice_points
+
+
+def _propagate(graph: UnifiabilityGraph,
+               component: Sequence,
+               chosen: dict) -> tuple[set, dict]:
+    """Run Algorithm 1 given fixed edge choices.
+
+    Returns ``(alive, unifiers)``: the surviving node set and their final
+    unifiers.  Implements initialization (fold each node's chosen in-edge
+    unifiers), the updates queue, MGU propagation along chosen edges, and
+    cascading CLEANUP.
+    """
+    alive: set = set(component)
+    unifiers: dict = {}
+
+    # successors along *chosen* edges: provider -> dependents
+    dependents: dict = {query_id: set() for query_id in component}
+    for key, edge in chosen.items():
+        if len(key) != 2 or edge is None:
+            continue
+        dependents[edge.src].add(edge.dst)
+
+    def cleanup(node) -> None:
+        """Remove *node* and all its chosen-edge descendants."""
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            if current not in alive:
+                continue
+            alive.discard(current)
+            in_queue.discard(current)
+            unifiers.pop(current, None)
+            frontier.extend(dependents.get(current, ()))
+
+    in_queue: set = set()
+    updates: deque = deque()
+
+    # Initialization: each node's unifier is the MGU of the atom-level
+    # unifiers of its chosen in-edges; a node with an unsatisfiable
+    # postcondition (no candidate) is unanswerable immediately.
+    for query_id in component:
+        query = graph.query(query_id)
+        node_unifier: Optional[Unifier] = Unifier()
+        for pc_pos in range(query.pccount):
+            edge = chosen.get((query_id, pc_pos))
+            if edge is None:
+                node_unifier = None
+                break
+            node_unifier = mgu(node_unifier, edge.unifier)
+            if node_unifier is None:
+                break
+        if node_unifier is None:
+            cleanup(query_id)
+        else:
+            unifiers[query_id] = node_unifier
+
+    for query_id in component:
+        if query_id in alive:
+            updates.append(query_id)
+            in_queue.add(query_id)
+
+    # Algorithm 1 proper.
+    while updates:
+        parent = updates.popleft()
+        if parent not in alive:
+            continue
+        in_queue.discard(parent)
+        for child in sorted(dependents.get(parent, ()), key=repr):
+            if child not in alive or parent not in alive:
+                continue
+            merged = mgu(unifiers[parent], unifiers[child])
+            if merged is None:
+                cleanup(child)
+                continue
+            if merged != unifiers[child]:
+                unifiers[child] = merged
+                if child not in in_queue:
+                    updates.append(child)
+                    in_queue.add(child)
+    return alive, unifiers
+
+
+def match_component(graph: UnifiabilityGraph,
+                    component: Iterable,
+                    policy: ConflictPolicy = "first",
+                    order: dict | None = None) -> ComponentMatch:
+    """Match one connected component of the unifiability graph.
+
+    *order* maps query ids to arrival sequence numbers (defaults to the
+    graph's insertion order) and is used both for deterministic conflict
+    resolution and for reporting survivors in arrival order.
+    """
+    if order is None:
+        order = {query_id: position
+                 for position, query_id in enumerate(graph.query_ids())}
+    members = sorted(component, key=lambda query_id: order[query_id])
+
+    if policy == "backtrack":
+        return _match_with_backtracking(graph, members, order)
+
+    chosen, _ = _choose_edges(graph, members, order, policy)
+    alive, unifiers = _propagate(graph, members, chosen)
+    survivors = tuple(query_id for query_id in members if query_id in alive)
+    global_unifier = mgu_all(unifiers[query_id] for query_id in survivors)
+    chosen_edges = {key: edge for key, edge in chosen.items()
+                    if len(key) == 2 and edge is not None
+                    and key[0] in alive and edge.src in alive}
+    return ComponentMatch(
+        component=tuple(members),
+        survivors=survivors,
+        removed=frozenset(set(members) - alive),
+        unifiers={query_id: unifiers[query_id] for query_id in survivors},
+        chosen_edges=chosen_edges,
+        global_unifier=global_unifier,
+    )
+
+
+def _match_with_backtracking(graph: UnifiabilityGraph,
+                             members: list,
+                             order: dict) -> ComponentMatch:
+    """Explore alternative providers when postconditions over-unify.
+
+    Enumerates combinations of choices at multi-candidate postconditions
+    (bounded by :data:`MAX_BACKTRACK_CHOICE_POINTS`) and returns the
+    outcome with the most survivors, preferring earlier arrival order on
+    ties.  With no choice points this degenerates to the "first" policy.
+    """
+    chosen, choice_points = _choose_edges(graph, members, order, "first")
+    if not choice_points or len(choice_points) > MAX_BACKTRACK_CHOICE_POINTS:
+        alive, unifiers = _propagate(graph, members, chosen)
+        return _package(graph, members, chosen, alive, unifiers)
+
+    alternative_lists = [chosen[(query_id, pc_pos, "alternatives")]
+                         for query_id, pc_pos in choice_points]
+    best: Optional[tuple] = None
+    for combination in itertools.product(*alternative_lists):
+        trial = dict(chosen)
+        for key, edge in zip(choice_points, combination):
+            trial[key] = edge
+        alive, unifiers = _propagate(graph, members, trial)
+        survivors = tuple(query_id for query_id in members
+                          if query_id in alive)
+        global_unifier = mgu_all(unifiers[query_id]
+                                 for query_id in survivors)
+        if global_unifier is None:
+            score = (-1,)
+        else:
+            score = (len(survivors),)
+        if best is None or score > best[0]:
+            best = (score, trial, alive, dict(unifiers))
+            if len(survivors) == len(members):
+                break
+    _, trial, alive, unifiers = best
+    return _package(graph, members, trial, alive, unifiers)
+
+
+def _package(graph: UnifiabilityGraph, members: list, chosen: dict,
+             alive: set, unifiers: dict) -> ComponentMatch:
+    survivors = tuple(query_id for query_id in members if query_id in alive)
+    global_unifier = mgu_all(unifiers[query_id] for query_id in survivors)
+    chosen_edges = {key: edge for key, edge in chosen.items()
+                    if len(key) == 2 and edge is not None
+                    and key[0] in alive and edge.src in alive}
+    return ComponentMatch(
+        component=tuple(members),
+        survivors=survivors,
+        removed=frozenset(set(members) - alive),
+        unifiers={query_id: unifiers[query_id] for query_id in survivors},
+        chosen_edges=chosen_edges,
+        global_unifier=global_unifier,
+    )
+
+
+def match_all(graph: UnifiabilityGraph,
+              policy: ConflictPolicy = "first") -> list[ComponentMatch]:
+    """Partition the graph and match every component (paper §4.1.2).
+
+    Components are independent, so callers may parallelize; this helper
+    runs them sequentially in deterministic (arrival) order.
+    """
+    order = {query_id: position
+             for position, query_id in enumerate(graph.query_ids())}
+    components = graph.connected_components()
+    components.sort(key=lambda component: min(order[query_id]
+                                              for query_id in component))
+    return [match_component(graph, component, policy=policy, order=order)
+            for component in components]

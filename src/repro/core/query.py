@@ -1,0 +1,252 @@
+"""The intermediate representation of entangled queries (paper §2.2).
+
+An entangled query has the form ``{C} H <- B``:
+
+* ``C`` (*postconditions*) — conjunction of atoms over ANSWER relations
+  that *other* queries' answers must provide;
+* ``H`` (*head*) — conjunction of atoms over ANSWER relations that this
+  query contributes to the answer relation;
+* ``B`` (*body*) — a conjunctive query over ordinary database relations
+  that binds the variables used in ``H`` and ``C``.
+
+All variables appearing in ``H`` or ``C`` must also appear in ``B``
+(range restriction); :func:`EntangledQuery.validate` enforces this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import ValidationError
+from .terms import Atom, Constant, Term, Variable, variables_of
+
+
+@dataclass(frozen=True, slots=True)
+class EntangledQuery:
+    """Immutable IR of one entangled query.
+
+    Attributes:
+        query_id: workload-unique identifier (assigned by the caller or by
+            :func:`assign_ids`); used as the node key in the unifiability
+            graph and to route answers back to submitters.
+        head: the atoms this query contributes to ANSWER relations.
+        postconditions: the atoms this query requires from partners.
+        body: conjunctive atoms over database relations.
+        choose: how many coordinated answers the submitter wants
+            (``CHOOSE k``; the paper fixes ``k = 1``, the ``k > 1``
+            extension of Section 6 is supported by the evaluator).
+        owner: opaque tag identifying the submitting client (optional).
+        aggregates: Section 6 aggregation constraints
+            (:class:`repro.core.extensions.AggregateConstraint`);
+            ignored by the core algorithm, enforced by
+            :func:`repro.core.extensions.coordinate_with_aggregates`.
+    """
+
+    query_id: object
+    head: tuple[Atom, ...]
+    postconditions: tuple[Atom, ...]
+    body: tuple[Atom, ...]
+    choose: int = 1
+    owner: object = None
+    aggregates: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("head", "postconditions", "body"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.choose < 1:
+            raise ValidationError(
+                f"query {self.query_id!r}: CHOOSE must be >= 1, "
+                f"got {self.choose}")
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def pccount(self) -> int:
+        """Number of postcondition atoms (PCCOUNT in the paper)."""
+        return len(self.postconditions)
+
+    def answer_relations(self) -> set[str]:
+        """Names of ANSWER relations this query mentions."""
+        return {atom.relation for atom in
+                itertools.chain(self.head, self.postconditions)}
+
+    def body_relations(self) -> set[str]:
+        """Names of database relations this query's body mentions."""
+        return {atom.relation for atom in self.body}
+
+    def variables(self) -> set[Variable]:
+        """All variables appearing anywhere in the query."""
+        return variables_of(itertools.chain(
+            self.head, self.postconditions, self.body))
+
+    def head_variables(self) -> set[Variable]:
+        """Variables appearing in the head or postconditions."""
+        return variables_of(itertools.chain(self.head, self.postconditions))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise ValidationError if bad.
+
+        Enforced requirements (paper Section 2.2):
+
+        * at least one head atom — a query must contribute something;
+        * range restriction — every variable of the head and the
+          postconditions occurs in the body;
+        * answer relations and body relations are disjoint (an atom cannot
+          be both a coordination constraint and a data constraint).
+        """
+        if not self.head:
+            raise ValidationError(
+                f"query {self.query_id!r} has no head atoms")
+        body_vars = variables_of(self.body)
+        unbound = self.head_variables() - body_vars
+        if unbound:
+            names = ", ".join(sorted(variable.name for variable in unbound))
+            raise ValidationError(
+                f"query {self.query_id!r} violates range restriction: "
+                f"variables {{{names}}} appear in the head or "
+                f"postconditions but not in the body")
+        overlap = self.answer_relations() & self.body_relations()
+        if overlap:
+            names = ", ".join(sorted(overlap))
+            raise ValidationError(
+                f"query {self.query_id!r} uses relation(s) {{{names}}} "
+                f"both as ANSWER and as database relations")
+
+    # ------------------------------------------------------------------
+    # renaming apart
+    # ------------------------------------------------------------------
+
+    def rename_apart(self, tag: str | None = None) -> "EntangledQuery":
+        """Return a copy whose variables are suffixed with a unique tag.
+
+        Unifier propagation requires that no variable appear in more than
+        one query (paper Section 4.1.3).  The default tag is derived from
+        the query id.
+        """
+        suffix = f"@{tag if tag is not None else self.query_id}"
+        if all(variable.name.endswith(suffix)
+               for variable in self.variables()):
+            return self
+        return replace(
+            self,
+            head=tuple(item.rename(suffix) for item in self.head),
+            postconditions=tuple(item.rename(suffix)
+                                 for item in self.postconditions),
+            body=tuple(item.rename(suffix) for item in self.body),
+            aggregates=tuple(constraint.rename(suffix)
+                             for constraint in self.aggregates),
+        )
+
+    # ------------------------------------------------------------------
+    # grounding (used by the brute-force baseline and the semantics tests)
+    # ------------------------------------------------------------------
+
+    def ground(self, valuation: dict[Variable, Constant]) -> "GroundedQuery":
+        """Apply a valuation, producing a grounding (paper Section 2.3).
+
+        The valuation must bind every variable of the head and
+        postconditions; the body is discarded, as the paper notes the
+        bodies of groundings are no longer needed.
+        """
+        mapping: dict[Variable, Term] = dict(valuation)
+        head = tuple(item.substitute(mapping) for item in self.head)
+        postconditions = tuple(item.substitute(mapping)
+                               for item in self.postconditions)
+        for item in itertools.chain(head, postconditions):
+            if not item.is_ground():
+                raise ValidationError(
+                    f"valuation does not ground query {self.query_id!r}: "
+                    f"{item} still contains variables")
+        return GroundedQuery(self.query_id, head, postconditions)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.postconditions:
+            parts.append("{" + " ∧ ".join(str(item) for item
+                                          in self.postconditions) + "}")
+        else:
+            parts.append("{}")
+        parts.append(" ∧ ".join(str(item) for item in self.head))
+        rendered = f"{parts[0]} {parts[1]}"
+        if self.body:
+            rendered += " <- " + " ∧ ".join(str(item) for item in self.body)
+        return rendered
+
+
+@dataclass(frozen=True, slots=True)
+class GroundedQuery:
+    """A grounding: a query with variables replaced by constants.
+
+    Groundings are the elements of the set ``G`` in the semantics of
+    Section 2.3; a *coordinating set* is a subset of ``G`` with at most
+    one grounding per query whose heads jointly cover all postconditions.
+    """
+
+    query_id: object
+    head: tuple[Atom, ...]
+    postconditions: tuple[Atom, ...]
+
+    def __str__(self) -> str:
+        post = " ∧ ".join(str(item) for item in self.postconditions)
+        head = " ∧ ".join(str(item) for item in self.head)
+        return f"{{{post}}} {head}"
+
+
+def is_coordinating_set(groundings: Sequence[GroundedQuery]) -> bool:
+    """Check the coordinating-set property of paper Section 2.3.
+
+    True iff (a) the set contains at most one grounding per query and
+    (b) the union of all head atoms contains every postcondition atom.
+    """
+    seen_queries: set[object] = set()
+    for grounding in groundings:
+        if grounding.query_id in seen_queries:
+            return False
+        seen_queries.add(grounding.query_id)
+    heads: set[Atom] = set()
+    for grounding in groundings:
+        heads.update(grounding.head)
+    for grounding in groundings:
+        for postcondition in grounding.postconditions:
+            if postcondition not in heads:
+                return False
+    return True
+
+
+def assign_ids(queries: Iterable[EntangledQuery],
+               start: int = 0) -> list[EntangledQuery]:
+    """Return copies of *queries* with sequential integer ids from *start*.
+
+    Convenient for workload generators that build anonymous query shapes.
+    """
+    result = []
+    for index, query in enumerate(queries, start):
+        result.append(replace(query, query_id=index))
+    return result
+
+
+def validate_workload(queries: Sequence[EntangledQuery]) -> None:
+    """Validate every query and check ids are unique."""
+    seen: set[object] = set()
+    for query in queries:
+        query.validate()
+        if query.query_id in seen:
+            raise ValidationError(
+                f"duplicate query id {query.query_id!r} in workload")
+        seen.add(query.query_id)
+
+
+def rename_workload_apart(
+        queries: Sequence[EntangledQuery]) -> list[EntangledQuery]:
+    """Rename every query's variables apart from every other query's."""
+    return [query.rename_apart() for query in queries]

@@ -1,0 +1,202 @@
+"""The safety condition of paper Section 3.1.1.
+
+A workload ``Q`` is *unsafe* if it contains a query ``q`` with a
+postcondition atom that is unifiable with two or more head atoms found in
+``Q`` — head atoms of two different queries or two head atoms of the same
+(partner) query.  A query's *own* head atoms are excluded (DESIGN.md §3).
+
+Safety is what makes matching deterministic: it guarantees each
+postcondition has at most one candidate provider, so there is a unique
+way to combine the queries of a component into one big query.
+
+Two operations are provided:
+
+* :func:`check_safety` — report all violations (or assert none);
+* :func:`enforce_safety` — the paper's simple repair strategy: iterate,
+  removing every query whose postconditions over-unify, until the
+  remaining set is safe.  As the paper notes this is not Church-Rosser in
+  general, but it is simple and efficient.
+
+Both use the :class:`repro.core.atom_index.AtomIndex` so that checking a
+new query against a large resident set is cheap (Figure 9's experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import SafetyViolation
+from .atom_index import AtomIndex
+from .query import EntangledQuery
+from .terms import Atom
+from .unify import unify_atoms
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One safety violation: a postcondition with >= 2 unifiable heads.
+
+    Attributes:
+        query_id: the query whose postcondition over-unifies.
+        pc_pos: position of the offending postcondition atom.
+        witnesses: (query_id, head_pos) handles of unifiable head atoms;
+            always at least two.
+    """
+
+    query_id: object
+    pc_pos: int
+    witnesses: tuple[tuple, ...]
+
+
+class SafetyChecker:
+    """Incremental safety checker over a growing workload.
+
+    Maintains an index of all resident head atoms.  :meth:`violations_of`
+    answers "would adding this query be safe, and does it make any
+    resident query unsafe?" without rescanning the whole workload, which
+    is exactly the operation stress-tested in the paper's Figure 9.
+    """
+
+    def __init__(self) -> None:
+        self._head_index = AtomIndex()
+        self._pc_index = AtomIndex()
+        self._queries: dict[object, EntangledQuery] = {}
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def add(self, query: EntangledQuery) -> None:
+        """Admit *query* into the resident set (no checking)."""
+        if query.query_id in self._queries:
+            raise KeyError(f"query id {query.query_id!r} already resident")
+        self._queries[query.query_id] = query
+        for head_pos, head in enumerate(query.head):
+            self._head_index.add((query.query_id, head_pos), head)
+        for pc_pos, postcondition in enumerate(query.postconditions):
+            self._pc_index.add((query.query_id, pc_pos), postcondition)
+
+    def remove(self, query_id: object) -> None:
+        """Remove a resident query (e.g. after it was answered)."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            return
+        for head_pos in range(len(query.head)):
+            self._head_index.remove((query_id, head_pos))
+        for pc_pos in range(query.pccount):
+            self._pc_index.remove((query_id, pc_pos))
+
+    def _matching_heads(self, probe: Atom,
+                        exclude_query: object) -> list[tuple]:
+        """Resident head handles unifiable with *probe*."""
+        matches = []
+        for entry in self._head_index.lookup(probe):
+            if entry[0] == exclude_query:
+                continue
+            if unify_atoms(probe, self._head_index.atom_for(entry)) is not None:
+                matches.append(entry)
+        return matches
+
+    def violations_of(self, query: EntangledQuery) -> list[Violation]:
+        """Safety violations that admitting *query* would introduce.
+
+        Checks both directions:
+
+        * each postcondition of the new query against resident heads plus
+          the new query's other heads;
+        * each resident postcondition that the new query's heads would
+          push over the one-unifiable-head limit.
+        """
+        violations: list[Violation] = []
+        # Direction 1: new query's postconditions vs resident + own heads.
+        for pc_pos, postcondition in enumerate(query.postconditions):
+            # Heads of the new query itself never satisfy its own
+            # postconditions, so only resident heads count as witnesses.
+            witnesses = self._matching_heads(postcondition, query.query_id)
+            if len(witnesses) >= 2:
+                violations.append(Violation(query.query_id, pc_pos,
+                                            tuple(sorted(witnesses))))
+        # Direction 2: resident postconditions vs the new query's heads.
+        affected: dict[tuple, list[tuple]] = {}
+        for head_pos, head in enumerate(query.head):
+            for entry in self._pc_index.lookup(head):
+                resident_id, pc_pos = entry
+                if resident_id == query.query_id:
+                    continue
+                if unify_atoms(head, self._pc_index.atom_for(entry)) is None:
+                    continue
+                affected.setdefault(entry, []).append(
+                    (query.query_id, head_pos))
+        for (resident_id, pc_pos), new_witnesses in affected.items():
+            resident = self._queries[resident_id]
+            existing = self._matching_heads(
+                resident.postconditions[pc_pos], resident_id)
+            total = existing + new_witnesses
+            if len(total) >= 2:
+                violations.append(Violation(resident_id, pc_pos,
+                                            tuple(sorted(total))))
+        return violations
+
+    def is_safe_to_add(self, query: EntangledQuery) -> bool:
+        """True if admitting *query* keeps the workload safe."""
+        return not self.violations_of(query)
+
+
+def check_safety(queries: Sequence[EntangledQuery],
+                 raise_on_violation: bool = False) -> list[Violation]:
+    """Check a whole workload for safety; return all violations found.
+
+    With ``raise_on_violation`` the first violation raises
+    :class:`repro.errors.SafetyViolation` instead.
+    """
+    head_index = AtomIndex()
+    for query in queries:
+        for head_pos, head in enumerate(query.head):
+            head_index.add((query.query_id, head_pos), head)
+    violations: list[Violation] = []
+    for query in queries:
+        for pc_pos, postcondition in enumerate(query.postconditions):
+            witnesses = []
+            for entry in head_index.lookup(postcondition):
+                if entry[0] == query.query_id:
+                    continue
+                if unify_atoms(postcondition,
+                               head_index.atom_for(entry)) is not None:
+                    witnesses.append(entry)
+            if len(witnesses) >= 2:
+                violation = Violation(query.query_id, pc_pos,
+                                      tuple(sorted(witnesses)))
+                if raise_on_violation:
+                    raise SafetyViolation(
+                        f"postcondition {pc_pos} of query "
+                        f"{query.query_id!r} unifies with "
+                        f"{len(witnesses)} head atoms",
+                        offending_query_id=query.query_id,
+                        witnesses=tuple(entry[0] for entry in witnesses))
+                violations.append(violation)
+    return violations
+
+
+def is_safe(queries: Sequence[EntangledQuery]) -> bool:
+    """True if the workload satisfies the safety condition."""
+    return not check_safety(queries)
+
+
+def enforce_safety(
+        queries: Sequence[EntangledQuery]) -> list[EntangledQuery]:
+    """The paper's repair strategy: drop over-unifying queries until safe.
+
+    Iterates over the query set searching for queries with postconditions
+    that unify with more than one head atom and removes them; removal can
+    expose no *new* violations (heads only disappear), so a single pass
+    ordered by query position suffices — but we loop to a fixpoint anyway
+    for clarity and to guard against future index changes.
+    """
+    remaining = list(queries)
+    while True:
+        violations = check_safety(remaining)
+        if not violations:
+            return remaining
+        offenders = {violation.query_id for violation in violations}
+        remaining = [query for query in remaining
+                     if query.query_id not in offenders]

@@ -1,0 +1,136 @@
+"""Plain-text data files for databases and workloads.
+
+A deliberately simple line format so workloads can be scripted and
+shipped without pickling:
+
+.. code-block:: text
+
+    -- comments and blank lines are ignored
+    table Flights fno:int dest:text
+    row Flights 122 'Paris'
+    row Flights 123 'Paris'
+    table Airlines fno:int airline:text
+    row Airlines 122 'United'
+
+Values in ``row`` lines use the same literal syntax as queries: quoted
+strings, bare numbers, or bare identifiers (taken as strings).  Query
+workload files contain one IR-syntax entangled query per line (see
+:func:`repro.lang.parse_ir_workload`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from .db.database import Database
+from .db.types import column_type_of
+from .errors import ParseError, SchemaError
+from .lang.tokenizer import TokenStream, TokenType  # leaf module; no cycle
+
+
+def load_database(source: Union[str, Path]) -> Database:
+    """Build a :class:`Database` from a data file or literal text.
+
+    *source* is a path if it names an existing file, otherwise it is
+    treated as the file's contents (handy in tests and docstrings).
+    """
+    text = _read(source)
+    database = Database()
+    for line_number, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("--"):
+            continue
+        keyword, _, rest = stripped.partition(" ")
+        if keyword == "table":
+            _load_table_line(database, rest, line_number)
+        elif keyword == "row":
+            _load_row_line(database, rest, line_number)
+        else:
+            raise ParseError(
+                f"expected 'table' or 'row', found {keyword!r}",
+                line_number)
+    return database
+
+
+def dump_database(database: Database) -> str:
+    """Render *database* back into the data-file format.
+
+    ``load_database(dump_database(db))`` reproduces all tables and rows
+    (order of rows within a table is preserved).
+    """
+    lines: list[str] = []
+    for name in database.table_names():
+        table = database.table(name)
+        columns = " ".join(f"{column.name}:{column.type.value}"
+                           for column in table.schema.columns)
+        lines.append(f"table {name} {columns}")
+        for row in table.rows():
+            rendered = " ".join(_render_value(value) for value in row)
+            lines.append(f"row {name} {rendered}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _read(source: Union[str, Path]) -> str:
+    path = Path(source)
+    try:
+        if path.exists() and path.is_file():
+            return path.read_text()
+    except OSError:
+        pass
+    return str(source)
+
+
+def _load_table_line(database: Database, rest: str,
+                     line_number: int) -> None:
+    parts = rest.split()
+    if len(parts) < 2:
+        raise ParseError("table line needs a name and >= 1 column",
+                         line_number)
+    name, column_specs = parts[0], parts[1:]
+    specs = []
+    for spec in column_specs:
+        column, _, type_name = spec.partition(":")
+        if not column:
+            raise ParseError(f"bad column spec {spec!r}", line_number)
+        specs.append(f"{column} {type_name}" if type_name else column)
+    try:
+        database.create_table(name, *specs)
+    except SchemaError as error:
+        raise ParseError(f"bad table line: {error}", line_number)
+
+
+def _load_row_line(database: Database, rest: str,
+                   line_number: int) -> None:
+    name, _, values_text = rest.partition(" ")
+    if not name:
+        raise ParseError("row line needs a table name", line_number)
+    values = _parse_values(values_text, line_number)
+    try:
+        database.insert_row(name, values)
+    except SchemaError as error:
+        raise ParseError(f"bad row line: {error}", line_number)
+
+
+def _parse_values(text: str, line_number: int) -> tuple:
+    stream = TokenStream.of(text)
+    values: list = []
+    while not stream.at_end():
+        token = stream.next()
+        if token.type in (TokenType.STRING, TokenType.NUMBER):
+            values.append(token.value)
+        elif token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            values.append(str(token.value))
+        else:
+            raise ParseError(f"unexpected value token {token}",
+                             line_number)
+    return tuple(values)
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "'true'" if value else "'false'"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

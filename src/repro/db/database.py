@@ -1,0 +1,110 @@
+"""The database facade: catalog + tables + executor in one object."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.terms import Variable
+from ..errors import SchemaError
+from .executor import Executor, Valuation
+from .expression import ConjunctiveQuery
+from .schema import Catalog, TableSchema, schema as make_schema
+from .table import Table
+
+
+class Database:
+    """An in-memory relational database.
+
+    This is the substrate the D3C engine sends combined queries to —
+    the reproduction's stand-in for the paper's MySQL instance.  Typical
+    use::
+
+        db = Database()
+        db.create_table("Flights", "fno int", "dest text")
+        db.insert("Flights", [(122, "Paris"), (123, "Paris")])
+        list(db.evaluate(cq))          # all valuations
+        db.first(cq)                   # LIMIT 1
+    """
+
+    def __init__(self) -> None:
+        self._catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._executor = Executor(self)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, *column_specs: str) -> Table:
+        """Create a table from ``"col type"`` specs; returns the table."""
+        table_schema = make_schema(name, *column_specs)
+        return self.create_table_from_schema(table_schema)
+
+    def create_table_from_schema(self, table_schema: TableSchema) -> Table:
+        """Create a table from an explicit :class:`TableSchema`."""
+        self._catalog.add(table_schema)
+        table = Table(table_schema)
+        self._tables[table_schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its data."""
+        self._catalog.drop(name)
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """Names of all tables in the catalog."""
+        return sorted(self._catalog)
+
+    def has_table(self, name: str) -> bool:
+        """True if *name* is in the catalog."""
+        return name in self._catalog
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name; raises SchemaError if absent."""
+        table = self._tables.get(name)
+        if table is None:
+            raise SchemaError(f"no such table: {name!r}")
+        return table
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        return self.table(name).insert_many(rows)
+
+    def insert_row(self, name: str, row: Sequence) -> int:
+        """Insert one row; returns its row id."""
+        return self.table(name).insert(row)
+
+    # ------------------------------------------------------------------
+    # query evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: ConjunctiveQuery,
+                 limit: int | None = None) -> Iterator[Valuation]:
+        """Stream valuations satisfying *query*."""
+        return self._executor.evaluate(query, limit=limit)
+
+    def first(self, query: ConjunctiveQuery) -> Optional[Valuation]:
+        """One satisfying valuation or None."""
+        return self._executor.first(query)
+
+    def count(self, query: ConjunctiveQuery) -> int:
+        """Number of satisfying valuations."""
+        return self._executor.count(query)
+
+    def explain(self, query: ConjunctiveQuery) -> str:
+        """The executor's chosen plan, rendered."""
+        return self._executor.explain(query)
+
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lines = []
+        for name in self.table_names():
+            table = self._tables[name]
+            lines.append(f"{table.schema}  [{len(table)} rows]")
+        return "\n".join(lines) if lines else "(empty database)"

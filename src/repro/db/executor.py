@@ -1,0 +1,192 @@
+"""Backtracking evaluation of conjunctive queries over hash indexes.
+
+Follows the plan from :mod:`repro.db.planner`: at each step, probe the
+step's table on the positions bound by constants and already-bound join
+variables, extend the partial valuation with the row's values for the
+newly bound variables (verifying repeated occurrences agree), check the
+comparisons that just became fully bound, and recurse.  Results stream
+out as generator items so ``LIMIT 1`` — the common case for combined
+queries — touches as little data as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.terms import Atom, Constant, Variable
+from ..errors import QueryEvaluationError
+from .expression import Comparison, ConjunctiveQuery
+from .planner import Plan, Planner
+
+#: A valuation binds variables to plain Python values (not Constants).
+Valuation = dict
+
+
+class Executor:
+    """Evaluates conjunctive queries against a database instance."""
+
+    def __init__(self, database):
+        self._database = database
+        self._planner = Planner(database)
+
+    def evaluate(self, query: ConjunctiveQuery,
+                 limit: int | None = None) -> Iterator[Valuation]:
+        """Yield valuations (variable -> value) satisfying *query*.
+
+        Respects ``query.distinct`` (projected on ``output_variables``)
+        and stops after *limit* results if given.  An atom-free query
+        yields one empty valuation iff all constant comparisons hold.
+        """
+        for atom in query.atoms:
+            # Fail fast on unknown relations before planning builds stats.
+            self._database.table(atom.relation)
+        plan = self._planner.plan(query)
+        results = self._run(plan, query)
+        if query.distinct:
+            results = self._deduplicate(results, query)
+        if limit is not None:
+            results = self._take(results, limit)
+        return results
+
+    def first(self, query: ConjunctiveQuery) -> Optional[Valuation]:
+        """Return one satisfying valuation or None (``LIMIT 1``)."""
+        for valuation in self.evaluate(query, limit=1):
+            return valuation
+        return None
+
+    def count(self, query: ConjunctiveQuery) -> int:
+        """Number of satisfying valuations."""
+        return sum(1 for _ in self.evaluate(query))
+
+    def explain(self, query: ConjunctiveQuery) -> str:
+        """Human-readable plan (join order and comparison schedule)."""
+        return str(self._planner.plan(query))
+
+    # ------------------------------------------------------------------
+
+    def _run(self, plan: Plan,
+             query: ConjunctiveQuery) -> Iterator[Valuation]:
+        for comparison in plan.pre_comparisons:
+            if not comparison.evaluate({}):
+                return
+        yield from self._extend(plan, 0, {})
+
+    def _extend(self, plan: Plan, depth: int,
+                valuation: Valuation) -> Iterator[Valuation]:
+        if depth == len(plan.steps):
+            yield dict(valuation)
+            return
+        step = plan.steps[depth]
+        table = self._database.table(step.atom.relation)
+        if table.schema.arity != step.atom.arity:
+            raise QueryEvaluationError(
+                f"atom {step.atom} has arity {step.atom.arity} but table "
+                f"{step.atom.relation!r} has arity {table.schema.arity}")
+
+        bindings: dict[int, object] = {}
+        free_positions: list[tuple[int, Variable]] = []
+        for position, term in enumerate(step.atom.args):
+            if isinstance(term, Constant):
+                bindings[position] = term.value
+            elif term in valuation:
+                bindings[position] = valuation[term]
+            else:
+                free_positions.append((position, term))
+
+        for row in table.probe(bindings):
+            extension: dict[Variable, object] = {}
+            consistent = True
+            for position, variable in free_positions:
+                value = row[position]
+                if variable in extension:
+                    # Repeated free variable within this atom, e.g. F(x, x).
+                    if extension[variable] != value:
+                        consistent = False
+                        break
+                else:
+                    extension[variable] = value
+            if not consistent:
+                continue
+            valuation.update(extension)
+            if all(comparison.evaluate(valuation)
+                   for comparison in step.comparisons):
+                yield from self._extend(plan, depth + 1, valuation)
+            for variable in extension:
+                del valuation[variable]
+
+    @staticmethod
+    def _deduplicate(results: Iterator[Valuation],
+                     query: ConjunctiveQuery) -> Iterator[Valuation]:
+        projection = query.output_variables
+        seen: set[tuple] = set()
+        for valuation in results:
+            if projection is None:
+                key = tuple(sorted((variable.name, valuation[variable])
+                                   for variable in valuation))
+            else:
+                key = tuple(valuation[variable] for variable in projection)
+            if key not in seen:
+                seen.add(key)
+                yield valuation
+
+    @staticmethod
+    def _take(results: Iterator[Valuation],
+              limit: int) -> Iterator[Valuation]:
+        if limit < 0:
+            raise QueryEvaluationError(f"limit must be >= 0, got {limit}")
+        for count, valuation in enumerate(results):
+            if count >= limit:
+                return
+            yield valuation
+
+
+def evaluate_naive(database, query: ConjunctiveQuery) -> list[Valuation]:
+    """Reference nested-loop evaluation (no planner, no indexes).
+
+    Exponentially slower but obviously correct; tests compare the
+    executor's output against this oracle on small instances.
+    """
+    query.validate()
+
+    def recurse(atoms: list[Atom], valuation: Valuation) -> Iterator[Valuation]:
+        if not atoms:
+            if all(comparison.evaluate(valuation)
+                   for comparison in query.comparisons):
+                yield dict(valuation)
+            return
+        atom = atoms[0]
+        table = database.table(atom.relation)
+        for row in table.rows():
+            trial = dict(valuation)
+            matched = True
+            for position, term in enumerate(atom.args):
+                value = row[position]
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        matched = False
+                        break
+                elif term in trial:
+                    if trial[term] != value:
+                        matched = False
+                        break
+                else:
+                    trial[term] = value
+            if matched:
+                yield from recurse(atoms[1:], trial)
+
+    results = list(recurse(list(query.atoms), {}))
+    if query.distinct:
+        deduped: list[Valuation] = []
+        seen: set[tuple] = set()
+        projection = query.output_variables
+        for valuation in results:
+            if projection is None:
+                key = tuple(sorted((variable.name, valuation[variable])
+                                   for variable in valuation))
+            else:
+                key = tuple(valuation[variable] for variable in projection)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(valuation)
+        return deduped
+    return results

@@ -1,0 +1,119 @@
+"""Conjunctive queries and comparison predicates for the executor.
+
+The database substrate evaluates *conjunctive queries*: a conjunction of
+relational atoms over database tables plus optional comparison predicates
+between terms.  This is exactly the class of combined queries the
+coordination algorithm produces (paper Section 4.2): bodies of the
+constituent entangled queries plus the equality conjunction ``φ_U``.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.terms import Atom, Constant, Term, Variable, variables_of
+from ..errors import QueryEvaluationError
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A binary comparison between two terms.
+
+    Equality comparisons between variables are what ``φ_U`` compiles to
+    when the combined query is *not* pre-simplified; the other operators
+    support the language extensions (e.g. date-proximity preferences).
+    """
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            valid = ", ".join(sorted(_OPERATORS))
+            raise QueryEvaluationError(
+                f"unknown comparison operator {self.op!r}; "
+                f"expected one of {valid}")
+
+    def variables(self) -> set[Variable]:
+        """Variables mentioned on either side."""
+        return {term for term in (self.left, self.right)
+                if isinstance(term, Variable)}
+
+    def evaluate(self, valuation: dict[Variable, object]) -> bool:
+        """Evaluate under *valuation*; all variables must be bound."""
+        left = self._value(self.left, valuation)
+        right = self._value(self.right, valuation)
+        return _OPERATORS[self.op](left, right)
+
+    @staticmethod
+    def _value(term: Term, valuation: dict[Variable, object]) -> object:
+        if isinstance(term, Constant):
+            return term.value
+        try:
+            return valuation[term]
+        except KeyError:
+            raise QueryEvaluationError(
+                f"comparison references unbound variable {term}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveQuery:
+    """A conjunction of atoms and comparisons to evaluate over a database.
+
+    Attributes:
+        atoms: relational atoms over database tables; join semantics via
+            shared variables.
+        comparisons: predicates applied as soon as their variables bind.
+        distinct: deduplicate output valuations projected on
+            ``output_variables`` when set.
+        output_variables: the variables of interest; defaults to all
+            variables of the atoms.  Valuations always bind *all*
+            variables; ``output_variables`` only affects ``distinct``.
+    """
+
+    atoms: tuple[Atom, ...]
+    comparisons: tuple[Comparison, ...] = ()
+    distinct: bool = False
+    output_variables: tuple[Variable, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not isinstance(self.comparisons, tuple):
+            object.__setattr__(self, "comparisons",
+                               tuple(self.comparisons))
+
+    def variables(self) -> set[Variable]:
+        """All variables of the atom conjunction."""
+        return variables_of(self.atoms)
+
+    def validate(self) -> None:
+        """Check that comparisons only mention atom variables."""
+        bound = self.variables()
+        for comparison in self.comparisons:
+            loose = comparison.variables() - bound
+            if loose:
+                names = ", ".join(sorted(v.name for v in loose))
+                raise QueryEvaluationError(
+                    f"comparison {comparison} references variables "
+                    f"{{{names}}} not bound by any atom")
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms]
+        parts.extend(str(comparison) for comparison in self.comparisons)
+        return " ∧ ".join(parts) if parts else "TRUE"

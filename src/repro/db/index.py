@@ -1,0 +1,60 @@
+"""Hash indexes over table columns.
+
+The conjunctive-query executor probes tables by equality on a subset of
+column positions (the positions bound by constants or already-bound join
+variables).  A :class:`HashIndex` maps the projected key tuple to the row
+ids having that key.  Indexes are built lazily by the table on first use
+of a position set and maintained on insert/delete.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class HashIndex:
+    """Equality index on a fixed tuple of column positions."""
+
+    __slots__ = ("positions", "_buckets")
+
+    def __init__(self, positions: Sequence[int]):
+        self.positions = tuple(positions)
+        self._buckets: dict[tuple, list[int]] = {}
+
+    def key_of(self, row: Sequence) -> tuple:
+        """Project *row* onto this index's positions."""
+        return tuple(row[position] for position in self.positions)
+
+    def add(self, row_id: int, row: Sequence) -> None:
+        """Index *row* under *row_id*."""
+        self._buckets.setdefault(self.key_of(row), []).append(row_id)
+
+    def remove(self, row_id: int, row: Sequence) -> None:
+        """Drop *row_id* from the bucket of *row* (must be present)."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row_id)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def probe(self, key: tuple) -> list[int]:
+        """Row ids whose projection equals *key* (empty list if none)."""
+        return self._buckets.get(key, [])
+
+    def bucket_count(self) -> int:
+        """Number of distinct keys (used by the planner's estimates)."""
+        return len(self._buckets)
+
+    def estimate_bucket_size(self, total_rows: int) -> float:
+        """Average rows per key — a crude selectivity estimate."""
+        if not self._buckets:
+            return 0.0
+        return total_rows / len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

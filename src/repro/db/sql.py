@@ -1,0 +1,258 @@
+"""A plain-SQL SELECT front end for the database substrate.
+
+The coordination pipeline builds conjunctive queries programmatically,
+but applications (and the examples) often want to inspect the database
+with ordinary SQL.  This module parses a pragmatic SELECT subset and
+compiles it to a :class:`repro.db.expression.ConjunctiveQuery`:
+
+.. code-block:: sql
+
+    SELECT F.fno, A.airline
+    FROM Flights F, Airlines A
+    WHERE F.fno = A.fno AND F.dest = 'Paris' AND F.fno >= 100
+    [LIMIT n]
+
+Supported: column/`*` select lists, multi-table FROM with aliases,
+conjunctions of comparison predicates (`=`, `!=`, `<`, `<=`, `>`, `>=`)
+between columns and literals, `DISTINCT`, and `LIMIT`.  Joins are
+expressed through equality predicates (implicit-join style, matching
+the combined queries the paper generates for MySQL 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..core.terms import Atom, Constant, Term, Variable
+from ..errors import ParseError, QueryEvaluationError
+from .expression import Comparison, ConjunctiveQuery
+
+# NOTE: repro.lang.tokenizer is imported lazily inside parse_select to
+# avoid a package-initialization cycle (repro.lang's __init__ pulls in
+# lowering, which imports repro.core.extensions, which imports modules
+# of repro.db).
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStatement:
+    """Parsed form of a plain SELECT."""
+
+    columns: tuple[str, ...] | None          # None means SELECT *
+    distinct: bool
+    from_items: tuple[tuple[str, str], ...]  # (table, binding name)
+    predicates: tuple[tuple[object, str, object], ...]
+    limit: int | None
+
+
+def _load_tokenizer() -> None:
+    """Bind TokenStream/TokenType lazily (breaks an import cycle)."""
+    global TokenStream, TokenType
+    if "TokenStream" not in globals():
+        from ..lang.tokenizer import TokenStream, TokenType
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a plain SELECT statement (see module docstring)."""
+    _load_tokenizer()
+    stream = TokenStream.of(text)
+    stream.expect_keyword("SELECT")
+    distinct = False
+    token = stream.peek()
+    if token.type is TokenType.IDENT and token.value.upper() == "DISTINCT":
+        stream.next()
+        distinct = True
+
+    columns: Optional[list[str]] = None
+    if stream.accept_punct("*"):
+        pass
+    else:
+        columns = [_parse_column(stream)]
+        while stream.accept_punct(","):
+            columns.append(_parse_column(stream))
+
+    stream.expect_keyword("FROM")
+    from_items = [_parse_from(stream)]
+    while stream.accept_punct(","):
+        from_items.append(_parse_from(stream))
+
+    predicates: list[tuple[object, str, object]] = []
+    if stream.accept_keyword("WHERE"):
+        predicates.append(_parse_predicate(stream))
+        while stream.accept_keyword("AND"):
+            predicates.append(_parse_predicate(stream))
+
+    limit = None
+    token = stream.peek()
+    if token.type is TokenType.IDENT and token.value.upper() == "LIMIT":
+        stream.next()
+        number = stream.peek()
+        if (number.type is not TokenType.NUMBER
+                or not isinstance(number.value, int) or number.value < 0):
+            raise ParseError("LIMIT expects a non-negative integer",
+                             number.line, number.column)
+        stream.next()
+        limit = number.value
+    stream.expect_end()
+    return SelectStatement(
+        columns=None if columns is None else tuple(columns),
+        distinct=distinct,
+        from_items=tuple(from_items),
+        predicates=tuple(predicates),
+        limit=limit)
+
+
+def _parse_column(stream: TokenStream) -> str:
+    first = stream.expect_ident().value
+    if stream.accept_punct("."):
+        second = stream.expect_ident().value
+        return f"{first}.{second}"
+    return first
+
+
+def _parse_from(stream: TokenStream) -> tuple[str, str]:
+    table = stream.expect_ident().value
+    stream.accept_keyword("AS")
+    binding = table
+    token = stream.peek()
+    if (token.type is TokenType.IDENT
+            and token.value.upper() not in ("LIMIT", "DISTINCT")):
+        binding = stream.next().value
+    return table, binding
+
+
+def _parse_operand(stream: TokenStream) -> object:
+    token = stream.peek()
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.next()
+        return Constant(token.value)
+    return _parse_column(stream)
+
+
+def _parse_predicate(stream: TokenStream) -> tuple[object, str, object]:
+    left = _parse_operand(stream)
+    token = stream.peek()
+    if not (token.type is TokenType.PUNCT
+            and token.value in _COMPARISON_OPS):
+        raise ParseError(f"expected comparison operator, found {token}",
+                         token.line, token.column)
+    stream.next()
+    right = _parse_operand(stream)
+    return left, token.value, right
+
+
+class SqlFrontend:
+    """Compiles and runs plain SELECTs against one database."""
+
+    def __init__(self, database):
+        self._database = database
+
+    def compile(self, statement: SelectStatement
+                ) -> tuple[ConjunctiveQuery, tuple[Variable, ...], int | None]:
+        """Compile a parsed SELECT to (query, output variables, limit)."""
+        slots: dict[str, dict[str, Variable]] = {}
+        atoms: list[Atom] = []
+        for table, binding in statement.from_items:
+            if binding in slots:
+                raise QueryEvaluationError(
+                    f"duplicate table binding {binding!r}")
+            table_obj = self._database.table(table)
+            columns = table_obj.schema.column_names()
+            slots[binding] = {column: Variable(f"{binding}.{column}")
+                              for column in columns}
+            atoms.append(Atom(table, tuple(slots[binding][column]
+                                           for column in columns)))
+
+        def resolve(reference: object) -> Term:
+            if isinstance(reference, Constant):
+                return reference
+            name = str(reference)
+            if "." in name:
+                binding, column = name.split(".", 1)
+                table_slots = slots.get(binding)
+                if table_slots is None:
+                    raise QueryEvaluationError(
+                        f"unknown table binding {binding!r}")
+                if column not in table_slots:
+                    raise QueryEvaluationError(
+                        f"{binding!r} has no column {column!r}")
+                return table_slots[column]
+            owners = [binding for binding, table_slots in slots.items()
+                      if name in table_slots]
+            if not owners:
+                raise QueryEvaluationError(f"unknown column {name!r}")
+            if len(owners) > 1:
+                raise QueryEvaluationError(
+                    f"column {name!r} is ambiguous among {sorted(owners)}")
+            return slots[owners[0]][name]
+
+        # Equality predicates become structural joins (shared variables
+        # / inlined constants) so the executor probes indexes instead of
+        # filtering cross products; other operators stay as comparisons.
+        from ..core.unify import Unifier
+        unifier = Unifier()
+        residual: list[Comparison] = []
+        satisfiable = True
+        for left, op, right in statement.predicates:
+            left_term, right_term = resolve(left), resolve(right)
+            if op == "=":
+                if not unifier.merge(left_term, right_term):
+                    satisfiable = False
+            else:
+                residual.append(Comparison(left_term, op, right_term))
+        substitution = unifier.substitution()
+        atoms = [item.substitute(substitution) for item in atoms]
+        comparisons = tuple(
+            Comparison(
+                substitution.get(comparison.left, comparison.left),
+                comparison.op,
+                substitution.get(comparison.right, comparison.right))
+            for comparison in residual)
+        if not satisfiable:
+            # Contradictory equalities: an always-false predicate keeps
+            # the query well-formed while guaranteeing zero rows.
+            comparisons += (Comparison(Constant(0), "=", Constant(1)),)
+
+        def output_term(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return substitution.get(term, term)
+            return term
+
+        if statement.columns is None:
+            output = tuple(output_term(variable)
+                           for _, binding in statement.from_items
+                           for variable in slots[binding].values())
+        else:
+            output = tuple(output_term(resolve(column))
+                           for column in statement.columns)
+        output_variables = tuple(term for term in output
+                                 if isinstance(term, Variable))
+        query = ConjunctiveQuery(tuple(atoms), comparisons,
+                                 distinct=statement.distinct,
+                                 output_variables=output_variables)
+        return query, output, statement.limit
+
+    def execute(self, text: str) -> list[tuple]:
+        """Parse, compile, and run a SELECT; returns projected rows."""
+        statement = parse_select(text)
+        query, output, limit = self.compile(statement)
+        rows = []
+        for valuation in self._database.evaluate(query, limit=limit):
+            rows.append(tuple(
+                valuation[term] if isinstance(term, Variable)
+                else term.value
+                for term in output))
+        return rows
+
+
+def run_sql(database, text: str) -> list[tuple]:
+    """One-shot convenience: run a plain SELECT against *database*.
+
+    >>> from repro.workloads import build_intro_database
+    >>> run_sql(build_intro_database(),
+    ...         "SELECT fno FROM Flights WHERE dest = 'Rome'")
+    [(136,)]
+    """
+    return SqlFrontend(database).execute(text)

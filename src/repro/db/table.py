@@ -1,0 +1,142 @@
+"""In-memory tables with lazy hash indexes."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import SchemaError
+from .index import HashIndex
+from .schema import TableSchema
+
+
+class Table:
+    """A multiset of typed rows with lazily-built hash indexes.
+
+    Rows are stored in a dict keyed by a monotonically increasing row id
+    so deletion does not invalidate other ids.  Duplicate rows are
+    permitted (bag semantics, like SQL); the flight workloads never rely
+    on duplicates but the substrate should not silently dedupe.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_row_id = 0
+        self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        # Guards lazy index construction: the engine may evaluate
+        # independent partitions on worker threads concurrently.
+        self._index_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence) -> int:
+        """Validate and insert one row; returns its row id."""
+        stored = self.schema.check_row(row)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = stored
+        for index in self._indexes.values():
+            index.add(row_id, stored)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete rows satisfying *predicate*; returns the count removed."""
+        doomed = [row_id for row_id, row in self._rows.items()
+                  if predicate(row)]
+        for row_id in doomed:
+            row = self._rows.pop(row_id)
+            for index in self._indexes.values():
+                index.remove(row_id, row)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate over all rows (order unspecified but stable)."""
+        return iter(self._rows.values())
+
+    def row(self, row_id: int) -> tuple:
+        """Fetch a row by id."""
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no row id {row_id}")
+
+    def contains_row(self, row: Sequence) -> bool:
+        """Membership test using the full-width index."""
+        positions = tuple(range(self.schema.arity))
+        index = self.index_on(positions)
+        return bool(index.probe(tuple(row)))
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    def index_on(self, positions: Sequence[int]) -> HashIndex:
+        """Return (building if necessary) the index on *positions*.
+
+        Positions are canonicalized to sorted order so ``(0, 1)`` and
+        ``(1, 0)`` share one physical index.
+        """
+        key = tuple(sorted(set(positions)))
+        for position in key:
+            if not 0 <= position < self.schema.arity:
+                raise SchemaError(
+                    f"table {self.schema.name!r} has no column position "
+                    f"{position}")
+        index = self._indexes.get(key)
+        if index is None:
+            with self._index_lock:
+                index = self._indexes.get(key)
+                if index is None:
+                    index = HashIndex(key)
+                    for row_id, row in self._rows.items():
+                        index.add(row_id, row)
+                    self._indexes[key] = index
+        return index
+
+    def probe(self, bindings: dict[int, object]) -> Iterator[tuple]:
+        """Yield rows matching equality *bindings* (position -> value).
+
+        Uses the hash index on the bound positions; with no bindings this
+        is a full scan.
+        """
+        if not bindings:
+            yield from self.rows()
+            return
+        positions = tuple(sorted(bindings))
+        index = self.index_on(positions)
+        key = tuple(bindings[position] for position in positions)
+        for row_id in index.probe(key):
+            yield self._rows[row_id]
+
+    def count_probe(self, bindings: dict[int, object]) -> int:
+        """Number of rows matching *bindings* (for planner estimates)."""
+        if not bindings:
+            return len(self._rows)
+        positions = tuple(sorted(bindings))
+        index = self.index_on(positions)
+        key = tuple(bindings[position] for position in positions)
+        return len(index.probe(key))
+
+    def index_stats(self) -> dict[tuple[int, ...], int]:
+        """Map of built index positions to their distinct-key counts."""
+        return {positions: index.bucket_count()
+                for positions, index in self._indexes.items()}

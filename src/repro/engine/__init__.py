@@ -1,0 +1,28 @@
+"""The D3C engine: coordination middleware over a database.
+
+* :class:`~repro.engine.engine.D3CEngine` — submit entangled queries,
+  get :class:`~repro.engine.futures.CoordinationTicket` futures back;
+  incremental and set-at-a-time evaluation modes, per-partition
+  parallelism, admission-time safety, staleness expiry.
+* :mod:`~repro.engine.staleness` — pluggable staleness policies and
+  injectable clocks.
+* :mod:`~repro.engine.partitions` — the incremental partition state
+  (union-find, closure detection, cached partial unifiers).
+* :mod:`~repro.engine.stats` — counters and phase timings.
+"""
+
+from .engine import D3CEngine
+from .futures import CoordinationTicket, TicketCallback, TicketState
+from .partitions import PartitionManager
+from .staleness import (Clock, ManualClock, ManualStaleness, NeverStale,
+                        StalenessPolicy, SystemClock, TimeoutStaleness)
+from .stats import EngineStats
+
+__all__ = [
+    "D3CEngine",
+    "CoordinationTicket", "TicketCallback", "TicketState",
+    "PartitionManager",
+    "Clock", "ManualClock", "ManualStaleness", "NeverStale",
+    "StalenessPolicy", "SystemClock", "TimeoutStaleness",
+    "EngineStats",
+]

@@ -1,0 +1,647 @@
+"""The D3C engine (paper Section 5.1).
+
+Ties everything together: applications submit entangled queries and get
+back :class:`~repro.engine.futures.CoordinationTicket` futures; the
+engine maintains the unifiability graph over pending queries, matches,
+builds combined queries, evaluates them on the database, and settles the
+tickets.
+
+Two evaluation modes, as in the paper:
+
+* **incremental** — every arrival updates the graph and the partition
+  state; when an arrival *closes* its partition (every postcondition of
+  every member has a provider) the engine attempts coordination on that
+  partition immediately.
+* **batch** (set-at-a-time) — arrivals only accumulate; coordination
+  runs over all pending queries when :meth:`D3CEngine.run_batch` is
+  called (or automatically every ``batch_size`` arrivals).  Independent
+  partitions can be evaluated in parallel worker threads.
+
+Safety is enforced at admission: a query that would make the pending
+workload unsafe is rejected immediately (``safety="reject"``), mirroring
+the admission check stress-tested in the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Literal, Optional, Sequence
+
+from ..core.combine import build_combined_query
+from ..core.evaluate import Answer, FailureReason, _record_answers
+from ..core.graph import UnifiabilityGraph
+from ..core.matching import ComponentMatch, match_component
+from ..core.query import EntangledQuery
+from ..core.safety import SafetyChecker
+from ..core.ucs import check_ucs_graph
+from ..core.terms import Variable
+from ..db.database import Database
+from ..errors import CoordinationError, ReproError, ValidationError
+from .futures import CoordinationTicket, TicketCallback
+from .partitions import PartitionManager
+from .staleness import Clock, NeverStale, StalenessPolicy, SystemClock
+from .stats import EngineStats
+
+EngineMode = Literal["incremental", "batch"]
+SafetyMode = Literal["reject", "off"]
+
+
+class D3CEngine:
+    """Coordination middleware over one database.
+
+    Args:
+        database: substrate evaluated against (a snapshot per round; the
+            engine never writes to it).
+        mode: ``"incremental"`` or ``"batch"`` (set-at-a-time).
+        safety: ``"reject"`` fails arrivals that over-unify with pending
+            heads immediately; ``"off"`` (default) admits everything and
+            lets matching resolve transient multi-candidates by arrival
+            order.  The paper runs its scalability workloads without the
+            admission check and stress-tests it separately (Figure 9);
+            pending heads sharing a destination routinely over-unify
+            transiently, so ``"reject"`` suits admission-control
+            deployments, not the throughput experiments.
+        staleness: policy deciding when pending queries expire; checked
+            during :meth:`expire_stale` sweeps.
+        clock: time source for staleness (injected for tests).
+        batch_size: in batch mode, auto-run coordination whenever this
+            many queries are pending (None = only explicit run_batch).
+        rng: randomness for CHOOSE's random-tuple semantics (None =
+            take the executor's first valuations, the LIMIT 1 path).
+        ucs_fallback: retry strongly connected cores when a closed
+            partition finds no data (Section 6-adjacent extension;
+            applies to :meth:`run_batch` rounds).
+        parallel_workers: >1 enables parallel per-partition evaluation
+            in batch mode.
+        max_group_size: incremental mode's cap on the size of the local
+            coordination group built around an arrival; groups that
+            would exceed it are deferred to set-at-a-time rounds (the
+            paper reaches the same conclusion for massively unifying
+            partitions in Section 5.3.4).
+        max_candidate_attempts: how many alternative providers to try
+            for an arrival's postconditions when pending heads
+            transiently over-unify.
+        max_combined_atoms: refuse to send combined queries with more
+            body atoms than this to the database (the paper's Figure 7
+            shows the DB collapsing past a join-count threshold);
+            affected queries stay pending.
+        incremental_strategy: ``"local"`` (default) attempts bounded
+            local groups per arrival; ``"component"`` reproduces the
+            paper's design faithfully — whenever the arrival's whole
+            partition closes, match and evaluate the entire partition.
+            The component strategy degrades sharply on massively
+            unifying partitions, which is exactly the behaviour behind
+            the paper's Figure 8 set-at-a-time recommendation.
+    """
+
+    def __init__(self, database: Database,
+                 mode: EngineMode = "incremental",
+                 safety: SafetyMode = "off",
+                 staleness: StalenessPolicy | None = None,
+                 clock: Clock | None = None,
+                 batch_size: int | None = None,
+                 rng: Optional[random.Random] = None,
+                 ucs_fallback: bool = False,
+                 parallel_workers: int = 1,
+                 max_group_size: int = 64,
+                 max_candidate_attempts: int = 8,
+                 max_combined_atoms: int = 512,
+                 incremental_strategy: str = "local"):
+        if mode not in ("incremental", "batch"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if safety not in ("reject", "off"):
+            raise ValueError(f"unknown safety mode {safety!r}")
+        if incremental_strategy not in ("local", "component"):
+            raise ValueError(
+                f"unknown incremental strategy {incremental_strategy!r}")
+        self.database = database
+        self.mode = mode
+        self.safety_mode = safety
+        self.staleness = staleness or NeverStale()
+        self.clock = clock or SystemClock()
+        self.batch_size = batch_size
+        self.rng = rng
+        self.ucs_fallback = ucs_fallback
+        self.parallel_workers = max(1, parallel_workers)
+        self.max_group_size = max(2, max_group_size)
+        self.max_candidate_attempts = max(1, max_candidate_attempts)
+        self.max_combined_atoms = max(1, max_combined_atoms)
+        self.incremental_strategy = incremental_strategy
+        self.stats = EngineStats()
+
+        self._lock = threading.RLock()
+        self._graph = UnifiabilityGraph()
+        self._partitions = PartitionManager(self._graph)
+        self._safety = SafetyChecker()
+        # query_id -> (query, ticket, submitted_at, arrival_seq)
+        self._pending: dict = {}
+        self._arrival: dict = {}
+        self._next_seq = 0
+        # Local groups whose combined query found no data; the database
+        # is treated as a snapshot per the paper, so a failed group
+        # cannot succeed until the data changes (see invalidate_cache).
+        self._failed_groups: set[frozenset] = set()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, query: EntangledQuery,
+               callback: TicketCallback | None = None
+               ) -> CoordinationTicket:
+        """Submit one entangled query; returns its ticket.
+
+        The query is validated and renamed apart.  Query ids must be
+        unique across the engine's lifetime.  In incremental mode a
+        coordination attempt may run synchronously inside this call (and
+        settle the returned ticket before it is returned).
+        """
+        query.validate()
+        ticket = CoordinationTicket(query.query_id)
+        if callback is not None:
+            ticket.add_callback(callback)
+
+        settle_unsafe = False
+        with self._lock:
+            if (query.query_id in self._pending
+                    or query.query_id in self._arrival):
+                raise ValidationError(
+                    f"query id {query.query_id!r} already used in this "
+                    f"engine")
+            working = query.rename_apart()
+            self.stats.submitted += 1
+            self._arrival[query.query_id] = self._next_seq
+            self._next_seq += 1
+
+            if self.safety_mode == "reject":
+                start = time.perf_counter()
+                unsafe = not self._safety.is_safe_to_add(working)
+                self.stats.safety_seconds += time.perf_counter() - start
+                if unsafe:
+                    self.stats.record_failure(FailureReason.UNSAFE)
+                    settle_unsafe = True
+            if not settle_unsafe:
+                self._pending[query.query_id] = (
+                    working, ticket, self.clock.now())
+                if self.safety_mode == "reject":
+                    self._safety.add(working)
+                if self.mode == "incremental":
+                    self._admit_incremental(working)
+                elif (self.batch_size is not None
+                      and len(self._pending) >= self.batch_size):
+                    self.run_batch()
+        if settle_unsafe:
+            ticket.fail(FailureReason.UNSAFE)
+        return ticket
+
+    def submit_all(self, queries: Iterable[EntangledQuery]
+                   ) -> list[CoordinationTicket]:
+        """Submit many queries in order; returns their tickets."""
+        return [self.submit(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # incremental mode
+    # ------------------------------------------------------------------
+
+    def _admit_incremental(self, query: EntangledQuery) -> None:
+        start = time.perf_counter()
+        new_edges = self._graph.add_query(query)
+        root = self._partitions.add_query(query, new_edges)
+        self.stats.graph_seconds += time.perf_counter() - start
+
+        origin = query.query_id
+        if self.incremental_strategy == "component":
+            if self._partitions.is_closed(root):
+                self.stats.closure_events += 1
+                self._attempt_component(self._partitions.members(root))
+            return
+        if query.pccount:
+            self._attempt_around(origin)
+        else:
+            # A postcondition-free query can satisfy others or answer
+            # alone.  Give dependents first shot at forming a group
+            # containing it; if none consumes it, answer it solo.
+            for dst in self._arrival_order({edge.dst for edge
+                                            in new_edges}):
+                if origin not in self._graph:
+                    return
+                if dst in self._graph:
+                    self._attempt_around(dst)
+            if origin in self._graph:
+                self._attempt_group(frozenset((origin,)))
+
+    def _arrival_order(self, query_ids: Iterable) -> list:
+        return sorted(query_ids,
+                      key=lambda query_id: self._arrival[query_id])
+
+    def _attempt_component(self, members: Sequence) -> None:
+        """Paper-faithful attempt: match and evaluate a whole partition.
+
+        Used by the ``"component"`` incremental strategy.  On massively
+        unifying partitions this re-matches a growing component on
+        every arrival — the cost the paper observes in Figure 8 before
+        recommending set-at-a-time evaluation there.
+        """
+        self.stats.coordination_rounds += 1
+        start = time.perf_counter()
+        match = match_component(self._graph, members,
+                                order=self._arrival)
+        self.stats.match_seconds += time.perf_counter() - start
+        if not match.survivors or match.global_unifier is None:
+            return
+        queries_by_id = {query_id: self._graph.query(query_id)
+                         for query_id in match.survivors}
+        combined = build_combined_query(queries_by_id, match)
+        self.stats.combined_queries_built += 1
+        if len(combined.query.atoms) <= self.max_combined_atoms:
+            self._evaluate_combined(combined, queries_by_id)
+
+    def _attempt_around(self, origin) -> None:
+        """Try bounded local coordination groups seeded at *origin*.
+
+        Builds the dependency closure of *origin* under the current
+        pending set, preferring providers already in the group (so
+        mutually coordinating pairs and cliques close on themselves).
+        When the origin's postconditions transiently over-unify with
+        several pending heads, alternative providers are tried up to
+        ``max_candidate_attempts``, *feasible-first*: a cheap semi-join
+        of the origin's body against the database reorders candidates so
+        providers the data can actually pair with are tried before stale
+        pendings (this is what keeps the paper's "random workload"
+        linear — without it, attempts are wasted on dead queries).
+        Groups whose combined query already failed on the data are
+        skipped for free.
+        """
+        query = self._graph.query(origin)
+        primary_edges: Sequence = ()
+        if query.pccount:
+            primary_edges = sorted(
+                self._graph.in_edges_for_pc(origin, 0),
+                key=lambda edge: self._arrival[edge.src])
+            if not primary_edges:
+                return
+            if len(primary_edges) > 1:
+                primary_edges = self._feasible_first(query, primary_edges)
+                if not primary_edges:
+                    # The data supports no pending provider; any group
+                    # through this postcondition is empty on the DB.
+                    return
+        choices = (list(primary_edges[:self.max_candidate_attempts])
+                   if query.pccount else [None])
+        tried: set[frozenset] = set()
+        for edge in choices:
+            forced = {} if edge is None else {(origin, 0): edge}
+            group = self._build_group(origin, forced)
+            if group is None or group in tried:
+                continue
+            tried.add(group)
+            if group in self._failed_groups:
+                continue
+            self.stats.closure_events += 1
+            if self._attempt_group(group):
+                return
+
+    #: Cap on body valuations enumerated by the feasibility prefilter.
+    _FEASIBILITY_LIMIT = 64
+
+    def _feasible_first(self, query: EntangledQuery,
+                        edges: list) -> list:
+        """Filter/reorder candidate providers by data feasibility.
+
+        Evaluates the origin query's body (bounded) to learn which
+        groundings of its first postcondition the data supports.  If the
+        enumeration is *complete* (did not hit the cap), candidates the
+        data cannot pair with are dropped outright — their combined
+        query is guaranteed empty.  If the enumeration was truncated,
+        infeasible-looking candidates are merely moved to the back.
+        Either way a provider whose head is non-ground is kept in front
+        (feasibility cannot be decided statically for it).
+        """
+        from ..db.expression import ConjunctiveQuery
+        if not query.body:
+            return edges
+        pc_atom = query.postconditions[0]
+        pc_variables = [term for term in pc_atom.args
+                        if isinstance(term, Variable)]
+        if not pc_variables:
+            return edges
+        feasible: set[tuple] = set()
+        complete = True
+        start = time.perf_counter()
+        try:
+            count = 0
+            stream = self.database.evaluate(
+                ConjunctiveQuery(query.body),
+                limit=self._FEASIBILITY_LIMIT)
+            for valuation in stream:
+                count += 1
+                grounded = tuple(
+                    valuation.get(term, term) if isinstance(term, Variable)
+                    else term.value
+                    for term in pc_atom.args)
+                feasible.add(grounded)
+            complete = count < self._FEASIBILITY_LIMIT
+        except ReproError:
+            return edges
+        finally:
+            self.stats.db_seconds += time.perf_counter() - start
+
+        def head_key(edge) -> tuple | None:
+            head = self._graph.query(edge.src).head[edge.head_pos]
+            if not head.is_ground():
+                return None
+            return tuple(term.value for term in head.args)
+
+        preferred, fallback = [], []
+        for edge in edges:
+            key = head_key(edge)
+            if key is None or key in feasible:
+                preferred.append(edge)
+            else:
+                fallback.append(edge)
+        if complete:
+            return preferred
+        return preferred + fallback
+
+    def _build_group(self, origin, forced: dict) -> Optional[frozenset]:
+        """Dependency closure of *origin*, or None if it cannot close.
+
+        Every member's every postcondition must have a provider inside
+        the group; providers already in the group are preferred, then
+        earliest arrival.  ``forced`` pins specific providers (used to
+        iterate alternatives for the origin's first postcondition).
+        """
+        group: set = {origin}
+        stack: list = [origin]
+        while stack:
+            current = stack.pop()
+            query = self._graph.query(current)
+            for pc_pos in range(query.pccount):
+                edges = self._graph.in_edges_for_pc(current, pc_pos)
+                if not edges:
+                    return None
+                pinned = forced.get((current, pc_pos))
+                if pinned is not None:
+                    chosen = pinned
+                else:
+                    in_group = [edge for edge in edges
+                                if edge.src in group]
+                    pool = in_group or edges
+                    chosen = min(pool, key=lambda edge:
+                                 self._arrival[edge.src])
+                if chosen.src not in group:
+                    if len(group) >= self.max_group_size:
+                        return None
+                    group.add(chosen.src)
+                    stack.append(chosen.src)
+        return frozenset(group)
+
+    def _attempt_group(self, group: frozenset) -> bool:
+        """Match, combine, and evaluate one candidate group."""
+        self.stats.coordination_rounds += 1
+        start = time.perf_counter()
+        match = match_component(self._graph, group,
+                                order=self._arrival)
+        self.stats.match_seconds += time.perf_counter() - start
+        if (set(match.survivors) != set(group)
+                or match.global_unifier is None):
+            # The group as chosen cannot mutually satisfy; it is a
+            # static failure, cache it so retries are free.
+            self._failed_groups.add(group)
+            return False
+        queries_by_id = {query_id: self._graph.query(query_id)
+                         for query_id in match.survivors}
+        combined = build_combined_query(queries_by_id, match)
+        self.stats.combined_queries_built += 1
+        if self._evaluate_combined(combined, queries_by_id):
+            return True
+        self._failed_groups.add(group)
+        return False
+
+    def invalidate_cache(self) -> None:
+        """Forget failed coordination groups.
+
+        Call after mutating the database: a group that found no data
+        before may succeed on the new snapshot.
+        """
+        with self._lock:
+            self._failed_groups.clear()
+
+    def _evaluate_combined(self, combined, queries_by_id) -> bool:
+        """Evaluate a combined query; settle and evict on success."""
+        choose = max(query.choose for query in queries_by_id.values())
+        start = time.perf_counter()
+        if self.rng is None:
+            valuations = list(self.database.evaluate(combined.query,
+                                                     limit=choose))
+        else:
+            valuations = self._sample(combined.query, choose)
+        self.stats.db_seconds += time.perf_counter() - start
+        if not valuations:
+            return False
+
+        from ..core.evaluate import CoordinationResult
+        scratch = CoordinationResult()
+        _record_answers(combined, valuations, scratch)
+
+        tickets: list[tuple[CoordinationTicket, Answer]] = []
+        for query_id, answer in scratch.answers.items():
+            entry = self._pending.pop(query_id, None)
+            if entry is None:
+                continue
+            _, ticket, _ = entry
+            tickets.append((ticket, answer))
+            self._safety.remove(query_id)
+            self._graph.remove_query(query_id)
+            self.stats.answered += 1
+        self._partitions.remove_queries(list(scratch.answers))
+        for ticket, answer in tickets:
+            ticket.resolve(answer)
+        return True
+
+    def _sample(self, query, choose: int) -> list:
+        reservoir: list = []
+        for count, valuation in enumerate(self.database.evaluate(query)):
+            if len(reservoir) < choose:
+                reservoir.append(valuation)
+            else:
+                slot = self.rng.randint(0, count)
+                if slot < choose:
+                    reservoir[slot] = valuation
+        return reservoir
+
+    # ------------------------------------------------------------------
+    # batch (set-at-a-time) mode
+    # ------------------------------------------------------------------
+
+    def run_batch(self) -> int:
+        """Run one set-at-a-time coordination round over pending queries.
+
+        Returns the number of queries answered this round.  Unanswered
+        queries stay pending (until stale).  Valid in both modes — in
+        incremental mode it forces a full re-match, useful after
+        database changes.
+        """
+        with self._lock:
+            self.stats.coordination_rounds += 1
+            if self.mode == "batch":
+                start = time.perf_counter()
+                graph = UnifiabilityGraph()
+                for query, _, _ in self._pending.values():
+                    graph.add_query(query)
+                self.stats.graph_seconds += time.perf_counter() - start
+            else:
+                graph = self._graph
+
+            start = time.perf_counter()
+            components = graph.connected_components()
+            order = self._arrival
+            components.sort(key=lambda component: min(
+                order[query_id] for query_id in component))
+            matches = [match_component(graph, component, order=order)
+                       for component in components]
+            self.stats.match_seconds += time.perf_counter() - start
+
+            answered_before = self.stats.answered
+            viable = [match for match in matches
+                      if match.survivors
+                      and match.global_unifier is not None]
+            if self.parallel_workers > 1 and len(viable) > 1:
+                self._evaluate_parallel(graph, viable)
+            else:
+                for match in viable:
+                    queries_by_id = {query_id: graph.query(query_id)
+                                     for query_id in match.survivors}
+                    combined = build_combined_query(queries_by_id, match)
+                    self.stats.combined_queries_built += 1
+                    if len(combined.query.atoms) > self.max_combined_atoms:
+                        # The paper observes the DB collapses past a
+                        # join-count threshold (Figure 7); refuse to send
+                        # monster queries and leave the queries pending.
+                        continue
+                    if self._evaluate_combined(combined, queries_by_id):
+                        continue
+                    if self.ucs_fallback:
+                        self._batch_core_fallback(graph, match)
+            return self.stats.answered - answered_before
+
+    def _batch_core_fallback(self, graph: UnifiabilityGraph,
+                             match: ComponentMatch) -> None:
+        """Retry a failed component's strongly connected cores."""
+        report = check_ucs_graph(graph, set(match.survivors))
+        for core in report.cores:
+            core_match = match_component(graph, core,
+                                         order=self._arrival)
+            if (not core_match.survivors
+                    or core_match.global_unifier is None):
+                continue
+            core_queries = {query_id: graph.query(query_id)
+                            for query_id in core_match.survivors}
+            core_combined = build_combined_query(core_queries, core_match)
+            if len(core_combined.query.atoms) <= self.max_combined_atoms:
+                self._evaluate_combined(core_combined, core_queries)
+
+    def _evaluate_parallel(self, graph: UnifiabilityGraph,
+                           matches: list[ComponentMatch]) -> None:
+        """Evaluate independent partitions on a thread pool.
+
+        Combined-query evaluation is read-only on the database, so
+        partitions can proceed concurrently; settlement (which mutates
+        engine state) happens back on the calling thread.
+        """
+        def build_and_probe(match: ComponentMatch):
+            queries_by_id = {query_id: graph.query(query_id)
+                             for query_id in match.survivors}
+            combined = build_combined_query(queries_by_id, match)
+            if len(combined.query.atoms) > self.max_combined_atoms:
+                return combined, queries_by_id, []
+            choose = max(query.choose
+                         for query in queries_by_id.values())
+            valuations = list(self.database.evaluate(combined.query,
+                                                     limit=choose))
+            return combined, queries_by_id, valuations
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.parallel_workers) as pool:
+            outcomes = list(pool.map(build_and_probe, matches))
+        self.stats.db_seconds += time.perf_counter() - start
+        self.stats.combined_queries_built += len(matches)
+
+        from ..core.evaluate import CoordinationResult
+        for combined, queries_by_id, valuations in outcomes:
+            if not valuations:
+                continue
+            scratch = CoordinationResult()
+            _record_answers(combined, valuations, scratch)
+            tickets = []
+            for query_id, answer in scratch.answers.items():
+                entry = self._pending.pop(query_id, None)
+                if entry is None:
+                    continue
+                _, ticket, _ = entry
+                tickets.append((ticket, answer))
+                self._safety.remove(query_id)
+                if query_id in self._graph:
+                    self._graph.remove_query(query_id)
+                self.stats.answered += 1
+            if self.mode == "incremental":
+                self._partitions.remove_queries(list(scratch.answers))
+            for ticket, answer in tickets:
+                ticket.resolve(answer)
+
+    # ------------------------------------------------------------------
+    # staleness
+    # ------------------------------------------------------------------
+
+    def expire_stale(self) -> int:
+        """Expire pending queries per the staleness policy.
+
+        Returns the number expired.  Call periodically (the paper's
+        middleware does the equivalent on a timer).
+        """
+        now = self.clock.now()
+        expired: list[CoordinationTicket] = []
+        with self._lock:
+            doomed = [query_id for query_id, (query, _, submitted_at)
+                      in self._pending.items()
+                      if self.staleness.is_stale(query, submitted_at, now)]
+            for query_id in doomed:
+                _, ticket, _ = self._pending.pop(query_id)
+                self._safety.remove(query_id)
+                if query_id in self._graph:
+                    self._graph.remove_query(query_id)
+                expired.append(ticket)
+                self.stats.record_failure(FailureReason.STALE)
+            if self.mode == "incremental" and doomed:
+                self._partitions.remove_queries(doomed)
+        for ticket in expired:
+            ticket.fail(FailureReason.STALE)
+        return len(expired)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queries awaiting coordination."""
+        with self._lock:
+            return len(self._pending)
+
+    def pending_ids(self) -> list:
+        """Ids of pending queries, in arrival order."""
+        with self._lock:
+            return sorted(self._pending,
+                          key=lambda query_id: self._arrival[query_id])
+
+    def partition_sizes(self) -> list[int]:
+        """Current partition sizes (incremental mode diagnostics)."""
+        with self._lock:
+            if self.mode != "incremental":
+                raise CoordinationError(
+                    "partition sizes are tracked in incremental mode only")
+            return sorted(self._partitions.partition_sizes(),
+                          reverse=True)

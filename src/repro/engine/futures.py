@@ -1,0 +1,158 @@
+"""Asynchronous answering abstraction (paper Section 5.1).
+
+Coordinated answering is asynchronous from the application's point of
+view: a query may not be answerable until partner queries arrive.  The
+middleware hands each submitter a :class:`CoordinationTicket` — a small
+thread-safe future with callback support — which the engine later
+resolves with an :class:`repro.core.evaluate.Answer` or fails with a
+:class:`repro.core.evaluate.FailureReason` (e.g. ``STALE``).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Callable, Optional
+
+from ..core.evaluate import Answer, FailureReason
+from ..errors import CoordinationError, StaleQueryError
+
+
+class TicketState(enum.Enum):
+    """Lifecycle of a coordination ticket."""
+
+    PENDING = "pending"
+    ANSWERED = "answered"
+    FAILED = "failed"
+
+
+#: Callback signature: called with the ticket once it settles.
+TicketCallback = Callable[["CoordinationTicket"], None]
+
+
+class CoordinationTicket:
+    """A future for one submitted entangled query.
+
+    Thread-safe: the engine may resolve it from a worker thread while
+    the application blocks in :meth:`result`.  Callbacks added after the
+    ticket settles fire immediately (on the adding thread).
+    """
+
+    def __init__(self, query_id: object):
+        self.query_id = query_id
+        self._state = TicketState.PENDING
+        self._answer: Optional[Answer] = None
+        self._reason: Optional[FailureReason] = None
+        self._condition = threading.Condition()
+        self._callbacks: list[TicketCallback] = []
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> TicketState:
+        with self._condition:
+            return self._state
+
+    def done(self) -> bool:
+        """True once answered or failed."""
+        return self.state is not TicketState.PENDING
+
+    @property
+    def answer(self) -> Optional[Answer]:
+        """The answer if one is available (None while pending/failed)."""
+        with self._condition:
+            return self._answer
+
+    @property
+    def failure_reason(self) -> Optional[FailureReason]:
+        """Why the query failed, if it did."""
+        with self._condition:
+            return self._reason
+
+    # ------------------------------------------------------------------
+    # blocking access
+    # ------------------------------------------------------------------
+
+    def result(self, timeout: float | None = None) -> Answer:
+        """Block until settled; return the answer or raise.
+
+        Raises :class:`repro.errors.StaleQueryError` if the query went
+        stale, :class:`repro.errors.CoordinationError` on other
+        failures, and ``TimeoutError`` if *timeout* elapses first.
+        """
+        with self._condition:
+            if not self._condition.wait_for(
+                    lambda: self._state is not TicketState.PENDING,
+                    timeout=timeout):
+                raise TimeoutError(
+                    f"query {self.query_id!r} still pending after "
+                    f"{timeout}s")
+            if self._state is TicketState.ANSWERED:
+                assert self._answer is not None
+                return self._answer
+            if self._reason is FailureReason.STALE:
+                raise StaleQueryError(
+                    f"query {self.query_id!r} went stale before "
+                    f"coordination partners arrived")
+            raise CoordinationError(
+                f"query {self.query_id!r} failed: "
+                f"{self._reason.value if self._reason else 'unknown'}")
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until settled; True if it settled within *timeout*."""
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._state is not TicketState.PENDING,
+                timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # callbacks
+    # ------------------------------------------------------------------
+
+    def add_callback(self, callback: TicketCallback) -> None:
+        """Invoke *callback(ticket)* when the ticket settles.
+
+        Fires immediately if already settled.  Callback exceptions
+        propagate to the resolving thread — keep callbacks small.
+        """
+        fire_now = False
+        with self._condition:
+            if self._state is TicketState.PENDING:
+                self._callbacks.append(callback)
+            else:
+                fire_now = True
+        if fire_now:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # engine-side settlement
+    # ------------------------------------------------------------------
+
+    def _settle(self, state: TicketState, answer: Optional[Answer],
+                reason: Optional[FailureReason]) -> None:
+        with self._condition:
+            if self._state is not TicketState.PENDING:
+                raise CoordinationError(
+                    f"ticket for query {self.query_id!r} settled twice")
+            self._state = state
+            self._answer = answer
+            self._reason = reason
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._condition.notify_all()
+        for callback in callbacks:
+            callback(self)
+
+    def resolve(self, answer: Answer) -> None:
+        """Settle with an answer (engine use)."""
+        self._settle(TicketState.ANSWERED, answer, None)
+
+    def fail(self, reason: FailureReason) -> None:
+        """Settle with a failure reason (engine use)."""
+        self._settle(TicketState.FAILED, None, reason)
+
+    def __repr__(self) -> str:
+        return (f"<CoordinationTicket {self.query_id!r} "
+                f"{self.state.value}>")

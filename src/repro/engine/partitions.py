@@ -1,0 +1,250 @@
+"""Incremental partition state for the streaming engine.
+
+The incremental evaluation mode (paper Section 5.1) maintains the
+unifiability graph across query arrivals and "stores the partial
+matching unifiers and continues the matching algorithm from this state
+with the addition of a new query".  This module tracks:
+
+* the **partition structure** — a union-find over query ids, merged as
+  new edges connect components;
+* per (query, postcondition) **satisfaction** — whether at least one
+  incoming edge exists — and the per-partition count of open
+  postconditions, so *closure* (every postcondition of every member
+  satisfied) is detected in O(edges) per arrival;
+* **cached unifiers** — the partial matching state, refreshed by an
+  incremental unifier-propagation pass seeded only at the nodes a new
+  arrival affects.
+
+Closure is the trigger for a coordination attempt; the cached unifiers
+make the propagation work measurable (Figure 8's "usual partitions"
+series) without re-running Algorithm 1 from scratch per arrival.
+Union-find cannot delete, so when answered queries leave the engine the
+affected partition's bookkeeping is rebuilt from the surviving members
+(typically zero of them).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..core.graph import Edge, UnifiabilityGraph
+from ..core.query import EntangledQuery
+from ..core.unify import Unifier, mgu
+
+
+class PartitionManager:
+    """Tracks components, closure, and partial unifiers incrementally."""
+
+    def __init__(self, graph: UnifiabilityGraph):
+        self._graph = graph
+        self._parent: dict = {}
+        self._rank: dict = {}
+        # (query_id, pc_pos) -> satisfied?
+        self._pc_satisfied: dict = {}
+        # per-node count of unsatisfied postconditions
+        self._node_open: dict = {}
+        # root -> aggregated open-postcondition count
+        self._root_open: dict = {}
+        # root -> member set (kept small-into-large on union)
+        self._root_members: dict = {}
+        # cached partial unifiers; None marks "known inconsistent so far"
+        self._unifiers: dict = {}
+        # removed queries left as structural ghosts in the forest
+        self._dead: set = set()
+        # propagation work counter (diagnostics / benchmarks)
+        self.propagation_steps = 0
+
+    # ------------------------------------------------------------------
+    # union-find
+    # ------------------------------------------------------------------
+
+    def find(self, query_id):
+        """Partition representative of *query_id*."""
+        root = query_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[query_id] != root:
+            self._parent[query_id], query_id = root, self._parent[query_id]
+        return root
+
+    def _union(self, left, right):
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return root_left
+        if self._rank[root_left] < self._rank[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        if self._rank[root_left] == self._rank[root_right]:
+            self._rank[root_left] += 1
+        self._root_open[root_left] += self._root_open.pop(root_right)
+        self._root_members[root_left] |= self._root_members.pop(root_right)
+        return root_left
+
+    # ------------------------------------------------------------------
+    # arrival processing
+    # ------------------------------------------------------------------
+
+    def add_query(self, query: EntangledQuery,
+                  new_edges: Iterable[Edge]) -> object:
+        """Record an arrival; returns the partition root after merging.
+
+        *new_edges* are the edges the graph discovered for this arrival
+        (both directions).  Updates closure bookkeeping and runs the
+        incremental propagation pass.
+        """
+        query_id = query.query_id
+        self._dead.discard(query_id)
+        self._parent[query_id] = query_id
+        self._rank[query_id] = 0
+        self._node_open[query_id] = query.pccount
+        self._root_open[query_id] = query.pccount
+        self._root_members[query_id] = {query_id}
+        for pc_pos in range(query.pccount):
+            self._pc_satisfied[(query_id, pc_pos)] = False
+        self._unifiers[query_id] = Unifier()
+
+        touched: set = {query_id}
+        for edge in new_edges:
+            self._union(edge.src, edge.dst)
+            touched.add(edge.dst)
+            key = (edge.dst, edge.pc_pos)
+            if not self._pc_satisfied[key]:
+                self._pc_satisfied[key] = True
+                self._node_open[edge.dst] -= 1
+                self._root_open[self.find(edge.dst)] -= 1
+
+        self._propagate(touched, new_edges)
+        return self.find(query_id)
+
+    def _propagate(self, seeds: set, new_edges: Iterable[Edge]) -> None:
+        """Incremental unifier propagation from the affected nodes.
+
+        First folds each new edge's atom-level unifier into its
+        destination's cached unifier, then pushes constraints along the
+        graph's edges until quiescent.  A node whose unifier collapses is
+        cached as None ("inconsistent so far"); correctness of eventual
+        answering does not rely on the cache — the full Algorithm 1 run
+        at closure decides.
+        """
+        queue: deque = deque()
+        queued: set = set()
+
+        def enqueue(node) -> None:
+            if node not in queued:
+                queue.append(node)
+                queued.add(node)
+
+        for edge in new_edges:
+            current = self._unifiers.get(edge.dst)
+            if current is None:
+                continue
+            merged = mgu(current, edge.unifier)
+            self._unifiers[edge.dst] = merged
+            enqueue(edge.dst)
+        for node in seeds:
+            enqueue(node)
+
+        while queue:
+            parent = queue.popleft()
+            queued.discard(parent)
+            parent_unifier = self._unifiers.get(parent)
+            if parent_unifier is None:
+                continue
+            for edge in self._graph.out_edges(parent):
+                child = edge.dst
+                child_unifier = self._unifiers.get(child)
+                if child_unifier is None:
+                    continue
+                self.propagation_steps += 1
+                merged = mgu(parent_unifier, child_unifier)
+                if merged is None:
+                    self._unifiers[child] = None
+                    continue
+                if merged != child_unifier:
+                    self._unifiers[child] = merged
+                    enqueue(child)
+
+    # ------------------------------------------------------------------
+    # closure and removal
+    # ------------------------------------------------------------------
+
+    def is_closed(self, root) -> bool:
+        """True if every postcondition in the partition is satisfied."""
+        return self._root_open[self.find(root)] == 0
+
+    def members(self, root) -> list:
+        """All query ids in the partition of *root*."""
+        return sorted(self._root_members[self.find(root)], key=repr)
+
+    def partition_size(self, root) -> int:
+        """Member count of the partition (O(1))."""
+        return len(self._root_members[self.find(root)])
+
+    def partition_sizes(self) -> list[int]:
+        """Sizes of all current partitions (diagnostics)."""
+        return [len(members)
+                for root, members in self._root_members.items()
+                if self._parent[root] == root]
+
+    def cached_unifier(self, query_id) -> Optional[Unifier]:
+        """The partial-matching unifier cached for a query (may be None
+        when the cache has detected inconsistency)."""
+        return self._unifiers.get(query_id)
+
+    def remove_queries(self, removed: Iterable) -> None:
+        """Forget answered/expired queries, in O(removed) time.
+
+        The caller must already have removed them from the graph.
+        Removed nodes stay in the union-find forest as structural ghosts
+        (union-find cannot delete), but they leave the member sets, the
+        open-postcondition accounting, and the unifier cache.
+
+        Accuracy note: a *surviving* query whose only provider was
+        removed is not re-counted as open — partition open-counts may
+        undercount after removals.  The engine does not gate on
+        closure (it builds local groups per arrival), so this only
+        affects the diagnostics; :meth:`recount` restores exact numbers
+        for a partition when needed.
+        """
+        removed_set = set(removed)
+        if not removed_set:
+            return
+        for query_id in removed_set:
+            if query_id not in self._parent or query_id in self._dead:
+                continue
+            root = self.find(query_id)
+            self._root_members[root].discard(query_id)
+            self._root_open[root] -= self._node_open.pop(query_id, 0)
+            self._unifiers.pop(query_id, None)
+            self._dead.add(query_id)
+            pc_pos = 0
+            while (query_id, pc_pos) in self._pc_satisfied:
+                del self._pc_satisfied[(query_id, pc_pos)]
+                pc_pos += 1
+
+    def recount(self, root) -> int:
+        """Recompute (and store) the exact open-pc count of a partition.
+
+        Walks the live members, refreshing each one's satisfaction
+        against the graph's current edges.  Returns the new open count.
+        """
+        root = self.find(root)
+        total_open = 0
+        for query_id in self._root_members[root]:
+            query = self._graph.query(query_id)
+            open_count = 0
+            for pc_pos in range(query.pccount):
+                satisfied = bool(
+                    self._graph.in_edges_for_pc(query_id, pc_pos))
+                self._pc_satisfied[(query_id, pc_pos)] = satisfied
+                if not satisfied:
+                    open_count += 1
+            self._node_open[query_id] = open_count
+            total_open += open_count
+        self._root_open[root] = total_open
+        return total_open
+
+    def __len__(self) -> int:
+        """Number of live (non-removed) queries tracked."""
+        return len(self._node_open)

@@ -1,0 +1,95 @@
+"""Query staleness (paper Section 5.1).
+
+It is unrealistic for an entangled query to wait forever for a partner;
+when a query becomes *stale* it is removed from the pending set and its
+evaluation is considered failed.  The paper names timeouts and manual
+intervention as two mechanisms; both are implemented here, plus a
+no-staleness policy.  Clocks are injected so tests control time.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+from ..core.query import EntangledQuery
+
+
+class Clock(abc.ABC):
+    """Monotonic time source."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+
+
+class SystemClock(Clock):
+    """Wall-clock-backed monotonic clock (the default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock advanced explicitly — deterministic staleness in tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot move a monotonic clock backwards")
+        self._now += seconds
+
+
+class StalenessPolicy(abc.ABC):
+    """Decides when a pending query has waited long enough."""
+
+    @abc.abstractmethod
+    def is_stale(self, query: EntangledQuery, submitted_at: float,
+                 now: float) -> bool:
+        """True if the query should be expired."""
+
+
+class NeverStale(StalenessPolicy):
+    """Queries wait indefinitely (the default for batch workloads)."""
+
+    def is_stale(self, query: EntangledQuery, submitted_at: float,
+                 now: float) -> bool:
+        return False
+
+
+class TimeoutStaleness(StalenessPolicy):
+    """Expire queries pending longer than a fixed number of seconds."""
+
+    def __init__(self, timeout_seconds: float):
+        if timeout_seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout_seconds = timeout_seconds
+
+    def is_stale(self, query: EntangledQuery, submitted_at: float,
+                 now: float) -> bool:
+        return now - submitted_at > self.timeout_seconds
+
+
+class ManualStaleness(StalenessPolicy):
+    """Expire only queries explicitly marked stale by the application."""
+
+    def __init__(self) -> None:
+        self._marked: set = set()
+
+    def mark(self, query_id: object) -> None:
+        """Flag one query for expiry at the next staleness sweep."""
+        self._marked.add(query_id)
+
+    def unmark(self, query_id: object) -> None:
+        """Withdraw a previous mark (no-op if absent)."""
+        self._marked.discard(query_id)
+
+    def is_stale(self, query: EntangledQuery, submitted_at: float,
+                 now: float) -> bool:
+        return query.query_id in self._marked

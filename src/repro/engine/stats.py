@@ -1,0 +1,72 @@
+"""Engine statistics: counters and phase timings.
+
+The benchmarks read these to report the same breakdowns as the paper's
+figures (e.g. matching time vs. database time in Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.evaluate import FailureReason
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Aggregated counters for one engine instance."""
+
+    submitted: int = 0
+    answered: int = 0
+    failed: Counter = field(default_factory=Counter)
+    coordination_rounds: int = 0
+    combined_queries_built: int = 0
+    closure_events: int = 0
+    graph_seconds: float = 0.0
+    match_seconds: float = 0.0
+    db_seconds: float = 0.0
+    safety_seconds: float = 0.0
+
+    @property
+    def pending(self) -> int:
+        """Queries submitted but not yet settled."""
+        return self.submitted - self.answered - sum(self.failed.values())
+
+    @property
+    def total_failed(self) -> int:
+        return sum(self.failed.values())
+
+    def record_failure(self, reason: FailureReason, count: int = 1) -> None:
+        self.failed[reason] += count
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (stable keys) for logging and benchmarks."""
+        return {
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "failed": {reason.value: count
+                       for reason, count in sorted(
+                           self.failed.items(),
+                           key=lambda item: item[0].value)},
+            "pending": self.pending,
+            "coordination_rounds": self.coordination_rounds,
+            "combined_queries_built": self.combined_queries_built,
+            "closure_events": self.closure_events,
+            "graph_seconds": self.graph_seconds,
+            "match_seconds": self.match_seconds,
+            "db_seconds": self.db_seconds,
+            "safety_seconds": self.safety_seconds,
+        }
+
+    def __str__(self) -> str:
+        failed = ", ".join(f"{reason.value}={count}"
+                           for reason, count in sorted(
+                               self.failed.items(),
+                               key=lambda item: item[0].value))
+        return (f"submitted={self.submitted} answered={self.answered} "
+                f"pending={self.pending} failed=[{failed}] "
+                f"rounds={self.coordination_rounds} "
+                f"graph={self.graph_seconds:.3f}s "
+                f"match={self.match_seconds:.3f}s "
+                f"db={self.db_seconds:.3f}s "
+                f"safety={self.safety_seconds:.3f}s")

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the entangled-queries library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch a single base class.  Parsing, validation, safety,
+matching and engine failures each get a dedicated subclass because callers
+typically handle them differently (e.g. a safety violation is reported back
+to the submitting user, while a staleness expiry triggers retry logic).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when entangled-SQL or IR text cannot be parsed.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based line of the offending token, if known.
+        column: 1-based column of the offending token, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class ValidationError(ReproError):
+    """Raised when a query violates a structural requirement.
+
+    The most common cause is a range-restriction violation: every variable
+    appearing in the head or postconditions of an entangled query must also
+    appear in its body (Section 2.2 of the paper).
+    """
+
+
+class SafetyViolation(ReproError):
+    """Raised when a workload fails the safety check of Section 3.1.1.
+
+    Attributes:
+        offending_query_id: identifier of the query whose postcondition
+            unifies with more than one head atom.
+        witnesses: identifiers of (at least two) queries contributing the
+            unifiable head atoms.
+    """
+
+    def __init__(self, message: str, offending_query_id: object = None,
+                 witnesses: tuple = ()):
+        self.offending_query_id = offending_query_id
+        self.witnesses = tuple(witnesses)
+        super().__init__(message)
+
+
+class CoordinationError(ReproError):
+    """Raised when coordinated answering fails irrecoverably."""
+
+
+class StaleQueryError(CoordinationError):
+    """Raised (or delivered through a future) when a query expires.
+
+    A query becomes stale when its staleness policy decides it has waited
+    long enough for coordination partners that never arrived (Section 5.1).
+    """
+
+
+class SchemaError(ReproError):
+    """Raised for catalog problems in the database substrate.
+
+    Examples: creating a table that already exists, inserting a tuple with
+    the wrong arity or a value of the wrong type, or querying a relation
+    that is not in the catalog.
+    """
+
+
+class QueryEvaluationError(ReproError):
+    """Raised when the database executor cannot evaluate a query.
+
+    This signals genuine executor misuse (unknown relation, unbound
+    comparison) rather than an empty result; empty results are ordinary
+    values, not errors.
+    """

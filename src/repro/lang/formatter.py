@@ -1,0 +1,122 @@
+"""Formatting IR queries back to text (IR syntax and the SQL dialect).
+
+Both formatters produce text that the corresponding parser accepts, so
+``parse(format(query)) == query`` up to query id — the round-trip
+property the language tests verify.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.query import EntangledQuery
+from ..core.terms import Atom, Constant, Term, Variable
+from ..errors import ValidationError
+
+_BARE_CONSTANT = re.compile(r"[A-Z][A-Za-z0-9_]*$")
+_VARIABLE_NAME = re.compile(r"[a-z_][A-Za-z0-9_]*$")
+
+
+def _format_term_ir(term: Term) -> str:
+    if isinstance(term, Variable):
+        if not _VARIABLE_NAME.match(term.name):
+            raise ValidationError(
+                f"variable name {term.name!r} is not expressible in IR "
+                f"syntax (must start lowercase); rename before formatting")
+        return term.name
+    value = term.value
+    if isinstance(value, str):
+        if _BARE_CONSTANT.match(value):
+            return value
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        raise ValidationError("bool constants are not expressible in IR "
+                              "syntax")
+    if isinstance(value, (int, float)):
+        return str(value)
+    raise ValidationError(f"constant {value!r} is not expressible in IR "
+                          f"syntax")
+
+
+def _format_atom_ir(atom: Atom) -> str:
+    inner = ", ".join(_format_term_ir(term) for term in atom.args)
+    return f"{atom.relation}({inner})"
+
+
+def to_ir_text(query: EntangledQuery) -> str:
+    """Render a query in the IR syntax of :mod:`repro.lang.ir_parser`.
+
+    >>> from repro.lang import parse_ir
+    >>> q = parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)")
+    >>> to_ir_text(q)
+    '{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)'
+    """
+    postconditions = ", ".join(_format_atom_ir(atom)
+                               for atom in query.postconditions)
+    head = ", ".join(_format_atom_ir(atom) for atom in query.head)
+    text = f"{{{postconditions}}} {head}"
+    if query.body:
+        body = ", ".join(_format_atom_ir(atom) for atom in query.body)
+        text += f" <- {body}"
+    if query.choose != 1:
+        text += f" CHOOSE {query.choose}"
+    return text
+
+
+def _format_term_sql(term: Term) -> str:
+    if isinstance(term, Variable):
+        if not _VARIABLE_NAME.match(term.name):
+            raise ValidationError(
+                f"variable name {term.name!r} is not expressible in the "
+                f"SQL dialect; rename before formatting")
+        return term.name
+    value = term.value
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        raise ValidationError("bool constants are not expressible in the "
+                              "SQL dialect")
+    if isinstance(value, (int, float)):
+        return str(value)
+    raise ValidationError(f"constant {value!r} is not expressible in the "
+                          f"SQL dialect")
+
+
+def to_sql_text(query: EntangledQuery) -> str:
+    """Render a query in the positional SQL dialect.
+
+    Uses the schema-free forms ``(args) IN TABLE name`` for body atoms
+    and ``(args) IN ANSWER name`` for postconditions, so no catalog is
+    needed.  Only expressible for queries whose head atoms all share one
+    argument tuple (the dialect inserts a single SELECT tuple into every
+    ANSWER table); raises :class:`repro.errors.ValidationError`
+    otherwise.  Aggregate constraints are not rendered (no positional
+    surface form exists for them).
+    """
+    head_tuples = {atom.args for atom in query.head}
+    if len(head_tuples) != 1:
+        raise ValidationError(
+            f"query {query.query_id!r} has heads with differing argument "
+            f"tuples; not expressible in the SQL dialect")
+    if query.aggregates:
+        raise ValidationError(
+            f"query {query.query_id!r} has aggregate constraints, which "
+            f"have no positional SQL form")
+    (args,) = head_tuples
+    lines = ["SELECT " + ", ".join(_format_term_sql(term)
+                                   for term in args)]
+    lines.append("INTO " + ", ".join(f"ANSWER {atom.relation}"
+                                     for atom in query.head))
+    conditions: list[str] = []
+    for atom in query.body:
+        inner = ", ".join(_format_term_sql(term) for term in atom.args)
+        conditions.append(f"({inner}) IN TABLE {atom.relation}")
+    for atom in query.postconditions:
+        inner = ", ".join(_format_term_sql(term) for term in atom.args)
+        conditions.append(f"({inner}) IN ANSWER {atom.relation}")
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    lines.append(f"CHOOSE {query.choose}")
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Recursive-descent parser for the entangled-SQL dialect.
+
+Grammar (informal; ``[...]`` optional, ``{...}`` repetition)::
+
+    query      := SELECT expr {, expr}
+                  INTO answer {, answer}
+                  [WHERE condition {AND condition}]
+                  CHOOSE number
+    answer     := ANSWER ident
+    condition  := '(' expr {, expr} ')' IN (ANSWER|TABLE) ident
+                | '(' aggregate ')' cmp number
+                | ident IN '(' subquery ')'
+                | expr '=' expr
+    subquery   := SELECT columnref FROM fromitem {, fromitem}
+                  [WHERE sub_eq {AND sub_eq}]
+    aggregate  := SELECT COUNT '(' '*' ')' FROM fromitem {, fromitem}
+                  [WHERE sub_eq {AND sub_eq}]
+    fromitem   := [ANSWER] ident [[AS] ident]
+    sub_eq     := operand '=' operand
+    columnref  := ident ['.' ident]
+    operand    := literal | columnref
+    expr       := literal | ident
+    cmp        := '>' | '>=' | '<' | '<=' | '=' | '!='
+
+See :mod:`repro.lang.sql_ast` for the produced tree and
+:mod:`repro.lang.lowering` for conversion to the IR.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .sql_ast import (AggregateCondition, AggregateSubquery,
+                      AnswerMembership, ColumnRef, Condition,
+                      EntangledSelect, EqualityCondition, Expr, FromItem,
+                      Ident, Literal, Operand, Subquery,
+                      SubqueryEquality, SubqueryMembership,
+                      TableMembership)
+from .tokenizer import Token, TokenStream, TokenType
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def parse_entangled_sql(text: str) -> EntangledSelect:
+    """Parse one entangled query in the SQL dialect.
+
+    Raises :class:`repro.errors.ParseError` with position info on any
+    syntax problem.
+    """
+    stream = TokenStream.of(text)
+    query = _parse_query(stream)
+    stream.expect_end()
+    return query
+
+
+def _parse_query(stream: TokenStream) -> EntangledSelect:
+    stream.expect_keyword("SELECT")
+    select = [_parse_expr(stream)]
+    while stream.accept_punct(","):
+        select.append(_parse_expr(stream))
+
+    stream.expect_keyword("INTO")
+    answers = [_parse_answer_name(stream)]
+    while stream.accept_punct(","):
+        answers.append(_parse_answer_name(stream))
+
+    conditions: list[Condition] = []
+    if stream.accept_keyword("WHERE"):
+        conditions.append(_parse_condition(stream))
+        while stream.accept_keyword("AND"):
+            conditions.append(_parse_condition(stream))
+
+    stream.expect_keyword("CHOOSE")
+    token = stream.peek()
+    if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+        raise ParseError(f"CHOOSE expects an integer, found {token}",
+                         token.line, token.column)
+    stream.next()
+    return EntangledSelect(tuple(select), tuple(answers),
+                           tuple(conditions), token.value)
+
+
+def _parse_answer_name(stream: TokenStream) -> str:
+    stream.expect_keyword("ANSWER")
+    return stream.expect_ident().value  # type: ignore[return-value]
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.next()
+        return Literal(token.value)
+    if token.type is TokenType.IDENT:
+        stream.next()
+        return Ident(token.value)  # type: ignore[arg-type]
+    raise ParseError(f"expected literal or identifier, found {token}",
+                     token.line, token.column)
+
+
+def _parse_condition(stream: TokenStream) -> Condition:
+    token = stream.peek()
+    if token.is_punct("("):
+        # Tuple membership or aggregate comparison.
+        if stream.peek(1).is_keyword("SELECT"):
+            return _parse_aggregate_condition(stream)
+        return _parse_membership(stream)
+    # ident IN (...) or expr = expr
+    left = _parse_expr(stream)
+    if stream.accept_keyword("IN"):
+        if not isinstance(left, Ident):
+            raise ParseError(
+                "only an identifier may appear on the left of IN "
+                "(literals cannot be coordinated on)",
+                token.line, token.column)
+        stream.expect_punct("(")
+        subquery = _parse_subquery(stream)
+        stream.expect_punct(")")
+        return SubqueryMembership(left, subquery)
+    stream.expect_punct("=")
+    right = _parse_expr(stream)
+    return EqualityCondition(left, right)
+
+
+def _parse_membership(stream: TokenStream) -> Condition:
+    stream.expect_punct("(")
+    exprs = [_parse_expr(stream)]
+    while stream.accept_punct(","):
+        exprs.append(_parse_expr(stream))
+    stream.expect_punct(")")
+    stream.expect_keyword("IN")
+    if stream.accept_keyword("ANSWER"):
+        relation = stream.expect_ident().value
+        return AnswerMembership(tuple(exprs), relation)  # type: ignore[arg-type]
+    stream.expect_keyword("TABLE")
+    relation = stream.expect_ident().value
+    return TableMembership(tuple(exprs), relation)  # type: ignore[arg-type]
+
+
+def _parse_column_ref(stream: TokenStream) -> ColumnRef:
+    first = stream.expect_ident().value
+    if stream.accept_punct("."):
+        second = stream.expect_ident().value
+        return ColumnRef(first, second)  # type: ignore[arg-type]
+    return ColumnRef(None, first)  # type: ignore[arg-type]
+
+
+def _parse_operand(stream: TokenStream) -> Operand:
+    token = stream.peek()
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.next()
+        return Literal(token.value)
+    return _parse_column_ref(stream)
+
+
+def _parse_from_items(stream: TokenStream) -> list[FromItem]:
+    items = [_parse_from_item(stream)]
+    while stream.accept_punct(","):
+        items.append(_parse_from_item(stream))
+    return items
+
+
+def _parse_from_item(stream: TokenStream) -> FromItem:
+    is_answer = stream.accept_keyword("ANSWER")
+    table = stream.expect_ident().value
+    alias = None
+    stream.accept_keyword("AS")
+    if stream.peek().type is TokenType.IDENT:
+        alias = stream.next().value
+    return FromItem(table, alias, is_answer)  # type: ignore[arg-type]
+
+
+def _parse_sub_equalities(stream: TokenStream) -> list[SubqueryEquality]:
+    equalities: list[SubqueryEquality] = []
+    if stream.accept_keyword("WHERE"):
+        while True:
+            left = _parse_operand(stream)
+            stream.expect_punct("=")
+            right = _parse_operand(stream)
+            equalities.append(SubqueryEquality(left, right))
+            if not stream.accept_keyword("AND"):
+                break
+    return equalities
+
+
+def _parse_subquery(stream: TokenStream) -> Subquery:
+    stream.expect_keyword("SELECT")
+    select = _parse_column_ref(stream)
+    stream.expect_keyword("FROM")
+    from_items = _parse_from_items(stream)
+    equalities = _parse_sub_equalities(stream)
+    for item in from_items:
+        if item.is_answer:
+            token = stream.peek()
+            raise ParseError(
+                "ANSWER relations may only appear in aggregate "
+                "subqueries (COUNT over coordination outcomes)",
+                token.line, token.column)
+    return Subquery(select, tuple(from_items), tuple(equalities))
+
+
+def _parse_aggregate_condition(stream: TokenStream) -> AggregateCondition:
+    stream.expect_punct("(")
+    stream.expect_keyword("SELECT")
+    stream.expect_keyword("COUNT")
+    stream.expect_punct("(")
+    stream.expect_punct("*")
+    stream.expect_punct(")")
+    stream.expect_keyword("FROM")
+    from_items = _parse_from_items(stream)
+    equalities = _parse_sub_equalities(stream)
+    stream.expect_punct(")")
+    token = stream.peek()
+    if not (token.type is TokenType.PUNCT and token.value in _COMPARISONS):
+        raise ParseError(
+            f"expected comparison operator after COUNT subquery, "
+            f"found {token}", token.line, token.column)
+    stream.next()
+    threshold = stream.peek()
+    if threshold.type is not TokenType.NUMBER:
+        raise ParseError(f"expected numeric threshold, found {threshold}",
+                         threshold.line, threshold.column)
+    stream.next()
+    if not any(item.is_answer for item in from_items):
+        raise ParseError(
+            "aggregate subquery must mention at least one ANSWER relation",
+            token.line, token.column)
+    return AggregateCondition(
+        AggregateSubquery(tuple(from_items), tuple(equalities)),
+        token.value, threshold.value)  # type: ignore[arg-type]

@@ -1,0 +1,28 @@
+"""Workloads: the paper's experimental scenario, reproduced.
+
+* :mod:`~repro.workloads.airports` — the 102 destinations;
+* :mod:`~repro.workloads.socialnet` — the Slashdot-scale synthetic
+  social network (see DESIGN.md §4 for the substitution argument);
+* :mod:`~repro.workloads.flightdb` — the ``R``/``F``/``U`` database;
+* :mod:`~repro.workloads.generators` — one query-set generator per
+  experiment of Section 5.3.
+"""
+
+from .airports import AIRPORTS, airport
+from .socialnet import SocialNetwork, generate_social_network
+from .flightdb import (FRIENDS, RESERVE, USER, build_flight_database,
+                       build_intro_database)
+from .generators import (SafetyStressWorkload, big_cluster_queries,
+                         chain_queries, clique_queries,
+                         non_unifying_queries, safety_stress_workload,
+                         three_way_triangles, two_way_pairs)
+
+__all__ = [
+    "AIRPORTS", "airport",
+    "SocialNetwork", "generate_social_network",
+    "FRIENDS", "RESERVE", "USER", "build_flight_database",
+    "build_intro_database",
+    "SafetyStressWorkload", "big_cluster_queries", "chain_queries",
+    "clique_queries", "non_unifying_queries", "safety_stress_workload",
+    "three_way_triangles", "two_way_pairs",
+]

@@ -1,0 +1,32 @@
+"""The 102 airport destinations of the paper's experimental setup.
+
+The paper's flight-booking scenario uses "102 airport destinations";
+the concrete list is not published, so we use 102 real IATA codes
+(large international airports).  Only the count matters to the
+experiments — destinations act as coordination keys.
+"""
+
+from __future__ import annotations
+
+#: 102 IATA airport codes used as destinations / hometowns.
+AIRPORTS: tuple[str, ...] = (
+    "ATL", "PEK", "LHR", "ORD", "HND", "LAX", "CDG", "DFW", "FRA", "HKG",
+    "DEN", "DXB", "CGK", "AMS", "MAD", "BKK", "JFK", "SIN", "CAN", "LAS",
+    "PVG", "SFO", "PHX", "IAH", "CLT", "MIA", "MUC", "KUL", "FCO", "IST",
+    "SYD", "MCO", "ICN", "DEL", "BCN", "LGW", "EWR", "YYZ", "SHA", "MSP",
+    "SEA", "DTW", "PHL", "BOM", "GRU", "MNL", "CTU", "BOS", "SZX", "MEL",
+    "NRT", "ORY", "MEX", "DME", "AYT", "TPE", "ZRH", "LGA", "FLL", "IAD",
+    "PMI", "CPH", "SVO", "BWI", "KMG", "VIE", "OSL", "JED", "BNE", "SLC",
+    "DUS", "BOG", "MXP", "JNB", "ARN", "MDW", "DCA", "BRU", "DUB", "GMP",
+    "DOH", "STN", "HGH", "CJU", "YVR", "TXL", "SAN", "TPA", "CGH", "BSB",
+    "CTS", "XMN", "RUH", "FUK", "GIG", "HEL", "LIS", "ATH", "AKL", "TLV",
+    "ITH", "SBN",
+)
+
+assert len(AIRPORTS) == 102, "the paper's setup has exactly 102 airports"
+assert len(set(AIRPORTS)) == 102, "airport codes must be distinct"
+
+
+def airport(index: int) -> str:
+    """The airport code at *index* (modulo the list length)."""
+    return AIRPORTS[index % len(AIRPORTS)]

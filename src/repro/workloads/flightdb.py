@@ -1,0 +1,60 @@
+"""Build the paper's experimental database from a social network.
+
+Schema (paper Section 5.2)::
+
+    Reserve(UserName, Destination)   -- the ANSWER relation (not stored)
+    Friends(UserName1, UserName2)    -- both directions materialized
+    User(UserName, HomeTown)
+
+Relations are abbreviated ``R``, ``F`` and ``U`` in the workloads, so
+tables are created under those names by default (a ``long_names`` switch
+restores the full names for the examples).
+"""
+
+from __future__ import annotations
+
+from ..db.database import Database
+from .socialnet import SocialNetwork
+
+#: The ANSWER relation name used by all flight workloads.
+RESERVE = "R"
+#: Friends and User table names used by all flight workloads.
+FRIENDS = "F"
+USER = "U"
+
+
+def build_flight_database(network: SocialNetwork,
+                          long_names: bool = False) -> Database:
+    """Materialize Friends and User tables for *network*.
+
+    The Reserve relation is *not* created — it exists only as the shared
+    ANSWER name through which queries coordinate.
+    """
+    friends_name = "Friends" if long_names else FRIENDS
+    user_name = "User" if long_names else USER
+    database = Database()
+    database.create_table(friends_name, "UserName1 text", "UserName2 text")
+    database.create_table(user_name, "UserName text", "HomeTown text")
+
+    friend_rows = []
+    for user in network.users:
+        for friend in network.adjacency[user]:
+            friend_rows.append((user, friend))
+    database.insert(friends_name, friend_rows)
+    database.insert(user_name,
+                    [(user, network.hometowns[user])
+                     for user in network.users])
+    return database
+
+
+def build_intro_database() -> Database:
+    """The flight database of the paper's Figure 1 (intro example)."""
+    database = Database()
+    database.create_table("Flights", "fno int", "dest text")
+    database.create_table("Airlines", "fno int", "airline text")
+    database.insert("Flights", [
+        (122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")])
+    database.insert("Airlines", [
+        (122, "United"), (123, "United"), (134, "Lufthansa"),
+        (136, "Alitalia")])
+    return database

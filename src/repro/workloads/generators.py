@@ -1,0 +1,343 @@
+"""Query-set generators for every experiment in the paper (Section 5.3).
+
+All generators are seeded and deterministic, emit queries over the
+``R``/``F``/``U`` flight schema of :mod:`repro.workloads.flightdb`, and
+assign sequential string ids carrying the workload name (handy when
+mixing workloads in one engine).
+
+Workload map (see DESIGN.md §5):
+
+====================  =======================================
+Figure 6              :func:`two_way_pairs` (generic + specific),
+                      :func:`three_way_triangles`
+Figure 7              :func:`clique_queries`
+Figure 8              :func:`non_unifying_queries`,
+                      :func:`chain_queries`,
+                      :func:`big_cluster_queries`
+Figure 9              :func:`safety_stress_workload`
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.query import EntangledQuery
+from ..core.terms import Atom, Constant, Variable, atom
+from .airports import AIRPORTS
+from .flightdb import FRIENDS, RESERVE, USER
+from .socialnet import SocialNetwork
+
+
+def _reserve(*args) -> Atom:
+    return atom(RESERVE, *args)
+
+
+def _friends(*args) -> Atom:
+    return atom(FRIENDS, *args)
+
+
+def _user(*args) -> Atom:
+    return atom(USER, *args)
+
+
+def two_way_pairs(network: SocialNetwork, num_queries: int,
+                  specific: bool = False, seed: int = 1,
+                  destinations: Sequence[str] = AIRPORTS,
+                  shuffle: bool = True) -> list[EntangledQuery]:
+    """Pairs of friends coordinating on a flight (Experiment 5.3.1).
+
+    *Generic* pairs (the paper's "random workload")::
+
+        {R(x, ITH)} R(Jerry, ITH) <- F(Jerry, x) ∧ U(Jerry, c) ∧ U(x, c)
+
+    *Specific* pairs (the paper's "best case": partner named, the F/U
+    join in the body collapses)::
+
+        {R(Kramer, ITH)} R(Jerry, ITH)
+            <- F(Jerry, Kramer) ∧ U(Jerry, c) ∧ U(Kramer, c)
+
+    Pair members are guaranteed friends; co-location is *not* enforced
+    (paper: enforcing only one of the two keeps coordination odds
+    realistic).  ``num_queries`` must be even; the output is a random
+    permutation of the pairs unless ``shuffle=False``.
+    """
+    if num_queries % 2:
+        raise ValueError("two-way workload needs an even query count")
+    rng = random.Random(seed)
+    pairs = network.friend_pairs(rng)
+    queries: list[EntangledQuery] = []
+    for pair_index in range(num_queries // 2):
+        left, right = next(pairs)
+        destination = rng.choice(list(destinations))
+        tag = f"2way-{pair_index}"
+        if specific:
+            queries.append(_specific_member(f"{tag}-a", left, right,
+                                            destination))
+            queries.append(_specific_member(f"{tag}-b", right, left,
+                                            destination))
+        else:
+            queries.append(_generic_member(f"{tag}-a", left, destination))
+            queries.append(_generic_member(f"{tag}-b", right, destination))
+    if shuffle:
+        rng.shuffle(queries)
+    return queries
+
+
+def _generic_member(query_id: str, user: str,
+                    destination: str) -> EntangledQuery:
+    partner, town = Variable("x"), Variable("c")
+    return EntangledQuery(
+        query_id=query_id,
+        head=(_reserve(user, destination),),
+        postconditions=(_reserve(partner, destination),),
+        body=(_friends(user, partner), _user(user, town),
+              _user(partner, town)),
+        owner=user)
+
+
+def _specific_member(query_id: str, user: str, partner: str,
+                     destination: str) -> EntangledQuery:
+    town = Variable("c")
+    return EntangledQuery(
+        query_id=query_id,
+        head=(_reserve(user, destination),),
+        postconditions=(_reserve(partner, destination),),
+        body=(_friends(user, partner), _user(user, town),
+              _user(partner, town)),
+        owner=user)
+
+
+def three_way_triangles(network: SocialNetwork, num_queries: int,
+                        seed: int = 2,
+                        destinations: Sequence[str] = AIRPORTS,
+                        shuffle: bool = True) -> list[EntangledQuery]:
+    """Triples over social-graph triangles (Experiment 5.3.2).
+
+    Each triangle (A, B, C) yields the cyclic queries of the paper::
+
+        {R(B, IAH)} R(A, IAH) <- F(A, B) ∧ U(A, c) ∧ U(B, c)
+        {R(C, IAH)} R(B, IAH) <- F(B, C) ∧ U(B, c) ∧ U(C, c)
+        {R(A, IAH)} R(C, IAH) <- F(C, A) ∧ U(C, c) ∧ U(A, c)
+    """
+    if num_queries % 3:
+        raise ValueError("three-way workload needs a multiple of 3")
+    rng = random.Random(seed)
+    triangles = network.triangles(rng)
+    queries: list[EntangledQuery] = []
+    for triple_index in range(num_queries // 3):
+        members = list(next(triangles))
+        destination = rng.choice(list(destinations))
+        for position, user in enumerate(members):
+            partner = members[(position + 1) % 3]
+            queries.append(_specific_member(
+                f"3way-{triple_index}-{position}", user, partner,
+                destination))
+    if shuffle:
+        rng.shuffle(queries)
+    return queries
+
+
+def clique_queries(network: SocialNetwork, num_queries: int,
+                   num_postconditions: int, seed: int = 3,
+                   destinations: Sequence[str] = AIRPORTS,
+                   shuffle: bool = True) -> list[EntangledQuery]:
+    """All-together travel over (k+1)-cliques (Experiment 5.3.3).
+
+    With ``num_postconditions = k``, each group has ``k + 1`` members
+    and every member requires all *k* others::
+
+        {R(Jerry, SBN) ∧ R(Kramer, SBN)} R(Elaine, SBN)
+            <- F(Elaine, Jerry) ∧ F(Elaine, Kramer)
+               ∧ U(Kramer, c) ∧ U(Elaine, c) ∧ U(Jerry, c)
+
+    Groups are cliques in the social graph (planted for sizes > 3, as
+    the paper's generator likewise ensures the needed friendships).
+    """
+    if num_postconditions < 1:
+        raise ValueError("need at least one postcondition")
+    group_size = num_postconditions + 1
+    if num_queries % group_size:
+        raise ValueError(f"query count must be a multiple of group size "
+                         f"{group_size}")
+    rng = random.Random(seed)
+    groups = network.cliques(group_size, rng)
+    queries: list[EntangledQuery] = []
+    for group_index in range(num_queries // group_size):
+        members = list(next(groups))
+        destination = rng.choice(list(destinations))
+        town = Variable("c")
+        for position, user in enumerate(members):
+            others = [member for member in members if member != user]
+            body = tuple(_friends(user, other) for other in others) + \
+                tuple(_user(member, town) for member in members)
+            queries.append(EntangledQuery(
+                query_id=f"clique{group_size}-{group_index}-{position}",
+                head=(_reserve(user, destination),),
+                postconditions=tuple(_reserve(other, destination)
+                                     for other in others),
+                body=body,
+                owner=user))
+    if shuffle:
+        rng.shuffle(queries)
+    return queries
+
+
+def non_unifying_queries(network: SocialNetwork, num_queries: int,
+                         seed: int = 4,
+                         destinations: Sequence[str] = AIRPORTS
+                         ) -> list[EntangledQuery]:
+    """Queries whose postconditions unify with no head (Experiment 5.3.4).
+
+    Each query's postcondition names a traveller (``nobody-i``) that no
+    head ever mentions, so the unifiability graph gets no edges: the
+    per-arrival cost is pure index lookups ("no coordination, no
+    unification").
+    """
+    rng = random.Random(seed)
+    queries: list[EntangledQuery] = []
+    for index in range(num_queries):
+        user = rng.choice(network.users)
+        destination = rng.choice(list(destinations))
+        town = Variable("c")
+        queries.append(EntangledQuery(
+            query_id=f"nounify-{index}",
+            head=(_reserve(user, destination),),
+            postconditions=(_reserve(f"nobody-{index}", destination),),
+            body=(_user(user, town),),
+            owner=user))
+    return queries
+
+
+def chain_queries(network: SocialNetwork, num_queries: int,
+                  chain_length: int = 100, seed: int = 5,
+                  destinations: Sequence[str] = AIRPORTS
+                  ) -> list[EntangledQuery]:
+    """Long unification chains that never close (Experiment 5.3.4).
+
+    Query *i* of a chain requires query *i+1*'s head; the last query's
+    postcondition is unsatisfiable, so the partition accumulates
+    unifier-propagation work without ever producing a combined query —
+    the paper's "usual partitions" series.  ``chain_length`` bounds the
+    partition size, standing in for the social graph's clustering,
+    which the paper observes keeps partitions bounded.
+    """
+    if chain_length < 2:
+        raise ValueError("chains need at least two queries")
+    rng = random.Random(seed)
+    queries: list[EntangledQuery] = []
+    index = 0
+    chain_id = 0
+    while index < num_queries:
+        length = min(chain_length, num_queries - index)
+        members = [rng.choice(network.users) for _ in range(length)]
+        destination = rng.choice(list(destinations))
+        for position in range(length):
+            user = members[position]
+            if position + 1 < length:
+                required = members[position + 1]
+                next_name = f"chainee-{chain_id}-{position + 1}"
+            else:
+                next_name = f"chainee-{chain_id}-open"
+            town = Variable("c")
+            queries.append(EntangledQuery(
+                query_id=f"chain-{chain_id}-{position}",
+                head=(_reserve(f"chainee-{chain_id}-{position}",
+                               destination),),
+                postconditions=(_reserve(next_name, destination),),
+                body=(_user(user, town),),
+                owner=user))
+            index += 1
+        chain_id += 1
+    return queries
+
+
+def big_cluster_queries(network: SocialNetwork, num_queries: int,
+                        seed: int = 6,
+                        destination: str = "ITH"
+                        ) -> list[EntangledQuery]:
+    """One massively unifying partition (Experiment 5.3.4's stress).
+
+    All queries come from one BFS community and share a single
+    destination; the variable postcondition ``R(x, dest)`` unifies with
+    *every* head, so the whole set collapses into one partition.  Most
+    combined attempts fail on the friendship data, which is exactly the
+    regime where the paper finds set-at-a-time evaluation superior to
+    incremental.
+    """
+    rng = random.Random(seed)
+    start = rng.choice(network.users)
+    community = network.community_of(start, num_queries)
+    if len(community) < num_queries:
+        community = list(itertools.islice(
+            itertools.cycle(community), num_queries))
+    queries: list[EntangledQuery] = []
+    for index in range(num_queries):
+        user = community[index]
+        partner, town = Variable("x"), Variable("c")
+        queries.append(EntangledQuery(
+            query_id=f"cluster-{index}",
+            head=(_reserve(user, destination),),
+            postconditions=(_reserve(partner, destination),),
+            body=(_friends(user, partner), _user(user, town),
+                  _user(partner, town)),
+            owner=user))
+    return queries
+
+
+@dataclass(frozen=True, slots=True)
+class SafetyStressWorkload:
+    """Resident queries plus unsafe addition sets (Experiment 5.3.5)."""
+
+    resident: tuple[EntangledQuery, ...]
+    additions: tuple[tuple[EntangledQuery, ...], ...]
+
+
+def safety_stress_workload(network: SocialNetwork,
+                           resident_count: int = 20_000,
+                           addition_sizes: Sequence[int] = (5, 50, 500),
+                           seed: int = 7,
+                           destinations: Sequence[str] = AIRPORTS
+                           ) -> SafetyStressWorkload:
+    """The Figure 9 setup: 20k non-coordinating residents + unsafe sets.
+
+    Residents cannot coordinate (postconditions unsatisfiable) but their
+    heads cluster on destinations, so an added query with a *variable*
+    traveller postcondition ``R(x, dest)`` unifies with many resident
+    heads and fails the safety check.
+    """
+    rng = random.Random(seed)
+    town_pool = list(destinations)
+    resident = []
+    for index in range(resident_count):
+        user = rng.choice(network.users)
+        destination = town_pool[index % len(town_pool)]
+        town = Variable("c")
+        resident.append(EntangledQuery(
+            query_id=f"resident-{index}",
+            head=(_reserve(user, destination),),
+            postconditions=(_reserve(f"nobody-r{index}", destination),),
+            body=(_user(user, town),),
+            owner=user))
+    additions = []
+    counter = 0
+    for size in addition_sizes:
+        batch = []
+        for _ in range(size):
+            user = rng.choice(network.users)
+            destination = rng.choice(town_pool)
+            partner, town = Variable("x"), Variable("c")
+            batch.append(EntangledQuery(
+                query_id=f"unsafe-{counter}",
+                head=(_reserve(user, destination),),
+                postconditions=(_reserve(partner, destination),),
+                body=(_friends(user, partner), _user(user, town),
+                      _user(partner, town)),
+                owner=user))
+            counter += 1
+        additions.append(tuple(batch))
+    return SafetyStressWorkload(resident=tuple(resident),
+                                additions=tuple(additions))

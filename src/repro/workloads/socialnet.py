@@ -1,0 +1,267 @@
+"""Synthetic social network — the Slashdot-graph substitute.
+
+The paper's experiments use the SNAP Slashdot Feb-2009 graph (82,168
+users).  That dataset is not available offline, so this module
+generates a synthetic network reproducing the properties the
+experiments actually consume (DESIGN.md §4):
+
+* heavy-tailed degree distribution — preferential attachment;
+* high clustering / community structure — triadic closure, which also
+  supplies the triangles the three-way workload needs;
+* guaranteed k-cliques for the k-postcondition workload — planted
+  during generation and recorded on the network object (the paper's
+  generator likewise "ensures" the required friendships);
+* hometown assignment over 102 airports such that, as far as possible,
+  each user has at least half of their friends in the same city —
+  achieved by majority-label sweeps after a random initialization.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .airports import AIRPORTS
+
+
+@dataclass
+class SocialNetwork:
+    """An undirected friendship graph with hometowns and planted cliques.
+
+    Attributes:
+        users: all user names (``"u0"`` … ``"u{n-1}"``).
+        adjacency: symmetric friend sets per user.
+        hometowns: user -> airport code.
+        planted_cliques: clique size -> list of planted member tuples
+            (guaranteed fully connected).
+    """
+
+    users: list[str]
+    adjacency: dict[str, set[str]]
+    hometowns: dict[str, str]
+    planted_cliques: dict[int, list[tuple[str, ...]]] = field(
+        default_factory=dict)
+
+    @property
+    def user_count(self) -> int:
+        return len(self.users)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(friends) for friends in self.adjacency.values()) // 2
+
+    def friends(self, user: str) -> set[str]:
+        """The friend set of *user*."""
+        return self.adjacency[user]
+
+    def are_friends(self, left: str, right: str) -> bool:
+        """True if the two users are friends."""
+        return right in self.adjacency.get(left, ())
+
+    def degree(self, user: str) -> int:
+        return len(self.adjacency[user])
+
+    def hometown(self, user: str) -> str:
+        return self.hometowns[user]
+
+    # ------------------------------------------------------------------
+    # structure queries used by workload generators
+    # ------------------------------------------------------------------
+
+    def friend_pairs(self, rng: random.Random) -> Iterator[tuple[str, str]]:
+        """Yield random friend pairs forever (users with >= 1 friend)."""
+        eligible = [user for user in self.users if self.adjacency[user]]
+        if not eligible:
+            raise ValueError("network has no edges")
+        while True:
+            user = rng.choice(eligible)
+            friend = rng.choice(sorted(self.adjacency[user]))
+            yield user, friend
+
+    def triangles(self, rng: random.Random
+                  ) -> Iterator[tuple[str, str, str]]:
+        """Yield random triangles (3-cycles) forever.
+
+        Rejection-samples: picks a user, two of its friends, and checks
+        the closing edge.  Triadic closure makes hits common.
+        """
+        eligible = [user for user in self.users
+                    if len(self.adjacency[user]) >= 2]
+        if not eligible:
+            raise ValueError("network has no user with two friends")
+        while True:
+            user = rng.choice(eligible)
+            first, second = rng.sample(sorted(self.adjacency[user]), 2)
+            if self.are_friends(first, second):
+                yield user, first, second
+
+    def cliques(self, size: int,
+                rng: random.Random) -> Iterator[tuple[str, ...]]:
+        """Yield cliques of exactly *size* members forever.
+
+        Draws from the planted cliques of that size (cycling with
+        reshuffling); sizes 2 and 3 fall back to
+        :meth:`friend_pairs` / :meth:`triangles`.
+        """
+        if size == 2:
+            yield from self.friend_pairs(rng)
+            return
+        if size == 3:
+            yield from self.triangles(rng)
+            return
+        pool = self.planted_cliques.get(size)
+        if not pool:
+            raise ValueError(
+                f"no planted cliques of size {size}; regenerate the "
+                f"network with planted_cliques={{{size}: <count>}}")
+        while True:
+            order = list(pool)
+            rng.shuffle(order)
+            yield from order
+
+    def community_of(self, user: str, target_size: int) -> list[str]:
+        """A connected set of ~*target_size* users around *user* (BFS).
+
+        Used by the big-cluster stress workload, which needs one densely
+        connected group of users.
+        """
+        community = [user]
+        seen = {user}
+        frontier = [user]
+        while frontier and len(community) < target_size:
+            current = frontier.pop(0)
+            for friend in sorted(self.adjacency[current]):
+                if friend not in seen:
+                    seen.add(friend)
+                    community.append(friend)
+                    frontier.append(friend)
+                    if len(community) >= target_size:
+                        break
+        return community
+
+    def same_town_fraction(self) -> float:
+        """Mean fraction of same-town friends (hometown quality metric)."""
+        fractions = []
+        for user in self.users:
+            friends = self.adjacency[user]
+            if not friends:
+                continue
+            town = self.hometowns[user]
+            same = sum(1 for friend in friends
+                       if self.hometowns[friend] == town)
+            fractions.append(same / len(friends))
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+
+def generate_social_network(
+        num_users: int = 82_168,
+        seed: int = 0,
+        edges_per_user: int = 6,
+        triad_probability: float = 0.5,
+        town_affinity: float = 0.75,
+        towns: Sequence[str] = AIRPORTS,
+        planted_cliques: dict[int, int] | None = None) -> SocialNetwork:
+    """Generate a seeded synthetic social network.
+
+    Users are assigned a hometown at creation; each arriving user then
+    draws its edges with probability *town_affinity* from its own
+    town's preferential-attachment pool (else the global pool), and
+    with probability *triad_probability* each extra edge closes a
+    triangle through a previous target.  This bakes in the paper's
+    setup directly: heavy-tailed degrees, strong clustering, and "as
+    far as possible each user has at least half his or her friends
+    living in the same city".
+
+    Args:
+        num_users: network size (default = the Slashdot graph's 82,168).
+        seed: RNG seed; identical inputs give identical networks.
+        edges_per_user: edges added per arriving node (mean degree ≈
+            twice this).
+        triad_probability: chance an extra edge closes a triangle —
+            drives clustering (and the triangle supply for the 3-way
+            workload).
+        town_affinity: chance an edge target is drawn from the user's
+            own town — drives friend co-location.
+        towns: hometown pool (default: the 102 airports).
+        planted_cliques: ``{size: count}`` cliques to plant for the
+            k-postcondition workloads; members are drawn from a single
+            town so planted groups can actually coordinate.
+    """
+    if num_users < 2:
+        raise ValueError("need at least two users")
+    if not 0.0 <= town_affinity <= 1.0:
+        raise ValueError("town_affinity must be in [0, 1]")
+    rng = random.Random(seed)
+    town_list = list(towns)
+    users = [f"u{index}" for index in range(num_users)]
+    hometowns = {user: rng.choice(town_list) for user in users}
+    adjacency: dict[str, set[str]] = {user: set() for user in users}
+    users_by_town: dict[str, list[str]] = {}
+    for user in users:
+        users_by_town.setdefault(hometowns[user], []).append(user)
+
+    # Repeated-by-degree pools for preferential attachment: one global,
+    # one per town.
+    global_pool: list[str] = []
+    town_pools: dict[str, list[str]] = {town: [] for town in town_list}
+
+    def connect(left: str, right: str) -> bool:
+        if left == right or right in adjacency[left]:
+            return False
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+        for endpoint in (left, right):
+            global_pool.append(endpoint)
+            town_pools[hometowns[endpoint]].append(endpoint)
+        return True
+
+    connect(users[0], users[1])
+    for index in range(2, num_users):
+        user = users[index]
+        town_pool = town_pools[hometowns[user]]
+        last_target: str | None = None
+        budget = min(edges_per_user, index)
+        own_town = hometowns[user]
+        for _ in range(budget):
+            if (last_target is not None
+                    and rng.random() < triad_probability
+                    and adjacency[last_target]):
+                # Close a triangle, preferring same-town neighbours so
+                # triangles stay co-located (3-way workloads coordinate
+                # on co-town triples).
+                neighbours = sorted(adjacency[last_target])
+                same_town = [other for other in neighbours
+                             if hometowns[other] == own_town]
+                candidate = rng.choice(same_town or neighbours)
+            elif town_pool and rng.random() < town_affinity:
+                candidate = rng.choice(town_pool)
+            else:
+                candidate = rng.choice(global_pool)
+            if connect(user, candidate):
+                last_target = candidate
+
+    planted: dict[int, list[tuple[str, ...]]] = {}
+    for size, count in (planted_cliques or {}).items():
+        if size < 2:
+            raise ValueError("clique size must be >= 2")
+        cliques: list[tuple[str, ...]] = []
+        for _ in range(count):
+            town = rng.choice(town_list)
+            pool = users_by_town.get(town, [])
+            if len(pool) < size:
+                pool = users
+            members = tuple(rng.sample(pool, size))
+            for position, left in enumerate(members):
+                for right in members[position + 1:]:
+                    connect(left, right)
+            cliques.append(members)
+        planted[size] = cliques
+
+    return SocialNetwork(users=users, adjacency=adjacency,
+                         hometowns=hometowns, planted_cliques=planted)
+
+

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.db import Database
+from repro.workloads import build_flight_database, generate_social_network
+
+
+@pytest.fixture
+def intro_db() -> Database:
+    """The flight database of the paper's Figure 1(a)."""
+    db = Database()
+    db.create_table("F", "fno int", "dest text")
+    db.create_table("A", "fno int", "airline text")
+    db.insert("F", [(122, "Paris"), (123, "Paris"), (134, "Paris"),
+                    (136, "Rome")])
+    db.insert("A", [(122, "United"), (123, "United"),
+                    (134, "Lufthansa"), (136, "Alitalia")])
+    return db
+
+
+@pytest.fixture
+def kramer_query() -> EntangledQuery:
+    """Kramer's query from the paper's introduction."""
+    x = Variable("x")
+    return EntangledQuery(
+        query_id="kramer",
+        head=(atom("R", "Kramer", x),),
+        postconditions=(atom("R", "Jerry", x),),
+        body=(atom("F", x, "Paris"),))
+
+
+@pytest.fixture
+def jerry_query() -> EntangledQuery:
+    """Jerry's query (United only) from the paper's introduction."""
+    y = Variable("y")
+    return EntangledQuery(
+        query_id="jerry",
+        head=(atom("R", "Jerry", y),),
+        postconditions=(atom("R", "Kramer", y),),
+        body=(atom("F", y, "Paris"), atom("A", y, "United")))
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A small seeded social network shared across tests."""
+    return generate_social_network(num_users=400, seed=42,
+                                   planted_cliques={4: 20, 5: 20, 6: 20})
+
+
+@pytest.fixture(scope="session")
+def small_flight_db(small_network):
+    """Flight database for the small network."""
+    return build_flight_database(small_network)
+
+
+def make_pair(query_id_left: str, query_id_right: str, left: str,
+              right: str, destination: str) -> list[EntangledQuery]:
+    """A mutually coordinating specific pair (helper for many tests)."""
+    queries = []
+    for query_id, user, partner in ((query_id_left, left, right),
+                                    (query_id_right, right, left)):
+        town = Variable("c")
+        queries.append(EntangledQuery(
+            query_id=query_id,
+            head=(atom("R", user, destination),),
+            postconditions=(atom("R", partner, destination),),
+            body=(atom("F", user, partner), atom("U", user, town),
+                  atom("U", partner, town))))
+    return queries

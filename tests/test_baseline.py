@@ -1,0 +1,163 @@
+"""Tests for repro.core.baseline — brute-force coordinating-set search.
+
+Includes the key agreement property: on safe + UCS workloads the
+matching algorithm and the brute-force search agree on which queries
+can coordinate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import (exists_coordinating_set,
+                                 find_coordinating_set,
+                                 materialize_groundings)
+from repro.core.evaluate import coordinate
+from repro.core.query import is_coordinating_set
+from repro.db import Database
+from repro.errors import CoordinationError
+from repro.lang import parse_ir
+
+
+class TestMaterialization:
+    def test_groundings_match_paper_figure2b(self, intro_db,
+                                             kramer_query, jerry_query):
+        kramer_groundings = materialize_groundings(kramer_query, intro_db)
+        # Kramer's query has 3 valuations (flights 122, 123, 134).
+        flights = sorted(g.head[0].args[1].value
+                         for g in kramer_groundings)
+        assert flights == [122, 123, 134]
+        jerry_groundings = materialize_groundings(jerry_query, intro_db)
+        flights = sorted(g.head[0].args[1].value
+                         for g in jerry_groundings)
+        assert flights == [122, 123]
+
+    def test_duplicate_groundings_collapsed(self, intro_db):
+        # Body joins F twice: multiple valuations, same grounding.
+        query = parse_ir("{R(B, x)} R(A, x) <- F(x, Paris), F(y, Paris)",
+                         "dup")
+        groundings = materialize_groundings(query, intro_db)
+        assert len(groundings) == 3
+
+    def test_max_groundings_guard(self, intro_db, kramer_query):
+        with pytest.raises(CoordinationError, match="more than"):
+            materialize_groundings(kramer_query, intro_db,
+                                   max_groundings=2)
+
+
+class TestSearch:
+    def test_intro_pair_coordinates(self, intro_db, kramer_query,
+                                    jerry_query):
+        result = find_coordinating_set([kramer_query, jerry_query],
+                                       intro_db)
+        assert result.size == 2
+        assert result.answered_ids == {"kramer", "jerry"}
+        assert is_coordinating_set(result.coordinating_set)
+        flights = {g.head[0].args[1].value
+                   for g in result.coordinating_set}
+        assert len(flights) == 1  # same flight for both
+
+    def test_exists_decision(self, intro_db, kramer_query, jerry_query):
+        assert exists_coordinating_set([kramer_query, jerry_query],
+                                       intro_db)
+        assert not exists_coordinating_set([kramer_query], intro_db)
+
+    def test_require_all_unsatisfiable(self, intro_db, kramer_query):
+        result = find_coordinating_set([kramer_query], intro_db,
+                                       require_all=True)
+        assert result.size == 0
+
+    def test_maximize_prefers_larger_sets(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer"),
+            parse_ir("{R(Jerry, z)} R(Elaine, z) <- F(z, Paris)",
+                     "elaine"),
+        ]
+        result = find_coordinating_set(queries, intro_db, maximize=True)
+        # Elaine can piggyback on Jerry's head: all three coordinate.
+        assert result.size == 3
+
+    def test_non_maximize_returns_first_found(self, intro_db,
+                                              kramer_query, jerry_query):
+        result = find_coordinating_set([kramer_query, jerry_query],
+                                       intro_db, maximize=False)
+        assert result.size >= 2
+        assert is_coordinating_set(result.coordinating_set)
+
+    def test_csp_flavour_triangle(self):
+        """A 3-cycle of value-passing constraints (mini CSP)."""
+        db = Database()
+        db.create_table("Dom", "v int")
+        db.insert("Dom", [(1,), (2,)])
+        queries = [
+            parse_ir("{B(x)} A(x) <- Dom(x)", "qa"),
+            parse_ir("{C(y)} B(y) <- Dom(y)", "qb"),
+            parse_ir("{A(z)} C(z) <- Dom(z)", "qc"),
+        ]
+        result = find_coordinating_set(queries, db)
+        assert result.size == 3
+        values = {g.head[0].args[0].value
+                  for g in result.coordinating_set}
+        assert len(values) == 1  # all agree on one domain value
+
+    def test_unsatisfiable_csp(self):
+        """x != y via disjoint domains: no coordinating set."""
+        db = Database()
+        db.create_table("DomA", "v int")
+        db.create_table("DomB", "v int")
+        db.insert("DomA", [(1,)])
+        db.insert("DomB", [(2,)])
+        queries = [
+            parse_ir("{B(x)} A(x) <- DomA(x)", "qa"),
+            parse_ir("{A(y)} B(y) <- DomB(y)", "qb"),
+        ]
+        assert not exists_coordinating_set(queries, db)
+
+
+class TestAgreementWithMatching:
+    def test_agreement_on_intro(self, intro_db, kramer_query,
+                                jerry_query):
+        fast = coordinate([kramer_query, jerry_query], intro_db,
+                          check_safety=False)
+        slow = find_coordinating_set([kramer_query, jerry_query],
+                                     intro_db)
+        assert set(fast.answers) == slow.answered_ids
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_on_random_safe_pairs(self, seed, num_pairs):
+        """Random specific-pair workloads: matching == brute force."""
+        rng = random.Random(seed)
+        db = Database()
+        db.create_table("F", "u text", "v text")
+        db.create_table("U", "u text", "t text")
+        people = [f"p{index}" for index in range(2 * num_pairs)]
+        towns = ["A", "B"]
+        for person in people:
+            db.insert_row("U", (person, rng.choice(towns)))
+        queries = []
+        for pair in range(num_pairs):
+            left, right = people[2 * pair], people[2 * pair + 1]
+            if rng.random() < 0.8:  # most pairs are friends
+                db.insert_row("F", (left, right))
+                db.insert_row("F", (right, left))
+            dest = rng.choice(["X", "Y"])
+            for query_id, user, partner in ((f"{pair}a", left, right),
+                                            (f"{pair}b", right, left)):
+                queries.append(parse_ir(
+                    f"{{R({partner.upper()}, '{dest}')}} "
+                    f"R({user.upper()}, '{dest}') "
+                    f"<- F('{user}', '{partner}'), U('{user}', c), "
+                    f"U('{partner}', c)", query_id))
+        fast = coordinate(queries, db, check_safety=False)
+        slow = find_coordinating_set(queries, db)
+        assert len(fast.answers) == slow.size
+        assert set(fast.answers) == slow.answered_ids

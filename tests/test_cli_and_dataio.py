@@ -1,0 +1,140 @@
+"""Tests for the data-file loader and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.dataio import dump_database, load_database
+from repro.errors import ParseError
+
+INTRO_DATA = """
+-- the paper's Figure 1(a)
+table Flights fno:int dest:text
+row Flights 122 'Paris'
+row Flights 123 'Paris'
+row Flights 134 'Paris'
+row Flights 136 'Rome'
+table Airlines fno:int airline:text
+row Airlines 122 'United'
+row Airlines 123 'United'
+row Airlines 134 'Lufthansa'
+row Airlines 136 'Alitalia'
+"""
+
+INTRO_WORKLOAD = """
+{Reservation(Jerry, x)} Reservation(Kramer, x) <- Flights(x, Paris)
+{Reservation(Kramer, y)} Reservation(Jerry, y) <- Flights(y, Paris), Airlines(y, United)
+"""
+
+
+class TestDataIo:
+    def test_load_from_text(self):
+        db = load_database(INTRO_DATA)
+        assert db.table_names() == ["Airlines", "Flights"]
+        assert len(db.table("Flights")) == 4
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "intro.data"
+        path.write_text(INTRO_DATA)
+        db = load_database(path)
+        assert len(db.table("Airlines")) == 4
+
+    def test_typed_columns_enforced(self):
+        with pytest.raises(ParseError, match="bad row"):
+            load_database("table T a:int\nrow T 'not-an-int'\n")
+
+    def test_untyped_columns_allowed(self):
+        db = load_database("table T a b\nrow T 1 'x'\n")
+        assert list(db.table("T").rows()) == [(1, "x")]
+
+    def test_bare_identifiers_become_strings(self):
+        db = load_database("table T a:text\nrow T Paris\n")
+        assert list(db.table("T").rows()) == [("Paris",)]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError, match="expected 'table'"):
+            load_database("create T a\n")
+
+    def test_bad_table_line(self):
+        with pytest.raises(ParseError, match="table line"):
+            load_database("table OnlyName\n")
+
+    def test_dump_roundtrip(self):
+        db = load_database(INTRO_DATA)
+        clone = load_database(dump_database(db))
+        assert clone.table_names() == db.table_names()
+        for name in db.table_names():
+            assert (sorted(clone.table(name).rows())
+                    == sorted(db.table(name).rows()))
+
+    def test_dump_escapes_quotes(self):
+        db = load_database("table T a:text\nrow T 'O''Hare'\n")
+        clone = load_database(dump_database(db))
+        assert list(clone.table("T").rows()) == [("O'Hare",)]
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "Coordinated answers" in output
+        assert "kramer" in output and "jerry" in output
+
+    def test_coordinate_command(self, tmp_path, capsys):
+        data = tmp_path / "intro.data"
+        data.write_text(INTRO_DATA)
+        workload = tmp_path / "intro.eq"
+        workload.write_text(INTRO_WORKLOAD)
+        assert main(["coordinate", str(data), str(workload)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("answered") == 2
+        assert "-- graph" in output
+
+    def test_coordinate_all_failed_exit_code(self, tmp_path, capsys):
+        data = tmp_path / "intro.data"
+        data.write_text(INTRO_DATA)
+        workload = tmp_path / "lonely.eq"
+        workload.write_text(
+            "{Reservation(Jerry, x)} Reservation(Kramer, x) "
+            "<- Flights(x, Paris)\n")
+        assert main(["coordinate", str(data), str(workload)]) == 2
+        assert "unmatched" in capsys.readouterr().out
+
+    def test_coordinate_empty_workload(self, tmp_path, capsys):
+        data = tmp_path / "intro.data"
+        data.write_text(INTRO_DATA)
+        workload = tmp_path / "empty.eq"
+        workload.write_text("-- nothing here\n")
+        assert main(["coordinate", str(data), str(workload)]) == 1
+
+    def test_coordinate_with_ucs_fallback(self, tmp_path, capsys):
+        data = tmp_path / "intro.data"
+        data.write_text(INTRO_DATA)
+        workload = tmp_path / "fig3b.eq"
+        workload.write_text(INTRO_WORKLOAD.replace(
+            "Airlines(y, United)", "Airlines(y, United)") + (
+            "{Reservation(Jerry, z)} Reservation(Frank, z) "
+            "<- Flights(z, Paris), Airlines(z, Swiss)\n"))
+        assert main(["coordinate", str(data), str(workload),
+                     "--ucs-fallback"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("answered") == 2
+        assert "no_data" in output
+
+    def test_sql_command(self, tmp_path, capsys):
+        data = tmp_path / "intro.data"
+        data.write_text(INTRO_DATA)
+        assert main(["sql", str(data),
+                     "SELECT fno FROM Flights WHERE dest = 'Rome'"]) == 0
+        assert capsys.readouterr().out.strip() == "136"
+
+    def test_shipped_example_data_files(self, capsys):
+        import pathlib
+        data_dir = (pathlib.Path(__file__).resolve().parent.parent
+                    / "examples" / "data")
+        assert main(["coordinate", str(data_dir / "intro.data"),
+                     str(data_dir / "intro.eq")]) == 0
+        output = capsys.readouterr().out
+        assert output.count("answered") == 2
+        assert "Kramer" in output and "Jerry" in output

@@ -1,0 +1,141 @@
+"""Tests for repro.core.combine — combined-query construction (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.combine import build_combined_query
+from repro.core.graph import build_unifiability_graph
+from repro.core.matching import match_all
+from repro.core.query import rename_workload_apart
+from repro.core.terms import Atom, Constant, Variable, atom
+from repro.db import Database, evaluate_naive
+from repro.errors import CoordinationError
+from repro.lang import parse_ir
+
+
+def matched(texts_by_id: dict):
+    queries = rename_workload_apart(
+        [parse_ir(text, query_id)
+         for query_id, text in texts_by_id.items()])
+    graph = build_unifiability_graph(queries)
+    (match,) = match_all(graph)
+    return {query.query_id: query for query in queries}, match
+
+
+def paper_example():
+    return matched({
+        "q1": "{R(x1), S(x2)} T(x3) <- D1(x1, x2, x3)",
+        "q2": "{T(1)} R(y1) <- D2(y1)",
+        "q3": "{T(z1)} S(z2) <- D3(z1, z2)",
+    })
+
+
+class TestPaperCombinedQuery:
+    def test_simplified_form_matches_paper(self):
+        """Paper §4.2: T(1) ∧ R(x1) ∧ S(x2) <- D1(x1,x2,x3) ∧ D2(x1)
+        ∧ D3(1, x2) up to variable naming."""
+        queries, match = paper_example()
+        combined = build_combined_query(queries, match)
+        relations = [item.relation for item in combined.query.atoms]
+        assert relations == ["D1", "D2", "D3"]
+        d1, d2, d3 = combined.query.atoms
+        # x3 folded to the constant 1 everywhere.
+        assert d1.args[2] == Constant(1)
+        assert d3.args[0] == Constant(1)
+        # x1/y1 collapsed to one variable; x2/z2 to another.
+        assert d2.args[0] == d1.args[0]
+        assert d3.args[1] == d1.args[1]
+        # Simplified form carries no explicit equality comparisons.
+        assert combined.query.comparisons == ()
+
+    def test_heads_substituted(self):
+        queries, match = paper_example()
+        combined = build_combined_query(queries, match)
+        (t_head,) = combined.heads["q1"]
+        assert t_head == atom("T", 1)
+
+    def test_raw_form_equivalent_to_simplified(self):
+        """Raw (bodies + φ_U) and simplified forms agree on a database."""
+        queries, match = paper_example()
+        combined = build_combined_query(queries, match)
+        db = Database()
+        db.create_table("D1", "a", "b", "c")
+        db.create_table("D2", "a")
+        db.create_table("D3", "a", "b")
+        db.insert("D1", [(10, 20, 1), (11, 21, 2), (12, 22, 1)])
+        db.insert("D2", [(10,), (12,), (99,)])
+        db.insert("D3", [(1, 20), (1, 22), (2, 21)])
+
+        def ground_heads(query):
+            results = set()
+            for valuation in db.evaluate(query):
+                mapping = {variable: Constant(value)
+                           for variable, value in valuation.items()}
+                rows = []
+                for query_id in combined.survivors:
+                    for head in combined.heads[query_id]:
+                        # Heads were simplified; for the raw query the
+                        # same substituted heads still apply because
+                        # φ_U forces the equalities.
+                        rows.append(head.substitute(mapping))
+                results.add(tuple(rows))
+            return results
+
+        assert ground_heads(combined.query) == ground_heads(
+            combined.raw_query)
+
+    def test_ground_heads_full_valuation(self):
+        queries, match = paper_example()
+        combined = build_combined_query(queries, match)
+        variables = sorted(combined.query.variables(),
+                           key=lambda variable: variable.name)
+        valuation = {variable: value for value, variable
+                     in enumerate(variables, start=40)}
+        grounded = combined.ground_heads(valuation)
+        assert set(grounded) == {"q1", "q2", "q3"}
+        assert grounded["q1"] == (atom("T", 1),)
+        for atoms in grounded.values():
+            assert all(item.is_ground() for item in atoms)
+
+    def test_ground_heads_missing_binding_raises(self):
+        queries, match = paper_example()
+        combined = build_combined_query(queries, match)
+        with pytest.raises(CoordinationError, match="does not ground"):
+            combined.ground_heads({})
+
+
+class TestIntroPair:
+    def test_intro_combined_query(self):
+        """Jerry+Kramer combine into 'a United flight to Paris'."""
+        queries, match = matched({
+            "kramer": "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "jerry": "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), "
+                     "A(y, United)",
+        })
+        combined = build_combined_query(queries, match)
+        relations = sorted(item.relation for item in combined.query.atoms)
+        assert relations == ["A", "F", "F"]
+        # One shared flight variable everywhere.
+        flight_vars = {term for item in combined.query.atoms
+                       for term in item.args
+                       if isinstance(term, Variable)}
+        assert len(flight_vars) == 1
+
+    def test_restrict_to_subset(self):
+        queries, match = matched({
+            "kramer": "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "jerry": "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+        })
+        combined = build_combined_query(queries, match,
+                                        restrict_to=["kramer"])
+        assert combined.survivors == ("kramer",)
+        assert [item.relation for item in combined.query.atoms] == ["F"]
+
+    def test_empty_survivors_raise(self):
+        queries, match = matched({
+            "kramer": "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "jerry": "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+        })
+        with pytest.raises(CoordinationError, match="no surviving"):
+            build_combined_query(queries, match, restrict_to=[])

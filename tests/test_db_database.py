@@ -1,0 +1,76 @@
+"""Tests for the Database facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Variable, atom
+from repro.db import ConjunctiveQuery, Database
+from repro.db.schema import schema
+from repro.errors import SchemaError
+
+
+class TestDdl:
+    def test_create_and_list_tables(self):
+        db = Database()
+        db.create_table("B", "x int")
+        db.create_table("A", "y text")
+        assert db.table_names() == ["A", "B"]
+        assert db.has_table("A")
+        assert not db.has_table("C")
+
+    def test_create_from_schema(self):
+        db = Database()
+        table = db.create_table_from_schema(schema("T", "a int"))
+        assert table.schema.name == "T"
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("T", "a")
+        with pytest.raises(SchemaError):
+            db.create_table("T", "b")
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("T", "a")
+        db.drop_table("T")
+        assert not db.has_table("T")
+        with pytest.raises(SchemaError):
+            db.table("T")
+
+    def test_unknown_table_access(self):
+        with pytest.raises(SchemaError, match="no such table"):
+            Database().table("ghost")
+
+
+class TestDml:
+    def test_bulk_insert_returns_count(self):
+        db = Database()
+        db.create_table("T", "a int")
+        assert db.insert("T", [(1,), (2,)]) == 2
+        assert len(db.table("T")) == 2
+
+    def test_insert_row_returns_id(self):
+        db = Database()
+        db.create_table("T", "a int")
+        first = db.insert_row("T", (1,))
+        second = db.insert_row("T", (2,))
+        assert second == first + 1
+
+
+class TestFacadeQueries:
+    def test_evaluate_first_count(self):
+        db = Database()
+        db.create_table("T", "a int")
+        db.insert("T", [(1,), (2,), (3,)])
+        query = ConjunctiveQuery((atom("T", Variable("x")),))
+        assert db.count(query) == 3
+        assert db.first(query) is not None
+        assert len(list(db.evaluate(query, limit=2))) == 2
+
+    def test_str_lists_tables_and_sizes(self):
+        db = Database()
+        assert str(db) == "(empty database)"
+        db.create_table("T", "a int")
+        db.insert("T", [(1,)])
+        assert "[1 rows]" in str(db)

@@ -1,0 +1,107 @@
+"""Tests for the greedy join planner and the expression layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Constant, Variable, atom
+from repro.db import Comparison, ConjunctiveQuery, Database
+from repro.db.planner import Planner
+from repro.errors import QueryEvaluationError
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("Big", "a int", "b int")
+    database.create_table("Small", "a int")
+    database.insert("Big", [(value, value % 3) for value in range(100)])
+    database.insert("Small", [(1,), (2,)])
+    return database
+
+
+class TestPlanner:
+    def test_smaller_filtered_atom_first(self, db):
+        query = ConjunctiveQuery((atom("Big", X, Y), atom("Small", X)))
+        plan = Planner(db).plan(query)
+        assert plan.steps[0].atom.relation == "Small"
+
+    def test_constant_filter_beats_table_size(self, db):
+        query = ConjunctiveQuery((atom("Small", X),
+                                  atom("Big", 5, Y)))
+        plan = Planner(db).plan(query)
+        # Big filtered to one row by the constant is cheaper than a
+        # two-row Small scan.
+        assert plan.steps[0].atom.relation == "Big"
+
+    def test_connected_atoms_preferred_over_cross_product(self, db):
+        query = ConjunctiveQuery((atom("Small", X),
+                                  atom("Big", X, Y),
+                                  atom("Big", Z, 0)))
+        plan = Planner(db).plan(query)
+        relations = [step.atom for step in plan.steps]
+        # The disconnected atom (Big(z, 0)) must come last.
+        assert relations[-1] == atom("Big", Z, 0)
+
+    def test_comparisons_scheduled_at_first_full_binding(self, db):
+        query = ConjunctiveQuery(
+            (atom("Small", X), atom("Big", X, Y)),
+            (Comparison(Y, ">", Constant(0)),
+             Comparison(X, "<", Constant(10))))
+        plan = Planner(db).plan(query)
+        scheduled = {}
+        for position, step in enumerate(plan.steps):
+            for comparison in step.comparisons:
+                scheduled[str(comparison)] = position
+        # x < 10 binds with the first atom; y > 0 needs Big.
+        assert scheduled["x < 10"] == 0
+        assert scheduled["y > 0"] == max(scheduled.values())
+
+    def test_constant_only_comparisons_run_up_front(self, db):
+        query = ConjunctiveQuery(
+            (atom("Small", X),),
+            (Comparison(Constant(1), "=", Constant(1)),))
+        plan = Planner(db).plan(query)
+        assert plan.pre_comparisons
+        assert not plan.steps[0].comparisons
+
+    def test_plan_str(self, db):
+        query = ConjunctiveQuery((atom("Small", X),))
+        assert "probe Small(x)" in str(Planner(db).plan(query))
+
+    def test_empty_plan_str(self, db):
+        assert str(Planner(db).plan(ConjunctiveQuery(()))) == \
+            "(empty plan)"
+
+
+class TestExpression:
+    def test_comparison_str(self):
+        assert str(Comparison(X, "<=", Constant(3))) == "x <= 3"
+
+    def test_comparison_evaluate(self):
+        comparison = Comparison(X, ">=", Y)
+        assert comparison.evaluate({X: 5, Y: 5})
+        assert not comparison.evaluate({X: 4, Y: 5})
+
+    def test_comparison_unbound_variable(self):
+        comparison = Comparison(X, "=", Constant(1))
+        with pytest.raises(QueryEvaluationError, match="unbound"):
+            comparison.evaluate({})
+
+    def test_conjunctive_query_str(self):
+        query = ConjunctiveQuery((atom("R", X),),
+                                 (Comparison(X, ">", Constant(1)),))
+        assert str(query) == "R(x) ∧ x > 1"
+        assert str(ConjunctiveQuery(())) == "TRUE"
+
+    def test_validate_catches_loose_comparison(self):
+        query = ConjunctiveQuery((atom("R", X),),
+                                 (Comparison(Z, ">", Constant(1)),))
+        with pytest.raises(QueryEvaluationError, match="not bound"):
+            query.validate()
+
+    def test_variables(self):
+        query = ConjunctiveQuery((atom("R", X, Y), atom("S", 1)))
+        assert query.variables() == {X, Y}

@@ -1,0 +1,124 @@
+"""Tests for the plain-SQL SELECT front end (repro.db.sql)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql import SqlFrontend, parse_select, run_sql
+from repro.errors import ParseError, QueryEvaluationError
+from repro.workloads import build_intro_database
+
+
+@pytest.fixture
+def db():
+    return build_intro_database()
+
+
+class TestParseSelect:
+    def test_star_select(self):
+        statement = parse_select("SELECT * FROM Flights")
+        assert statement.columns is None
+        assert statement.from_items == (("Flights", "Flights"),)
+
+    def test_columns_and_aliases(self):
+        statement = parse_select(
+            "SELECT F.fno, airline FROM Flights F, Airlines AS A")
+        assert statement.columns == ("F.fno", "airline")
+        assert statement.from_items == (("Flights", "F"),
+                                        ("Airlines", "A"))
+
+    def test_distinct_and_limit(self):
+        statement = parse_select(
+            "SELECT DISTINCT dest FROM Flights LIMIT 2")
+        assert statement.distinct
+        assert statement.limit == 2
+
+    def test_predicates(self):
+        statement = parse_select(
+            "SELECT fno FROM Flights WHERE dest = 'Paris' "
+            "AND fno >= 123")
+        assert len(statement.predicates) == 2
+        assert statement.predicates[1][1] == ">="
+
+    def test_bad_limit(self):
+        with pytest.raises(ParseError, match="LIMIT"):
+            parse_select("SELECT * FROM T LIMIT x")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_select("SELECT * FROM T garbage more")
+
+
+class TestExecution:
+    def test_simple_filter(self, db):
+        rows = run_sql(db, "SELECT fno FROM Flights WHERE dest = 'Rome'")
+        assert rows == [(136,)]
+
+    def test_star_projection(self, db):
+        rows = run_sql(db, "SELECT * FROM Airlines "
+                           "WHERE airline = 'United'")
+        assert sorted(rows) == [(122, "United"), (123, "United")]
+
+    def test_join_via_equality(self, db):
+        rows = run_sql(db, """
+            SELECT F.fno, A.airline FROM Flights F, Airlines A
+            WHERE F.fno = A.fno AND F.dest = 'Paris'
+        """)
+        assert sorted(rows) == [(122, "United"), (123, "United"),
+                                (134, "Lufthansa")]
+
+    def test_range_predicate(self, db):
+        rows = run_sql(db, "SELECT fno FROM Flights WHERE fno > 130")
+        assert sorted(rows) == [(134,), (136,)]
+
+    def test_distinct(self, db):
+        rows = run_sql(db, "SELECT DISTINCT dest FROM Flights")
+        assert sorted(rows) == [("Paris",), ("Rome",)]
+
+    def test_limit(self, db):
+        rows = run_sql(db, "SELECT fno FROM Flights LIMIT 2")
+        assert len(rows) == 2
+
+    def test_contradictory_equalities_yield_nothing(self, db):
+        rows = run_sql(db, "SELECT fno FROM Flights "
+                           "WHERE dest = 'Paris' AND dest = 'Rome'")
+        assert rows == []
+
+    def test_constant_projection_after_equality(self, db):
+        rows = run_sql(db, "SELECT dest FROM Flights "
+                           "WHERE dest = 'Rome'")
+        assert rows == [("Rome",)]
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(QueryEvaluationError, match="ambiguous"):
+            run_sql(db, "SELECT fno FROM Flights, Airlines")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(QueryEvaluationError, match="unknown column"):
+            run_sql(db, "SELECT bogus FROM Flights")
+
+    def test_unknown_binding_rejected(self, db):
+        with pytest.raises(QueryEvaluationError, match="binding"):
+            run_sql(db, "SELECT Z.fno FROM Flights F")
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(QueryEvaluationError, match="duplicate"):
+            run_sql(db, "SELECT * FROM Flights F, Airlines F")
+
+    def test_frontend_reuse(self, db):
+        frontend = SqlFrontend(db)
+        assert frontend.execute("SELECT fno FROM Flights LIMIT 1")
+        assert frontend.execute(
+            "SELECT airline FROM Airlines WHERE fno = 136") == \
+            [("Alitalia",)]
+
+    def test_self_join_with_aliases(self, db):
+        rows = run_sql(db, """
+            SELECT A.fno, B.fno FROM Flights A, Flights B
+            WHERE A.dest = 'Rome' AND B.dest = 'Rome'
+        """)
+        assert rows == [(136, 136)]

@@ -1,0 +1,146 @@
+"""Tests for the coordination tickets (futures) and staleness policies."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.evaluate import Answer, FailureReason
+from repro.core.terms import atom
+from repro.engine.futures import CoordinationTicket, TicketState
+from repro.engine.staleness import (ManualClock, ManualStaleness,
+                                    NeverStale, SystemClock,
+                                    TimeoutStaleness)
+from repro.errors import CoordinationError, StaleQueryError
+from repro.lang import parse_ir
+
+
+def make_answer(query_id="q") -> Answer:
+    return Answer.from_head_groundings(query_id, [(atom("R", 1),)])
+
+
+class TestTicketLifecycle:
+    def test_initial_state(self):
+        ticket = CoordinationTicket("q")
+        assert ticket.state is TicketState.PENDING
+        assert not ticket.done()
+        assert ticket.answer is None
+        assert ticket.failure_reason is None
+
+    def test_resolve(self):
+        ticket = CoordinationTicket("q")
+        ticket.resolve(make_answer())
+        assert ticket.done()
+        assert ticket.state is TicketState.ANSWERED
+        assert ticket.result().rows == {"R": [(1,)]}
+
+    def test_fail_stale(self):
+        ticket = CoordinationTicket("q")
+        ticket.fail(FailureReason.STALE)
+        assert ticket.state is TicketState.FAILED
+        with pytest.raises(StaleQueryError):
+            ticket.result()
+
+    def test_fail_other_reason(self):
+        ticket = CoordinationTicket("q")
+        ticket.fail(FailureReason.UNSAFE)
+        with pytest.raises(CoordinationError, match="unsafe"):
+            ticket.result()
+
+    def test_double_settlement_rejected(self):
+        ticket = CoordinationTicket("q")
+        ticket.resolve(make_answer())
+        with pytest.raises(CoordinationError, match="twice"):
+            ticket.fail(FailureReason.STALE)
+
+    def test_result_timeout(self):
+        ticket = CoordinationTicket("q")
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+
+    def test_wait(self):
+        ticket = CoordinationTicket("q")
+        assert not ticket.wait(timeout=0.01)
+        ticket.resolve(make_answer())
+        assert ticket.wait(timeout=0.01)
+
+    def test_result_unblocks_across_threads(self):
+        ticket = CoordinationTicket("q")
+        received = []
+
+        def consumer():
+            received.append(ticket.result(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        ticket.resolve(make_answer())
+        thread.join(timeout=5)
+        assert received and received[0].rows == {"R": [(1,)]}
+
+
+class TestCallbacks:
+    def test_callback_on_resolve(self):
+        ticket = CoordinationTicket("q")
+        seen = []
+        ticket.add_callback(lambda t: seen.append(t.state))
+        ticket.resolve(make_answer())
+        assert seen == [TicketState.ANSWERED]
+
+    def test_callback_added_after_settlement_fires_immediately(self):
+        ticket = CoordinationTicket("q")
+        ticket.resolve(make_answer())
+        seen = []
+        ticket.add_callback(lambda t: seen.append(t.query_id))
+        assert seen == ["q"]
+
+    def test_multiple_callbacks(self):
+        ticket = CoordinationTicket("q")
+        seen = []
+        for tag in ("a", "b"):
+            ticket.add_callback(
+                lambda t, tag=tag: seen.append(tag))
+        ticket.fail(FailureReason.STALE)
+        assert seen == ["a", "b"]
+
+
+class TestClocks:
+    def test_manual_clock(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+
+class TestStalenessPolicies:
+    def query(self):
+        return parse_ir("{} R(1)", "q")
+
+    def test_never_stale(self):
+        policy = NeverStale()
+        assert not policy.is_stale(self.query(), 0.0, 1e9)
+
+    def test_timeout_staleness(self):
+        policy = TimeoutStaleness(10.0)
+        assert not policy.is_stale(self.query(), 100.0, 105.0)
+        assert not policy.is_stale(self.query(), 100.0, 110.0)
+        assert policy.is_stale(self.query(), 100.0, 110.1)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeoutStaleness(0)
+
+    def test_manual_staleness(self):
+        policy = ManualStaleness()
+        assert not policy.is_stale(self.query(), 0.0, 0.0)
+        policy.mark("q")
+        assert policy.is_stale(self.query(), 0.0, 0.0)
+        policy.unmark("q")
+        assert not policy.is_stale(self.query(), 0.0, 0.0)

@@ -1,0 +1,132 @@
+"""Tests for the incremental partition state (PartitionManager)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import UnifiabilityGraph
+from repro.core.terms import Constant, Variable
+from repro.core.unify import Unifier
+from repro.engine.partitions import PartitionManager
+from repro.lang import parse_ir
+
+
+def setup_manager():
+    graph = UnifiabilityGraph()
+    return graph, PartitionManager(graph)
+
+
+def admit(graph, manager, text, query_id):
+    query = parse_ir(text, query_id).rename_apart()
+    edges = graph.add_query(query)
+    return manager.add_query(query, edges)
+
+
+class TestMembershipAndClosure:
+    def test_isolated_query_is_its_own_partition(self):
+        graph, manager = setup_manager()
+        root = admit(graph, manager,
+                     "{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)",
+                     "jerry")
+        assert manager.members(root) == ["jerry"]
+        assert manager.partition_size(root) == 1
+        assert not manager.is_closed(root)
+
+    def test_pair_merges_and_closes(self):
+        graph, manager = setup_manager()
+        admit(graph, manager,
+              "{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)", "jerry")
+        root = admit(graph, manager,
+                     "{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer")
+        assert sorted(manager.members(root)) == ["jerry", "kramer"]
+        assert manager.is_closed(root)
+        assert len(manager) == 2
+
+    def test_chain_stays_open(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{B(1)} A(1)", "qa")
+        root = admit(graph, manager, "{C(1)} B(1)", "qb")
+        assert manager.partition_size(root) == 2
+        assert not manager.is_closed(root)
+
+    def test_separate_destinations_stay_separate(self):
+        graph, manager = setup_manager()
+        root_a = admit(graph, manager,
+                       "{R(B, ITH)} R(A, ITH) <- F(x, ITH)", "a")
+        root_b = admit(graph, manager,
+                       "{R(D, JFK)} R(C, JFK) <- F(y, JFK)", "c")
+        assert manager.find("a") != manager.find("c")
+        assert sorted(manager.partition_sizes()) == [1, 1]
+
+    def test_multiple_pcs_counted(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{} R(Elaine, SBN)", "p1")
+        root = admit(graph, manager,
+                     "{R(Elaine, SBN), R(Kramer, SBN)} R(Jerry, SBN)",
+                     "needy")
+        assert not manager.is_closed(root)  # Kramer's head missing
+        root = admit(graph, manager, "{} R(Kramer, SBN)", "p2")
+        assert manager.is_closed(root)
+
+
+class TestUnifierCache:
+    def test_propagation_constrains_cached_unifiers(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{T(1)} R(y1) <- D2(y1)", "q2")
+        admit(graph, manager, "{T(z1)} S(z2) <- D3(z1, z2)", "q3")
+        admit(graph, manager,
+              "{R(x1), S(x2)} T(x3) <- D1(x1, x2, x3)", "q1")
+        cached = manager.cached_unifier("q1")
+        assert cached is not None
+        assert cached.constant_of(Variable("x3@q1")) == Constant(1)
+        assert manager.propagation_steps > 0
+
+    def test_conflicting_constraints_mark_inconsistent(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{T(1)} R(y1) <- D2(y1)", "q2")
+        admit(graph, manager, "{T(2)} S(z2) <- D3(z1, z2)", "q3")
+        admit(graph, manager,
+              "{R(x1), S(x2)} T(x3) <- D1(x1, x2, x3)", "q1")
+        # x3 would need to equal both 1 and 2.
+        assert manager.cached_unifier("q1") is None
+
+
+class TestRemoval:
+    def test_remove_answered_pair(self):
+        graph, manager = setup_manager()
+        admit(graph, manager,
+              "{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)", "jerry")
+        root = admit(graph, manager,
+                     "{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer")
+        graph.remove_query("jerry")
+        graph.remove_query("kramer")
+        manager.remove_queries(["jerry", "kramer"])
+        assert len(manager) == 0
+        assert manager.partition_sizes() in ([], [0])
+
+    def test_partial_removal_keeps_survivor(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{B(1)} A(1)", "qa")
+        admit(graph, manager, "{C(1)} B(1)", "qb")
+        graph.remove_query("qb")
+        manager.remove_queries(["qb"])
+        assert len(manager) == 1
+        root = manager.find("qa")
+        assert manager.members(root) == ["qa"]
+        # Exact open counts are restored on demand.
+        assert manager.recount(root) == 1
+
+    def test_remove_is_idempotent(self):
+        graph, manager = setup_manager()
+        admit(graph, manager, "{B(1)} A(1)", "qa")
+        graph.remove_query("qa")
+        manager.remove_queries(["qa"])
+        manager.remove_queries(["qa"])
+        assert len(manager) == 0
+
+    def test_remove_unknown_is_noop(self):
+        graph, manager = setup_manager()
+        manager.remove_queries(["ghost"])
+        assert len(manager) == 0

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy and error payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (CoordinationError, ParseError,
+                          QueryEvaluationError, ReproError,
+                          SafetyViolation, SchemaError, StaleQueryError,
+                          ValidationError)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_class in (ParseError, ValidationError, SafetyViolation,
+                          CoordinationError, StaleQueryError,
+                          SchemaError, QueryEvaluationError):
+            assert issubclass(exc_class, ReproError)
+
+    def test_stale_is_a_coordination_error(self):
+        assert issubclass(StaleQueryError, CoordinationError)
+
+    def test_catch_all_pattern(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("boom")
+
+
+class TestParseError:
+    def test_position_rendering(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = ParseError("bad line", line=2)
+        assert "line 2" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_position(self):
+        error = ParseError("just bad")
+        assert str(error) == "just bad"
+
+
+class TestSafetyViolation:
+    def test_payload(self):
+        error = SafetyViolation("over-unifies",
+                                offending_query_id="q7",
+                                witnesses=("a", "b"))
+        assert error.offending_query_id == "q7"
+        assert error.witnesses == ("a", "b")
+
+    def test_defaults(self):
+        error = SafetyViolation("plain")
+        assert error.offending_query_id is None
+        assert error.witnesses == ()

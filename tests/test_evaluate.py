@@ -1,0 +1,196 @@
+"""Tests for repro.core.evaluate — end-to-end coordination (§4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.evaluate import (Answer, FailureReason, coordinate)
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.db import Database
+from repro.errors import ValidationError
+from repro.lang import parse_ir
+
+
+class TestIntroExample:
+    def test_kramer_jerry_coordinate_on_united(self, intro_db,
+                                               kramer_query,
+                                               jerry_query):
+        result = coordinate([kramer_query, jerry_query], intro_db)
+        assert set(result.answers) == {"kramer", "jerry"}
+        (kramer_row,) = result.answers["kramer"].rows["R"]
+        (jerry_row,) = result.answers["jerry"].rows["R"]
+        assert kramer_row[0] == "Kramer"
+        assert jerry_row[0] == "Jerry"
+        # Same flight, and it must be a United flight to Paris.
+        assert kramer_row[1] == jerry_row[1]
+        assert kramer_row[1] in (122, 123)
+
+    def test_random_choice_respects_rng(self, intro_db, kramer_query,
+                                        jerry_query):
+        flights = set()
+        for seed in range(20):
+            result = coordinate([kramer_query, jerry_query], intro_db,
+                                rng=random.Random(seed))
+            flights.add(result.answers["kramer"].rows["R"][0][1])
+        # CHOOSE 1 picks "at random": both United flights show up.
+        assert flights == {122, 123}
+
+    def test_deterministic_without_rng(self, intro_db, kramer_query,
+                                       jerry_query):
+        first = coordinate([kramer_query, jerry_query], intro_db)
+        second = coordinate([kramer_query, jerry_query], intro_db)
+        assert (first.answers["kramer"].rows
+                == second.answers["kramer"].rows)
+
+
+class TestFailureModes:
+    def test_unmatched_query_fails(self, intro_db, kramer_query):
+        result = coordinate([kramer_query], intro_db)
+        assert result.failures["kramer"] is FailureReason.UNMATCHED
+        assert not result.answers
+
+    def test_no_data_failure(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Tokyo)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Tokyo)",
+                     "kramer"),
+        ]
+        result = coordinate(queries, intro_db)
+        assert result.failures == {
+            "jerry": FailureReason.NO_DATA,
+            "kramer": FailureReason.NO_DATA,
+        }
+
+    def test_inconsistent_component_rejected(self, intro_db):
+        """Mutually coordinating pair demanding different flights."""
+        queries = [
+            parse_ir("{R(B, 122)} R(A, 122) <- F(f, Paris)", "a"),
+            parse_ir("{R(A, 123)} R(B, 123) <- F(g, Paris)", "b"),
+        ]
+        result = coordinate(queries, intro_db)
+        # Heads/postconditions cannot unify at all here, so both are
+        # unmatched rather than inconsistent.
+        assert set(result.failures.values()) == {FailureReason.UNMATCHED}
+
+    def test_unsafe_queries_dropped_by_repair(self, intro_db):
+        queries = [
+            parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                     "kramer"),
+            parse_ir("{R(Jerry, y)} R(Elaine, y) <- F(y, Rome)",
+                     "elaine"),
+            parse_ir("{R(f, z)} R(Jerry, z) <- F(z, d), Friend(Jerry, f)",
+                     "jerry"),
+        ]
+        result = coordinate(queries, intro_db, check_safety=True)
+        assert result.failures["jerry"] is FailureReason.UNSAFE
+
+    def test_safety_check_disabled_keeps_query(self, intro_db):
+        queries = [
+            parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                     "kramer"),
+            parse_ir("{R(Jerry, y)} R(Elaine, y) <- F(y, Rome)",
+                     "elaine"),
+            parse_ir("{R(f, z)} R(Jerry, z) <- F(z, d), F(f, w)",
+                     "jerry"),
+        ]
+        result = coordinate(queries, intro_db, check_safety=False)
+        assert FailureReason.UNSAFE not in result.failures.values()
+
+    def test_duplicate_ids_rejected(self, intro_db, kramer_query):
+        with pytest.raises(ValidationError):
+            coordinate([kramer_query, kramer_query], intro_db)
+
+
+class TestChooseK:
+    def test_choose_two_returns_two_coordinated_rows(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Paris) "
+                     "CHOOSE 2", "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Paris) "
+                     "CHOOSE 2", "kramer"),
+        ]
+        result = coordinate(queries, intro_db)
+        jerry_rows = result.answers["jerry"].rows["R"]
+        kramer_rows = result.answers["kramer"].rows["R"]
+        assert len(jerry_rows) == 2
+        assert result.answers["jerry"].choices == 2
+        # Row i of Jerry coordinates with row i of Kramer.
+        assert ([row[1] for row in jerry_rows]
+                == [row[1] for row in kramer_rows])
+
+
+class TestUcsFallback:
+    def figure3b(self):
+        return [
+            parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                     "kramer"),
+            parse_ir("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, z)} R(Frank, z) <- F(z, Paris), "
+                     "A(z, Swiss)", "frank"),
+        ]
+
+    def test_without_fallback_all_fail(self, intro_db):
+        result = coordinate(self.figure3b(), intro_db)
+        assert not result.answers
+        assert all(reason is FailureReason.NO_DATA
+                   for reason in result.failures.values())
+
+    def test_with_fallback_core_coordinates(self, intro_db):
+        result = coordinate(self.figure3b(), intro_db, ucs_fallback=True)
+        assert set(result.answers) == {"kramer", "jerry"}
+        assert result.failures["frank"] is FailureReason.NO_DATA
+
+    def test_fallback_noop_when_whole_component_answers(self, intro_db,
+                                                        kramer_query,
+                                                        jerry_query):
+        plain = coordinate([kramer_query, jerry_query], intro_db)
+        fallback = coordinate([kramer_query, jerry_query], intro_db,
+                              ucs_fallback=True)
+        assert plain.answers.keys() == fallback.answers.keys()
+
+
+class TestDiagnostics:
+    def test_timings_populated(self, intro_db, kramer_query,
+                               jerry_query):
+        result = coordinate([kramer_query, jerry_query], intro_db)
+        assert result.timings.graph_seconds >= 0
+        assert result.timings.total_seconds >= result.timings.db_seconds
+
+    def test_combined_queries_exposed(self, intro_db, kramer_query,
+                                      jerry_query):
+        result = coordinate([kramer_query, jerry_query], intro_db)
+        (combined,) = result.combined
+        assert set(combined.survivors) == {"kramer", "jerry"}
+
+    def test_answer_sets_disjoint_from_failures(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer"),
+            parse_ir("{R(Nobody, z)} R(Newman, z) <- F(z, Rome)",
+                     "newman"),
+        ]
+        result = coordinate(queries, intro_db)
+        assert not (result.answered_ids & result.unanswered_ids)
+        assert result.answered_ids | result.unanswered_ids == {
+            "jerry", "kramer", "newman"}
+
+
+class TestAnswerObject:
+    def test_from_head_groundings(self):
+        answer = Answer.from_head_groundings(
+            "q", [(atom("R", "Jerry", 122),),
+                  (atom("R", "Jerry", 123),)])
+        assert answer.rows == {"R": [("Jerry", 122), ("Jerry", 123)]}
+        assert answer.choices == 2
+
+    def test_multi_relation_heads(self):
+        answer = Answer.from_head_groundings(
+            "q", [(atom("R", 1), atom("S", 2))])
+        assert answer.rows == {"R": [(1,)], "S": [(2,)]}

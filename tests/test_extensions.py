@@ -1,0 +1,183 @@
+"""Tests for repro.core.extensions — the paper's §6 extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluate import FailureReason
+from repro.core.extensions import (AggregateConstraint,
+                                   coordinate_with_aggregates,
+                                   coordinate_with_preferences)
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.db import Database
+from repro.lang import parse_and_lower, parse_ir, schema_resolver
+
+ANSWER_SCHEMAS = {"Attendance": ("pid", "name")}
+
+
+@pytest.fixture
+def party_db() -> Database:
+    db = Database()
+    db.create_table("Parties", "pid text", "pdate text")
+    db.create_table("Friend", "name1 text", "name2 text")
+    db.insert("Parties", [("p1", "Friday"), ("p2", "Friday"),
+                          ("p3", "Saturday")])
+    db.insert("Friend", [("Jerry", name) for name
+                         in ("Elaine", "George", "Newman")])
+    return db
+
+
+def jerry_aggregate_query(db: Database, threshold: int):
+    """The paper's §6 aggregation example (parameterized threshold)."""
+    return parse_and_lower(f"""
+        SELECT party_id, 'Jerry' INTO ANSWER Attendance
+        WHERE party_id IN (SELECT pid FROM Parties
+                           WHERE pdate = 'Friday')
+          AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+               WHERE party_id = A.pid AND A.name = F.name2
+                 AND F.name1 = 'Jerry') > {threshold}
+        CHOOSE 1
+    """, "jerry", schema_resolver(db), ANSWER_SCHEMAS)
+
+
+def friend_query(db: Database, friend: str):
+    return parse_and_lower(f"""
+        SELECT party_id, '{friend}' INTO ANSWER Attendance
+        WHERE party_id IN (SELECT pid FROM Parties
+                           WHERE pdate = 'Friday')
+          AND (party_id, 'Jerry') IN ANSWER Attendance
+        CHOOSE 1
+    """, f"f-{friend}", schema_resolver(db), ANSWER_SCHEMAS)
+
+
+class TestAggregateConstraint:
+    def test_count_over_answer_rows(self, party_db):
+        pid = Variable("pid")
+        name = Variable("name")
+        constraint = AggregateConstraint(
+            atoms=(atom("Attendance", pid, name),),
+            answer_relations=frozenset({"Attendance"}),
+            op=">", threshold=1)
+        rows = {"Attendance": [("p1", "Elaine"), ("p1", "George")]}
+        assert constraint.evaluate(party_db, rows, {})
+        assert not constraint.evaluate(
+            party_db, {"Attendance": [("p1", "Elaine")]}, {})
+
+    def test_count_with_bound_outer_variable(self, party_db):
+        pid = Variable("pid")
+        name = Variable("name")
+        constraint = AggregateConstraint(
+            atoms=(atom("Attendance", pid, name),),
+            answer_relations=frozenset({"Attendance"}),
+            op="=", threshold=1)
+        rows = {"Attendance": [("p1", "Elaine"), ("p2", "George")]}
+        assert constraint.evaluate(party_db, rows, {pid: "p1"})
+
+    def test_join_with_database_table(self, party_db):
+        """Count only *friends of Jerry* among attendees."""
+        pid, name = Variable("pid"), Variable("name")
+        constraint = AggregateConstraint(
+            atoms=(atom("Attendance", pid, name),
+                   atom("Friend", "Jerry", name)),
+            answer_relations=frozenset({"Attendance"}),
+            op="=", threshold=2)
+        rows = {"Attendance": [("p1", "Elaine"), ("p1", "George"),
+                               ("p1", "Stranger")]}
+        assert constraint.evaluate(party_db, rows, {})
+
+    def test_duplicate_answer_rows_counted_once(self, party_db):
+        pid, name = Variable("pid"), Variable("name")
+        constraint = AggregateConstraint(
+            atoms=(atom("Attendance", pid, name),),
+            answer_relations=frozenset({"Attendance"}),
+            op="=", threshold=1)
+        rows = {"Attendance": [("p1", "Elaine"), ("p1", "Elaine")]}
+        assert constraint.evaluate(party_db, rows, {})
+
+    def test_rename(self):
+        pid = Variable("pid")
+        constraint = AggregateConstraint(
+            atoms=(atom("A", pid),), answer_relations=frozenset({"A"}),
+            op=">", threshold=0)
+        renamed = constraint.rename("@q")
+        assert renamed.atoms[0].args[0] == Variable("pid@q")
+        assert renamed.threshold == 0
+
+    def test_variables(self):
+        constraint = AggregateConstraint(
+            atoms=(atom("A", Variable("p"), Variable("n")),),
+            answer_relations=frozenset({"A"}), op=">", threshold=0)
+        assert constraint.variables() == {Variable("p"), Variable("n")}
+
+
+class TestCoordinateWithAggregates:
+    def test_paper_party_example_succeeds(self, party_db):
+        queries = [jerry_aggregate_query(party_db, threshold=2)]
+        queries += [friend_query(party_db, name)
+                    for name in ("Elaine", "George", "Newman")]
+        result = coordinate_with_aggregates(queries, party_db)
+        assert len(result.answers) == 4
+        parties = {answer.rows["Attendance"][0][0]
+                   for answer in result.answers.values()}
+        assert len(parties) == 1  # everyone at the same party
+
+    def test_threshold_not_met_fails_component(self, party_db):
+        queries = [jerry_aggregate_query(party_db, threshold=2),
+                   friend_query(party_db, "Elaine")]
+        result = coordinate_with_aggregates(queries, party_db)
+        assert not result.answers
+        assert all(reason is FailureReason.NO_DATA
+                   for reason in result.failures.values())
+
+    def test_queries_without_aggregates_behave_normally(self, intro_db,
+                                                        kramer_query,
+                                                        jerry_query):
+        result = coordinate_with_aggregates(
+            [kramer_query, jerry_query], intro_db)
+        assert set(result.answers) == {"kramer", "jerry"}
+
+
+class TestCoordinateWithPreferences:
+    def test_ranking_picks_best_valuation(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer"),
+        ]
+
+        def prefer_high_flight_number(valuation) -> float:
+            return max(value for value in valuation.values()
+                       if isinstance(value, int))
+
+        result = coordinate_with_preferences(
+            queries, intro_db, score=prefer_high_flight_number)
+        # Flights to Paris: 122, 123, 134 — ranking picks 134.
+        assert result.answers["jerry"].rows["R"][0][1] == 134
+
+    def test_ranking_with_no_data_fails(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Oslo)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Oslo)",
+                     "kramer"),
+        ]
+        result = coordinate_with_preferences(queries, intro_db,
+                                             score=lambda _: 0.0)
+        assert not result.answers
+        assert set(result.failures.values()) == {FailureReason.NO_DATA}
+
+    def test_tie_breaks_deterministically(self, intro_db):
+        queries = [
+            parse_ir("{R(Kramer, x)} R(Jerry, x) <- F(x, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, y)} R(Kramer, y) <- F(y, Paris)",
+                     "kramer"),
+        ]
+        results = [coordinate_with_preferences(queries, intro_db,
+                                               score=lambda _: 1.0)
+                   for _ in range(3)]
+        flights = {result.answers["jerry"].rows["R"][0][1]
+                   for result in results}
+        assert len(flights) == 1

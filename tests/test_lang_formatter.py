@@ -1,0 +1,144 @@
+"""Tests for formatting IR queries back to text (both syntaxes),
+including property-based round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Atom, Constant, Variable
+from repro.errors import ValidationError
+from repro.lang import (lower, parse_entangled_sql, parse_ir,
+                        to_ir_text, to_sql_text)
+
+
+def same_shape(left: EntangledQuery, right: EntangledQuery) -> bool:
+    return (left.head == right.head
+            and left.postconditions == right.postconditions
+            and left.body == right.body
+            and left.choose == right.choose)
+
+
+class TestIrFormatting:
+    def test_intro_roundtrip(self):
+        text = "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)"
+        query = parse_ir(text, "q")
+        assert to_ir_text(query) == text
+        assert same_shape(parse_ir(to_ir_text(query), "q"), query)
+
+    def test_quoting_of_awkward_constants(self):
+        query = parse_ir("{} R('lower case', 'O''Hare', 7)", "q")
+        rendered = to_ir_text(query)
+        assert "'lower case'" in rendered
+        assert "'O''Hare'" in rendered
+        assert same_shape(parse_ir(rendered, "q"), query)
+
+    def test_choose_suffix_preserved(self):
+        query = parse_ir("{} R(1) CHOOSE 3", "q")
+        assert to_ir_text(query).endswith("CHOOSE 3")
+
+    def test_unexpressible_variable_name_rejected(self):
+        query = EntangledQuery("q", (Atom("R", (Variable("X@1"),)),), (),
+                               (Atom("T", (Variable("X@1"),)),))
+        with pytest.raises(ValidationError, match="not expressible"):
+            to_ir_text(query)
+
+    def test_bool_constant_rejected(self):
+        query = EntangledQuery("q", (Atom("R", (Constant(True),)),),
+                               (), ())
+        with pytest.raises(ValidationError):
+            to_ir_text(query)
+
+
+class TestSqlFormatting:
+    def test_sql_roundtrip_through_lowering(self):
+        query = parse_ir(
+            "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris) CHOOSE 2", "q")
+        sql_text = to_sql_text(query)
+        reparsed = lower(parse_entangled_sql(sql_text), "q", {})
+        assert same_shape(reparsed, query)
+
+    def test_multi_answer_tables(self):
+        query = parse_ir("{} R(1), S(1)", "q")
+        sql_text = to_sql_text(query)
+        assert "ANSWER R" in sql_text and "ANSWER S" in sql_text
+        reparsed = lower(parse_entangled_sql(sql_text), "q", {})
+        assert same_shape(reparsed, query)
+
+    def test_differing_head_tuples_rejected(self):
+        query = parse_ir("{} R(1), S(2)", "q")
+        with pytest.raises(ValidationError, match="differing"):
+            to_sql_text(query)
+
+    def test_aggregates_rejected(self):
+        from repro.core.extensions import AggregateConstraint
+        query = EntangledQuery(
+            "q", (Atom("R", (Constant(1),)),), (), (),
+            aggregates=(AggregateConstraint(
+                (Atom("R", (Variable("v"),)),), frozenset({"R"}),
+                ">", 1),))
+        with pytest.raises(ValidationError, match="aggregate"):
+            to_sql_text(query)
+
+
+# ---------------------------------------------------------------------------
+# property round-trips over well-formed random queries
+# ---------------------------------------------------------------------------
+
+_variables = st.sampled_from(
+    [Variable(name) for name in ("x", "y", "z", "flight", "c1")])
+_constants = st.one_of(
+    st.sampled_from(["Jerry", "Paris", "ITH", "lower town"]),
+    st.integers(min_value=-5, max_value=99),
+).map(Constant)
+_terms = st.one_of(_variables, _constants)
+_relations = st.sampled_from(["R", "S", "Reserve"])
+_db_relations = st.sampled_from(["F", "U", "Flights"])
+
+
+@st.composite
+def _queries(draw):
+    body_atoms = draw(st.lists(
+        st.builds(lambda rel, args: Atom(rel, tuple(args)),
+                  _db_relations, st.lists(_terms, min_size=1,
+                                          max_size=3)),
+        min_size=0, max_size=3))
+    bound = {term for item in body_atoms for term in item.args
+             if isinstance(term, Variable)}
+    head_terms = st.one_of(_constants, st.sampled_from(sorted(
+        bound, key=lambda variable: variable.name))) if bound \
+        else _constants
+    heads = draw(st.lists(
+        st.builds(lambda rel, args: Atom(rel, tuple(args)),
+                  _relations, st.lists(head_terms, min_size=1,
+                                       max_size=3)),
+        min_size=1, max_size=2))
+    postconditions = draw(st.lists(
+        st.builds(lambda rel, args: Atom(rel, tuple(args)),
+                  _relations, st.lists(head_terms, min_size=1,
+                                       max_size=3)),
+        min_size=0, max_size=2))
+    choose = draw(st.integers(min_value=1, max_value=3))
+    query = EntangledQuery("q", tuple(heads), tuple(postconditions),
+                           tuple(body_atoms), choose=choose)
+    query.validate()
+    return query
+
+
+@given(_queries())
+@settings(max_examples=200)
+def test_ir_text_roundtrip(query):
+    assert same_shape(parse_ir(to_ir_text(query), "q"), query)
+
+
+@given(_queries())
+@settings(max_examples=200)
+def test_sql_text_roundtrip(query):
+    head_tuples = {item.args for item in query.head}
+    if len(head_tuples) != 1:
+        return  # not expressible in the SQL dialect by design
+    sql_text = to_sql_text(query)
+    reparsed = lower(parse_entangled_sql(sql_text), "q", {})
+    assert same_shape(reparsed, query)

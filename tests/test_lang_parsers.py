@@ -1,0 +1,279 @@
+"""Tests for the SQL-dialect parser, the IR parser, and lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Constant, Variable, atom
+from repro.errors import ParseError, ValidationError
+from repro.lang import (dict_resolver, lower, parse_and_lower,
+                        parse_entangled_sql, parse_ir,
+                        parse_ir_workload)
+from repro.lang.sql_ast import (AggregateCondition, AnswerMembership,
+                                EqualityCondition, Ident, Literal,
+                                SubqueryMembership, TableMembership)
+
+SCHEMAS = {
+    "Flights": ("fno", "dest"),
+    "Airlines": ("fno", "airline"),
+    "Parties": ("pid", "pdate"),
+    "Friend": ("name1", "name2"),
+}
+ANSWER_SCHEMAS = {"Attendance": ("pid", "name")}
+
+
+class TestSqlParser:
+    def test_paper_intro_query_parses(self):
+        parsed = parse_entangled_sql("""
+            SELECT 'Kramer', fno INTO ANSWER Reservation
+            WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+              AND ('Jerry', fno) IN ANSWER Reservation
+            CHOOSE 1
+        """)
+        assert parsed.select == (Literal("Kramer"), Ident("fno"))
+        assert parsed.answer_tables == ("Reservation",)
+        assert parsed.choose == 1
+        membership, answer = parsed.conditions
+        assert isinstance(membership, SubqueryMembership)
+        assert isinstance(answer, AnswerMembership)
+        assert answer.relation == "Reservation"
+
+    def test_multiple_answer_tables(self):
+        parsed = parse_entangled_sql(
+            "SELECT 1 INTO ANSWER A, ANSWER B CHOOSE 1")
+        assert parsed.answer_tables == ("A", "B")
+
+    def test_table_membership_form(self):
+        parsed = parse_entangled_sql(
+            "SELECT x INTO ANSWER R WHERE (x, 'Paris') IN TABLE F "
+            "CHOOSE 1")
+        (condition,) = parsed.conditions
+        assert isinstance(condition, TableMembership)
+        assert condition.relation == "F"
+
+    def test_equality_condition(self):
+        parsed = parse_entangled_sql(
+            "SELECT x INTO ANSWER R WHERE x = 'Paris' AND (x) IN "
+            "TABLE T CHOOSE 1")
+        equality = parsed.conditions[0]
+        assert isinstance(equality, EqualityCondition)
+
+    def test_aggregate_condition(self):
+        parsed = parse_entangled_sql("""
+            SELECT party_id, 'Jerry' INTO ANSWER Attendance
+            WHERE (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+                   WHERE party_id = A.pid AND A.name = F.name2
+                     AND F.name1 = 'Jerry') > 5
+            CHOOSE 1
+        """)
+        (aggregate,) = parsed.conditions
+        assert isinstance(aggregate, AggregateCondition)
+        assert aggregate.op == ">"
+        assert aggregate.threshold == 5
+        assert aggregate.subquery.from_items[0].is_answer
+
+    def test_choose_requires_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_entangled_sql("SELECT 1 INTO ANSWER R CHOOSE x")
+
+    def test_missing_choose_rejected(self):
+        with pytest.raises(ParseError):
+            parse_entangled_sql("SELECT 1 INTO ANSWER R")
+
+    def test_literal_left_of_in_rejected(self):
+        with pytest.raises(ParseError, match="identifier"):
+            parse_entangled_sql(
+                "SELECT 1 INTO ANSWER R WHERE 5 IN (SELECT a FROM T) "
+                "CHOOSE 1")
+
+    def test_answer_in_plain_subquery_rejected(self):
+        with pytest.raises(ParseError, match="aggregate"):
+            parse_entangled_sql(
+                "SELECT x INTO ANSWER R WHERE x IN "
+                "(SELECT a FROM ANSWER R) CHOOSE 1")
+
+    def test_aggregate_without_answer_rejected(self):
+        with pytest.raises(ParseError, match="ANSWER"):
+            parse_entangled_sql(
+                "SELECT x INTO ANSWER R WHERE (SELECT COUNT(*) FROM "
+                "Friend F) > 2 CHOOSE 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_entangled_sql("SELECT 1 INTO ANSWER R CHOOSE 1 extra")
+
+    def test_ast_str_roundtrips_through_parser(self):
+        text = ("SELECT 'Kramer', fno INTO ANSWER R WHERE "
+                "(fno, 'Paris') IN TABLE F AND ('Jerry', fno) IN "
+                "ANSWER R CHOOSE 1")
+        first = parse_entangled_sql(text)
+        second = parse_entangled_sql(str(first))
+        assert first == second
+
+
+class TestLowering:
+    def test_paper_intro_lowering(self):
+        query = parse_and_lower("""
+            SELECT 'Kramer', fno INTO ANSWER Reservation
+            WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+              AND ('Jerry', fno) IN ANSWER Reservation
+            CHOOSE 1
+        """, "kramer", SCHEMAS)
+        fno = Variable("fno")
+        assert query.head == (atom("Reservation", "Kramer", fno),)
+        assert query.postconditions == (
+            atom("Reservation", "Jerry", fno),)
+        assert query.body == (atom("Flights", fno, "Paris"),)
+
+    def test_join_subquery_lowering(self):
+        query = parse_and_lower("""
+            SELECT 'Jerry', fno INTO ANSWER Reservation
+            WHERE fno IN (SELECT F.fno FROM Flights F, Airlines A
+                          WHERE F.dest='Paris' AND F.fno = A.fno
+                            AND A.airline='United')
+              AND ('Kramer', fno) IN ANSWER Reservation
+            CHOOSE 1
+        """, "jerry", SCHEMAS)
+        fno = Variable("fno")
+        assert atom("Flights", fno, "Paris") in query.body
+        assert atom("Airlines", fno, "United") in query.body
+
+    def test_top_level_equality_folds_constant(self):
+        query = parse_and_lower(
+            "SELECT name, d INTO ANSWER R WHERE (name, d) IN TABLE "
+            "Friend AND d = 'X' CHOOSE 1", "q", SCHEMAS)
+        assert query.head == (atom("R", Variable("name"), "X"),)
+        assert query.body == (atom("Friend", Variable("name"), "X"),)
+
+    def test_contradictory_equalities_rejected(self):
+        with pytest.raises(ValidationError, match="contradictory"):
+            parse_and_lower(
+                "SELECT x INTO ANSWER R WHERE x = 'a' AND x = 'b' "
+                "AND (x) IN TABLE T CHOOSE 1", "q", {"T": ("v",)})
+
+    def test_ambiguous_bare_column_rejected(self):
+        with pytest.raises(ValidationError, match="ambiguous"):
+            parse_and_lower(
+                "SELECT x INTO ANSWER R WHERE x IN "
+                "(SELECT fno FROM Flights, Airlines) CHOOSE 1",
+                "q", SCHEMAS)
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ValidationError, match="unknown table alias"):
+            parse_and_lower(
+                "SELECT x INTO ANSWER R WHERE x IN "
+                "(SELECT Z.fno FROM Flights F) CHOOSE 1", "q", SCHEMAS)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValidationError, match="no column"):
+            parse_and_lower(
+                "SELECT x INTO ANSWER R WHERE x IN "
+                "(SELECT F.bogus FROM Flights F) CHOOSE 1", "q", SCHEMAS)
+
+    def test_range_restriction_enforced(self):
+        with pytest.raises(ValidationError, match="range restriction"):
+            parse_and_lower(
+                "SELECT loose INTO ANSWER R CHOOSE 1", "q", SCHEMAS)
+
+    def test_aggregate_lowering(self):
+        query = parse_and_lower("""
+            SELECT party_id, 'Jerry' INTO ANSWER Attendance
+            WHERE party_id IN (SELECT pid FROM Parties
+                               WHERE pdate='Friday')
+              AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+                   WHERE party_id = A.pid AND A.name = F.name2
+                     AND F.name1 = 'Jerry') > 5
+            CHOOSE 1
+        """, "jerry", SCHEMAS, ANSWER_SCHEMAS)
+        (constraint,) = query.aggregates
+        assert constraint.op == ">"
+        assert constraint.threshold == 5
+        assert constraint.answer_relations == frozenset({"Attendance"})
+        relations = {item.relation for item in constraint.atoms}
+        assert relations == {"Attendance", "Friend"}
+        # The outer variable party_id flows into the Attendance atom.
+        attendance = next(item for item in constraint.atoms
+                          if item.relation == "Attendance")
+        assert Variable("party_id") in attendance.args
+
+    def test_aggregate_requires_answer_schemas(self):
+        with pytest.raises(ValidationError, match="answer_schemas"):
+            parse_and_lower("""
+                SELECT party_id, 'Jerry' INTO ANSWER Attendance
+                WHERE party_id IN (SELECT pid FROM Parties
+                                   WHERE pdate='Friday')
+                  AND (SELECT COUNT(*) FROM ANSWER Attendance A
+                       WHERE party_id = A.pid) > 5
+                CHOOSE 1
+            """, "jerry", SCHEMAS)
+
+    def test_owner_and_choose_carried(self):
+        query = parse_and_lower(
+            "SELECT 'A' INTO ANSWER R WHERE ('B') IN ANSWER R CHOOSE 3",
+            "q", SCHEMAS, owner="alice")
+        assert query.choose == 3
+        assert query.owner == "alice"
+
+    def test_dict_resolver_unknown_table(self):
+        resolver = dict_resolver({"T": ("a",)})
+        with pytest.raises(ValidationError, match="unknown table"):
+            resolver("Ghost")
+
+
+class TestIrParser:
+    def test_paper_figure2a(self):
+        query = parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                         "kramer")
+        assert query.head == (atom("R", "Kramer", Variable("x")),)
+        assert query.postconditions == (
+            atom("R", "Jerry", Variable("x")),)
+        assert query.body == (atom("F", Variable("x"), "Paris"),)
+
+    def test_case_convention(self):
+        query = parse_ir(
+            "{} R(x, Paris, 'lowercase const', 42) <- T(x)", "q")
+        (head,) = query.head
+        assert head.args == (Variable("x"), Constant("Paris"),
+                             Constant("lowercase const"), Constant(42))
+
+    def test_empty_postconditions(self):
+        query = parse_ir("{} R(1)", "q")
+        assert query.postconditions == ()
+
+    def test_conjunction_separators(self):
+        for sep in (",", " AND ", " & ", " ∧ "):
+            query = parse_ir(f"{{}} R(x) <- A(x){sep}B(x)", "q")
+            assert len(query.body) == 2
+
+    def test_choose_suffix(self):
+        query = parse_ir("{} R(1) CHOOSE 4", "q")
+        assert query.choose == 4
+
+    def test_body_free_query(self):
+        query = parse_ir("{S(2)} R(1)", "q")
+        assert query.body == ()
+
+    def test_zero_arity_atom(self):
+        query = parse_ir("{} Ping()", "q")
+        assert query.head[0].arity == 0
+
+    def test_colon_dash_arrow(self):
+        query = parse_ir("{} R(x) :- T(x)", "q")
+        assert query.body == (atom("T", Variable("x")),)
+
+    def test_validation_runs(self):
+        with pytest.raises(ValidationError, match="range restriction"):
+            parse_ir("{} R(x)", "q")
+
+    def test_missing_braces_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ir("R(1)", "q")
+
+    def test_workload_parsing(self):
+        workload = parse_ir_workload("""
+            -- the intro pair
+            {R(Jerry, x)} R(Kramer, x) <- F(x, Paris)
+
+            {R(Kramer, y)} R(Jerry, y) <- F(y, Paris)
+        """)
+        assert [query.query_id for query in workload] == [0, 1]

@@ -1,0 +1,112 @@
+"""Tests for the shared tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.tokenizer import (Token, TokenStream, TokenType,
+                                  tokenize)
+
+
+def kinds(text):
+    return [(token.type, token.value) for token in tokenize(text)
+            if token.type is not TokenType.END]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Select SELECT") == [
+            (TokenType.KEYWORD, "SELECT")] * 3
+
+    def test_identifiers(self):
+        assert kinds("fno Reservation _tmp x1") == [
+            (TokenType.IDENT, "fno"),
+            (TokenType.IDENT, "Reservation"),
+            (TokenType.IDENT, "_tmp"),
+            (TokenType.IDENT, "x1"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'Paris' 'O''Hare' ''") == [
+            (TokenType.STRING, "Paris"),
+            (TokenType.STRING, "O'Hare"),
+            (TokenType.STRING, ""),
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert kinds("122 3.5 -7") == [
+            (TokenType.NUMBER, 122),
+            (TokenType.NUMBER, 3.5),
+            (TokenType.NUMBER, -7),
+        ]
+
+    def test_arrow_forms(self):
+        assert kinds("<- :-") == [(TokenType.ARROW, "<-")] * 2
+
+    def test_comparison_operators(self):
+        assert kinds("<= >= != <> = < >") == [
+            (TokenType.PUNCT, "<="), (TokenType.PUNCT, ">="),
+            (TokenType.PUNCT, "!="), (TokenType.PUNCT, "!="),
+            (TokenType.PUNCT, "="), (TokenType.PUNCT, "<"),
+            (TokenType.PUNCT, ">"),
+        ]
+
+    def test_and_symbols(self):
+        assert kinds("& ∧ AND") == [(TokenType.KEYWORD, "AND")] * 3
+
+    def test_comments_skipped(self):
+        assert kinds("1 -- comment here\n2") == [
+            (TokenType.NUMBER, 1), (TokenType.NUMBER, 2)]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestTokenStream:
+    def test_peek_next_end(self):
+        stream = TokenStream.of("a b")
+        assert stream.peek().value == "a"
+        assert stream.next().value == "a"
+        assert stream.next().value == "b"
+        assert stream.at_end()
+        # next() at end keeps returning END.
+        assert stream.next().type is TokenType.END
+
+    def test_peek_ahead(self):
+        stream = TokenStream.of("a b c")
+        assert stream.peek(2).value == "c"
+        assert stream.peek(99).type is TokenType.END
+
+    def test_accept_and_expect(self):
+        stream = TokenStream.of("SELECT (")
+        assert stream.accept_keyword("SELECT")
+        assert not stream.accept_keyword("WHERE")
+        stream.expect_punct("(")
+        with pytest.raises(ParseError, match="expected identifier"):
+            stream.expect_ident()
+
+    def test_expect_keyword_error_mentions_position(self):
+        stream = TokenStream.of("WHERE")
+        with pytest.raises(ParseError) as info:
+            stream.expect_keyword("SELECT")
+        assert info.value.line == 1
+
+    def test_expect_end(self):
+        stream = TokenStream.of("a")
+        stream.next()
+        stream.expect_end()
+        stream = TokenStream.of("a b")
+        stream.next()
+        with pytest.raises(ParseError, match="trailing"):
+            stream.expect_end()

@@ -1,0 +1,197 @@
+"""Tests for repro.core.matching — Algorithm 1 and CLEANUP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import build_unifiability_graph
+from repro.core.matching import match_all, match_component
+from repro.core.query import rename_workload_apart
+from repro.core.terms import Constant, Variable
+from repro.errors import SafetyViolation
+from repro.lang import parse_ir
+
+
+def build(texts_by_id: dict):
+    """Parse, rename apart, and graph a workload given as IR text."""
+    queries = [parse_ir(text, query_id) for query_id, text
+               in texts_by_id.items()]
+    return build_unifiability_graph(rename_workload_apart(queries))
+
+
+def running_example_graph():
+    """The paper's §4.1.1 example (Figure 4 run)."""
+    return build({
+        "q1": "{R(x1), S(x2)} T(x3) <- D1(x1, x2, x3)",
+        "q2": "{T(1)} R(y1) <- D2(y1)",
+        "q3": "{T(z1)} S(z2) <- D3(z1, z2)",
+    })
+
+
+class TestPaperRunningExample:
+    def test_all_queries_survive(self):
+        graph = running_example_graph()
+        (match,) = match_all(graph)
+        assert match.is_complete
+        assert set(match.survivors) == {"q1", "q2", "q3"}
+
+    def test_final_global_unifier(self):
+        """The paper computes U = {{x1,y1},{x2,z2},{x3,z1,1}}."""
+        graph = running_example_graph()
+        (match,) = match_all(graph)
+        unifier = match.global_unifier
+        x1, y1 = Variable("x1@q1"), Variable("y1@q2")
+        x2, z2 = Variable("x2@q1"), Variable("z2@q3")
+        x3, z1 = Variable("x3@q1"), Variable("z1@q3")
+        assert unifier.same_class(x1, y1)
+        assert unifier.same_class(x2, z2)
+        assert unifier.same_class(x3, z1)
+        assert unifier.constant_of(x3) == Constant(1)
+        assert unifier.constant_of(z1) == Constant(1)
+        # And nothing more: x1 is not constrained to a constant.
+        assert unifier.constant_of(x1) is None
+
+    def test_variant_with_conflicting_constant_removes_all(self):
+        """The paper's variant: q3 requires T(2) while q2 requires T(1);
+        q1 and its children are eliminated."""
+        graph = build({
+            "q1": "{R(x1), S(x2)} T(x3) <- D1(x1, x2, x3)",
+            "q2": "{T(1)} R(y1) <- D2(y1)",
+            "q3": "{T(2)} S(z2) <- D3(z1, z2)",
+        })
+        (match,) = match_all(graph)
+        assert match.survivors == ()
+        assert match.removed == {"q1", "q2", "q3"}
+
+
+class TestUnsatisfiablePostconditions:
+    def test_lonely_query_removed(self):
+        graph = build({"lonely": "{R(Partner, x)} R(Me, x) <- D(x)"})
+        (match,) = match_all(graph)
+        assert match.survivors == ()
+        assert match.removed == {"lonely"}
+
+    def test_cleanup_cascades_to_descendants(self):
+        # c waits for missing head; b depends on c's head; a on b's.
+        graph = build({
+            "a": "{B(1)} A(1)",
+            "b": "{C(1)} B(1)",
+            "c": "{Missing(1)} C(1)",
+        })
+        (match,) = match_all(graph)
+        assert match.survivors == ()
+        assert match.removed == {"a", "b", "c"}
+
+    def test_cleanup_spares_independent_providers(self):
+        # provider has no postconditions; consumer's second pc
+        # unsatisfiable -> only consumer (and dependents) removed.
+        graph = build({
+            "provider": "{} A(1)",
+            "consumer": "{A(1), Missing(9)} B(2)",
+        })
+        (match,) = match_all(graph)
+        assert set(match.survivors) == {"provider"}
+        assert match.removed == {"consumer"}
+
+    def test_pair_survives_cascade_of_third(self):
+        graph = build({
+            "kramer": "{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+            "jerry": "{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+            "dangler": "{R(Nobody, z)} Q(z) <- F(z, Rome)",
+        })
+        matches = match_all(graph)
+        by_queries = {frozenset(match.component): match
+                      for match in matches}
+        pair = by_queries[frozenset({"kramer", "jerry"})]
+        assert pair.is_complete
+        lone = by_queries[frozenset({"dangler"})]
+        assert lone.removed == {"dangler"}
+
+
+class TestConflictPolicies:
+    def unsafe_graph(self):
+        """One pc with two candidate providers."""
+        return build({
+            "p1": "{} R(1, x) <- D(x)",
+            "p2": "{} R(y, 2) <- D(y)",
+            "consumer": "{R(a, b)} S(7) <- D2(a, b)",
+        })
+
+    def test_error_policy_raises(self):
+        graph = self.unsafe_graph()
+        component = graph.component_of("consumer")
+        with pytest.raises(SafetyViolation):
+            match_component(graph, component, policy="error")
+
+    def test_first_policy_takes_earliest_arrival(self):
+        graph = self.unsafe_graph()
+        match = match_component(graph, graph.component_of("consumer"),
+                                policy="first")
+        edge = match.chosen_edges[("consumer", 0)]
+        assert edge.src == "p1"
+
+    def test_backtrack_policy_finds_working_alternative(self):
+        # First provider's unifier conflicts with the consumer's other
+        # postcondition; backtracking should pick the second provider.
+        graph = build({
+            "p1": "{} R(1) <- D(w)",
+            "p2": "{} R(2) <- D(v)",
+            "anchor": "{} T(2) <- D(u)",
+            "consumer": "{R(a), T(a)} S(7) <- D2(a)",
+        })
+        first = match_component(graph, graph.component_of("consumer"),
+                                policy="first")
+        backtrack = match_component(graph,
+                                    graph.component_of("consumer"),
+                                    policy="backtrack")
+        assert len(backtrack.survivors) >= len(first.survivors)
+        assert "consumer" in backtrack.survivors
+        assert backtrack.chosen_edges[("consumer", 0)].src == "p2"
+
+
+class TestMatchAll:
+    def test_components_processed_independently(self):
+        graph = build({
+            "a1": "{R(Bob, x)} R(Ann, x) <- F(x, Paris)",
+            "a2": "{R(Ann, y)} R(Bob, y) <- F(y, Paris)",
+            "b1": "{S(Dia, z)} S(Cem, z) <- F(z, Rome)",
+            "b2": "{S(Cem, w)} S(Dia, w) <- F(w, Rome)",
+        })
+        matches = match_all(graph)
+        assert len(matches) == 2
+        assert all(match.is_complete for match in matches)
+
+    def test_order_is_by_arrival(self):
+        graph = build({
+            "late": "{Z(9)} Y(9)",
+            "early": "{Y(9)} Z(9)",
+        })
+        (match,) = match_all(graph)
+        assert match.component == ("late", "early")
+
+    def test_empty_graph(self):
+        graph = build({})
+        assert match_all(graph) == []
+
+
+class TestMatchResultInvariants:
+    def test_survivor_unifiers_consistent_with_global(self):
+        graph = running_example_graph()
+        (match,) = match_all(graph)
+        for query_id in match.survivors:
+            unifier = match.unifiers[query_id]
+            for group in unifier.classes():
+                members = list(group)
+                for other in members[1:]:
+                    assert match.global_unifier.same_class(
+                        members[0], other)
+
+    def test_chosen_edges_only_between_survivors(self):
+        graph = build({
+            "provider": "{} A(1)",
+            "consumer": "{A(1), Missing(9)} B(2)",
+        })
+        (match,) = match_all(graph)
+        for (query_id, _), edge in match.chosen_edges.items():
+            assert query_id in match.survivors
+            assert edge.src in match.survivors

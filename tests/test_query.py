@@ -1,0 +1,166 @@
+"""Tests for repro.core.query — the IR, validation, grounding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import (EntangledQuery, GroundedQuery, assign_ids,
+                              is_coordinating_set,
+                              rename_workload_apart, validate_workload)
+from repro.core.terms import Constant, Variable, atom
+from repro.errors import ValidationError
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _query(**overrides) -> EntangledQuery:
+    fields = dict(
+        query_id="q",
+        head=(atom("R", "Kramer", X),),
+        postconditions=(atom("R", "Jerry", X),),
+        body=(atom("F", X, "Paris"),),
+    )
+    fields.update(overrides)
+    return EntangledQuery(**fields)
+
+
+class TestConstruction:
+    def test_tuple_coercion(self):
+        query = EntangledQuery("q", [atom("R", 1)], [], [])  # type: ignore
+        assert isinstance(query.head, tuple)
+        assert isinstance(query.postconditions, tuple)
+        assert isinstance(query.body, tuple)
+
+    def test_choose_must_be_positive(self):
+        with pytest.raises(ValidationError, match="CHOOSE"):
+            _query(choose=0)
+
+    def test_pccount(self):
+        assert _query().pccount == 1
+        assert _query(postconditions=()).pccount == 0
+
+    def test_relations_accessors(self):
+        query = _query()
+        assert query.answer_relations() == {"R"}
+        assert query.body_relations() == {"F"}
+
+    def test_variables(self):
+        query = _query(body=(atom("F", X, Y),))
+        assert query.variables() == {X, Y}
+        assert query.head_variables() == {X}
+
+
+class TestValidation:
+    def test_valid_query_passes(self):
+        _query().validate()
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValidationError, match="no head"):
+            _query(head=()).validate()
+
+    def test_range_restriction_head(self):
+        with pytest.raises(ValidationError, match="range restriction"):
+            _query(head=(atom("R", Y),)).validate()
+
+    def test_range_restriction_postcondition(self):
+        with pytest.raises(ValidationError, match="range restriction"):
+            _query(postconditions=(atom("R", Y),)).validate()
+
+    def test_ground_query_with_empty_body_allowed(self):
+        query = _query(head=(atom("R", "Kramer", 122),),
+                       postconditions=(atom("R", "Jerry", 122),),
+                       body=())
+        query.validate()
+
+    def test_answer_and_body_relations_must_differ(self):
+        query = _query(body=(atom("R", X, "Paris"),))
+        with pytest.raises(ValidationError, match="both as ANSWER"):
+            query.validate()
+
+    def test_validate_workload_duplicate_ids(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_workload([_query(), _query()])
+
+    def test_validate_workload_ok(self):
+        validate_workload([_query(), _query(query_id="q2")])
+
+
+class TestRenameApart:
+    def test_rename_suffixes_all_parts(self):
+        renamed = _query().rename_apart()
+        assert renamed.head[0].args[1] == Variable("x@q")
+        assert renamed.postconditions[0].args[1] == Variable("x@q")
+        assert renamed.body[0].args[0] == Variable("x@q")
+
+    def test_rename_is_idempotent(self):
+        once = _query().rename_apart()
+        assert once.rename_apart() == once
+
+    def test_rename_with_custom_tag(self):
+        renamed = _query().rename_apart("7")
+        assert renamed.body[0].args[0] == Variable("x@7")
+
+    def test_rename_workload_apart_gives_disjoint_variables(self):
+        queries = [_query(query_id="a"), _query(query_id="b")]
+        renamed = rename_workload_apart(queries)
+        assert not (renamed[0].variables() & renamed[1].variables())
+
+    def test_constants_untouched(self):
+        renamed = _query().rename_apart()
+        assert renamed.head[0].args[0] == Constant("Kramer")
+
+
+class TestGrounding:
+    def test_ground_produces_constant_atoms(self):
+        grounding = _query().ground({X: Constant(122)})
+        assert grounding.head == (atom("R", "Kramer", 122),)
+        assert grounding.postconditions == (atom("R", "Jerry", 122),)
+
+    def test_partial_valuation_rejected(self):
+        with pytest.raises(ValidationError, match="still contains"):
+            _query().ground({})
+
+    def test_grounding_str(self):
+        grounding = _query().ground({X: Constant(122)})
+        assert "R('Kramer', 122)" in str(grounding)
+
+
+class TestCoordinatingSet:
+    def test_paper_figure2b_pairs(self):
+        """Groundings 1+4 of Figure 2(b) form a coordinating set."""
+        g1 = GroundedQuery("kramer", (atom("R", "Kramer", 122),),
+                           (atom("R", "Jerry", 122),))
+        g4 = GroundedQuery("jerry", (atom("R", "Jerry", 122),),
+                           (atom("R", "Kramer", 122),))
+        assert is_coordinating_set([g1, g4])
+
+    def test_mismatched_flight_numbers_fail(self):
+        g1 = GroundedQuery("kramer", (atom("R", "Kramer", 122),),
+                           (atom("R", "Jerry", 122),))
+        g5 = GroundedQuery("jerry", (atom("R", "Jerry", 123),),
+                           (atom("R", "Kramer", 123),))
+        assert not is_coordinating_set([g1, g5])
+
+    def test_at_most_one_grounding_per_query(self):
+        g1 = GroundedQuery("kramer", (atom("R", "Kramer", 122),), ())
+        g2 = GroundedQuery("kramer", (atom("R", "Kramer", 123),), ())
+        assert not is_coordinating_set([g1, g2])
+
+    def test_empty_set_coordinates_trivially(self):
+        assert is_coordinating_set([])
+
+    def test_self_sufficient_grounding(self):
+        grounding = GroundedQuery("solo", (atom("R", 1),), ())
+        assert is_coordinating_set([grounding])
+
+
+class TestHelpers:
+    def test_assign_ids(self):
+        queries = assign_ids([_query(), _query()], start=10)
+        assert [query.query_id for query in queries] == [10, 11]
+
+    def test_str_rendering(self):
+        text = str(_query())
+        assert "{R('Jerry', x)}" in text
+        assert "R('Kramer', x)" in text
+        assert "<- F(x, 'Paris')" in text

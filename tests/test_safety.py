@@ -1,0 +1,154 @@
+"""Tests for repro.core.safety — the §3.1.1 safety condition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.safety import (SafetyChecker, check_safety,
+                               enforce_safety, is_safe)
+from repro.errors import SafetyViolation
+from repro.lang import parse_ir
+
+
+def figure3a_queries():
+    """The unsafe set of paper Figure 3(a)."""
+    return [
+        parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)", "kramer"),
+        parse_ir("{R(Jerry, y)} R(Elaine, y) <- F(y, Athens)", "elaine"),
+        parse_ir("{R(f, z)} R(Jerry, z) <- F(z, w), Friend(Jerry, f)",
+                 "jerry"),
+    ]
+
+
+def intro_queries():
+    """The safe Kramer/Jerry pair from the introduction."""
+    return [
+        parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)", "kramer"),
+        parse_ir("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris), "
+                 "A(y, United)", "jerry"),
+    ]
+
+
+class TestCheckSafety:
+    def test_intro_pair_is_safe(self):
+        assert is_safe(intro_queries())
+
+    def test_figure3a_is_unsafe(self):
+        violations = check_safety(figure3a_queries())
+        assert violations
+        # Jerry's postcondition R(f, z) unifies with both other heads.
+        (violation,) = violations
+        assert violation.query_id == "jerry"
+        witnesses = {entry[0] for entry in violation.witnesses}
+        assert witnesses == {"kramer", "elaine"}
+
+    def test_raise_on_violation(self):
+        with pytest.raises(SafetyViolation) as info:
+            check_safety(figure3a_queries(), raise_on_violation=True)
+        assert info.value.offending_query_id == "jerry"
+        assert set(info.value.witnesses) == {"kramer", "elaine"}
+
+    def test_own_head_not_a_witness(self):
+        """A query whose pc unifies with its own head stays safe."""
+        query = parse_ir("{R(x, ITH)} R(Jerry, ITH) <- F(Jerry, x)",
+                         "jerry")
+        partner = parse_ir("{R(y, ITH)} R(Kramer, ITH) <- F(Kramer, y)",
+                           "kramer")
+        assert is_safe([query, partner])
+
+    def test_two_heads_of_same_query_unsafe(self):
+        provider = parse_ir("{} R(1, x), R(2, x) <- D(x)", "provider")
+        consumer = parse_ir("{R(a, b)} S(9) <- D2(a, b)", "consumer")
+        violations = check_safety([provider, consumer])
+        assert violations
+        assert violations[0].query_id == "consumer"
+
+    def test_empty_workload_safe(self):
+        assert is_safe([])
+
+    def test_figure3b_is_safe(self):
+        """Figure 3(b) is safe (each pc has one provider) but not UCS."""
+        queries = [
+            parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                     "kramer"),
+            parse_ir("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+                     "jerry"),
+            parse_ir("{R(Jerry, z)} R(Frank, z) <- F(z, Paris), "
+                     "A(z, United)", "frank"),
+        ]
+        assert is_safe(queries)
+
+
+class TestEnforceSafety:
+    def test_repair_removes_offender(self):
+        repaired = enforce_safety(figure3a_queries())
+        ids = {query.query_id for query in repaired}
+        assert ids == {"kramer", "elaine"}
+        assert is_safe(repaired)
+
+    def test_repair_keeps_safe_workload_intact(self):
+        queries = intro_queries()
+        assert enforce_safety(queries) == queries
+
+    def test_repair_reaches_fixpoint(self):
+        extra = parse_ir("{R(Kramer, v)} R(Susan, v) <- F(v, Paris)",
+                         "susan")
+        repaired = enforce_safety(figure3a_queries() + [extra])
+        assert is_safe(repaired)
+
+
+class TestSafetyChecker:
+    def test_incremental_add_then_violating_query(self):
+        checker = SafetyChecker()
+        for query in intro_queries():
+            checker.add(query.rename_apart())
+        # A query whose pc unifies with both resident heads is unsafe.
+        greedy = parse_ir("{R(p, q)} R(Newman, q) <- D(p, q)", "newman")
+        assert not checker.is_safe_to_add(greedy.rename_apart())
+
+    def test_safe_addition_accepted(self):
+        checker = SafetyChecker()
+        for query in intro_queries():
+            checker.add(query.rename_apart())
+        fresh = parse_ir("{R(George, v)} R(Susan, v) <- F(v, Rome)",
+                         "susan")
+        assert checker.is_safe_to_add(fresh.rename_apart())
+
+    def test_addition_endangering_resident_detected(self):
+        """New heads can push a *resident* postcondition over the limit."""
+        checker = SafetyChecker()
+        checker.add(parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                             "kramer").rename_apart())
+        checker.add(parse_ir("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)",
+                             "jerry").rename_apart())
+        # Another query whose head also provides R(Jerry, _):
+        twin = parse_ir("{R(Elaine, w)} R(Jerry, w) <- F(w, Rome)",
+                        "jerry2").rename_apart()
+        violations = checker.violations_of(twin)
+        assert violations
+        assert any(violation.query_id == "kramer"
+                   for violation in violations)
+
+    def test_remove_restores_safety(self):
+        checker = SafetyChecker()
+        for query in intro_queries():
+            checker.add(query.rename_apart())
+        twin = parse_ir("{R(Elaine, w)} R(Jerry, w) <- F(w, Rome)",
+                        "jerry2").rename_apart()
+        assert not checker.is_safe_to_add(twin)
+        checker.remove("jerry")
+        assert checker.is_safe_to_add(twin)
+
+    def test_duplicate_resident_rejected(self):
+        checker = SafetyChecker()
+        checker.add(intro_queries()[0])
+        with pytest.raises(KeyError):
+            checker.add(intro_queries()[0])
+
+    def test_len_tracks_residents(self):
+        checker = SafetyChecker()
+        assert len(checker) == 0
+        checker.add(intro_queries()[0])
+        assert len(checker) == 1
+        checker.remove("kramer")
+        assert len(checker) == 0

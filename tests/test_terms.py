@@ -1,0 +1,107 @@
+"""Tests for repro.core.terms — variables, constants, atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import (Atom, Constant, Variable, atom,
+                              constants_of, is_constant, is_variable,
+                              variables_of)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("flight")) == "flight"
+
+    def test_repr_roundtrip(self):
+        assert eval(repr(Variable("x"))) == Variable("x")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("Paris")) == "'Paris'"
+        assert str(Constant(122)) == "122"
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_predicates(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("x"))
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant(1))
+
+
+class TestAtom:
+    def test_construction_coerces_list_args(self):
+        built = Atom("R", [Constant(1), Variable("x")])  # type: ignore
+        assert isinstance(built.args, tuple)
+        assert built.arity == 2
+
+    def test_atom_helper_wraps_plain_values(self):
+        built = atom("R", "Kramer", Variable("x"), 7)
+        assert built.args == (Constant("Kramer"), Variable("x"),
+                              Constant(7))
+
+    def test_variables_and_constants_iterators(self):
+        built = atom("R", "a", Variable("x"), Variable("x"), 3)
+        assert list(built.variables()) == [Variable("x"), Variable("x")]
+        assert list(built.constants()) == [Constant("a"), Constant(3)]
+
+    def test_is_ground(self):
+        assert atom("R", 1, 2).is_ground()
+        assert not atom("R", Variable("x")).is_ground()
+
+    def test_substitute_partial(self):
+        built = atom("R", Variable("x"), Variable("y"))
+        result = built.substitute({Variable("x"): Constant(5)})
+        assert result == atom("R", 5, Variable("y"))
+
+    def test_substitute_variable_to_variable(self):
+        built = atom("R", Variable("x"))
+        result = built.substitute({Variable("x"): Variable("z")})
+        assert result == atom("R", Variable("z"))
+
+    def test_substitute_noop_returns_self(self):
+        built = atom("R", Variable("x"))
+        assert built.substitute({Variable("q"): Constant(1)}) is built
+
+    def test_rename_suffixes_variables_only(self):
+        built = atom("R", "Kramer", Variable("x"))
+        renamed = built.rename("@1")
+        assert renamed == atom("R", "Kramer", Variable("x@1"))
+
+    def test_str(self):
+        assert str(atom("R", "Kramer", Variable("x"))) == "R('Kramer', x)"
+
+    def test_equality_and_hash(self):
+        assert atom("R", 1) == atom("R", 1)
+        assert atom("R", 1) != atom("S", 1)
+        assert atom("R", 1) != atom("R", 1, 2)
+        assert len({atom("R", 1), atom("R", 1)}) == 1
+
+
+class TestCollectors:
+    def test_variables_of(self):
+        atoms = [atom("R", Variable("x"), 1),
+                 atom("S", Variable("y"), Variable("x"))]
+        assert variables_of(atoms) == {Variable("x"), Variable("y")}
+
+    def test_constants_of(self):
+        atoms = [atom("R", Variable("x"), 1), atom("S", "a")]
+        assert constants_of(atoms) == {Constant(1), Constant("a")}
+
+    def test_empty(self):
+        assert variables_of([]) == set()
+        assert constants_of([]) == set()

@@ -1,0 +1,127 @@
+"""Tests for repro.core.ucs — uniqueness of coordination structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import build_unifiability_graph
+from repro.core.query import rename_workload_apart
+from repro.core.ucs import (check_ucs, check_ucs_graph, is_ucs,
+                            scc_cores, simplified_graph,
+                            strongly_connected_components)
+from repro.lang import parse_ir
+
+
+def figure3b_queries():
+    """Paper Figure 3(b): safe but not unique (Frank dangles)."""
+    return [
+        parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)", "kramer"),
+        parse_ir("{R(Kramer, y)} R(Jerry, y) <- F(y, Paris)", "jerry"),
+        parse_ir("{R(Jerry, z)} R(Frank, z) <- F(z, Paris), A(z, United)",
+                 "frank"),
+    ]
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        components = strongly_connected_components(
+            {"a": ["b"], "b": ["c"], "c": ["a"]})
+        assert components == [{"a", "b", "c"}]
+
+    def test_two_components(self):
+        components = strongly_connected_components(
+            {"a": ["b"], "b": ["a"], "c": ["a"]})
+        assert {frozenset(component) for component in components} == {
+            frozenset({"a", "b"}), frozenset({"c"})}
+
+    def test_dag_gives_singletons(self):
+        components = strongly_connected_components(
+            {"a": ["b"], "b": ["c"], "c": []})
+        assert all(len(component) == 1 for component in components)
+        assert len(components) == 3
+
+    def test_reverse_topological_order(self):
+        components = strongly_connected_components(
+            {"a": ["b"], "b": []})
+        assert components == [{"b"}, {"a"}]
+
+    def test_self_loop(self):
+        components = strongly_connected_components({"a": ["a"]})
+        assert components == [{"a"}]
+
+    def test_nodes_only_as_successors(self):
+        components = strongly_connected_components({"a": ["ghost"]})
+        assert {frozenset(c) for c in components} == {
+            frozenset({"a"}), frozenset({"ghost"})}
+
+    def test_empty(self):
+        assert strongly_connected_components({}) == []
+
+    def test_deep_chain_no_recursion_error(self):
+        """Iterative Tarjan must survive deep graphs."""
+        chain = {index: [index + 1] for index in range(5_000)}
+        chain[5_000] = []
+        components = strongly_connected_components(chain)
+        assert len(components) == 5_001
+
+
+class TestUcsProperty:
+    def test_mutual_pair_is_ucs(self):
+        assert is_ucs(figure3b_queries()[:2])
+
+    def test_figure3b_is_not_ucs(self):
+        assert not is_ucs(figure3b_queries())
+
+    def test_figure3b_report_details(self):
+        graph = build_unifiability_graph(
+            rename_workload_apart(figure3b_queries()))
+        report = check_ucs_graph(graph)
+        assert not report.is_ucs
+        assert report.dangling == frozenset({"frank"})
+        assert report.cores == (frozenset({"kramer", "jerry"}),)
+
+    def test_self_loop_counts_as_cycle(self):
+        report = check_ucs({"a": {"a"}})
+        assert report.is_ucs
+
+    def test_isolated_node_violates_ucs(self):
+        report = check_ucs({"solo": set()})
+        assert not report.is_ucs
+        assert report.dangling == frozenset({"solo"})
+
+    def test_unsafe_query_can_still_be_in_scc(self):
+        """Paper §3.1.2: a set may be UCS even with an unsafe query."""
+        queries = [
+            parse_ir("{R(Jerry, x)} R(Kramer, x) <- F(x, Paris)",
+                     "kramer"),
+            parse_ir("{R(Jerry, y)} R(Elaine, y) <- F(y, Athens)",
+                     "elaine"),
+            parse_ir("{R(f, z)} R(Jerry, z) <- F(z, w), Fr(Jerry, f)",
+                     "jerry"),
+        ]
+        # jerry is unsafe (pc unifies with 2 heads) yet all three nodes
+        # lie on cycles through jerry.
+        assert is_ucs(queries)
+
+
+class TestHelpers:
+    def test_simplified_graph_projection(self):
+        graph = build_unifiability_graph(
+            rename_workload_apart(figure3b_queries()))
+        adjacency = simplified_graph(graph)
+        assert adjacency["jerry"] == {"kramer", "frank"}
+        assert adjacency["kramer"] == {"jerry"}
+        assert adjacency["frank"] == set()
+
+    def test_simplified_graph_restriction(self):
+        graph = build_unifiability_graph(
+            rename_workload_apart(figure3b_queries()))
+        adjacency = simplified_graph(graph, {"jerry", "kramer"})
+        assert set(adjacency) == {"jerry", "kramer"}
+        assert adjacency["jerry"] == {"kramer"}
+
+    def test_scc_cores(self):
+        graph = build_unifiability_graph(
+            rename_workload_apart(figure3b_queries()))
+        cores = scc_cores(graph)
+        assert cores == [{"kramer", "jerry"}]

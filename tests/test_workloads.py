@@ -1,0 +1,232 @@
+"""Tests for the workload substrate: social network, flight database,
+and the per-experiment query generators."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.query import validate_workload
+from repro.core.safety import is_safe
+from repro.workloads import (AIRPORTS, airport, big_cluster_queries,
+                             build_flight_database,
+                             build_intro_database, chain_queries,
+                             clique_queries, generate_social_network,
+                             non_unifying_queries,
+                             safety_stress_workload,
+                             three_way_triangles, two_way_pairs)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_social_network(num_users=500, seed=7,
+                                   planted_cliques={4: 10, 6: 10})
+
+
+class TestAirports:
+    def test_exactly_102_destinations(self):
+        assert len(AIRPORTS) == 102
+        assert len(set(AIRPORTS)) == 102
+
+    def test_airport_indexing_wraps(self):
+        assert airport(0) == AIRPORTS[0]
+        assert airport(102) == AIRPORTS[0]
+
+
+class TestSocialNetwork:
+    def test_deterministic_generation(self):
+        first = generate_social_network(num_users=200, seed=3)
+        second = generate_social_network(num_users=200, seed=3)
+        assert first.adjacency == second.adjacency
+        assert first.hometowns == second.hometowns
+
+    def test_seed_changes_network(self):
+        first = generate_social_network(num_users=200, seed=3)
+        second = generate_social_network(num_users=200, seed=4)
+        assert first.adjacency != second.adjacency
+
+    def test_adjacency_symmetric(self, network):
+        for user, friends in network.adjacency.items():
+            for friend in friends:
+                assert user in network.adjacency[friend]
+            assert user not in friends  # no self-loops
+
+    def test_cotown_friend_majority(self, network):
+        """The paper's 'at least half friends in the same city' goal."""
+        assert network.same_town_fraction() > 0.5
+
+    def test_all_towns_used(self, network):
+        # 500 users over 102 towns: nearly all towns get someone.
+        assert len(set(network.hometowns.values())) > 80
+
+    def test_degree_distribution_heavy_tailed(self, network):
+        degrees = sorted((network.degree(user) for user
+                          in network.users), reverse=True)
+        average = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * average  # hubs exist
+
+    def test_planted_cliques_fully_connected(self, network):
+        for size, cliques in network.planted_cliques.items():
+            assert cliques
+            for members in cliques:
+                assert len(members) == size
+                for position, left in enumerate(members):
+                    for right in members[position + 1:]:
+                        assert network.are_friends(left, right)
+
+    def test_friend_pairs_stream(self, network):
+        rng = random.Random(0)
+        stream = network.friend_pairs(rng)
+        for _ in range(20):
+            left, right = next(stream)
+            assert network.are_friends(left, right)
+
+    def test_triangle_stream(self, network):
+        rng = random.Random(0)
+        stream = network.triangles(rng)
+        for _ in range(10):
+            a, b, c = next(stream)
+            assert network.are_friends(a, b)
+            assert network.are_friends(b, c)
+            assert network.are_friends(a, c)
+
+    def test_clique_stream_requires_planting(self, network):
+        rng = random.Random(0)
+        (members,) = [next(network.cliques(6, rng))]
+        assert len(members) == 6
+        with pytest.raises(ValueError, match="planted"):
+            next(network.cliques(5, rng))
+
+    def test_community_of(self, network):
+        community = network.community_of(network.users[0], 50)
+        assert len(community) == 50
+        assert network.users[0] in community
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ValueError):
+            generate_social_network(num_users=1)
+
+
+class TestFlightDatabase:
+    def test_tables_and_sizes(self, network):
+        db = build_flight_database(network)
+        assert db.table_names() == ["F", "U"]
+        assert len(db.table("U")) == network.user_count
+        assert len(db.table("F")) == 2 * network.edge_count
+
+    def test_long_names(self, network):
+        db = build_flight_database(network, long_names=True)
+        assert db.table_names() == ["Friends", "User"]
+
+    def test_intro_database_matches_figure1(self):
+        db = build_intro_database()
+        assert len(db.table("Flights")) == 4
+        assert len(db.table("Airlines")) == 4
+
+
+class TestGenerators:
+    def test_two_way_structure(self, network):
+        queries = two_way_pairs(network, 40, seed=1)
+        assert len(queries) == 40
+        validate_workload(queries)
+        for query in queries:
+            assert query.pccount == 1
+            assert len(query.body) == 3
+
+    def test_two_way_specific_names_partner(self, network):
+        queries = two_way_pairs(network, 40, specific=True, seed=1,
+                                shuffle=False)
+        validate_workload(queries)
+        by_id = {query.query_id: query for query in queries}
+        first, partner = by_id["2way-0-a"], by_id["2way-0-b"]
+        # Each query's postcondition names the partner's head constant.
+        assert first.postconditions[0].args[0] == \
+            partner.head[0].args[0]
+        assert is_safe([first, partner])
+
+    def test_two_way_odd_count_rejected(self, network):
+        with pytest.raises(ValueError, match="even"):
+            two_way_pairs(network, 41)
+
+    def test_three_way_structure(self, network):
+        queries = three_way_triangles(network, 30, seed=2,
+                                      shuffle=False)
+        validate_workload(queries)
+        trio = queries[:3]
+        destinations = {query.head[0].args[1] for query in trio}
+        assert len(destinations) == 1
+        assert is_safe(trio)
+
+    def test_three_way_multiple_of_three(self, network):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            three_way_triangles(network, 31)
+
+    def test_clique_queries_structure(self, network):
+        queries = clique_queries(network, 40, 3, seed=3, shuffle=False)
+        validate_workload(queries)
+        group = queries[:4]
+        for query in group:
+            assert query.pccount == 3
+            assert len(query.body) == 3 + 4  # friendships + towns
+        assert is_safe(group)
+
+    def test_clique_group_size_divisibility(self, network):
+        with pytest.raises(ValueError, match="multiple"):
+            clique_queries(network, 41, 3)
+
+    def test_non_unifying_queries(self, network):
+        queries = non_unifying_queries(network, 25, seed=4)
+        validate_workload(queries)
+        from repro.core import build_unifiability_graph
+        from repro.core.query import rename_workload_apart
+        graph = build_unifiability_graph(rename_workload_apart(queries))
+        assert all(not graph.out_edges(query.query_id)
+                   for query in queries)
+
+    def test_chain_queries_form_open_chains(self, network):
+        queries = chain_queries(network, 20, chain_length=10, seed=5)
+        validate_workload(queries)
+        from repro.core import build_unifiability_graph
+        from repro.core.query import rename_workload_apart
+        graph = build_unifiability_graph(rename_workload_apart(queries))
+        components = graph.connected_components()
+        assert sorted(len(component) for component in components) == \
+            [10, 10]
+        # Chains, not cycles: one open postcondition per chain.
+        unsatisfied = [query.query_id for query in queries
+                       if graph.unsatisfied_pcs(query.query_id)]
+        assert len(unsatisfied) == 2
+
+    def test_big_cluster_single_component(self, network):
+        queries = big_cluster_queries(network, 30, seed=6)
+        validate_workload(queries)
+        from repro.core import build_unifiability_graph
+        from repro.core.query import rename_workload_apart
+        graph = build_unifiability_graph(rename_workload_apart(queries))
+        assert len(graph.connected_components()) == 1
+
+    def test_safety_stress_workload(self, network):
+        workload = safety_stress_workload(network, resident_count=300,
+                                          addition_sizes=(10, 20))
+        validate_workload(list(workload.resident))
+        assert len(workload.resident) == 300
+        assert [len(batch) for batch in workload.additions] == [10, 20]
+        # Residents are safe together; additions over-unify.
+        from repro.core import SafetyChecker
+        checker = SafetyChecker()
+        for query in workload.resident:
+            checker.add(query.rename_apart())
+        rejected = sum(
+            1 for query in workload.additions[1]
+            if not checker.is_safe_to_add(query.rename_apart()))
+        assert rejected > 10  # most of the 20 fail the check
+
+    def test_generators_are_deterministic(self, network):
+        first = two_way_pairs(network, 20, seed=9)
+        second = two_way_pairs(network, 20, seed=9)
+        assert [(q.query_id, q.head, q.postconditions, q.body)
+                for q in first] == \
+            [(q.query_id, q.head, q.postconditions, q.body)
+             for q in second]
