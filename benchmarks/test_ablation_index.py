@@ -12,6 +12,8 @@ Two of DESIGN.md's called-out design choices:
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import scaled
 from repro.core import (build_unifiability_graph, coordinate,
                         rename_workload_apart)
@@ -31,6 +33,7 @@ def test_graph_build_with_index(benchmark, network):
     assert len(graph) == GRAPH_QUERIES
 
 
+@pytest.mark.slow
 def test_graph_build_without_index(benchmark, network):
     queries = rename_workload_apart(
         two_way_pairs(network, GRAPH_QUERIES, seed=41))

@@ -9,6 +9,8 @@ report's seconds column across sizes).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import figure6, run_incremental, scaled
 from repro.workloads import three_way_triangles, two_way_pairs
 
@@ -40,6 +42,7 @@ def test_three_way(benchmark, network, database):
     assert result["answered"] > 0
 
 
+@pytest.mark.slow
 def test_fig6_report(benchmark, network, database):
     """Full Figure 6 sweep; prints the series tables the paper plots."""
     all_series = benchmark.pedantic(

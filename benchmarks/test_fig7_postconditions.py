@@ -32,6 +32,7 @@ def test_postcondition_count(benchmark, network, database,
     assert result["answered"] > 0
 
 
+@pytest.mark.slow
 def test_fig7_report(benchmark, network, database):
     """Full Figure 7 sweep; prints match vs database time per k."""
     all_series = benchmark.pedantic(

@@ -14,6 +14,8 @@ Paper series:
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import figure8, run_batch, run_incremental, scaled
 from repro.workloads import (big_cluster_queries, chain_queries,
                              non_unifying_queries)
@@ -39,6 +41,7 @@ def test_usual_partitions_chains(benchmark, network, database):
     assert result["answered"] == 0
 
 
+@pytest.mark.slow
 def test_big_cluster_incremental_paper_strategy(benchmark, network,
                                                 database):
     queries = big_cluster_queries(network, CLUSTER_SIZE, seed=23)
@@ -61,6 +64,7 @@ def test_big_cluster_set_at_a_time(benchmark, network, database):
                        rounds=1, iterations=1)
 
 
+@pytest.mark.slow
 def test_fig8_report(benchmark, network, database):
     """Full Figure 8 sweep; prints all five series."""
     all_series = benchmark.pedantic(

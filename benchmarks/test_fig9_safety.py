@@ -8,6 +8,8 @@ set and small in absolute terms.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import figure9, scaled, stopwatch
 from repro.core import SafetyChecker
 from repro.workloads import safety_stress_workload
@@ -36,6 +38,7 @@ def test_safety_check_against_residents(benchmark, network):
     assert rejected > ADDITION // 2
 
 
+@pytest.mark.slow
 def test_fig9_report(benchmark, network):
     """Full Figure 9 sweep; prints check time per added-set size."""
     all_series = benchmark.pedantic(lambda: figure9(network=network),

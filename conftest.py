@@ -1,0 +1,18 @@
+"""Repo-root pytest configuration.
+
+Registers the ``slow`` marker used to tag the heavyweight benchmark
+sweeps.  They still run by default (at the reduced pytest benchmark
+scale — see ``benchmarks/conftest.py``); deselect them for a quick
+signal with::
+
+    PYTHONPATH=src python -m pytest -q -m "not slow"
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight benchmark sweep (full figure reports); "
+        "deselect with -m 'not slow'")

@@ -1,0 +1,4 @@
+-- The paper's introduction workload: Kramer and Jerry coordinate on a
+-- Paris flight; Jerry additionally insists on flying United.
+{Reservation(Jerry, x)} Reservation(Kramer, x) <- Flights(x, Paris)
+{Reservation(Kramer, y)} Reservation(Jerry, y) <- Flights(y, Paris), Airlines(y, United)

@@ -13,6 +13,10 @@ from .harness import (Series, SeriesRow, bench_database, bench_network,
                       stopwatch)
 from .figures import figure6, figure7, figure8, figure9, run_all
 
+# NB: repro.bench.regression is intentionally not imported here — it is
+# an entry point (`python -m repro.bench.regression`), and importing it
+# from the package would trigger the double-import RuntimeWarning.
+
 __all__ = [
     "Series", "SeriesRow", "bench_database", "bench_network",
     "bench_scale", "run_batch", "run_incremental", "scaled", "stopwatch",

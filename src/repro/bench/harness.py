@@ -10,6 +10,7 @@ are directly comparable with the paper's figures at any scale.
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 from contextlib import contextmanager
@@ -147,6 +148,29 @@ def bench_database(network: SocialNetwork) -> Database:
     return _DATABASE_CACHE[key]
 
 
+@contextmanager
+def frozen_dataset() -> Iterator[None]:
+    """Move currently-live objects out of the cyclic collector's scans.
+
+    The benchmark database and social network are large, static, and
+    alive for the whole run; without freezing them, every generational
+    collection re-traverses millions of rows and index buckets, which
+    measured as ~30% of incremental-coordination wall time.  Engine
+    garbage created inside the region is still collected normally —
+    just in larger batches (the gen-0 threshold is raised for the
+    duration, then restored).
+    """
+    thresholds = gc.get_threshold()
+    gc.collect()
+    gc.freeze()
+    gc.set_threshold(200_000, 100, 100)
+    try:
+        yield
+    finally:
+        gc.set_threshold(*thresholds)
+        gc.unfreeze()
+
+
 def run_incremental(database: Database, queries,
                     **engine_kwargs) -> dict:
     """Submit *queries* to a fresh incremental engine; return metrics.
@@ -155,19 +179,21 @@ def run_incremental(database: Database, queries,
     counts, and throughput (queries/second).
     """
     engine = D3CEngine(database, mode="incremental", **engine_kwargs)
-    with stopwatch() as elapsed:
-        engine.submit_all(queries)
-    total = elapsed()
+    with frozen_dataset():
+        with stopwatch() as elapsed:
+            engine.submit_all(queries)
+        total = elapsed()
     return _metrics(engine, len(queries), total)
 
 
 def run_batch(database: Database, queries, **engine_kwargs) -> dict:
     """Submit then run one set-at-a-time round; return metrics."""
     engine = D3CEngine(database, mode="batch", **engine_kwargs)
-    with stopwatch() as elapsed:
-        engine.submit_all(queries)
-        engine.run_batch()
-    total = elapsed()
+    with frozen_dataset():
+        with stopwatch() as elapsed:
+            engine.submit_all(queries)
+            engine.run_batch()
+        total = elapsed()
     return _metrics(engine, len(queries), total)
 
 

@@ -1,0 +1,166 @@
+"""Benchmark-regression reports: a perf trajectory across PRs.
+
+Each performance-focused PR commits a ``BENCH_<PR>.json`` at the repo
+root recording the timings of a fixed probe set — the largest Figure 6
+scalability configurations plus the Figure 8 stress points — optionally
+against a ``before`` baseline captured on the previous revision.  Future
+PRs compare against the committed files to catch regressions and to
+document speedups.
+
+Usage::
+
+    # capture a baseline on the old revision
+    python -m repro.bench.regression --out /tmp/before.json
+
+    # on the new revision, produce the committed report
+    python -m repro.bench.regression --baseline /tmp/before.json \\
+        --out BENCH_PR1.json
+
+    # CI smoke (tiny scale, just validates the machinery)
+    python -m repro.bench.regression --scale 0.01 --out /tmp/smoke.json
+
+The probe sizes are fixed (``--scale`` multiplies them), so reports are
+comparable run-to-run on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..workloads import (big_cluster_queries, chain_queries,
+                         non_unifying_queries, three_way_triangles,
+                         two_way_pairs)
+from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
+                      run_batch, run_incremental)
+
+#: Largest Figure 6 configuration (per series) at scale 1.
+FIG6_SIZE = 12_000
+#: Figure 8 linear-series size at scale 1.
+FIG8_SIZE = 4_000
+#: Figure 8 big-cluster size at scale 1.
+CLUSTER_SIZE = 200
+
+#: The fig6 series the acceptance gate tracks (largest configuration).
+HEADLINE_SERIES = "fig6_two_way_generic"
+
+SCHEMA_VERSION = 1
+
+
+def _sized(base: int, scale: float, minimum: int = 4) -> int:
+    return max(int(base * scale), minimum)
+
+
+def collect_series(scale: float = 1.0) -> dict:
+    """Run the regression probe set; returns name -> metrics dict."""
+    network = bench_network(
+        num_users=_sized(DEFAULT_BENCH_USERS, scale, minimum=50))
+    database = bench_database(network)
+    fig6 = _sized(FIG6_SIZE, scale)
+    fig8 = _sized(FIG8_SIZE, scale)
+    cluster = _sized(CLUSTER_SIZE, scale)
+
+    probes = (
+        ("fig6_two_way_generic", lambda: run_incremental(
+            database, two_way_pairs(network, fig6, seed=FIG6_SIZE))),
+        ("fig6_two_way_specific", lambda: run_incremental(
+            database, two_way_pairs(network, fig6, specific=True,
+                                    seed=FIG6_SIZE))),
+        ("fig6_three_way", lambda: run_incremental(
+            database, three_way_triangles(network, fig6, seed=FIG6_SIZE))),
+        ("fig8_no_unification", lambda: run_incremental(
+            database, non_unifying_queries(network, fig8, seed=FIG8_SIZE))),
+        ("fig8_chains", lambda: run_incremental(
+            database, chain_queries(network, fig8, seed=FIG8_SIZE))),
+        ("fig8_cluster_incremental_component", lambda: run_incremental(
+            database, big_cluster_queries(network, cluster,
+                                          seed=CLUSTER_SIZE),
+            incremental_strategy="component")),
+        ("fig8_cluster_batch", lambda: run_batch(
+            database, big_cluster_queries(network, cluster,
+                                          seed=CLUSTER_SIZE))),
+    )
+    series: dict = {}
+    for name, probe in probes:
+        metrics = probe()
+        series[name] = {
+            "queries": metrics["queries"],
+            "seconds": round(metrics["seconds"], 4),
+            "throughput_qps": round(metrics["throughput_qps"], 2),
+            "answered": metrics["answered"],
+        }
+        print(f"{name}: {series[name]}", flush=True)
+    return series
+
+
+def build_report(after: dict, before: Optional[dict] = None,
+                 scale: float = 1.0) -> dict:
+    """Assemble the report payload, computing per-series speedups."""
+    merged: dict = {}
+    for name, metrics in after.items():
+        entry = dict(metrics)
+        if before and name in before:
+            entry["before_seconds"] = before[name]["seconds"]
+            entry["before_answered"] = before[name].get("answered")
+            if metrics["seconds"] > 0:
+                entry["speedup"] = round(
+                    before[name]["seconds"] / metrics["seconds"], 2)
+        merged[name] = entry
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "python -m repro.bench.regression",
+        "python": platform.python_version(),
+        "scale": scale,
+        "headline_series": HEADLINE_SERIES,
+        "series": merged,
+    }
+    headline = merged.get(HEADLINE_SERIES, {})
+    if "speedup" in headline:
+        report["headline_speedup"] = headline["speedup"]
+    return report
+
+
+def validate_report(payload: dict) -> None:
+    """Raise ValueError if *payload* is not a well-formed report."""
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError("missing or unknown schema_version")
+    series = payload.get("series")
+    if not isinstance(series, dict) or not series:
+        raise ValueError("report has no series")
+    for name, entry in series.items():
+        for field in ("queries", "seconds", "throughput_qps"):
+            if field not in entry:
+                raise ValueError(f"series {name!r} lacks {field!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Produce a benchmark-regression report.")
+    parser.add_argument("--out", required=True,
+                        help="path of the JSON report to write")
+    parser.add_argument("--baseline", default=None,
+                        help="prior report to diff against (its 'series')")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="probe-size multiplier (default 1.0)")
+    args = parser.parse_args(argv)
+
+    before = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        before = payload.get("series", payload)
+
+    after = collect_series(scale=args.scale)
+    report = build_report(after, before=before, scale=args.scale)
+    validate_report(report)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

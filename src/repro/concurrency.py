@@ -1,0 +1,97 @@
+"""A process-wide worker pool for independent component evaluation.
+
+Matched components are independent (paper §4.1.2), so their combined
+queries can be evaluated concurrently.  Both :func:`repro.core.evaluate.
+coordinate` and the engine's batch mode used to either run sequentially
+or spin up a fresh ``ThreadPoolExecutor`` per round; this module gives
+them one shared, lazily created pool so coordination rounds pay no
+thread start-up cost.
+
+Only *evaluation* goes through the pool — it is read-only against the
+database snapshot (lazy index construction is locked inside
+:class:`repro.db.table.Table`).  All state mutation (ticket settlement,
+result recording) stays on the calling thread, in deterministic arrival
+order, which is what keeps parallel output byte-identical to sequential.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+#: Upper bound on pool size; coordination workloads are short tasks, so
+#: a few workers per core is plenty.
+MAX_POOL_WORKERS = 32
+
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_lock = threading.Lock()
+
+
+def default_worker_count() -> int:
+    """Worker count used when callers ask for an 'auto'-sized pool."""
+    return min(MAX_POOL_WORKERS, (os.cpu_count() or 1) + 4)
+
+
+def shared_pool() -> ThreadPoolExecutor:
+    """The process-wide evaluation pool (created on first use)."""
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = ThreadPoolExecutor(
+                    max_workers=default_worker_count(),
+                    thread_name_prefix="repro-eval")
+                atexit.register(_shutdown_pool)
+    return _pool
+
+
+def _shutdown_pool() -> None:
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+
+
+def map_bounded(fn, items, max_parallel: int) -> list:
+    """``[fn(item) for item in items]`` with at most *max_parallel*
+    in flight on the shared pool.
+
+    Results come back in input order.  This is how callers honor a
+    user-configured worker count (e.g. the engine's
+    ``parallel_workers``) without sizing a pool per call: the shared
+    pool provides the threads, the caller bounds its own concurrency.
+    The window is reaped as futures complete (not FIFO), so one slow
+    task does not stall submission of the rest.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+
+    items = list(items)
+    if max_parallel <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = shared_pool()
+    results: list = [None] * len(items)
+    position_of: dict = {}
+    pending: set = set()
+    next_position = 0
+    try:
+        while pending or next_position < len(items):
+            while (len(pending) < max_parallel
+                   and next_position < len(items)):
+                future = pool.submit(fn, items[next_position])
+                position_of[future] = next_position
+                pending.add(future)
+                next_position += 1
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[position_of.pop(future)] = future.result()
+    except BaseException:
+        # A worker raised (or the caller was interrupted): don't leave
+        # stragglers running behind the caller's back — they may touch
+        # state the caller mutates in its error handling.
+        if pending:
+            wait(pending)
+        raise
+    return results

@@ -26,6 +26,23 @@ from .terms import Atom, Constant, Variable
 DELTA = object()
 
 
+def has_repeated_variables(atom: Atom) -> bool:
+    """True if some variable occurs at two positions of *atom*.
+
+    Repeated variables are the one thing the index's candidate formula
+    cannot capture; atoms without them (the overwhelmingly common case —
+    queries are renamed apart) can skip post-lookup re-verification
+    entirely when the probe is also repeat-free.
+    """
+    seen: set[Variable] = set()
+    for term in atom.args:
+        if isinstance(term, Variable):
+            if term in seen:
+                return True
+            seen.add(term)
+    return False
+
+
 class AtomIndex:
     """Index from ``(relation, position, value)`` to atom entries.
 
@@ -33,7 +50,7 @@ class AtomIndex:
     itself is stored alongside so lookups can re-verify unifiability.
     """
 
-    __slots__ = ("_by_key", "_by_relation", "_atoms", "_arity_key")
+    __slots__ = ("_by_key", "_by_relation", "_atoms", "_repeats", "_vars")
 
     def __init__(self) -> None:
         # (relation, position, value-or-DELTA) -> set of entries
@@ -42,7 +59,10 @@ class AtomIndex:
         self._by_relation: dict[tuple[str, int], set[Hashable]] = {}
         # entry -> atom
         self._atoms: dict[Hashable, Atom] = {}
-        self._arity_key = None  # reserved; arity participates in keys below
+        # entry -> atom has a repeated variable (verification fast path)
+        self._repeats: dict[Hashable, bool] = {}
+        # entry -> the atom's variable set (verification fast path)
+        self._vars: dict[Hashable, frozenset[Variable]] = {}
 
     def __len__(self) -> int:
         return len(self._atoms)
@@ -67,6 +87,8 @@ class AtomIndex:
         if entry in self._atoms:
             raise KeyError(f"entry {entry!r} already indexed")
         self._atoms[entry] = atom
+        self._repeats[entry] = has_repeated_variables(atom)
+        self._vars[entry] = frozenset(atom.variables())
         self._by_relation.setdefault(
             (atom.relation, atom.arity), set()).add(entry)
         for key in self._keys_for(atom):
@@ -77,6 +99,8 @@ class AtomIndex:
         atom = self._atoms.pop(entry, None)
         if atom is None:
             return
+        self._repeats.pop(entry, None)
+        self._vars.pop(entry, None)
         bucket = self._by_relation.get((atom.relation, atom.arity))
         if bucket is not None:
             bucket.discard(entry)
@@ -101,25 +125,65 @@ class AtomIndex:
         relation_bucket = self._by_relation.get((probe.relation, probe.arity))
         if not relation_bucket:
             return set()
-        candidates: Optional[set[Hashable]] = None
+        empty: set[Hashable] = set()
+        by_key = self._by_key
+        # Gather the (exact, wildcard) bucket pair per constant position.
+        pairs: list[tuple[set[Hashable], set[Hashable]]] = []
         for position, term in enumerate(probe.args):
             if not isinstance(term, Constant):
                 continue
-            exact = self._by_key.get(
-                (probe.relation, probe.arity, position, term.value), set())
-            wild = self._by_key.get(
-                (probe.relation, probe.arity, position, DELTA), set())
-            position_candidates = exact | wild
-            if candidates is None:
-                candidates = set(position_candidates)
-            else:
-                candidates &= position_candidates
-            if not candidates:
+            exact = by_key.get(
+                (probe.relation, probe.arity, position, term.value), empty)
+            wild = by_key.get(
+                (probe.relation, probe.arity, position, DELTA), empty)
+            if not exact and not wild:
                 return set()
-        if candidates is None:
+            pairs.append((exact, wild))
+        if not pairs:
             # All-variable probe: every atom of the relation is a candidate.
             return set(relation_bucket)
+        # Seed from the most selective position and narrow by membership
+        # tests — never materialize the exact ∪ wildcard union (the
+        # wildcard bucket can hold every pending atom of the relation).
+        pairs.sort(key=lambda pair: len(pair[0]) + len(pair[1]))
+        exact, wild = pairs[0]
+        candidates = set(exact)
+        candidates.update(wild)
+        for exact, wild in pairs[1:]:
+            candidates = {entry for entry in candidates
+                          if entry in exact or entry in wild}
+            if not candidates:
+                return candidates
         return candidates
+
+    def lookup_unifiable(self, probe: Atom) -> list[tuple[Hashable, Atom]]:
+        """``(entry, atom)`` pairs that *definitely* unify with *probe*.
+
+        Unlike :meth:`lookup`, the result needs no re-verification.  The
+        index's candidate formula already enforces relation, arity, and
+        per-position constant compatibility; the only cases it cannot
+        decide are repeated variables (within an atom) and variables
+        shared across the two atoms, so :func:`repro.core.unify.
+        unify_atoms` is consulted exactly for those — which workloads
+        renamed apart essentially never hit.
+        """
+        from .unify import unify_atoms
+        candidates = self.lookup(probe)
+        if not candidates:
+            return []
+        probe_repeats = has_repeated_variables(probe)
+        probe_vars = frozenset(probe.variables())
+        atoms = self._atoms
+        repeats = self._repeats
+        variables = self._vars
+        verified: list[tuple[Hashable, Atom]] = []
+        for entry in candidates:
+            if (not probe_repeats and not repeats[entry]
+                    and probe_vars.isdisjoint(variables[entry])):
+                verified.append((entry, atoms[entry]))
+            elif unify_atoms(probe, atoms[entry]) is not None:
+                verified.append((entry, atoms[entry]))
+        return verified
 
     def entries(self) -> Iterator[tuple[Hashable, Atom]]:
         """Yield (entry, atom) pairs currently indexed."""
@@ -156,6 +220,10 @@ class NaiveAtomIndex:
         from .unify import atoms_unifiable
         return {entry for entry, atom in self._atoms.items()
                 if atoms_unifiable(probe, atom)}
+
+    def lookup_unifiable(self, probe: Atom) -> list[tuple[Hashable, Atom]]:
+        """Same as :meth:`lookup`: the scan already fully verifies."""
+        return [(entry, self._atoms[entry]) for entry in self.lookup(probe)]
 
     def entries(self) -> Iterator[tuple[Hashable, Atom]]:
         return iter(self._atoms.items())

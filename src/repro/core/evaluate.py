@@ -211,7 +211,8 @@ def coordinate(queries: Sequence[EntangledQuery],
                policy: ConflictPolicy = "first",
                rng: Optional[random.Random] = None,
                ucs_fallback: bool = False,
-               use_index: bool = True) -> CoordinationResult:
+               use_index: bool = True,
+               parallel_workers: int = 1) -> CoordinationResult:
     """Answer a set of entangled queries together (set-at-a-time mode).
 
     Args:
@@ -227,6 +228,12 @@ def coordinate(queries: Sequence[EntangledQuery],
             the Figure 3(b) situation; extension, off by default).
         use_index: build the unifiability graph with the atom index
             (disable only for the ablation benchmark).
+        parallel_workers: >1 evaluates independent matched components
+            concurrently on the process-wide pool (components are
+            independent per paper §4.1.2).  Results are merged on the
+            calling thread in arrival order, so output is byte-identical
+            to sequential mode.  Ignored when an *rng* is supplied —
+            shared-rng sampling must stay sequential to be reproducible.
 
     Returns a :class:`CoordinationResult` with answers, failures, and
     phase timings.
@@ -256,7 +263,24 @@ def coordinate(queries: Sequence[EntangledQuery],
     result.timings.match_seconds = time.perf_counter() - start
     result.matches = matches
 
-    for match in matches:
+    def evaluate_one(match: ComponentMatch) -> CoordinationResult:
+        scratch = CoordinationResult()
         _evaluate_component(queries_by_id, graph, match, database,
-                            result, rng, ucs_fallback, order)
+                            scratch, rng, ucs_fallback, order)
+        return scratch
+
+    if parallel_workers > 1 and rng is None and len(matches) > 1:
+        from ..concurrency import map_bounded
+        scratches = map_bounded(evaluate_one, matches, parallel_workers)
+    else:
+        scratches = [evaluate_one(match) for match in matches]
+
+    # Deterministic merge: matches are in arrival order, and each
+    # scratch result is merged wholesale before the next, so parallel
+    # evaluation is indistinguishable from sequential in the output.
+    for scratch in scratches:
+        result.answers.update(scratch.answers)
+        result.failures.update(scratch.failures)
+        result.combined.extend(scratch.combined)
+        result.timings.db_seconds += scratch.timings.db_seconds
     return result

@@ -24,12 +24,15 @@ from typing import Hashable, Iterable, Iterator, Optional
 from .atom_index import AtomIndex, NaiveAtomIndex
 from .query import EntangledQuery
 from .terms import Atom
-from .unify import Unifier, atoms_unifiable, unify_atoms
+from .unify import Unifier, unify_atoms
 
 #: Handle for a specific head atom: (query_id, head_position).
 HeadRef = tuple
 #: Handle for a specific postcondition atom: (query_id, pc_position).
 PcRef = tuple
+
+#: Sentinel for Edge's lazily computed ground-head key.
+_UNSET = object()
 
 
 class Edge:
@@ -47,7 +50,7 @@ class Edge:
     """
 
     __slots__ = ("src", "head_pos", "dst", "pc_pos", "head_atom",
-                 "pc_atom", "_unifier")
+                 "pc_atom", "_unifier", "_ground_key")
 
     def __init__(self, src: object, head_pos: int, dst: object,
                  pc_pos: int, head_atom: Atom, pc_atom: Atom):
@@ -58,6 +61,7 @@ class Edge:
         self.head_atom = head_atom
         self.pc_atom = pc_atom
         self._unifier: Optional[Unifier] = None
+        self._ground_key: object = _UNSET
 
     @property
     def unifier(self) -> Unifier:
@@ -66,6 +70,21 @@ class Edge:
             self._unifier = unify_atoms(self.head_atom, self.pc_atom)
             assert self._unifier is not None, "edge atoms must unify"
         return self._unifier
+
+    def ground_key(self) -> Optional[tuple]:
+        """The head atom's value tuple if it is ground, else None.
+
+        Cached: the engine's feasibility prefilter asks for this once
+        per (arrival, candidate) pair, and edges live as long as their
+        queries stay pending.
+        """
+        if self._ground_key is _UNSET:
+            if self.head_atom.is_ground():
+                self._ground_key = tuple(term.value
+                                         for term in self.head_atom.args)
+            else:
+                self._ground_key = None
+        return self._ground_key
 
     def __repr__(self) -> str:
         return (f"Edge({self.src!r}[{self.head_pos}] -> "
@@ -85,10 +104,15 @@ class UnifiabilityGraph:
         self._queries: dict[object, EntangledQuery] = {}
         self._head_index = index_cls()
         self._pc_index = index_cls()
-        # dst query id -> pc position -> list of edges into that pc
-        self._in_edges: dict[object, dict[int, list[Edge]]] = {}
-        # src query id -> list of outgoing edges
-        self._out_edges: dict[object, list[Edge]] = {}
+        # dst query id -> pc position -> src query id -> edges from that
+        # provider into that pc.  Keying the bucket by provider makes
+        # edge removal O(providers touched) instead of O(bucket), and
+        # lets matching collect a group's candidate edges without
+        # copying whole buckets.
+        self._in_edges: dict[object, dict[int, dict[object, list[Edge]]]] = {}
+        # src query id -> dst query id -> edges to that dependent
+        # (dst-keyed for the same O(1)-removal reason as above)
+        self._out_edges: dict[object, dict[object, list[Edge]]] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -114,29 +138,44 @@ class UnifiabilityGraph:
 
     def out_edges(self, query_id: object) -> list[Edge]:
         """Edges from *query_id*'s heads to other queries' postconditions."""
-        return list(self._out_edges.get(query_id, ()))
+        return [edge for edges in self._out_edges.get(query_id, {}).values()
+                for edge in edges]
 
     def in_edges(self, query_id: object) -> list[Edge]:
         """Edges into *query_id*'s postconditions, across all positions."""
         per_pc = self._in_edges.get(query_id, {})
-        return [edge for edges in per_pc.values() for edge in edges]
+        return [edge for by_src in per_pc.values()
+                for edges in by_src.values() for edge in edges]
 
     def in_edges_for_pc(self, query_id: object, pc_pos: int) -> list[Edge]:
         """Edges into one specific postcondition of *query_id*."""
-        return list(self._in_edges.get(query_id, {}).get(pc_pos, ()))
+        by_src = self._in_edges.get(query_id, {}).get(pc_pos)
+        if not by_src:
+            return []
+        return [edge for edges in by_src.values() for edge in edges]
+
+    def in_edges_by_src(self, query_id: object,
+                        pc_pos: int) -> dict[object, list[Edge]]:
+        """Provider -> edges mapping for one postcondition (read-only)."""
+        by_src = self._in_edges.get(query_id, {}).get(pc_pos)
+        return by_src if by_src is not None else {}
 
     def indegree(self, query_id: object) -> int:
         """INDEGREE(q): number of edges into the query node."""
         return sum(len(edges)
-                   for edges in self._in_edges.get(query_id, {}).values())
+                   for by_src in self._in_edges.get(query_id, {}).values()
+                   for edges in by_src.values())
 
     def successors(self, query_id: object) -> set[object]:
         """Distinct queries whose postconditions this query's heads satisfy."""
-        return {edge.dst for edge in self._out_edges.get(query_id, ())}
+        return set(self._out_edges.get(query_id, ()))
 
     def predecessors(self, query_id: object) -> set[object]:
         """Distinct queries whose heads satisfy this query's postconditions."""
-        return {edge.src for edge in self.in_edges(query_id)}
+        result: set[object] = set()
+        for by_src in self._in_edges.get(query_id, {}).values():
+            result.update(by_src)
+        return result
 
     def unsatisfied_pcs(self, query_id: object) -> list[int]:
         """Postcondition positions with no incoming edge."""
@@ -163,35 +202,34 @@ class UnifiabilityGraph:
         if query_id in self._queries:
             raise KeyError(f"query id {query_id!r} already in graph")
         self._queries[query_id] = query
-        self._in_edges[query_id] = {position: []
+        self._in_edges[query_id] = {position: {}
                                     for position in range(query.pccount)}
-        self._out_edges[query_id] = []
+        self._out_edges[query_id] = {}
 
         new_edges: list[Edge] = []
-        # New heads may satisfy existing postconditions.
+        # New heads may satisfy existing postconditions.  The index's
+        # verified lookup skips per-candidate unification except for the
+        # rare repeated/shared-variable cases it cannot decide itself.
         for head_pos, head in enumerate(query.head):
-            for entry in self._pc_index.lookup(head):
-                dst_id, pc_pos = entry
+            for (dst_id, pc_pos), pc_atom \
+                    in self._pc_index.lookup_unifiable(head):
                 if dst_id == query_id:
                     continue
-                pc_atom = self._pc_index.atom_for(entry)
-                if atoms_unifiable(head, pc_atom):
-                    new_edges.append(Edge(query_id, head_pos,
-                                          dst_id, pc_pos, head, pc_atom))
+                new_edges.append(Edge(query_id, head_pos,
+                                      dst_id, pc_pos, head, pc_atom))
         # Existing heads may satisfy the new postconditions.
         for pc_pos, postcondition in enumerate(query.postconditions):
-            for entry in self._head_index.lookup(postcondition):
-                src_id, head_pos = entry
+            for (src_id, head_pos), head \
+                    in self._head_index.lookup_unifiable(postcondition):
                 if src_id == query_id:
                     continue
-                head = self._head_index.atom_for(entry)
-                if atoms_unifiable(head, postcondition):
-                    new_edges.append(Edge(src_id, head_pos,
-                                          query_id, pc_pos, head,
-                                          postcondition))
+                new_edges.append(Edge(src_id, head_pos,
+                                      query_id, pc_pos, head,
+                                      postcondition))
         for edge in new_edges:
-            self._out_edges[edge.src].append(edge)
-            self._in_edges[edge.dst].setdefault(edge.pc_pos, []).append(edge)
+            self._out_edges[edge.src].setdefault(edge.dst, []).append(edge)
+            self._in_edges[edge.dst].setdefault(
+                edge.pc_pos, {}).setdefault(edge.src, []).append(edge)
 
         # Index the new atoms last so the query cannot match itself.
         for head_pos, head in enumerate(query.head):
@@ -209,19 +247,20 @@ class UnifiabilityGraph:
             self._head_index.remove((query_id, head_pos))
         for pc_pos in range(query.pccount):
             self._pc_index.remove((query_id, pc_pos))
-        for edge in self._out_edges.pop(query_id, ()):
-            dst_pcs = self._in_edges.get(edge.dst)
-            if dst_pcs is not None:
-                bucket = dst_pcs.get(edge.pc_pos)
-                if bucket is not None:
-                    dst_pcs[edge.pc_pos] = [
-                        other for other in bucket if other.src != query_id]
-        for edge in self.in_edges(query_id):
-            src_out = self._out_edges.get(edge.src)
-            if src_out is not None:
-                self._out_edges[edge.src] = [
-                    other for other in src_out if other.dst != query_id]
-        self._in_edges.pop(query_id, None)
+        # Both edge maps are keyed by the opposite endpoint, so removal
+        # is one dict pop per incident bucket — no list rebuilds.
+        for by_dst in self._out_edges.pop(query_id, {}).values():
+            for edge in by_dst:
+                dst_pcs = self._in_edges.get(edge.dst)
+                if dst_pcs is not None:
+                    by_src = dst_pcs.get(edge.pc_pos)
+                    if by_src is not None:
+                        by_src.pop(query_id, None)
+        for per_pc in self._in_edges.pop(query_id, {}).values():
+            for src_id in per_pc:
+                src_out = self._out_edges.get(src_id)
+                if src_out is not None:
+                    src_out.pop(query_id, None)
 
     # ------------------------------------------------------------------
     # partitioning (paper Section 4.1.2)

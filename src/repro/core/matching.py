@@ -33,7 +33,7 @@ from typing import Iterable, Literal, Optional, Sequence
 from ..errors import SafetyViolation
 from .graph import Edge, UnifiabilityGraph
 from .query import EntangledQuery
-from .unify import Unifier, mgu, mgu_all
+from .unify import Unifier, mgu_all
 
 ConflictPolicy = Literal["first", "error", "backtrack"]
 
@@ -79,23 +79,24 @@ class ComponentMatch:
 def _choose_edges(graph: UnifiabilityGraph,
                   component: Sequence,
                   order: dict,
-                  policy: ConflictPolicy) -> tuple[dict, list]:
+                  policy: ConflictPolicy) -> tuple[dict, dict]:
     """Pick one providing edge per postcondition.
 
-    Returns ``(chosen, choice_points)`` where *chosen* maps
+    Returns ``(chosen, alternatives)`` where *chosen* maps
     ``(query_id, pc_pos)`` to an Edge or None (unsatisfiable), and
-    *choice_points* lists the keys that had multiple candidates (for the
-    backtracking policy).
+    *alternatives* maps the keys that had multiple candidates to their
+    full sorted candidate lists (for the backtracking policy).
     """
     chosen: dict = {}
-    choice_points: list = []
+    alternatives: dict = {}
     member_set = set(component)
     for query_id in component:
         query = graph.query(query_id)
         for pc_pos in range(query.pccount):
-            candidates = [edge for edge
-                          in graph.in_edges_for_pc(query_id, pc_pos)
-                          if edge.src in member_set]
+            candidates = [edge for src, edges
+                          in graph.in_edges_by_src(query_id,
+                                                   pc_pos).items()
+                          if src in member_set for edge in edges]
             if not candidates:
                 chosen[(query_id, pc_pos)] = None
                 continue
@@ -108,11 +109,9 @@ def _choose_edges(graph: UnifiabilityGraph,
                         witnesses=tuple(edge.src for edge in candidates))
                 candidates.sort(key=lambda edge: (order[edge.src],
                                                   edge.head_pos))
-                choice_points.append((query_id, pc_pos))
+                alternatives[(query_id, pc_pos)] = candidates
             chosen[(query_id, pc_pos)] = candidates[0]
-            if len(candidates) > 1:
-                chosen[(query_id, pc_pos, "alternatives")] = candidates
-    return chosen, choice_points
+    return chosen, alternatives
 
 
 def _propagate(graph: UnifiabilityGraph,
@@ -128,12 +127,22 @@ def _propagate(graph: UnifiabilityGraph,
     alive: set = set(component)
     unifiers: dict = {}
 
+    # Arrival-order ranks, computed once per component; *component* is
+    # already sorted by arrival, so positional rank is the arrival rank.
+    # Algorithm 1's inner loop used to re-sort each provider's dependents
+    # on every queue pop (with repr() as the key, no less); instead the
+    # dependent lists are built rank-sorted up front.
+    rank = {query_id: position
+            for position, query_id in enumerate(component)}
+
     # successors along *chosen* edges: provider -> dependents
-    dependents: dict = {query_id: set() for query_id in component}
-    for key, edge in chosen.items():
-        if len(key) != 2 or edge is None:
-            continue
-        dependents[edge.src].add(edge.dst)
+    dependent_sets: dict = {query_id: set() for query_id in component}
+    for edge in chosen.values():
+        if edge is not None:
+            dependent_sets[edge.src].add(edge.dst)
+    dependents: dict = {
+        query_id: sorted(dsts, key=rank.__getitem__)
+        for query_id, dsts in dependent_sets.items()}
 
     def cleanup(node) -> None:
         """Remove *node* and all its chosen-edge descendants."""
@@ -161,7 +170,7 @@ def _propagate(graph: UnifiabilityGraph,
             if edge is None:
                 node_unifier = None
                 break
-            node_unifier = mgu(node_unifier, edge.unifier)
+            node_unifier = node_unifier.merged_with(edge.unifier)
             if node_unifier is None:
                 break
         if node_unifier is None:
@@ -174,16 +183,19 @@ def _propagate(graph: UnifiabilityGraph,
             updates.append(query_id)
             in_queue.add(query_id)
 
-    # Algorithm 1 proper.
+    # Algorithm 1 proper.  merged_with prefers the child's forest as the
+    # merge base on size ties, and the cached canonical fingerprint makes
+    # the `merged != unifiers[child]` change detection a frozenset
+    # comparison instead of two partition rebuilds.
     while updates:
         parent = updates.popleft()
         if parent not in alive:
             continue
         in_queue.discard(parent)
-        for child in sorted(dependents.get(parent, ()), key=repr):
+        for child in dependents.get(parent, ()):
             if child not in alive or parent not in alive:
                 continue
-            merged = mgu(unifiers[parent], unifiers[child])
+            merged = unifiers[child].merged_with(unifiers[parent])
             if merged is None:
                 cleanup(child)
                 continue
@@ -215,19 +227,7 @@ def match_component(graph: UnifiabilityGraph,
 
     chosen, _ = _choose_edges(graph, members, order, policy)
     alive, unifiers = _propagate(graph, members, chosen)
-    survivors = tuple(query_id for query_id in members if query_id in alive)
-    global_unifier = mgu_all(unifiers[query_id] for query_id in survivors)
-    chosen_edges = {key: edge for key, edge in chosen.items()
-                    if len(key) == 2 and edge is not None
-                    and key[0] in alive and edge.src in alive}
-    return ComponentMatch(
-        component=tuple(members),
-        survivors=survivors,
-        removed=frozenset(set(members) - alive),
-        unifiers={query_id: unifiers[query_id] for query_id in survivors},
-        chosen_edges=chosen_edges,
-        global_unifier=global_unifier,
-    )
+    return _package(graph, members, chosen, alive, unifiers)
 
 
 def _match_with_backtracking(graph: UnifiabilityGraph,
@@ -240,13 +240,13 @@ def _match_with_backtracking(graph: UnifiabilityGraph,
     outcome with the most survivors, preferring earlier arrival order on
     ties.  With no choice points this degenerates to the "first" policy.
     """
-    chosen, choice_points = _choose_edges(graph, members, order, "first")
+    chosen, alternatives = _choose_edges(graph, members, order, "first")
+    choice_points = list(alternatives)
     if not choice_points or len(choice_points) > MAX_BACKTRACK_CHOICE_POINTS:
         alive, unifiers = _propagate(graph, members, chosen)
         return _package(graph, members, chosen, alive, unifiers)
 
-    alternative_lists = [chosen[(query_id, pc_pos, "alternatives")]
-                         for query_id, pc_pos in choice_points]
+    alternative_lists = [alternatives[key] for key in choice_points]
     best: Optional[tuple] = None
     for combination in itertools.product(*alternative_lists):
         trial = dict(chosen)
@@ -274,7 +274,7 @@ def _package(graph: UnifiabilityGraph, members: list, chosen: dict,
     survivors = tuple(query_id for query_id in members if query_id in alive)
     global_unifier = mgu_all(unifiers[query_id] for query_id in survivors)
     chosen_edges = {key: edge for key, edge in chosen.items()
-                    if len(key) == 2 and edge is not None
+                    if edge is not None
                     and key[0] in alive and edge.src in alive}
     return ComponentMatch(
         component=tuple(members),

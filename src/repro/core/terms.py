@@ -12,8 +12,8 @@ forests and lets query sets be deduplicated and indexed cheaply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Union
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,9 +24,20 @@ class Variable:
     are equal.  The matching algorithm requires that no variable appear in
     more than one query; :meth:`repro.core.query.EntangledQuery.rename_apart`
     enforces this by suffixing names with a query-unique tag.
+
+    The hash is precomputed: terms key the union-find forests, the
+    executor's valuations, and the atom index, so they are hashed many
+    millions of times per coordination round.
     """
 
     name: str
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return self.name
@@ -41,9 +52,17 @@ class Constant:
 
     The payload may be any hashable Python value; in practice the flight
     workloads use strings (user names, airport codes) and integers.
+    Like :class:`Variable`, the hash is precomputed.
     """
 
     value: object
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((Constant, self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
@@ -81,10 +100,16 @@ class Atom:
 
     relation: str
     args: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.args, tuple):
             object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "_hash",
+                           hash((Atom, self.relation, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def arity(self) -> int:
@@ -155,6 +180,51 @@ def atom(relation: str, *args: object) -> Atom:
         else:
             terms.append(Constant(value))
     return Atom(relation, tuple(terms))
+
+
+class TermNumbering:
+    """First-occurrence variable numbering for renaming-invariant keys.
+
+    Both the planner's plan-cache signature and the engine's
+    feasibility memo need to key structures by "the same atoms up to
+    renaming variables": variables map to dense integers in order of
+    first appearance, constants either to their value (``("c", value)``)
+    or to a bare marker when values should not distinguish keys.
+    One numbering instance is shared across every atom of one key, so
+    join structure (variable sharing) is captured.
+    """
+
+    __slots__ = ("_ids",)
+
+    #: Marker used for constants when their values are excluded.
+    CONSTANT_MARK = "c"
+
+    def __init__(self) -> None:
+        self._ids: dict[Variable, int] = {}
+
+    def token(self, term: Term, constant_values: bool = True) -> object:
+        """The canonical token for *term*, extending the numbering."""
+        if isinstance(term, Constant):
+            if constant_values:
+                return ("c", term.value)
+            return self.CONSTANT_MARK
+        token = self._ids.get(term)
+        if token is None:
+            token = self._ids[term] = len(self._ids)
+        return token
+
+    def get(self, variable: Variable) -> Optional[int]:
+        """The id already assigned to *variable*, or None."""
+        return self._ids.get(variable)
+
+    def atoms_key(self, atoms: Iterable[Atom],
+                  constant_values: bool = True) -> tuple:
+        """Renaming-invariant key: (relation, arg tokens) per atom."""
+        return tuple(
+            (atom.relation,
+             tuple(self.token(term, constant_values)
+                   for term in atom.args))
+            for atom in atoms)
 
 
 def variables_of(atoms: Iterable[Atom]) -> set[Variable]:

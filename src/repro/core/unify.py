@@ -41,13 +41,19 @@ class Unifier:
     node unifiers.  Use :meth:`copy` where value semantics are needed.
     """
 
-    __slots__ = ("_parent", "_rank", "_class_constant")
+    __slots__ = ("_parent", "_rank", "_class_constant", "_canonical")
 
     def __init__(self) -> None:
         self._parent: dict[Term, Term] = {}
         self._rank: dict[Term, int] = {}
         # representative term -> the Constant known for its class, if any
         self._class_constant: dict[Term, Constant] = {}
+        # Cached canonical fingerprint (the frozenset of non-singleton
+        # classes); invalidated whenever a merge actually unions two
+        # classes.  Algorithm 1 compares unifiers on every propagation
+        # step, so keeping this warm removes the dominant re-canonicalize
+        # cost from the matching hot loop.
+        self._canonical: Optional[frozenset[frozenset[Term]]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -88,7 +94,12 @@ class Unifier:
         clone._parent = dict(self._parent)
         clone._rank = dict(self._rank)
         clone._class_constant = dict(self._class_constant)
+        clone._canonical = self._canonical
         return clone
+
+    def __len__(self) -> int:
+        """Number of terms mentioned (size of the union-find forest)."""
+        return len(self._parent)
 
     # ------------------------------------------------------------------
     # union-find core
@@ -137,6 +148,7 @@ class Unifier:
             root_left, root_right = root_right, root_left
             const_left, const_right = const_right, const_left
         self._parent[root_right] = root_left
+        self._canonical = None
         if self._rank[root_left] == self._rank[root_right]:
             self._rank[root_left] += 1
         if const_left is None and const_right is not None:
@@ -195,8 +207,16 @@ class Unifier:
                 if len(members) > 1]
 
     def canonical(self) -> frozenset[frozenset[Term]]:
-        """A hashable canonical form: the set of non-singleton classes."""
-        return frozenset(self.classes())
+        """A hashable canonical form: the set of non-singleton classes.
+
+        The result is cached until the next class-changing merge, so
+        repeated equality checks (the change detection at the heart of
+        Algorithm 1) cost one frozenset comparison, not a rebuild of the
+        partition from the forest.
+        """
+        if self._canonical is None:
+            self._canonical = frozenset(self.classes())
+        return self._canonical
 
     def is_trivial(self) -> bool:
         """Return True if this unifier imposes no constraints."""
@@ -218,6 +238,25 @@ class Unifier:
         of classes) only moves in one direction under :meth:`update`.
         """
         return sum(len(group) for group in self.classes())
+
+    def merged_with(self, other: "Unifier") -> Optional["Unifier"]:
+        """Most general unifier of self and *other* as a new unifier.
+
+        Size-aware asymmetric merge: the smaller forest is folded into a
+        copy of the larger one, so the work is proportional to the
+        smaller operand (plus one dict copy of the larger).  Ties prefer
+        *self* as the base, which lets Algorithm 1 detect "no change"
+        against a node's current unifier without re-canonicalizing.
+
+        Returns None when the two unifiers are jointly inconsistent.
+        """
+        base, folded = self, other
+        if len(folded._parent) > len(base._parent):
+            base, folded = folded, base
+        result = base.copy()
+        if not result.update(folded):
+            return None
+        return result
 
     # ------------------------------------------------------------------
     # substitution
@@ -311,13 +350,7 @@ def mgu(left: Optional[Unifier], right: Optional[Unifier]) -> Optional[Unifier]:
     """
     if left is None or right is None:
         return None
-    # Merge the smaller into a copy of the larger.
-    if len(left._parent) < len(right._parent):
-        left, right = right, left
-    result = left.copy()
-    if not result.update(right):
-        return None
-    return result
+    return left.merged_with(right)
 
 
 def mgu_all(unifiers: Iterable[Optional[Unifier]]) -> Optional[Unifier]:

@@ -46,6 +46,14 @@ class HashIndex:
         """Row ids whose projection equals *key* (empty list if none)."""
         return self._buckets.get(key, [])
 
+    def bucket_getter(self):
+        """The buckets' bound ``dict.get`` (missing keys yield None).
+
+        The executor stores this per compiled plan step so its inner
+        loop probes without any intermediate method call.
+        """
+        return self._buckets.get
+
     def bucket_count(self) -> int:
         """Number of distinct keys (used by the planner's estimates)."""
         return len(self._buckets)

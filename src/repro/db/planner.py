@@ -1,4 +1,4 @@
-"""Greedy join ordering for conjunctive queries.
+"""Greedy join ordering for conjunctive queries, with a plan cache.
 
 The executor evaluates atoms one at a time, extending a partial valuation
 by probing hash indexes on the positions already bound.  Evaluation cost
@@ -16,16 +16,54 @@ Estimates come from actual index bucket sizes, so they are exact for
 single-probe selectivity and only heuristic across joins, which is enough
 to keep the paper's combined queries (chains of Friends/User joins)
 near-linear.
+
+Coordination rounds plan thousands of *structurally identical* combined
+queries that differ only in their constants (every two-way pair produces
+the same join shape with different user names).  The planner therefore
+caches the chosen atom order and comparison schedule keyed by a
+:func:`query_signature` — relations, bound-position pattern, join
+structure via first-occurrence variable numbering, and comparison shape.
+A cache hit rebuilds the plan for the concrete query in O(atoms) instead
+of re-running the O(atoms²) greedy cost search.  Cached orders are
+validated against the involved tables' mutation versions, so data
+changes fall back to fresh greedy planning.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Sequence
 
-from ..core.terms import Atom, Constant, Variable
+from ..core.terms import Atom, Constant, TermNumbering, Variable
 from ..errors import QueryEvaluationError
 from .expression import Comparison, ConjunctiveQuery
+
+#: Cache entries are dropped wholesale past this size (simple and
+#: sufficient: coordination workloads produce a handful of shapes).
+MAX_CACHED_PLANS = 1024
+
+
+def query_signature(query: ConjunctiveQuery) -> tuple:
+    """A hashable structural key for plan caching.
+
+    Two queries share a signature iff they are identical up to renaming
+    variables and changing constant *values*: same relation sequence,
+    same constant/variable pattern per position, same variable-sharing
+    (join) structure, and same comparison shapes.  Any atom order that is
+    valid for one is valid for the other, so a cached order can be
+    replayed on the concrete atoms of either.  Constant values are
+    deliberately excluded — plans are order-correct for any constants,
+    and including values would make every per-user combined query a
+    cache miss.
+    """
+    numbering = TermNumbering()
+    atom_tokens = numbering.atoms_key(query.atoms, constant_values=False)
+    comparison_tokens = tuple(
+        (comparison.op,
+         numbering.token(comparison.left, constant_values=False),
+         numbering.token(comparison.right, constant_values=False))
+        for comparison in query.comparisons)
+    return (atom_tokens, comparison_tokens, query.distinct)
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,46 +98,190 @@ class Plan:
         return "\n".join(lines) if lines else "(empty plan)"
 
 
+@dataclass(frozen=True, slots=True)
+class _CachedOrder:
+    """A reusable planning decision for one query signature.
+
+    Attributes:
+        atom_order: indices into ``query.atoms`` in execution order.
+        step_comparisons: per step, indices into ``query.comparisons``
+            scheduled at that step.
+        pre_comparisons: indices of constant-only comparisons.
+        table_versions: mutation versions of the involved tables at plan
+            time, in ``atom_order`` sequence; a mismatch invalidates the
+            entry (stats may have shifted enough to change the greedy
+            choice).
+    """
+
+    atom_order: tuple[int, ...]
+    step_comparisons: tuple[tuple[int, ...], ...]
+    pre_comparisons: tuple[int, ...]
+    table_versions: tuple[int, ...]
+
+
 class Planner:
     """Plans conjunctive queries against a database's statistics.
 
     The *database* object must expose ``table(name)`` returning an object
-    with ``count_probe(bindings)`` and ``__len__`` — i.e.
+    with ``count_probe(bindings)``, ``version`` and ``__len__`` — i.e.
     :class:`repro.db.table.Table`.
     """
 
-    def __init__(self, database):
+    def __init__(self, database, cache_plans: bool = True):
         self._database = database
+        self._cache_plans = cache_plans
+        self._cache: dict[tuple, _CachedOrder] = {}
+        # Guards the cache and its counters: plan_order is called from
+        # worker threads during parallel component evaluation.
+        self._cache_lock = threading.Lock()
+        # Diagnostics (read by benchmarks and tests).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def plan(self, query: ConjunctiveQuery) -> Plan:
         """Produce an execution order for *query*."""
+        order, _ = self.plan_order(query)
+        return self._replay(query, order)
+
+    def plan_order(self,
+                   query: ConjunctiveQuery) -> tuple[_CachedOrder, list]:
+        """The index-level planning decision plus resolved tables.
+
+        This is the executor's entry point: on a cache hit nothing is
+        validated or materialized beyond the table-resolution loop —
+        signature-equal queries are structurally interchangeable, so the
+        seeding query's validation covers them, and the executor
+        compiles its probe machinery straight from the index order.
+        """
+        # Resolve tables up front: fails fast on unknown relations and
+        # hoists the per-step arity checks out of the executor's inner
+        # recursion into plan build time.
+        tables = []
+        for atom in query.atoms:
+            table = self._database.table(atom.relation)
+            if table.schema.arity != atom.arity:
+                raise QueryEvaluationError(
+                    f"atom {atom} has arity {atom.arity} but table "
+                    f"{atom.relation!r} has arity {table.schema.arity}")
+            tables.append(table)
+
+        if not self._cache_plans:
+            query.validate()
+            return self._plan_greedy(query)[1], tables
+
+        signature = query_signature(query)
+        with self._cache_lock:
+            cached = self._cache.get(signature)
+            if cached is not None:
+                versions = tuple(tables[index].version
+                                 for index in cached.atom_order)
+                if versions == cached.table_versions:
+                    self.cache_hits += 1
+                    return cached, tables
+            self.cache_misses += 1
+        # Greedy planning is the expensive part; run it unlocked (two
+        # racing threads at worst both plan and one insert wins).
         query.validate()
-        remaining = list(query.atoms)
-        pending_comparisons = list(query.comparisons)
+        _, order = self._plan_greedy(query)
+        stored = _CachedOrder(
+            atom_order=order.atom_order,
+            step_comparisons=order.step_comparisons,
+            pre_comparisons=order.pre_comparisons,
+            table_versions=tuple(tables[index].version
+                                 for index in order.atom_order))
+        with self._cache_lock:
+            if len(self._cache) >= MAX_CACHED_PLANS:
+                self._cache.clear()
+            self._cache[signature] = stored
+        return stored, tables
+
+    def clear_cache(self) -> None:
+        """Drop all cached plan orders."""
+        with self._cache_lock:
+            self._cache.clear()
+
+    @staticmethod
+    def _replay(query: ConjunctiveQuery, cached: _CachedOrder) -> Plan:
+        """Rebuild a plan for *query* from a cached order in O(atoms)."""
+        steps = tuple(
+            PlanStep(query.atoms[atom_index],
+                     tuple(query.comparisons[comparison_index]
+                           for comparison_index in scheduled))
+            for atom_index, scheduled
+            in zip(cached.atom_order, cached.step_comparisons))
+        pre = tuple(query.comparisons[index]
+                    for index in cached.pre_comparisons)
+        return Plan(steps, pre)
+
+    def _plan_greedy(self,
+                     query: ConjunctiveQuery) -> tuple[Plan, _CachedOrder]:
+        """Run the greedy search; also report the index-level decisions.
+
+        Cost estimates are memoized per remaining atom and invalidated
+        only when one of the atom's own variables becomes bound — the
+        estimate depends on nothing else — which turns the search from
+        O(atoms² · probes) into O(atoms · degree) probes.  Combined
+        queries over large components have hundreds of atoms, so this
+        is what keeps re-planning them tractable.
+        """
+        atoms = query.atoms
+        remaining = list(range(len(atoms)))
+        atom_vars = [frozenset(atom.variables()) for atom in atoms]
+        has_constants = [any(isinstance(term, Constant)
+                             for term in atom.args) for atom in atoms]
+        costs: list[float | None] = [None] * len(atoms)
+
+        pending = [index for index, comparison
+                   in enumerate(query.comparisons)
+                   if comparison.variables()]
+        pre_indices = tuple(index for index, comparison
+                            in enumerate(query.comparisons)
+                            if not comparison.variables())
         bound: set[Variable] = set()
 
-        # Comparisons with no variables (constant folding) run up front.
-        pre = tuple(comparison for comparison in pending_comparisons
-                    if not comparison.variables())
-        pending_comparisons = [comparison for comparison
-                               in pending_comparisons
-                               if comparison.variables()]
-
+        atom_order: list[int] = []
+        step_comparisons: list[tuple[int, ...]] = []
         steps: list[PlanStep] = []
         while remaining:
-            best_index = self._pick_next(remaining, bound)
-            atom = remaining.pop(best_index)
-            bound.update(atom.variables())
-            ready = tuple(comparison for comparison in pending_comparisons
-                          if comparison.variables() <= bound)
-            pending_comparisons = [comparison for comparison
-                                   in pending_comparisons
-                                   if not comparison.variables() <= bound]
-            steps.append(PlanStep(atom, ready))
-        if pending_comparisons:  # pragma: no cover - validate() precludes
+            best_index = None
+            best_key: tuple | None = None
+            for atom_index in remaining:
+                cost = costs[atom_index]
+                if cost is None:
+                    cost = self._estimated_cost(atoms[atom_index], bound)
+                    costs[atom_index] = cost
+                connected = not bound or not bound.isdisjoint(
+                    atom_vars[atom_index])
+                # Prefer connected atoms, then low cost, then
+                # constant-bearing atoms, then stable position order
+                # (remaining preserves original order) for determinism.
+                key = (not connected, cost, not has_constants[atom_index])
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = atom_index
+            remaining.remove(best_index)
+            atom = atoms[best_index]
+            newly_bound = atom_vars[best_index] - bound
+            bound |= newly_bound
+            if newly_bound:
+                for atom_index in remaining:
+                    if not newly_bound.isdisjoint(atom_vars[atom_index]):
+                        costs[atom_index] = None
+            ready = tuple(index for index in pending
+                          if query.comparisons[index].variables() <= bound)
+            pending = [index for index in pending
+                       if not query.comparisons[index].variables() <= bound]
+            atom_order.append(best_index)
+            step_comparisons.append(ready)
+            steps.append(PlanStep(
+                atom, tuple(query.comparisons[index] for index in ready)))
+        if pending:  # pragma: no cover - validate() precludes
             raise QueryEvaluationError(
                 "comparisons left unscheduled; query not range-restricted")
-        return Plan(tuple(steps), pre)
+        pre = tuple(query.comparisons[index] for index in pre_indices)
+        order = _CachedOrder(tuple(atom_order), tuple(step_comparisons),
+                             pre_indices, ())
+        return Plan(tuple(steps), pre), order
 
     # ------------------------------------------------------------------
 
@@ -125,22 +307,3 @@ class Planner:
             return float(len(table))
         index = table.index_on(tuple(sorted(positions)))
         return max(index.estimate_bucket_size(len(table)), 0.001)
-
-    def _pick_next(self, remaining: Sequence[Atom],
-                   bound: set[Variable]) -> int:
-        """Index of the cheapest next atom, avoiding cross products."""
-        best_index = 0
-        best_key: tuple | None = None
-        for position, atom in enumerate(remaining):
-            atom_vars = set(atom.variables())
-            connected = bool(atom_vars & bound) or not bound
-            has_constants = any(isinstance(term, Constant)
-                                for term in atom.args)
-            cost = self._estimated_cost(atom, bound)
-            # Prefer connected atoms, then low cost, then constant-bearing
-            # atoms, then stable position order for determinism.
-            key = (not connected, cost, not has_constants, position)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_index = position
-        return best_index

@@ -27,6 +27,14 @@ class Table:
         # Guards lazy index construction: the engine may evaluate
         # independent partitions on worker threads concurrently.
         self._index_lock = threading.Lock()
+        # Bumped on every mutation; the planner's cached plan orders are
+        # validated against this so stale statistics trigger a re-plan.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (invalidates cached plans on data change)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # mutation
@@ -38,6 +46,7 @@ class Table:
         row_id = self._next_row_id
         self._next_row_id += 1
         self._rows[row_id] = stored
+        self._version += 1
         for index in self._indexes.values():
             index.add(row_id, stored)
         return row_id
@@ -56,6 +65,7 @@ class Table:
                   if predicate(row)]
         for row_id in doomed:
             row = self._rows.pop(row_id)
+            self._version += 1
             for index in self._indexes.values():
                 index.remove(row_id, row)
         return len(doomed)
@@ -111,6 +121,26 @@ class Table:
                         index.add(row_id, row)
                     self._indexes[key] = index
         return index
+
+    @property
+    def row_map(self) -> dict[int, tuple]:
+        """The live row-id -> row mapping (treat as read-only).
+
+        Exposed for the executor's compiled plans, which resolve index
+        buckets to rows in their inner loop; going through a method per
+        probe would dominate small-bucket joins.
+        """
+        return self._rows
+
+    def fetch_rows(self, row_ids: Iterable[int]) -> list[tuple]:
+        """The rows for *row_ids* (as returned by an index probe).
+
+        The executor resolves index handles at plan-compile time and
+        probes them directly; this is its path back from row ids to rows
+        without re-canonicalizing positions on every probe.
+        """
+        rows = self._rows
+        return [rows[row_id] for row_id in row_ids]
 
     def probe(self, bindings: dict[int, object]) -> Iterator[tuple]:
         """Yield rows matching equality *bindings* (position -> value).

@@ -27,8 +27,9 @@ from __future__ import annotations
 import random
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Literal, Optional, Sequence
+
+from ..concurrency import map_bounded
 
 from ..core.combine import build_combined_query
 from ..core.evaluate import Answer, FailureReason, _record_answers
@@ -37,7 +38,7 @@ from ..core.matching import ComponentMatch, match_component
 from ..core.query import EntangledQuery
 from ..core.safety import SafetyChecker
 from ..core.ucs import check_ucs_graph
-from ..core.terms import Variable
+from ..core.terms import Constant, TermNumbering
 from ..db.database import Database
 from ..errors import CoordinationError, ReproError, ValidationError
 from .futures import CoordinationTicket, TicketCallback
@@ -47,6 +48,11 @@ from .stats import EngineStats
 
 EngineMode = Literal["incremental", "batch"]
 SafetyMode = Literal["reject", "off"]
+
+#: Marker for postcondition slots the body does not bind; never equal to
+#: any database value, mirroring the unbound Variable objects that used
+#: to occupy those slots.
+_UNBOUND = object()
 
 
 class D3CEngine:
@@ -144,6 +150,10 @@ class D3CEngine:
         # is treated as a snapshot per the paper, so a failed group
         # cannot succeed until the data changes (see invalidate_cache).
         self._failed_groups: set[frozenset] = set()
+        # Canonical-body-key -> (canonical valuations, complete,
+        # table versions) for the feasibility prefilter; entries are
+        # revalidated against table versions on every hit.
+        self._feasible_memo: dict[tuple, tuple[list, bool, tuple]] = {}
 
     # ------------------------------------------------------------------
     # submission
@@ -278,11 +288,20 @@ class D3CEngine:
         query = self._graph.query(origin)
         primary_edges: Sequence = ()
         if query.pccount:
-            primary_edges = sorted(
-                self._graph.in_edges_for_pc(origin, 0),
-                key=lambda edge: self._arrival[edge.src])
-            if not primary_edges:
+            by_src = self._graph.in_edges_by_src(origin, 0)
+            if not by_src:
                 return
+            if len(by_src) == 1:
+                primary_edges = next(iter(by_src.values()))
+            else:
+                # Sort the (fewer) providers, not the flattened edges;
+                # per-provider edge order is preserved, so this matches
+                # the old stable sort of the flat list by arrival.
+                arrival = self._arrival
+                primary_edges = [edge for src
+                                 in sorted(by_src,
+                                           key=arrival.__getitem__)
+                                 for edge in by_src[src]]
             if len(primary_edges) > 1:
                 primary_edges = self._feasible_first(query, primary_edges)
                 if not primary_edges:
@@ -307,6 +326,11 @@ class D3CEngine:
     #: Cap on body valuations enumerated by the feasibility prefilter.
     _FEASIBILITY_LIMIT = 64
 
+    #: Entry cap for the feasibility memo; like the planner's plan
+    #: cache, it is dropped wholesale on overflow so a long-lived
+    #: engine serving many distinct users cannot grow without bound.
+    _FEASIBILITY_MEMO_LIMIT = 8_192
+
     def _feasible_first(self, query: EntangledQuery,
                         edges: list) -> list:
         """Filter/reorder candidate providers by data feasibility.
@@ -319,45 +343,79 @@ class D3CEngine:
         infeasible-looking candidates are merely moved to the back.
         Either way a provider whose head is non-ground is kept in front
         (feasibility cannot be decided statically for it).
+
+        The body enumeration is memoized under a renaming-invariant body
+        key — the semi-join depends only on the body and the database
+        snapshot, and workload bodies repeat heavily (every query a user
+        submits enumerates the same friends-and-towns join).  The memo
+        is dropped by :meth:`invalidate_cache`.
         """
         from ..db.expression import ConjunctiveQuery
         if not query.body:
             return edges
         pc_atom = query.postconditions[0]
-        pc_variables = [term for term in pc_atom.args
-                        if isinstance(term, Variable)]
-        if not pc_variables:
+        if pc_atom.is_ground():
             return edges
-        feasible: set[tuple] = set()
-        complete = True
-        start = time.perf_counter()
+
+        # Canonical body key: constants by value, variables by first
+        # occurrence, so renamed-apart copies of one body share a key.
+        numbering = TermNumbering()
+        body_key = numbering.atoms_key(query.body)
+        # Memo entries are validated against the involved tables'
+        # mutation versions, so data changes invalidate automatically —
+        # invalidate_cache() is a belt-and-braces sweep, not a
+        # correctness requirement.
         try:
-            count = 0
-            stream = self.database.evaluate(
-                ConjunctiveQuery(query.body),
-                limit=self._FEASIBILITY_LIMIT)
-            for valuation in stream:
-                count += 1
-                grounded = tuple(
-                    valuation.get(term, term) if isinstance(term, Variable)
-                    else term.value
-                    for term in pc_atom.args)
-                feasible.add(grounded)
-            complete = count < self._FEASIBILITY_LIMIT
+            versions = tuple(self.database.table(atom.relation).version
+                             for atom in query.body)
         except ReproError:
             return edges
-        finally:
-            self.stats.db_seconds += time.perf_counter() - start
+        # Projection of the pc atom in canonical terms; pc variables not
+        # bound by the body project to _UNBOUND (they can never equal a
+        # candidate's ground values, exactly like the unbound Variable
+        # objects the unmemoized code used to leave in place).
+        slots = tuple(
+            (True, term.value) if isinstance(term, Constant)
+            else (False, numbering.get(term))
+            for term in pc_atom.args)
 
-        def head_key(edge) -> tuple | None:
-            head = self._graph.query(edge.src).head[edge.head_pos]
-            if not head.is_ground():
-                return None
-            return tuple(term.value for term in head.args)
+        cached = self._feasible_memo.get(body_key)
+        if cached is not None and cached[2] != versions:
+            cached = None
+        if cached is None:
+            canon_valuations: list[dict] = []
+            start = time.perf_counter()
+            try:
+                count = 0
+                stream = self.database.evaluate(
+                    ConjunctiveQuery(query.body),
+                    limit=self._FEASIBILITY_LIMIT)
+                for valuation in stream:
+                    count += 1
+                    canon_valuations.append(
+                        {numbering.get(variable): value
+                         for variable, value in valuation.items()})
+                complete = count < self._FEASIBILITY_LIMIT
+            except ReproError:
+                return edges
+            finally:
+                self.stats.db_seconds += time.perf_counter() - start
+            cached = (canon_valuations, complete, versions)
+            if len(self._feasible_memo) >= self._FEASIBILITY_MEMO_LIMIT:
+                self._feasible_memo.clear()
+            self._feasible_memo[body_key] = cached
+
+        canon_valuations, complete, _ = cached
+        feasible: set[tuple] = set()
+        for canon in canon_valuations:
+            feasible.add(tuple(
+                payload if is_const
+                else (_UNBOUND if payload is None else canon[payload])
+                for is_const, payload in slots))
 
         preferred, fallback = [], []
         for edge in edges:
-            key = head_key(edge)
+            key = edge.ground_key()
             if key is None or key in feasible:
                 preferred.append(edge)
             else:
@@ -376,22 +434,22 @@ class D3CEngine:
         """
         group: set = {origin}
         stack: list = [origin]
+        arrival = self._arrival
         while stack:
             current = stack.pop()
             query = self._graph.query(current)
             for pc_pos in range(query.pccount):
-                edges = self._graph.in_edges_for_pc(current, pc_pos)
-                if not edges:
+                by_src = self._graph.in_edges_by_src(current, pc_pos)
+                if not by_src:
                     return None
                 pinned = forced.get((current, pc_pos))
                 if pinned is not None:
                     chosen = pinned
                 else:
-                    in_group = [edge for edge in edges
-                                if edge.src in group]
-                    pool = in_group or edges
-                    chosen = min(pool, key=lambda edge:
-                                 self._arrival[edge.src])
+                    in_group = [src for src in by_src if src in group]
+                    pool = in_group or by_src.keys()
+                    best_src = min(pool, key=arrival.__getitem__)
+                    chosen = by_src[best_src][0]
                 if chosen.src not in group:
                     if len(group) >= self.max_group_size:
                         return None
@@ -422,13 +480,15 @@ class D3CEngine:
         return False
 
     def invalidate_cache(self) -> None:
-        """Forget failed coordination groups.
+        """Forget failed coordination groups and feasibility results.
 
         Call after mutating the database: a group that found no data
-        before may succeed on the new snapshot.
+        before may succeed on the new snapshot, and cached feasibility
+        enumerations may no longer reflect the data.
         """
         with self._lock:
             self._failed_groups.clear()
+            self._feasible_memo.clear()
 
     def _evaluate_combined(self, combined, queries_by_id) -> bool:
         """Evaluate a combined query; settle and evict on success."""
@@ -546,11 +606,13 @@ class D3CEngine:
 
     def _evaluate_parallel(self, graph: UnifiabilityGraph,
                            matches: list[ComponentMatch]) -> None:
-        """Evaluate independent partitions on a thread pool.
+        """Evaluate independent partitions on the shared worker pool.
 
         Combined-query evaluation is read-only on the database, so
         partitions can proceed concurrently; settlement (which mutates
-        engine state) happens back on the calling thread.
+        engine state) happens back on the calling thread, in partition
+        arrival order, so parallel rounds settle identically to
+        sequential ones.
         """
         def build_and_probe(match: ComponentMatch):
             queries_by_id = {query_id: graph.query(query_id)
@@ -565,8 +627,8 @@ class D3CEngine:
             return combined, queries_by_id, valuations
 
         start = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=self.parallel_workers) as pool:
-            outcomes = list(pool.map(build_and_probe, matches))
+        outcomes = map_bounded(build_and_probe, matches,
+                               self.parallel_workers)
         self.stats.db_seconds += time.perf_counter() - start
         self.stats.combined_queries_built += len(matches)
 

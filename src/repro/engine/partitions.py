@@ -106,13 +106,13 @@ class PartitionManager:
 
         touched: set = {query_id}
         for edge in new_edges:
-            self._union(edge.src, edge.dst)
+            root = self._union(edge.src, edge.dst)
             touched.add(edge.dst)
             key = (edge.dst, edge.pc_pos)
             if not self._pc_satisfied[key]:
                 self._pc_satisfied[key] = True
                 self._node_open[edge.dst] -= 1
-                self._root_open[self.find(edge.dst)] -= 1
+                self._root_open[root] -= 1
 
         self._propagate(touched, new_edges)
         return self.find(query_id)
@@ -157,7 +157,10 @@ class PartitionManager:
                 if child_unifier is None:
                     continue
                 self.propagation_steps += 1
-                merged = mgu(parent_unifier, child_unifier)
+                # merged_with prefers the child as merge base on size
+                # ties, so the change check below usually compares two
+                # cached canonical fingerprints (no partition rebuild).
+                merged = child_unifier.merged_with(parent_unifier)
                 if merged is None:
                     self._unifiers[child] = None
                     continue

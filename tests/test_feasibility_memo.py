@@ -1,0 +1,61 @@
+"""The feasibility memo must never serve stale data.
+
+The incremental engine memoizes the feasibility prefilter's body
+enumeration under a renaming-invariant key; entries carry the involved
+tables' mutation versions and are refreshed automatically when the data
+changes — callers are not required to invoke ``invalidate_cache()``.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.db import Database
+from repro.engine.engine import D3CEngine
+
+
+def _generic(query_id: str, user: str, tag: str) -> EntangledQuery:
+    partner, town = Variable(tag), Variable(tag + "_c")
+    return EntangledQuery(
+        query_id=query_id,
+        head=(atom("Res", user, "PAR"),),
+        postconditions=(atom("Res", partner, "PAR"),),
+        body=(atom("F", user, partner), atom("U", user, town),
+              atom("U", partner, town)))
+
+
+def test_memo_refreshes_after_mutation_without_invalidate():
+    db = Database()
+    db.create_table("F", "a text", "b text")
+    db.create_table("U", "u text", "t text")
+    db.insert("U", [("alice", "t1"), ("carol", "t1"), ("dave", "t1")])
+
+    engine = D3CEngine(db, mode="incremental")
+    engine.submit(_generic("c1", "carol", "p"))
+    engine.submit(_generic("d1", "dave", "q"))
+    # Two pending providers force the feasibility prefilter; alice has
+    # no friends yet, so the memo caches an empty, complete enumeration.
+    engine.submit(_generic("a1", "alice", "r"))
+    assert engine.stats.answered == 0
+    assert len(engine._feasible_memo) == 1
+
+    # Mutate the data WITHOUT invalidate_cache(); a structurally
+    # identical body arriving afterwards must see the new rows.
+    db.insert("F", [("alice", "carol"), ("carol", "alice")])
+    engine.submit(_generic("a2", "alice", "s"))
+    assert engine.stats.answered == 2
+    assert set(engine.pending_ids()) == {"d1", "a1"}
+
+
+def test_memo_hit_when_data_unchanged():
+    db = Database()
+    db.create_table("F", "a text", "b text")
+    db.create_table("U", "u text", "t text")
+    db.insert("U", [("alice", "t1")])
+    engine = D3CEngine(db, mode="incremental")
+    engine.submit(_generic("c1", "carol", "p"))
+    engine.submit(_generic("d1", "dave", "q"))
+    engine.submit(_generic("a1", "alice", "r"))
+    engine.submit(_generic("a2", "alice", "s"))
+    # Same body key, unchanged data: one memo entry serves both.
+    assert len(engine._feasible_memo) == 1
