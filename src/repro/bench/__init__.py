@@ -9,9 +9,10 @@ or through pytest-benchmark (one file per figure in ``benchmarks/``).
 """
 
 from .harness import (Series, SeriesRow, bench_database, bench_network,
-                      bench_scale, run_batch, run_incremental, scaled,
-                      stopwatch)
-from .figures import figure6, figure7, figure8, figure9, run_all
+                      bench_scale, run_batch, run_churn, run_incremental,
+                      scaled, stopwatch)
+from .figures import (churn, figure6, figure7, figure8, figure9,
+                      run_all)
 
 # NB: repro.bench.regression is intentionally not imported here — it is
 # an entry point (`python -m repro.bench.regression`), and importing it
@@ -19,6 +20,7 @@ from .figures import figure6, figure7, figure8, figure9, run_all
 
 __all__ = [
     "Series", "SeriesRow", "bench_database", "bench_network",
-    "bench_scale", "run_batch", "run_incremental", "scaled", "stopwatch",
-    "figure6", "figure7", "figure8", "figure9", "run_all",
+    "bench_scale", "run_batch", "run_churn", "run_incremental",
+    "scaled", "stopwatch",
+    "churn", "figure6", "figure7", "figure8", "figure9", "run_all",
 ]

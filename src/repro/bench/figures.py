@@ -32,11 +32,12 @@ from typing import Sequence
 from ..core.safety import SafetyChecker
 from ..engine.engine import D3CEngine
 from ..workloads.generators import (big_cluster_queries, chain_queries,
-                                    clique_queries, non_unifying_queries,
+                                    churn_rounds, clique_queries,
+                                    non_unifying_queries,
                                     safety_stress_workload,
                                     three_way_triangles, two_way_pairs)
 from .harness import (Series, bench_database, bench_network, run_batch,
-                      run_incremental, scaled, stopwatch)
+                      run_churn, run_incremental, scaled, stopwatch)
 
 #: Default query-set sizes for the Figure 6 sweep (paper: 5 … 100,000).
 FIG6_SIZES = (6, 60, 600, 3_000, 12_000)
@@ -201,10 +202,45 @@ def figure9(resident_count: int | None = None,
     return [series]
 
 
+def churn(round_counts: Sequence[int] | None = None,
+          arrivals_per_round: int | None = None,
+          network=None, database=None) -> list[Series]:
+    """Beyond the paper: the high-churn arrival/expiry service scenario.
+
+    Interleaves arrival blocks, staleness expiry, and set-at-a-time
+    coordination rounds (see :func:`repro.workloads.generators.
+    churn_rounds` and :func:`repro.bench.harness.run_churn`) — the
+    regime a long-running coordination service operates in, where the
+    delta-driven scheduler's worklist pays off: per-round cost tracks
+    the *churned* queries, not the pending set.
+    """
+    if network is None:
+        network = bench_network()
+    if database is None:
+        database = bench_database(network)
+    if round_counts is None:
+        round_counts = [6, 12, 24]
+    if arrivals_per_round is None:
+        arrivals_per_round = scaled(250)
+
+    series = Series(
+        f"Churn: arrival/expiry service rounds "
+        f"({arrivals_per_round} arrivals per round)", "rounds")
+    for num_rounds in round_counts:
+        rounds = churn_rounds(network, num_rounds, arrivals_per_round,
+                              seed=arrivals_per_round)
+        metrics = run_churn(database, rounds)
+        series.add(num_rounds, seconds=metrics["seconds"],
+                   throughput_qps=metrics["throughput_qps"],
+                   answered=metrics["answered"],
+                   expired=metrics["failed_stale"])
+    return [series]
+
+
 def run_all() -> list[Series]:
     """Run every figure and return all series (also printed)."""
     all_series: list[Series] = []
-    for runner in (figure6, figure7, figure8, figure9):
+    for runner in (figure6, figure7, figure8, figure9, churn):
         start = time.perf_counter()
         produced = runner()
         elapsed = time.perf_counter() - start

@@ -197,13 +197,45 @@ def run_batch(database: Database, queries, **engine_kwargs) -> dict:
     return _metrics(engine, len(queries), total)
 
 
+def run_churn(database: Database, rounds,
+              ttl_rounds: int = 4, **engine_kwargs) -> dict:
+    """Drive the high-churn arrival/expiry scenario; return metrics.
+
+    *rounds* is a list of per-round arrival blocks (see
+    :func:`repro.workloads.generators.churn_rounds`).  Every round
+    advances a manual clock by one tick, expires queries older than
+    *ttl_rounds* ticks, ingests the round's block, and runs one
+    set-at-a-time coordination round.  Engines exposing ``submit_many``
+    ingest each block through it (the batched, parallel arrival
+    pipeline); older engines fall back to one ``submit`` per query.
+    """
+    from ..engine.staleness import ManualClock, TimeoutStaleness
+    clock = ManualClock()
+    engine = D3CEngine(database, mode="batch",
+                       staleness=TimeoutStaleness(ttl_rounds + 0.5),
+                       clock=clock, **engine_kwargs)
+    submit_block = getattr(engine, "submit_many", engine.submit_all)
+    with frozen_dataset():
+        with stopwatch() as elapsed:
+            for block in rounds:
+                clock.advance(1.0)
+                engine.expire_stale()
+                submit_block(block)
+                engine.run_batch()
+            total = elapsed()
+    num_queries = sum(len(block) for block in rounds)
+    return _metrics(engine, num_queries, total)
+
+
 def _metrics(engine: D3CEngine, num_queries: int, total: float) -> dict:
+    from ..core.evaluate import FailureReason
     stats = engine.stats
     return {
         "queries": num_queries,
         "seconds": total,
         "throughput_qps": num_queries / total if total > 0 else 0.0,
         "answered": stats.answered,
+        "failed_stale": stats.failed[FailureReason.STALE],
         "pending": stats.pending,
         "graph_seconds": stats.graph_seconds,
         "match_seconds": stats.match_seconds,

@@ -32,10 +32,10 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..workloads import (big_cluster_queries, chain_queries,
-                         non_unifying_queries, three_way_triangles,
-                         two_way_pairs)
+                         churn_rounds, non_unifying_queries,
+                         three_way_triangles, two_way_pairs)
 from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
-                      run_batch, run_incremental)
+                      run_batch, run_churn, run_incremental)
 
 #: Largest Figure 6 configuration (per series) at scale 1.
 FIG6_SIZE = 12_000
@@ -43,6 +43,9 @@ FIG6_SIZE = 12_000
 FIG8_SIZE = 4_000
 #: Figure 8 big-cluster size at scale 1.
 CLUSTER_SIZE = 200
+#: Arrival-churn probe: rounds are fixed (shape), block size scales.
+CHURN_ROUNDS = 24
+CHURN_PER_ROUND = 250
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
 HEADLINE_SERIES = "fig6_two_way_generic"
@@ -82,6 +85,12 @@ def collect_series(scale: float = 1.0) -> dict:
         ("fig8_cluster_batch", lambda: run_batch(
             database, big_cluster_queries(network, cluster,
                                           seed=CLUSTER_SIZE))),
+        ("churn_arrival_expiry", lambda: run_churn(
+            database, churn_rounds(network, CHURN_ROUNDS,
+                                   _sized(CHURN_PER_ROUND, scale),
+                                   answerable_fraction=0.4,
+                                   seed=CHURN_PER_ROUND),
+            ttl_rounds=6)),
     )
     series: dict = {}
     for name, probe in probes:

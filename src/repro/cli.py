@@ -15,7 +15,9 @@ Commands:
     Run a plain SQL SELECT against a data file.
 
 ``bench [FIGURE ...]``
-    Regenerate the paper's figures (same as ``python -m repro.bench``).
+    Regenerate the paper's figures (same as ``python -m repro.bench``);
+    figure names include the beyond-paper ``churn`` arrival/expiry
+    scenario driven through the incremental runtime.
 """
 
 from __future__ import annotations
@@ -80,8 +82,10 @@ def _command_sql(arguments: argparse.Namespace) -> int:
 
 
 def _command_bench(arguments: argparse.Namespace) -> int:
-    from .bench.figures import figure6, figure7, figure8, figure9, run_all
-    figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9}
+    from .bench.figures import (churn, figure6, figure7, figure8,
+                                figure9, run_all)
+    figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
+               "churn": churn}
     if not arguments.figures:
         run_all()
         return 0
@@ -122,10 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     sql.set_defaults(handler=_command_sql)
 
     bench = subparsers.add_parser(
-        "bench", help="regenerate the paper's figures")
+        "bench", help="regenerate the paper's figures and the beyond-"
+                      "paper scenarios")
     bench.add_argument("figures", nargs="*",
-                       choices=["6", "7", "8", "9", []],
-                       help="figure numbers (default: all)")
+                       choices=["6", "7", "8", "9", "churn", []],
+                       help="figure numbers or scenario names "
+                            "(default: all)")
     bench.set_defaults(handler=_command_bench)
     return parser
 

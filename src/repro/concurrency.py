@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
@@ -33,6 +34,21 @@ _pool_lock = threading.Lock()
 def default_worker_count() -> int:
     """Worker count used when callers ask for an 'auto'-sized pool."""
     return min(MAX_POOL_WORKERS, (os.cpu_count() or 1) + 4)
+
+
+def cpu_parallelism_available() -> bool:
+    """True when threads can actually run Python code in parallel.
+
+    The coordination hot paths are pure Python; on a GIL build, fanning
+    them out across threads adds dispatch overhead without concurrency,
+    so callers use this to fall back to serial execution.  Free-threaded
+    CPython (PEP 703, ``python3.13t``+) reports the GIL disabled and
+    unlocks the parallel paths.
+    """
+    checker = getattr(sys, "_is_gil_enabled", None)
+    if checker is None:
+        return False
+    return not checker()
 
 
 def shared_pool() -> ThreadPoolExecutor:

@@ -25,6 +25,9 @@ from .terms import Atom, Constant, Variable
 #: The wildcard standing for "any variable" in index keys.
 DELTA = object()
 
+#: Shared empty ordered-view result (dict keys views are immutable).
+_EMPTY_KEYS = {}.keys()
+
 
 def has_repeated_variables(atom: Atom) -> bool:
     """True if some variable occurs at two positions of *atom*.
@@ -48,21 +51,31 @@ class AtomIndex:
 
     Entries are arbitrary hashable handles chosen by the caller; the atom
     itself is stored alongside so lookups can re-verify unifiability.
+
+    Buckets are insertion-ordered dicts mapping each entry to its global
+    insertion sequence, and :meth:`lookup` returns candidates in
+    insertion order.  This makes every graph built on the index fully
+    deterministic (set buckets iterate in string-hash order, which
+    ``PYTHONHASHSEED`` randomizes across processes) and hands the
+    unifiability graph its canonical edge-commit order for free — no
+    per-edge sort on the arrival hot path.
     """
 
-    __slots__ = ("_by_key", "_by_relation", "_atoms", "_repeats", "_vars")
+    __slots__ = ("_by_key", "_by_relation", "_atoms", "_repeats",
+                 "_vars", "_next_seq")
 
     def __init__(self) -> None:
-        # (relation, position, value-or-DELTA) -> set of entries
-        self._by_key: dict[tuple, set[Hashable]] = {}
-        # (relation, arity) -> set of entries (fallback for all-variable lookups)
-        self._by_relation: dict[tuple[str, int], set[Hashable]] = {}
+        # (relation, position, value-or-DELTA) -> {entry: seq}
+        self._by_key: dict[tuple, dict[Hashable, int]] = {}
+        # (relation, arity) -> {entry: seq} (for all-variable lookups)
+        self._by_relation: dict[tuple[str, int], dict[Hashable, int]] = {}
         # entry -> atom
         self._atoms: dict[Hashable, Atom] = {}
         # entry -> atom has a repeated variable (verification fast path)
         self._repeats: dict[Hashable, bool] = {}
         # entry -> the atom's variable set (verification fast path)
         self._vars: dict[Hashable, frozenset[Variable]] = {}
+        self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._atoms)
@@ -86,13 +99,15 @@ class AtomIndex:
         """Insert *atom* under handle *entry* (idempotent per entry)."""
         if entry in self._atoms:
             raise KeyError(f"entry {entry!r} already indexed")
+        seq = self._next_seq
+        self._next_seq += 1
         self._atoms[entry] = atom
         self._repeats[entry] = has_repeated_variables(atom)
         self._vars[entry] = frozenset(atom.variables())
         self._by_relation.setdefault(
-            (atom.relation, atom.arity), set()).add(entry)
+            (atom.relation, atom.arity), {})[entry] = seq
         for key in self._keys_for(atom):
-            self._by_key.setdefault(key, set()).add(entry)
+            self._by_key.setdefault(key, {})[entry] = seq
 
     def remove(self, entry: Hashable) -> None:
         """Remove the atom stored under *entry* (missing entries ignored)."""
@@ -103,32 +118,36 @@ class AtomIndex:
         self._vars.pop(entry, None)
         bucket = self._by_relation.get((atom.relation, atom.arity))
         if bucket is not None:
-            bucket.discard(entry)
+            bucket.pop(entry, None)
             if not bucket:
                 del self._by_relation[(atom.relation, atom.arity)]
         for key in self._keys_for(atom):
             key_bucket = self._by_key.get(key)
             if key_bucket is not None:
-                key_bucket.discard(entry)
+                key_bucket.pop(entry, None)
                 if not key_bucket:
                     del self._by_key[key]
 
-    def lookup(self, probe: Atom) -> set[Hashable]:
-        """Return candidate entries whose atoms may unify with *probe*.
+    def lookup(self, probe: Atom):
+        """Candidate entries whose atoms may unify with *probe*.
 
         Implements the paper's intersection formula.  For each constant
         position ``i`` of the probe the candidate set is narrowed to
         entries whose atom has either the same constant or a variable at
         position ``i``.  If the probe has no constants, all entries of the
         relation (at matching arity) are candidates.
+
+        Returns a set-like, *insertion-ordered* view (a dict keys view):
+        it supports membership and set comparisons, and iterates in the
+        order the atoms were indexed.
         """
         relation_bucket = self._by_relation.get((probe.relation, probe.arity))
         if not relation_bucket:
-            return set()
-        empty: set[Hashable] = set()
+            return _EMPTY_KEYS
+        empty: dict[Hashable, int] = {}
         by_key = self._by_key
         # Gather the (exact, wildcard) bucket pair per constant position.
-        pairs: list[tuple[set[Hashable], set[Hashable]]] = []
+        pairs: list[tuple[dict, dict]] = []
         for position, term in enumerate(probe.args):
             if not isinstance(term, Constant):
                 continue
@@ -137,24 +156,33 @@ class AtomIndex:
             wild = by_key.get(
                 (probe.relation, probe.arity, position, DELTA), empty)
             if not exact and not wild:
-                return set()
+                return _EMPTY_KEYS
             pairs.append((exact, wild))
         if not pairs:
             # All-variable probe: every atom of the relation is a candidate.
-            return set(relation_bucket)
+            return dict.fromkeys(relation_bucket).keys()
         # Seed from the most selective position and narrow by membership
         # tests — never materialize the exact ∪ wildcard union (the
         # wildcard bucket can hold every pending atom of the relation).
+        # An atom has exactly one of {constant, variable} per position,
+        # so the seed's exact/wild buckets are disjoint; merging them by
+        # insertion sequence restores global insertion order.
         pairs.sort(key=lambda pair: len(pair[0]) + len(pair[1]))
         exact, wild = pairs[0]
-        candidates = set(exact)
-        candidates.update(wild)
+        if not wild:
+            merged = exact
+        elif not exact:
+            merged = wild
+        else:
+            merged = dict(sorted((exact | wild).items(),
+                                 key=lambda item: item[1]))
+        candidates = dict.fromkeys(merged)
         for exact, wild in pairs[1:]:
-            candidates = {entry for entry in candidates
+            candidates = {entry: None for entry in candidates
                           if entry in exact or entry in wild}
             if not candidates:
-                return candidates
-        return candidates
+                return candidates.keys()
+        return candidates.keys()
 
     def lookup_unifiable(self, probe: Atom) -> list[tuple[Hashable, Atom]]:
         """``(entry, atom)`` pairs that *definitely* unify with *probe*.
@@ -216,10 +244,10 @@ class NaiveAtomIndex:
     def remove(self, entry: Hashable) -> None:
         self._atoms.pop(entry, None)
 
-    def lookup(self, probe: Atom) -> set[Hashable]:
+    def lookup(self, probe: Atom):
         from .unify import atoms_unifiable
-        return {entry for entry, atom in self._atoms.items()
-                if atoms_unifiable(probe, atom)}
+        return {entry: None for entry, atom in self._atoms.items()
+                if atoms_unifiable(probe, atom)}.keys()
 
     def lookup_unifiable(self, probe: Atom) -> list[tuple[Hashable, Atom]]:
         """Same as :meth:`lookup`: the scan already fully verifies."""

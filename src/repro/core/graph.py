@@ -19,7 +19,8 @@ paper's own experimental workloads.
 from __future__ import annotations
 
 
-from typing import Hashable, Iterable, Iterator, Optional
+from typing import (Callable, Hashable, Iterable, Iterator, NamedTuple,
+                    Optional)
 
 from .atom_index import AtomIndex, NaiveAtomIndex
 from .query import EntangledQuery
@@ -91,6 +92,31 @@ class Edge:
                 f"{self.dst!r}[{self.pc_pos}])")
 
 
+class GraphDelta(NamedTuple):
+    """One structural change to the unifiability graph.
+
+    The graph emits a delta to its listeners after every mutation; this
+    is the protocol the engine's incremental scheduler consumes to keep
+    partition state and the dirty-component worklist in sync without
+    ever recomputing from scratch (see DESIGN.md §"Incremental
+    runtime").  A NamedTuple, not a dataclass: one delta is built per
+    graph mutation, squarely on the arrival hot path.
+
+    Attributes:
+        kind: ``"add"`` or ``"remove"``.
+        query_id: the query inserted or removed.
+        query: the inserted query (``None`` for removals).
+        edges: the edges created with the insertion, in their committed
+            (deterministic) order, or the edges that vanished with the
+            removal (order unspecified).
+    """
+
+    kind: str
+    query_id: object
+    query: Optional[EntangledQuery]
+    edges: tuple[Edge, ...]
+
+
 class UnifiabilityGraph:
     """Incremental multigraph over a set of entangled queries.
 
@@ -101,6 +127,7 @@ class UnifiabilityGraph:
 
     def __init__(self, use_index: bool = True):
         index_cls = AtomIndex if use_index else NaiveAtomIndex
+        self._index_cls = index_cls
         self._queries: dict[object, EntangledQuery] = {}
         self._head_index = index_cls()
         self._pc_index = index_cls()
@@ -113,6 +140,35 @@ class UnifiabilityGraph:
         # src query id -> dst query id -> edges to that dependent
         # (dst-keyed for the same O(1)-removal reason as above)
         self._out_edges: dict[object, dict[object, list[Edge]]] = {}
+        # query id -> insertion rank; edge lists are committed in rank
+        # order, so sequential and block (parallel-discovery) ingestion
+        # produce byte-identical edge orderings.
+        self._rank: dict[object, int] = {}
+        self._next_rank = 0
+        # delta listeners (the engine's scheduler); called after every
+        # mutation with a GraphDelta.
+        self._listeners: list[Callable[[GraphDelta], None]] = []
+
+    # ------------------------------------------------------------------
+    # delta protocol
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[GraphDelta], None]) -> None:
+        """Register a callback invoked with a delta after each mutation."""
+        self._listeners.append(listener)
+
+    def _emit(self, delta: GraphDelta) -> None:
+        for listener in self._listeners:
+            listener(delta)
+
+    def make_scratch_index(self) -> object:
+        """A fresh atom index of the graph's configured class.
+
+        Block ingestion keeps side indexes of the atoms committed so far
+        within one arrival block; using the graph's own index class keeps
+        naive-index graphs (tests, ablations) fully naive.
+        """
+        return self._index_cls()
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -198,34 +254,99 @@ class UnifiabilityGraph:
         Returns the new edges, which the incremental matcher uses to decide
         which unifiers to refresh.  Self-edges are never created.
         """
-        query_id = query.query_id
-        if query_id in self._queries:
-            raise KeyError(f"query id {query_id!r} already in graph")
-        self._queries[query_id] = query
-        self._in_edges[query_id] = {position: {}
-                                    for position in range(query.pccount)}
-        self._out_edges[query_id] = {}
+        return self.insert_query(query, self.discover_edges(query))
 
-        new_edges: list[Edge] = []
+    def discover_edges(self, query: EntangledQuery,
+                       head_index: object | None = None,
+                       pc_index: object | None = None) -> list[Edge]:
+        """Candidate edges between *query* and the indexed atoms.
+
+        Read-only: looks up the graph's own atom indexes (or the given
+        side indexes, used by block ingestion to find intra-block edges)
+        without mutating anything, so blocks of arrivals can discover
+        their edges concurrently on a worker pool before being committed
+        one at a time.  Self-edges are excluded; the result's order is
+        irrelevant — :meth:`insert_query` commits edges in a canonical
+        rank order.
+        """
+        query_id = query.query_id
+        if head_index is None:
+            head_index = self._head_index
+        if pc_index is None:
+            pc_index = self._pc_index
+        edges: list[Edge] = []
         # New heads may satisfy existing postconditions.  The index's
         # verified lookup skips per-candidate unification except for the
         # rare repeated/shared-variable cases it cannot decide itself.
         for head_pos, head in enumerate(query.head):
             for (dst_id, pc_pos), pc_atom \
-                    in self._pc_index.lookup_unifiable(head):
+                    in pc_index.lookup_unifiable(head):
                 if dst_id == query_id:
                     continue
-                new_edges.append(Edge(query_id, head_pos,
-                                      dst_id, pc_pos, head, pc_atom))
+                edges.append(Edge(query_id, head_pos,
+                                  dst_id, pc_pos, head, pc_atom))
         # Existing heads may satisfy the new postconditions.
         for pc_pos, postcondition in enumerate(query.postconditions):
             for (src_id, head_pos), head \
-                    in self._head_index.lookup_unifiable(postcondition):
+                    in head_index.lookup_unifiable(postcondition):
                 if src_id == query_id:
                     continue
-                new_edges.append(Edge(src_id, head_pos,
-                                      query_id, pc_pos, head,
-                                      postcondition))
+                edges.append(Edge(src_id, head_pos,
+                                  query_id, pc_pos, head,
+                                  postcondition))
+        return edges
+
+    def canonical_edge_order(self, query_id: object,
+                             edges: Iterable[Edge]) -> list[Edge]:
+        """Sort candidate edges into the canonical commit order.
+
+        The canonical order — outgoing (head → existing postcondition)
+        before incoming, then by atom position and the partner's
+        insertion rank — is what :meth:`discover_edges` already produces
+        against a single index (the atom index returns candidates in
+        insertion order).  This explicit sort exists for callers that
+        merge discoveries from several indexes (the block-ingestion
+        pipeline, for multi-head/multi-postcondition queries).
+        """
+        rank = self._rank
+
+        # Packed integer sort keys (direction, major pos, partner rank,
+        # minor pos): 20 bits per atom position, far beyond any real
+        # query, so fields cannot collide.
+        def commit_order(edge: Edge) -> int:
+            if edge.src == query_id:
+                return ((edge.head_pos << 84) | (rank[edge.dst] << 20)
+                        | edge.pc_pos)
+            return ((1 << 104) | (edge.pc_pos << 84)
+                    | (rank[edge.src] << 20) | edge.head_pos)
+
+        return sorted(edges, key=commit_order)
+
+    def insert_query(self, query: EntangledQuery,
+                     candidate_edges: Iterable[Edge]) -> list[Edge]:
+        """Commit *query* with the given discovered edges.
+
+        Edges are wired in the caller's order, which must be the
+        canonical commit order — what :meth:`discover_edges` produces
+        (the atom index yields candidates in insertion order), or
+        :meth:`canonical_edge_order` for merged discoveries — so the
+        committed structure does not depend on how the candidates were
+        found (sequentially or by the parallel block pipeline).  Emits
+        an ``"add"`` delta and returns the committed edge list.
+        """
+        query_id = query.query_id
+        if query_id in self._queries:
+            raise KeyError(f"query id {query_id!r} already in graph")
+        self._queries[query_id] = query
+        self._rank[query_id] = self._next_rank
+        self._next_rank += 1
+        self._in_edges[query_id] = {position: {}
+                                    for position in range(query.pccount)}
+        self._out_edges[query_id] = {}
+
+        new_edges = (candidate_edges
+                     if isinstance(candidate_edges, list)
+                     else list(candidate_edges))
         for edge in new_edges:
             self._out_edges[edge.src].setdefault(edge.dst, []).append(edge)
             self._in_edges[edge.dst].setdefault(
@@ -236,31 +357,41 @@ class UnifiabilityGraph:
             self._head_index.add((query_id, head_pos), head)
         for pc_pos, postcondition in enumerate(query.postconditions):
             self._pc_index.add((query_id, pc_pos), postcondition)
+        self._emit(GraphDelta("add", query_id, query, tuple(new_edges)))
         return new_edges
 
     def remove_query(self, query_id: object) -> None:
-        """Remove a query and all its incident edges."""
+        """Remove a query and all its incident edges.
+
+        Emits a ``"remove"`` delta carrying the edges that vanished, so
+        listeners can update derived state in O(affected)."""
         query = self._queries.pop(query_id, None)
         if query is None:
             return
+        self._rank.pop(query_id, None)
         for head_pos in range(len(query.head)):
             self._head_index.remove((query_id, head_pos))
         for pc_pos in range(query.pccount):
             self._pc_index.remove((query_id, pc_pos))
+        removed_edges: list[Edge] = []
         # Both edge maps are keyed by the opposite endpoint, so removal
         # is one dict pop per incident bucket — no list rebuilds.
         for by_dst in self._out_edges.pop(query_id, {}).values():
             for edge in by_dst:
+                removed_edges.append(edge)
                 dst_pcs = self._in_edges.get(edge.dst)
                 if dst_pcs is not None:
                     by_src = dst_pcs.get(edge.pc_pos)
                     if by_src is not None:
                         by_src.pop(query_id, None)
         for per_pc in self._in_edges.pop(query_id, {}).values():
-            for src_id in per_pc:
+            for src_id, edges in per_pc.items():
+                removed_edges.extend(edges)
                 src_out = self._out_edges.get(src_id)
                 if src_out is not None:
                     src_out.pop(query_id, None)
+        self._emit(GraphDelta("remove", query_id, None,
+                              tuple(removed_edges)))
 
     # ------------------------------------------------------------------
     # partitioning (paper Section 4.1.2)

@@ -71,6 +71,10 @@ class Database:
             raise SchemaError(f"no such table: {name!r}")
         return table
 
+    def table_or_none(self, name: str) -> Optional[Table]:
+        """The table under *name*, or None — cache-validation helper."""
+        return self._tables.get(name)
+
     def insert(self, name: str, rows: Iterable[Sequence]) -> int:
         """Bulk insert; returns the number of rows inserted."""
         return self.table(name).insert_many(rows)
@@ -84,9 +88,15 @@ class Database:
     # ------------------------------------------------------------------
 
     def evaluate(self, query: ConjunctiveQuery,
-                 limit: int | None = None) -> Iterator[Valuation]:
-        """Stream valuations satisfying *query*."""
-        return self._executor.evaluate(query, limit=limit)
+                 limit: int | None = None,
+                 reusable: bool = True) -> Iterator[Valuation]:
+        """Stream valuations satisfying *query*.
+
+        ``reusable=False`` bypasses the executor's compiled-template
+        cache for queries known to be one-shot (see
+        :meth:`repro.db.executor.Executor.evaluate`)."""
+        return self._executor.evaluate(query, limit=limit,
+                                       reusable=reusable)
 
     def first(self, query: ConjunctiveQuery) -> Optional[Valuation]:
         """One satisfying valuation or None."""

@@ -13,9 +13,17 @@ given step is static (constants plus variables bound by earlier steps),
 so the table handle, the hash-index handle on the bound positions, and
 the key-construction recipe are all resolved once per evaluation instead
 of being rediscovered on every recursion into ``_extend``.
+
+Compiled plans are also *cached* as templates keyed by the query itself
+(a frozen value object) and validated against the involved tables'
+mutation versions: coordination rounds re-attempt dirty components whose
+combined query is unchanged since the last attempt, and the template
+cache lets those re-attempts skip planning *and* compilation entirely.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import Iterator, Optional, Sequence
 
@@ -29,6 +37,11 @@ Valuation = dict
 
 #: Sentinel marking an exhausted row iterator in the search stack.
 _EXHAUSTED = object()
+
+#: Compiled-template cache entries are dropped wholesale past this size
+#: (coordination workloads cycle through a bounded set of combined
+#: queries between database mutations).
+MAX_COMPILED_PLANS = 2_048
 
 
 class CompiledStep:
@@ -109,6 +122,15 @@ class Executor:
     def __init__(self, database):
         self._database = database
         self._planner = Planner(database)
+        # Compiled-template cache: query -> (compiled steps, pre
+        # comparisons, involved tables, table versions at compile time).
+        # Guarded by a lock — evaluation runs on worker threads during
+        # parallel component rounds.
+        self._compiled: dict[ConjunctiveQuery, tuple] = {}
+        self._compiled_lock = threading.Lock()
+        # Diagnostics (read by benchmarks and tests).
+        self.compile_hits = 0
+        self.compile_misses = 0
 
     @property
     def planner(self) -> Planner:
@@ -116,13 +138,72 @@ class Executor:
         return self._planner
 
     def evaluate(self, query: ConjunctiveQuery,
-                 limit: int | None = None) -> Iterator[Valuation]:
+                 limit: int | None = None,
+                 reusable: bool = True) -> Iterator[Valuation]:
         """Yield valuations (variable -> value) satisfying *query*.
 
         Respects ``query.distinct`` (projected on ``output_variables``)
         and stops after *limit* results if given.  An atom-free query
         yields one empty valuation iff all constant comparisons hold.
+
+        ``reusable=False`` hints that an identical query will not be
+        evaluated again (e.g. the coordination engine's one-shot
+        incremental attempts, whose outcomes are cached upstream); the
+        compiled-template cache is bypassed entirely for those, saving
+        its per-evaluation admission cost.
         """
+        compiled, pre = self._compiled_for(query, reusable)
+        results = self._run(pre, compiled)
+        if query.distinct:
+            results = self._deduplicate(results, query)
+        if limit is not None:
+            results = self._take(results, limit)
+        return results
+
+    def _compiled_for(self, query: ConjunctiveQuery,
+                      reusable: bool) -> tuple:
+        """The compiled probe machinery for *query*, cached by value.
+
+        Queries are frozen value objects, so an equal query re-used
+        across evaluations (a dirty component re-attempted, a repeated
+        CHOOSE enumeration) hits the template and skips both planning
+        and step compilation.  Entries pin the tables they compile
+        against and are revalidated by mutation version on every hit —
+        a ``const_rows`` materialization or index handle from an older
+        snapshot can never leak into a newer one.
+        """
+        if not reusable:
+            return self._compile_fresh(query)
+        # Lock-free read: dict lookups are atomic under CPython and
+        # entries are immutable tuples; only writes take the lock.
+        entry = self._compiled.get(query)
+        if entry is not None:
+            compiled, pre, tables, versions = entry
+            # Validate against the *live* catalog, not just the pinned
+            # versions: a dropped-and-recreated table is a different
+            # object whose version counter restarts, so an identity
+            # check is needed to keep stale rows from surviving DDL.
+            table_or_none = self._database.table_or_none
+            for table, version in zip(tables, versions):
+                if (table_or_none(table.schema.name) is not table
+                        or table.version != version):
+                    break
+            else:
+                self.compile_hits += 1
+                return compiled, pre
+        self.compile_misses += 1
+
+        compiled, pre, tables = self._compile_fresh(query,
+                                                    with_tables=True)
+        versions = tuple(table.version for table in tables)
+        with self._compiled_lock:
+            if len(self._compiled) >= MAX_COMPILED_PLANS:
+                self._compiled.clear()
+            self._compiled[query] = (compiled, pre, tables, versions)
+        return compiled, pre
+
+    def _compile_fresh(self, query: ConjunctiveQuery,
+                       with_tables: bool = False) -> tuple:
         # The planner resolves every table up front, so unknown relations
         # and arity mismatches fail fast here, before any probing.  The
         # compiled probe machinery is built straight from the cached
@@ -138,12 +219,10 @@ class Executor:
             for atom_index, scheduled
             in zip(order.atom_order, order.step_comparisons))
         pre = tuple(comparisons[index] for index in order.pre_comparisons)
-        results = self._run(pre, compiled)
-        if query.distinct:
-            results = self._deduplicate(results, query)
-        if limit is not None:
-            results = self._take(results, limit)
-        return results
+        if with_tables:
+            involved = tuple(tables[index] for index in order.atom_order)
+            return compiled, pre, involved
+        return compiled, pre
 
     def first(self, query: ConjunctiveQuery) -> Optional[Valuation]:
         """Return one satisfying valuation or None (``LIMIT 1``)."""

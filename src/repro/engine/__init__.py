@@ -6,14 +6,19 @@
   parallelism, admission-time safety, staleness expiry.
 * :mod:`~repro.engine.staleness` — pluggable staleness policies and
   injectable clocks.
+* :mod:`~repro.engine.runtime` — the delta-driven scheduler: the
+  dirty-component worklist, batched/parallel arrival ingestion, and
+  the coordination mechanics every evaluation mode runs through.
 * :mod:`~repro.engine.partitions` — the incremental partition state
-  (union-find, closure detection, cached partial unifiers).
+  (union-find, closure detection, cached partial unifiers, exact lazy
+  re-splitting on removal).
 * :mod:`~repro.engine.stats` — counters and phase timings.
 """
 
 from .engine import D3CEngine
 from .futures import CoordinationTicket, TicketCallback, TicketState
 from .partitions import PartitionManager
+from .runtime import CoordinationScheduler
 from .staleness import (Clock, ManualClock, ManualStaleness, NeverStale,
                         StalenessPolicy, SystemClock, TimeoutStaleness)
 from .stats import EngineStats
@@ -22,6 +27,7 @@ __all__ = [
     "D3CEngine",
     "CoordinationTicket", "TicketCallback", "TicketState",
     "PartitionManager",
+    "CoordinationScheduler",
     "Clock", "ManualClock", "ManualStaleness", "NeverStale",
     "StalenessPolicy", "SystemClock", "TimeoutStaleness",
     "EngineStats",

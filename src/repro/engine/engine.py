@@ -2,20 +2,30 @@
 
 Ties everything together: applications submit entangled queries and get
 back :class:`~repro.engine.futures.CoordinationTicket` futures; the
-engine maintains the unifiability graph over pending queries, matches,
-builds combined queries, evaluates them on the database, and settles the
-tickets.
+engine admits queries (validation, safety, staleness bookkeeping) and
+hands coordination to one incremental runtime — the delta-driven
+scheduler of :mod:`repro.engine.runtime`.
 
-Two evaluation modes, as in the paper:
+Two evaluation modes, as in the paper, now served by a single scheduler
+path:
 
 * **incremental** — every arrival updates the graph and the partition
-  state; when an arrival *closes* its partition (every postcondition of
-  every member has a provider) the engine attempts coordination on that
-  partition immediately.
-* **batch** (set-at-a-time) — arrivals only accumulate; coordination
-  runs over all pending queries when :meth:`D3CEngine.run_batch` is
-  called (or automatically every ``batch_size`` arrivals).  Independent
-  partitions can be evaluated in parallel worker threads.
+  state through the scheduler; coordination is attempted around the
+  arrival immediately (bounded local groups, or the whole partition at
+  closure under the ``"component"`` strategy).
+* **batch** (set-at-a-time) — arrivals only accumulate (they still
+  maintain the graph and partition state incrementally); coordination
+  runs when :meth:`D3CEngine.run_batch` drains the scheduler's
+  dirty-component worklist (or automatically every ``batch_size``
+  arrivals).  Only components touched since their last attempt are
+  re-matched; independent components can be evaluated in parallel
+  worker threads.
+
+Blocks of arrivals can be ingested together with
+:meth:`D3CEngine.submit_many`, which discovers candidate edges for the
+whole block concurrently on the shared worker pool before committing
+the queries in arrival order — byte-identical to one-at-a-time
+ingestion, but materially faster under heavy arrival traffic.
 
 Safety is enforced at admission: a query that would make the pending
 workload unsafe is rejected immediately (``safety="reject"``), mirroring
@@ -24,35 +34,27 @@ the admission check stress-tested in the paper's Figure 9.
 
 from __future__ import annotations
 
+import heapq
+import math
 import random
 import threading
 import time
-from typing import Callable, Iterable, Literal, Optional, Sequence
+from typing import Iterable, Literal, Optional
 
-from ..concurrency import map_bounded
+from ..concurrency import cpu_parallelism_available, default_worker_count
 
-from ..core.combine import build_combined_query
-from ..core.evaluate import Answer, FailureReason, _record_answers
-from ..core.graph import UnifiabilityGraph
-from ..core.matching import ComponentMatch, match_component
+from ..core.evaluate import FailureReason
 from ..core.query import EntangledQuery
 from ..core.safety import SafetyChecker
-from ..core.ucs import check_ucs_graph
-from ..core.terms import Constant, TermNumbering
 from ..db.database import Database
-from ..errors import CoordinationError, ReproError, ValidationError
+from ..errors import ValidationError
 from .futures import CoordinationTicket, TicketCallback
-from .partitions import PartitionManager
+from .runtime import CoordinationScheduler
 from .staleness import Clock, NeverStale, StalenessPolicy, SystemClock
 from .stats import EngineStats
 
 EngineMode = Literal["incremental", "batch"]
 SafetyMode = Literal["reject", "off"]
-
-#: Marker for postcondition slots the body does not bind; never equal to
-#: any database value, mirroring the unbound Variable objects that used
-#: to occupy those slots.
-_UNBOUND = object()
 
 
 class D3CEngine:
@@ -82,6 +84,11 @@ class D3CEngine:
             applies to :meth:`run_batch` rounds).
         parallel_workers: >1 enables parallel per-partition evaluation
             in batch mode.
+        ingest_workers: worker bound for :meth:`submit_many`'s parallel
+            edge discovery (0 = auto: size from the shared pool on
+            free-threaded builds, serial under the GIL, where threaded
+            pure-Python discovery only adds overhead; 1 = serial;
+            >1 = force that many workers).
         max_group_size: incremental mode's cap on the size of the local
             coordination group built around an arrival; groups that
             would exceed it are deferred to set-at-a-time rounds (the
@@ -103,6 +110,10 @@ class D3CEngine:
             the paper's Figure 8 set-at-a-time recommendation.
     """
 
+    #: Blocks smaller than this are ingested serially — per-query
+    #: discovery tasks are too small to amortize pool dispatch.
+    _MIN_PARALLEL_INGEST = 16
+
     def __init__(self, database: Database,
                  mode: EngineMode = "incremental",
                  safety: SafetyMode = "off",
@@ -112,6 +123,7 @@ class D3CEngine:
                  rng: Optional[random.Random] = None,
                  ucs_fallback: bool = False,
                  parallel_workers: int = 1,
+                 ingest_workers: int = 0,
                  max_group_size: int = 64,
                  max_candidate_attempts: int = 8,
                  max_combined_atoms: int = 512,
@@ -132,6 +144,14 @@ class D3CEngine:
         self.rng = rng
         self.ucs_fallback = ucs_fallback
         self.parallel_workers = max(1, parallel_workers)
+        if ingest_workers > 0:
+            self.ingest_workers = ingest_workers
+        elif cpu_parallelism_available():
+            self.ingest_workers = default_worker_count()
+        else:
+            # Edge discovery is pure Python; under the GIL, threads
+            # only add dispatch overhead, so 'auto' means serial.
+            self.ingest_workers = 1
         self.max_group_size = max(2, max_group_size)
         self.max_candidate_attempts = max(1, max_candidate_attempts)
         self.max_combined_atoms = max(1, max_combined_atoms)
@@ -139,21 +159,38 @@ class D3CEngine:
         self.stats = EngineStats()
 
         self._lock = threading.RLock()
-        self._graph = UnifiabilityGraph()
-        self._partitions = PartitionManager(self._graph)
+        self._runtime = CoordinationScheduler(self)
         self._safety = SafetyChecker()
-        # query_id -> (query, ticket, submitted_at, arrival_seq)
+        # query_id -> (query, ticket, submitted_at); insertion order is
+        # arrival order (ids are never reused), which pending_ids and
+        # the scheduler's component ordering rely on.
         self._pending: dict = {}
         self._arrival: dict = {}
         self._next_seq = 0
-        # Local groups whose combined query found no data; the database
-        # is treated as a snapshot per the paper, so a failed group
-        # cannot succeed until the data changes (see invalidate_cache).
-        self._failed_groups: set[frozenset] = set()
-        # Canonical-body-key -> (canonical valuations, complete,
-        # table versions) for the feasibility prefilter; entries are
-        # revalidated against table versions on every hit.
-        self._feasible_memo: dict[tuple, tuple[list, bool, tuple]] = {}
+        # (deadline, seq, query_id) min-heap for deadline-bearing
+        # staleness policies; settled entries are dropped lazily, so an
+        # expiry sweep is O(expired log pending), not O(pending).
+        self._expiry_heap: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # compatibility views (tests and diagnostics reach for these)
+    # ------------------------------------------------------------------
+
+    @property
+    def _graph(self):
+        return self._runtime.graph
+
+    @property
+    def _partitions(self):
+        return self._runtime.partitions
+
+    @property
+    def _feasible_memo(self):
+        return self._runtime._feasible_memo
+
+    @property
+    def _failed_groups(self):
+        return self._runtime._failed_groups
 
     # ------------------------------------------------------------------
     # submission
@@ -176,33 +213,17 @@ class D3CEngine:
 
         settle_unsafe = False
         with self._lock:
-            if (query.query_id in self._pending
-                    or query.query_id in self._arrival):
-                raise ValidationError(
-                    f"query id {query.query_id!r} already used in this "
-                    f"engine")
-            working = query.rename_apart()
-            self.stats.submitted += 1
-            self._arrival[query.query_id] = self._next_seq
-            self._next_seq += 1
-
-            if self.safety_mode == "reject":
-                start = time.perf_counter()
-                unsafe = not self._safety.is_safe_to_add(working)
-                self.stats.safety_seconds += time.perf_counter() - start
-                if unsafe:
-                    self.stats.record_failure(FailureReason.UNSAFE)
-                    settle_unsafe = True
+            self._check_new_id(query.query_id)
+            working, settle_unsafe = self._admit(query, ticket)
             if not settle_unsafe:
-                self._pending[query.query_id] = (
-                    working, ticket, self.clock.now())
-                if self.safety_mode == "reject":
-                    self._safety.add(working)
                 if self.mode == "incremental":
-                    self._admit_incremental(working)
-                elif (self.batch_size is not None
-                      and len(self._pending) >= self.batch_size):
-                    self.run_batch()
+                    new_edges = self._runtime.ingest(working)
+                    self._runtime.drain_arrival(working, new_edges)
+                else:
+                    self._runtime.ingest(working)
+                    if (self.batch_size is not None
+                            and len(self._pending) >= self.batch_size):
+                        self.run_batch()
         if settle_unsafe:
             ticket.fail(FailureReason.UNSAFE)
         return ticket
@@ -212,447 +233,153 @@ class D3CEngine:
         """Submit many queries in order; returns their tickets."""
         return [self.submit(query) for query in queries]
 
-    # ------------------------------------------------------------------
-    # incremental mode
-    # ------------------------------------------------------------------
+    def submit_many(self, queries: Iterable[EntangledQuery]
+                    ) -> list[CoordinationTicket]:
+        """Submit a block of arrivals through the batched pipeline.
 
-    def _admit_incremental(self, query: EntangledQuery) -> None:
-        start = time.perf_counter()
-        new_edges = self._graph.add_query(query)
-        root = self._partitions.add_query(query, new_edges)
-        self.stats.graph_seconds += time.perf_counter() - start
+        The block's candidate edges are discovered in parallel on the
+        shared worker pool against the pre-block graph, then the
+        queries are committed in arrival order — producing exactly the
+        same graph as one-at-a-time ingestion.  Coordination is
+        deferred to the end of the block: incremental engines then
+        drain each arrival in order, batch engines check the
+        ``batch_size`` trigger once.  (This deferral is the one
+        semantic difference from a loop of :meth:`submit`, where an
+        arrival may coordinate before the next is ingested.)
 
-        origin = query.query_id
-        if self.incremental_strategy == "component":
-            if self._partitions.is_closed(root):
-                self.stats.closure_events += 1
-                self._attempt_component(self._partitions.members(root))
-            return
-        if query.pccount:
-            self._attempt_around(origin)
-        else:
-            # A postcondition-free query can satisfy others or answer
-            # alone.  Give dependents first shot at forming a group
-            # containing it; if none consumes it, answer it solo.
-            for dst in self._arrival_order({edge.dst for edge
-                                            in new_edges}):
-                if origin not in self._graph:
-                    return
-                if dst in self._graph:
-                    self._attempt_around(dst)
-            if origin in self._graph:
-                self._attempt_group(frozenset((origin,)))
-
-    def _arrival_order(self, query_ids: Iterable) -> list:
-        return sorted(query_ids,
-                      key=lambda query_id: self._arrival[query_id])
-
-    def _attempt_component(self, members: Sequence) -> None:
-        """Paper-faithful attempt: match and evaluate a whole partition.
-
-        Used by the ``"component"`` incremental strategy.  On massively
-        unifying partitions this re-matches a growing component on
-        every arrival — the cost the paper observes in Figure 8 before
-        recommending set-at-a-time evaluation there.
+        Returns the tickets in input order; tickets may already be
+        settled on return.
         """
-        self.stats.coordination_rounds += 1
-        start = time.perf_counter()
-        match = match_component(self._graph, members,
-                                order=self._arrival)
-        self.stats.match_seconds += time.perf_counter() - start
-        if not match.survivors or match.global_unifier is None:
-            return
-        queries_by_id = {query_id: self._graph.query(query_id)
-                         for query_id in match.survivors}
-        combined = build_combined_query(queries_by_id, match)
-        self.stats.combined_queries_built += 1
-        if len(combined.query.atoms) <= self.max_combined_atoms:
-            self._evaluate_combined(combined, queries_by_id)
-
-    def _attempt_around(self, origin) -> None:
-        """Try bounded local coordination groups seeded at *origin*.
-
-        Builds the dependency closure of *origin* under the current
-        pending set, preferring providers already in the group (so
-        mutually coordinating pairs and cliques close on themselves).
-        When the origin's postconditions transiently over-unify with
-        several pending heads, alternative providers are tried up to
-        ``max_candidate_attempts``, *feasible-first*: a cheap semi-join
-        of the origin's body against the database reorders candidates so
-        providers the data can actually pair with are tried before stale
-        pendings (this is what keeps the paper's "random workload"
-        linear — without it, attempts are wasted on dead queries).
-        Groups whose combined query already failed on the data are
-        skipped for free.
-        """
-        query = self._graph.query(origin)
-        primary_edges: Sequence = ()
-        if query.pccount:
-            by_src = self._graph.in_edges_by_src(origin, 0)
-            if not by_src:
-                return
-            if len(by_src) == 1:
-                primary_edges = next(iter(by_src.values()))
-            else:
-                # Sort the (fewer) providers, not the flattened edges;
-                # per-provider edge order is preserved, so this matches
-                # the old stable sort of the flat list by arrival.
-                arrival = self._arrival
-                primary_edges = [edge for src
-                                 in sorted(by_src,
-                                           key=arrival.__getitem__)
-                                 for edge in by_src[src]]
-            if len(primary_edges) > 1:
-                primary_edges = self._feasible_first(query, primary_edges)
-                if not primary_edges:
-                    # The data supports no pending provider; any group
-                    # through this postcondition is empty on the DB.
-                    return
-        choices = (list(primary_edges[:self.max_candidate_attempts])
-                   if query.pccount else [None])
-        tried: set[frozenset] = set()
-        for edge in choices:
-            forced = {} if edge is None else {(origin, 0): edge}
-            group = self._build_group(origin, forced)
-            if group is None or group in tried:
-                continue
-            tried.add(group)
-            if group in self._failed_groups:
-                continue
-            self.stats.closure_events += 1
-            if self._attempt_group(group):
-                return
-
-    #: Cap on body valuations enumerated by the feasibility prefilter.
-    _FEASIBILITY_LIMIT = 64
-
-    #: Entry cap for the feasibility memo; like the planner's plan
-    #: cache, it is dropped wholesale on overflow so a long-lived
-    #: engine serving many distinct users cannot grow without bound.
-    _FEASIBILITY_MEMO_LIMIT = 8_192
-
-    def _feasible_first(self, query: EntangledQuery,
-                        edges: list) -> list:
-        """Filter/reorder candidate providers by data feasibility.
-
-        Evaluates the origin query's body (bounded) to learn which
-        groundings of its first postcondition the data supports.  If the
-        enumeration is *complete* (did not hit the cap), candidates the
-        data cannot pair with are dropped outright — their combined
-        query is guaranteed empty.  If the enumeration was truncated,
-        infeasible-looking candidates are merely moved to the back.
-        Either way a provider whose head is non-ground is kept in front
-        (feasibility cannot be decided statically for it).
-
-        The body enumeration is memoized under a renaming-invariant body
-        key — the semi-join depends only on the body and the database
-        snapshot, and workload bodies repeat heavily (every query a user
-        submits enumerates the same friends-and-towns join).  The memo
-        is dropped by :meth:`invalidate_cache`.
-        """
-        from ..db.expression import ConjunctiveQuery
-        if not query.body:
-            return edges
-        pc_atom = query.postconditions[0]
-        if pc_atom.is_ground():
-            return edges
-
-        # Canonical body key: constants by value, variables by first
-        # occurrence, so renamed-apart copies of one body share a key.
-        numbering = TermNumbering()
-        body_key = numbering.atoms_key(query.body)
-        # Memo entries are validated against the involved tables'
-        # mutation versions, so data changes invalidate automatically —
-        # invalidate_cache() is a belt-and-braces sweep, not a
-        # correctness requirement.
-        try:
-            versions = tuple(self.database.table(atom.relation).version
-                             for atom in query.body)
-        except ReproError:
-            return edges
-        # Projection of the pc atom in canonical terms; pc variables not
-        # bound by the body project to _UNBOUND (they can never equal a
-        # candidate's ground values, exactly like the unbound Variable
-        # objects the unmemoized code used to leave in place).
-        slots = tuple(
-            (True, term.value) if isinstance(term, Constant)
-            else (False, numbering.get(term))
-            for term in pc_atom.args)
-
-        cached = self._feasible_memo.get(body_key)
-        if cached is not None and cached[2] != versions:
-            cached = None
-        if cached is None:
-            canon_valuations: list[dict] = []
-            start = time.perf_counter()
-            try:
-                count = 0
-                stream = self.database.evaluate(
-                    ConjunctiveQuery(query.body),
-                    limit=self._FEASIBILITY_LIMIT)
-                for valuation in stream:
-                    count += 1
-                    canon_valuations.append(
-                        {numbering.get(variable): value
-                         for variable, value in valuation.items()})
-                complete = count < self._FEASIBILITY_LIMIT
-            except ReproError:
-                return edges
-            finally:
-                self.stats.db_seconds += time.perf_counter() - start
-            cached = (canon_valuations, complete, versions)
-            if len(self._feasible_memo) >= self._FEASIBILITY_MEMO_LIMIT:
-                self._feasible_memo.clear()
-            self._feasible_memo[body_key] = cached
-
-        canon_valuations, complete, _ = cached
-        feasible: set[tuple] = set()
-        for canon in canon_valuations:
-            feasible.add(tuple(
-                payload if is_const
-                else (_UNBOUND if payload is None else canon[payload])
-                for is_const, payload in slots))
-
-        preferred, fallback = [], []
-        for edge in edges:
-            key = edge.ground_key()
-            if key is None or key in feasible:
-                preferred.append(edge)
-            else:
-                fallback.append(edge)
-        if complete:
-            return preferred
-        return preferred + fallback
-
-    def _build_group(self, origin, forced: dict) -> Optional[frozenset]:
-        """Dependency closure of *origin*, or None if it cannot close.
-
-        Every member's every postcondition must have a provider inside
-        the group; providers already in the group are preferred, then
-        earliest arrival.  ``forced`` pins specific providers (used to
-        iterate alternatives for the origin's first postcondition).
-        """
-        group: set = {origin}
-        stack: list = [origin]
-        arrival = self._arrival
-        while stack:
-            current = stack.pop()
-            query = self._graph.query(current)
-            for pc_pos in range(query.pccount):
-                by_src = self._graph.in_edges_by_src(current, pc_pos)
-                if not by_src:
-                    return None
-                pinned = forced.get((current, pc_pos))
-                if pinned is not None:
-                    chosen = pinned
-                else:
-                    in_group = [src for src in by_src if src in group]
-                    pool = in_group or by_src.keys()
-                    best_src = min(pool, key=arrival.__getitem__)
-                    chosen = by_src[best_src][0]
-                if chosen.src not in group:
-                    if len(group) >= self.max_group_size:
-                        return None
-                    group.add(chosen.src)
-                    stack.append(chosen.src)
-        return frozenset(group)
-
-    def _attempt_group(self, group: frozenset) -> bool:
-        """Match, combine, and evaluate one candidate group."""
-        self.stats.coordination_rounds += 1
-        start = time.perf_counter()
-        match = match_component(self._graph, group,
-                                order=self._arrival)
-        self.stats.match_seconds += time.perf_counter() - start
-        if (set(match.survivors) != set(group)
-                or match.global_unifier is None):
-            # The group as chosen cannot mutually satisfy; it is a
-            # static failure, cache it so retries are free.
-            self._failed_groups.add(group)
-            return False
-        queries_by_id = {query_id: self._graph.query(query_id)
-                         for query_id in match.survivors}
-        combined = build_combined_query(queries_by_id, match)
-        self.stats.combined_queries_built += 1
-        if self._evaluate_combined(combined, queries_by_id):
-            return True
-        self._failed_groups.add(group)
-        return False
-
-    def invalidate_cache(self) -> None:
-        """Forget failed coordination groups and feasibility results.
-
-        Call after mutating the database: a group that found no data
-        before may succeed on the new snapshot, and cached feasibility
-        enumerations may no longer reflect the data.
-        """
+        queries = list(queries)
+        tickets: list[CoordinationTicket] = []
         with self._lock:
-            self._failed_groups.clear()
-            self._feasible_memo.clear()
+            seen: set = set()
+            for query in queries:
+                query.validate()
+                self._check_new_id(query.query_id)
+                if query.query_id in seen:
+                    raise ValidationError(
+                        f"query id {query.query_id!r} appears twice in "
+                        f"one block")
+                seen.add(query.query_id)
 
-    def _evaluate_combined(self, combined, queries_by_id) -> bool:
-        """Evaluate a combined query; settle and evict on success."""
-        choose = max(query.choose for query in queries_by_id.values())
-        start = time.perf_counter()
-        if self.rng is None:
-            valuations = list(self.database.evaluate(combined.query,
-                                                     limit=choose))
-        else:
-            valuations = self._sample(combined.query, choose)
-        self.stats.db_seconds += time.perf_counter() - start
-        if not valuations:
-            return False
+            admitted: list[EntangledQuery] = []
+            unsafe: list[CoordinationTicket] = []
+            for query in queries:
+                ticket = CoordinationTicket(query.query_id)
+                tickets.append(ticket)
+                working, settle_unsafe = self._admit(query, ticket)
+                if settle_unsafe:
+                    unsafe.append(ticket)
+                else:
+                    admitted.append(working)
 
-        from ..core.evaluate import CoordinationResult
-        scratch = CoordinationResult()
-        _record_answers(combined, valuations, scratch)
+            workers = (1 if len(admitted) < self._MIN_PARALLEL_INGEST
+                       else self.ingest_workers)
+            ingested = self._runtime.ingest_block(admitted, workers)
+            if self.mode == "incremental":
+                attempted_roots: set = set()
+                for working, new_edges in ingested:
+                    if working.query_id in self._runtime.graph:
+                        self._runtime.drain_arrival(working, new_edges,
+                                                    attempted_roots)
+            elif (self.batch_size is not None
+                    and len(self._pending) >= self.batch_size):
+                self.run_batch()
+        for ticket in unsafe:
+            ticket.fail(FailureReason.UNSAFE)
+        return tickets
 
-        tickets: list[tuple[CoordinationTicket, Answer]] = []
-        for query_id, answer in scratch.answers.items():
+    def _check_new_id(self, query_id) -> None:
+        if query_id in self._pending or query_id in self._arrival:
+            raise ValidationError(
+                f"query id {query_id!r} already used in this engine")
+
+    def _admit(self, query: EntangledQuery,
+               ticket: CoordinationTicket):
+        """Shared admission: rename, arrival seq, safety, pending entry.
+
+        Returns ``(working_copy, settle_unsafe)``; on safe admission
+        the query is registered pending (but not yet ingested into the
+        graph).
+        """
+        working = query.rename_apart()
+        self.stats.submitted += 1
+        self._arrival[query.query_id] = self._next_seq
+        self._next_seq += 1
+
+        if self.safety_mode == "reject":
+            start = time.perf_counter()
+            unsafe = not self._safety.is_safe_to_add(working)
+            self.stats.safety_seconds += time.perf_counter() - start
+            if unsafe:
+                self.stats.record_failure(FailureReason.UNSAFE)
+                return working, True
+        submitted_at = self.clock.now()
+        self._pending[query.query_id] = (working, ticket, submitted_at)
+        if self.safety_mode == "reject":
+            self._safety.add(working)
+        deadline = self.staleness.deadline(working, submitted_at)
+        if deadline is not None and deadline != math.inf:
+            heapq.heappush(self._expiry_heap,
+                           (deadline, self._arrival[query.query_id],
+                            query.query_id))
+        return working, False
+
+    # ------------------------------------------------------------------
+    # settlement (called by the scheduler under the engine lock)
+    # ------------------------------------------------------------------
+
+    def _settle_answers(self, answers: dict) -> int:
+        """Settle answered queries: tickets, safety, graph eviction."""
+        resolved: list[tuple[CoordinationTicket, object]] = []
+        settled: list = []
+        for query_id, answer in answers.items():
             entry = self._pending.pop(query_id, None)
             if entry is None:
                 continue
             _, ticket, _ = entry
-            tickets.append((ticket, answer))
+            resolved.append((ticket, answer))
             self._safety.remove(query_id)
-            self._graph.remove_query(query_id)
+            settled.append(query_id)
             self.stats.answered += 1
-        self._partitions.remove_queries(list(scratch.answers))
-        for ticket, answer in tickets:
+        self._runtime.remove_block(settled)
+        for ticket, answer in resolved:
             ticket.resolve(answer)
-        return True
+        return len(settled)
 
-    def _sample(self, query, choose: int) -> list:
-        reservoir: list = []
-        for count, valuation in enumerate(self.database.evaluate(query)):
-            if len(reservoir) < choose:
-                reservoir.append(valuation)
-            else:
-                slot = self.rng.randint(0, count)
-                if slot < choose:
-                    reservoir[slot] = valuation
-        return reservoir
+    def invalidate_cache(self) -> None:
+        """Forget data-dependent coordination state.
+
+        Call after mutating the database: failed groups and feasibility
+        enumerations may now succeed, and previously-failed components
+        are re-queued on the scheduler's worklist so the next
+        :meth:`run_batch` re-attempts them.
+        """
+        with self._lock:
+            self._runtime.invalidate()
 
     # ------------------------------------------------------------------
     # batch (set-at-a-time) mode
     # ------------------------------------------------------------------
 
     def run_batch(self) -> int:
-        """Run one set-at-a-time coordination round over pending queries.
+        """Run one set-at-a-time coordination round.
 
-        Returns the number of queries answered this round.  Unanswered
-        queries stay pending (until stale).  Valid in both modes — in
-        incremental mode it forces a full re-match, useful after
-        database changes.
+        Drains the scheduler's dirty-component worklist: every
+        component touched since its last attempt (new arrivals,
+        expirations, settlements, or an :meth:`invalidate_cache`) is
+        re-matched and evaluated.  Returns the number of queries
+        answered this round; unanswered queries stay pending (until
+        stale).  Valid in both modes — in incremental mode it
+        re-attempts everything the per-arrival paths left pending but
+        touched.
         """
         with self._lock:
             self.stats.coordination_rounds += 1
-            if self.mode == "batch":
-                start = time.perf_counter()
-                graph = UnifiabilityGraph()
-                for query, _, _ in self._pending.values():
-                    graph.add_query(query)
-                self.stats.graph_seconds += time.perf_counter() - start
-            else:
-                graph = self._graph
-
-            start = time.perf_counter()
-            components = graph.connected_components()
-            order = self._arrival
-            components.sort(key=lambda component: min(
-                order[query_id] for query_id in component))
-            matches = [match_component(graph, component, order=order)
-                       for component in components]
-            self.stats.match_seconds += time.perf_counter() - start
-
             answered_before = self.stats.answered
-            viable = [match for match in matches
-                      if match.survivors
-                      and match.global_unifier is not None]
-            if self.parallel_workers > 1 and len(viable) > 1:
-                self._evaluate_parallel(graph, viable)
-            else:
-                for match in viable:
-                    queries_by_id = {query_id: graph.query(query_id)
-                                     for query_id in match.survivors}
-                    combined = build_combined_query(queries_by_id, match)
-                    self.stats.combined_queries_built += 1
-                    if len(combined.query.atoms) > self.max_combined_atoms:
-                        # The paper observes the DB collapses past a
-                        # join-count threshold (Figure 7); refuse to send
-                        # monster queries and leave the queries pending.
-                        continue
-                    if self._evaluate_combined(combined, queries_by_id):
-                        continue
-                    if self.ucs_fallback:
-                        self._batch_core_fallback(graph, match)
+            self._runtime.drain_all()
             return self.stats.answered - answered_before
-
-    def _batch_core_fallback(self, graph: UnifiabilityGraph,
-                             match: ComponentMatch) -> None:
-        """Retry a failed component's strongly connected cores."""
-        report = check_ucs_graph(graph, set(match.survivors))
-        for core in report.cores:
-            core_match = match_component(graph, core,
-                                         order=self._arrival)
-            if (not core_match.survivors
-                    or core_match.global_unifier is None):
-                continue
-            core_queries = {query_id: graph.query(query_id)
-                            for query_id in core_match.survivors}
-            core_combined = build_combined_query(core_queries, core_match)
-            if len(core_combined.query.atoms) <= self.max_combined_atoms:
-                self._evaluate_combined(core_combined, core_queries)
-
-    def _evaluate_parallel(self, graph: UnifiabilityGraph,
-                           matches: list[ComponentMatch]) -> None:
-        """Evaluate independent partitions on the shared worker pool.
-
-        Combined-query evaluation is read-only on the database, so
-        partitions can proceed concurrently; settlement (which mutates
-        engine state) happens back on the calling thread, in partition
-        arrival order, so parallel rounds settle identically to
-        sequential ones.
-        """
-        def build_and_probe(match: ComponentMatch):
-            queries_by_id = {query_id: graph.query(query_id)
-                             for query_id in match.survivors}
-            combined = build_combined_query(queries_by_id, match)
-            if len(combined.query.atoms) > self.max_combined_atoms:
-                return combined, queries_by_id, []
-            choose = max(query.choose
-                         for query in queries_by_id.values())
-            valuations = list(self.database.evaluate(combined.query,
-                                                     limit=choose))
-            return combined, queries_by_id, valuations
-
-        start = time.perf_counter()
-        outcomes = map_bounded(build_and_probe, matches,
-                               self.parallel_workers)
-        self.stats.db_seconds += time.perf_counter() - start
-        self.stats.combined_queries_built += len(matches)
-
-        from ..core.evaluate import CoordinationResult
-        for combined, queries_by_id, valuations in outcomes:
-            if not valuations:
-                continue
-            scratch = CoordinationResult()
-            _record_answers(combined, valuations, scratch)
-            tickets = []
-            for query_id, answer in scratch.answers.items():
-                entry = self._pending.pop(query_id, None)
-                if entry is None:
-                    continue
-                _, ticket, _ = entry
-                tickets.append((ticket, answer))
-                self._safety.remove(query_id)
-                if query_id in self._graph:
-                    self._graph.remove_query(query_id)
-                self.stats.answered += 1
-            if self.mode == "incremental":
-                self._partitions.remove_queries(list(scratch.answers))
-            for ticket, answer in tickets:
-                ticket.resolve(answer)
 
     # ------------------------------------------------------------------
     # staleness
@@ -662,26 +389,64 @@ class D3CEngine:
         """Expire pending queries per the staleness policy.
 
         Returns the number expired.  Call periodically (the paper's
-        middleware does the equivalent on a timer).
+        middleware does the equivalent on a timer).  Policies that
+        expose deadlines or explicit marks are swept in O(affected)
+        via the expiry heap; custom policies fall back to a full scan.
+        Expired queries leave the graph as removal deltas, so only
+        their partitions are rebuilt and re-queued.
         """
         now = self.clock.now()
         expired: list[CoordinationTicket] = []
         with self._lock:
-            doomed = [query_id for query_id, (query, _, submitted_at)
-                      in self._pending.items()
-                      if self.staleness.is_stale(query, submitted_at, now)]
+            policy = self.staleness
+            if policy.requires_full_scan:
+                doomed = [query_id
+                          for query_id, (query, _, submitted_at)
+                          in self._pending.items()
+                          if policy.is_stale(query, submitted_at, now)]
+            else:
+                doomed = self._due_candidates(policy, now)
             for query_id in doomed:
                 _, ticket, _ = self._pending.pop(query_id)
                 self._safety.remove(query_id)
-                if query_id in self._graph:
-                    self._graph.remove_query(query_id)
                 expired.append(ticket)
                 self.stats.record_failure(FailureReason.STALE)
-            if self.mode == "incremental" and doomed:
-                self._partitions.remove_queries(doomed)
+            self._runtime.remove_block(doomed)
         for ticket in expired:
             ticket.fail(FailureReason.STALE)
         return len(expired)
+
+    def _due_candidates(self, policy: StalenessPolicy,
+                        now: float) -> list:
+        """Doomed ids from the expiry heap plus the policy's marks."""
+        candidates: list = []
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            _, _, query_id = heapq.heappop(heap)
+            candidates.append(query_id)
+        candidates.extend(policy.candidates())
+        doomed: list = []
+        seen: set = set()
+        for query_id in candidates:
+            if query_id in seen:
+                continue
+            seen.add(query_id)
+            entry = self._pending.get(query_id)
+            if entry is None:
+                continue
+            query, _, submitted_at = entry
+            if policy.is_stale(query, submitted_at, now):
+                doomed.append(query_id)
+            else:
+                # Popped but not stale (a policy with drifting
+                # deadlines): keep it scheduled.
+                deadline = policy.deadline(query, submitted_at)
+                if deadline is not None and deadline != math.inf:
+                    heapq.heappush(heap, (deadline,
+                                          self._arrival[query_id],
+                                          query_id))
+        doomed.sort(key=self._arrival.__getitem__)
+        return doomed
 
     # ------------------------------------------------------------------
     # introspection
@@ -694,16 +459,21 @@ class D3CEngine:
             return len(self._pending)
 
     def pending_ids(self) -> list:
-        """Ids of pending queries, in arrival order."""
+        """Ids of pending queries, in arrival order.
+
+        The pending map's insertion order *is* arrival order (ids are
+        never reused), so this is O(pending) with no sort or graph
+        rescan.
+        """
         with self._lock:
-            return sorted(self._pending,
-                          key=lambda query_id: self._arrival[query_id])
+            return list(self._pending)
 
     def partition_sizes(self) -> list[int]:
-        """Current partition sizes (incremental mode diagnostics)."""
+        """Current partition sizes, reported by the partition manager.
+
+        Available in both modes — the unified runtime maintains the
+        partition structure incrementally for batch engines too.
+        """
         with self._lock:
-            if self.mode != "incremental":
-                raise CoordinationError(
-                    "partition sizes are tracked in incremental mode only")
-            return sorted(self._partitions.partition_sizes(),
+            return sorted(self._runtime.partitions.partition_sizes(),
                           reverse=True)

@@ -18,9 +18,17 @@ with the addition of a new query".  This module tracks:
 Closure is the trigger for a coordination attempt; the cached unifiers
 make the propagation work measurable (Figure 8's "usual partitions"
 series) without re-running Algorithm 1 from scratch per arrival.
-Union-find cannot delete, so when answered queries leave the engine the
-affected partition's bookkeeping is rebuilt from the surviving members
-(typically zero of them).
+Union-find cannot delete, so removals *ghost* the departed queries in
+O(removed) and mark their partitions structurally stale; the exact
+rebuild — survivors re-unioned along the graph's surviving edges so
+components split back apart, with satisfaction recounted — runs lazily,
+the first time a consumer actually reads the partition (a set-at-a-time
+drain, the closure check, or a diagnostic).  Readers therefore always
+see exact components, while the per-removal cost on hot settlement
+paths stays O(removed).  This is what lets the manager serve as the
+engine's sole source of component truth: the scheduler's set-at-a-time
+rounds read components straight from here instead of recomputing
+connected components from scratch.
 """
 
 from __future__ import annotations
@@ -34,10 +42,21 @@ from ..core.unify import Unifier, mgu
 
 
 class PartitionManager:
-    """Tracks components, closure, and partial unifiers incrementally."""
+    """Tracks components, closure, and partial unifiers incrementally.
 
-    def __init__(self, graph: UnifiabilityGraph):
+    ``maintain_unifiers=False`` puts the manager in structure-only
+    mode for batch engines: the cached-unifier propagation pass *and*
+    the per-edge closure (postcondition-satisfaction) accounting are
+    skipped, matching the paper's set-at-a-time design — no partial
+    matching state is carried between arrivals, and nothing gates on
+    closure (set-at-a-time rounds drain whole components regardless).
+    :meth:`is_closed` is meaningless in this mode.
+    """
+
+    def __init__(self, graph: UnifiabilityGraph,
+                 maintain_unifiers: bool = True):
         self._graph = graph
+        self._maintain_unifiers = maintain_unifiers
         self._parent: dict = {}
         self._rank: dict = {}
         # (query_id, pc_pos) -> satisfied?
@@ -52,6 +71,9 @@ class PartitionManager:
         self._unifiers: dict = {}
         # removed queries left as structural ghosts in the forest
         self._dead: set = set()
+        # roots whose structure may be coarse (a member was removed and
+        # the partition has not been re-split yet)
+        self._stale_roots: set = set()
         # propagation work counter (diagnostics / benchmarks)
         self.propagation_steps = 0
 
@@ -79,6 +101,9 @@ class PartitionManager:
             self._rank[root_left] += 1
         self._root_open[root_left] += self._root_open.pop(root_right)
         self._root_members[root_left] |= self._root_members.pop(root_right)
+        if root_right in self._stale_roots:
+            self._stale_roots.discard(root_right)
+            self._stale_roots.add(root_left)
         return root_left
 
     # ------------------------------------------------------------------
@@ -100,10 +125,16 @@ class PartitionManager:
         self._node_open[query_id] = query.pccount
         self._root_open[query_id] = query.pccount
         self._root_members[query_id] = {query_id}
+
+        if not self._maintain_unifiers:
+            # Structure-only mode: merge components, skip closure
+            # accounting and unifier propagation entirely.
+            for edge in new_edges:
+                self._union(edge.src, edge.dst)
+            return self.find(query_id)
+
         for pc_pos in range(query.pccount):
             self._pc_satisfied[(query_id, pc_pos)] = False
-        self._unifiers[query_id] = Unifier()
-
         touched: set = {query_id}
         for edge in new_edges:
             root = self._union(edge.src, edge.dst)
@@ -114,6 +145,7 @@ class PartitionManager:
                 self._node_open[edge.dst] -= 1
                 self._root_open[root] -= 1
 
+        self._unifiers[query_id] = Unifier()
         self._propagate(touched, new_edges)
         return self.find(query_id)
 
@@ -172,20 +204,52 @@ class PartitionManager:
     # closure and removal
     # ------------------------------------------------------------------
 
-    def is_closed(self, root) -> bool:
-        """True if every postcondition in the partition is satisfied."""
-        return self._root_open[self.find(root)] == 0
+    def _fresh_root(self, query_id):
+        """The exact root of a query's partition, re-splitting if stale.
 
-    def members(self, root) -> list:
-        """All query ids in the partition of *root*."""
-        return sorted(self._root_members[self.find(root)], key=repr)
+        Accepts live member ids and (for single-component refreshes)
+        stale root handles whose query has since been removed."""
+        root = self.find(query_id)
+        if root in self._stale_roots:
+            self._refresh(root)
+            root = self.find(query_id)
+        if root not in self._root_members:
+            raise KeyError(
+                f"{query_id!r} is no longer live and its partition "
+                f"split; resolve through a live member instead")
+        return root
 
-    def partition_size(self, root) -> int:
-        """Member count of the partition (O(1))."""
-        return len(self._root_members[self.find(root)])
+    def is_closed(self, query_id) -> bool:
+        """True if every postcondition in the partition is satisfied.
+
+        Accepts any live member id (roots are members too).  Reading
+        through this accessor re-splits a stale partition first, so
+        closure is always judged against exact structure.
+        """
+        return self._root_open[self._fresh_root(query_id)] == 0
+
+    def members(self, query_id) -> list:
+        """All query ids in the (exact) partition of *query_id*."""
+        return sorted(self._root_members[self._fresh_root(query_id)],
+                      key=repr)
+
+    def members_set(self, query_id) -> set:
+        """A copy of the partition's member set (mutation-safe)."""
+        return set(self._root_members[self._fresh_root(query_id)])
+
+    def roots(self) -> list:
+        """Current partition representatives (diagnostics/scheduler)."""
+        self._refresh_all()
+        return [root for root in self._root_members
+                if self._parent[root] == root]
+
+    def partition_size(self, query_id) -> int:
+        """Member count of the (exact) partition."""
+        return len(self._root_members[self._fresh_root(query_id)])
 
     def partition_sizes(self) -> list[int]:
         """Sizes of all current partitions (diagnostics)."""
+        self._refresh_all()
         return [len(members)
                 for root, members in self._root_members.items()
                 if self._parent[root] == root]
@@ -195,25 +259,27 @@ class PartitionManager:
         when the cache has detected inconsistency)."""
         return self._unifiers.get(query_id)
 
-    def remove_queries(self, removed: Iterable) -> None:
+    def remove_queries(self, removed: Iterable) -> list:
         """Forget answered/expired queries, in O(removed) time.
 
         The caller must already have removed them from the graph.
-        Removed nodes stay in the union-find forest as structural ghosts
-        (union-find cannot delete), but they leave the member sets, the
-        open-postcondition accounting, and the unifier cache.
+        Removed nodes stay in the union-find forest as structural
+        ghosts (union-find cannot delete) but leave the member sets,
+        the open-postcondition accounting, and the unifier cache; the
+        affected partitions are marked structurally *stale* and
+        re-split exactly — survivors re-unioned along surviving edges,
+        satisfaction recounted — the first time a consumer reads them
+        (:meth:`refreshed_roots`, :meth:`members`, :meth:`is_closed`,
+        the size diagnostics).
 
-        Accuracy note: a *surviving* query whose only provider was
-        removed is not re-counted as open — partition open-counts may
-        undercount after removals.  The engine does not gate on
-        closure (it builds local groups per arrival), so this only
-        affects the diagnostics; :meth:`recount` restores exact numbers
-        for a partition when needed.
+        Returns one surviving representative per affected partition
+        (the scheduler's dirty marks; resolving a representative at
+        drain time yields *all* the components the stale partition
+        splits into).
         """
-        removed_set = set(removed)
-        if not removed_set:
-            return
-        for query_id in removed_set:
+        representatives: list = []
+        affected: set = set()
+        for query_id in removed:
             if query_id not in self._parent or query_id in self._dead:
                 continue
             root = self.find(query_id)
@@ -221,10 +287,83 @@ class PartitionManager:
             self._root_open[root] -= self._node_open.pop(query_id, 0)
             self._unifiers.pop(query_id, None)
             self._dead.add(query_id)
+            affected.add(root)
             pc_pos = 0
             while (query_id, pc_pos) in self._pc_satisfied:
                 del self._pc_satisfied[(query_id, pc_pos)]
                 pc_pos += 1
+        for root in affected:
+            members = self._root_members[root]
+            if members:
+                self._stale_roots.add(root)
+                representatives.append(next(iter(members)))
+            else:
+                del self._root_members[root]
+                self._root_open.pop(root, None)
+                self._stale_roots.discard(root)
+        return representatives
+
+    # ------------------------------------------------------------------
+    # lazy re-splitting
+    # ------------------------------------------------------------------
+
+    def _refresh(self, root) -> list:
+        """Re-split one stale partition exactly; returns its new roots.
+
+        Survivors become fresh singletons with graph-exact
+        satisfaction, then are re-unioned along the graph's surviving
+        edges (edges never span partitions, so this touches only this
+        partition's members).  Cost is O(members + their edges), paid
+        once per stale partition by whichever consumer reads it first.
+        """
+        if root not in self._stale_roots:
+            return [root]
+        self._stale_roots.discard(root)
+        members = self._root_members.pop(root)
+        self._root_open.pop(root, None)
+        graph = self._graph
+        for query_id in members:
+            self._parent[query_id] = query_id
+            self._rank[query_id] = 0
+            if self._maintain_unifiers:
+                query = graph.query(query_id)
+                open_count = 0
+                for pc_pos in range(query.pccount):
+                    satisfied = bool(
+                        graph.in_edges_for_pc(query_id, pc_pos))
+                    self._pc_satisfied[(query_id, pc_pos)] = satisfied
+                    if not satisfied:
+                        open_count += 1
+                self._node_open[query_id] = open_count
+            self._root_open[query_id] = self._node_open.get(query_id, 0)
+            self._root_members[query_id] = {query_id}
+        for query_id in members:
+            for edge in graph.out_edges(query_id):
+                if edge.dst in members:
+                    self._union(query_id, edge.dst)
+        roots = list({self.find(query_id) for query_id in members})
+        if root in self._dead and len(roots) == 1:
+            # Keep the departed root resolving as a handle: callers
+            # holding the old representative still reach the (single)
+            # surviving component.  A multi-way split has no unique
+            # successor, so such handles dangle and raise on use.
+            self._parent[root] = roots[0]
+        return roots
+
+    def refreshed_roots(self, query_id) -> list:
+        """Exact roots arising from *query_id*'s (possibly stale)
+        partition.
+
+        For a fresh partition this is just ``[find(query_id)]``; for a
+        stale one the partition is re-split first and every resulting
+        root is returned — the scheduler uses this to turn one dirty
+        mark into all the components a removal may have split off.
+        """
+        return self._refresh(self.find(query_id))
+
+    def _refresh_all(self) -> None:
+        for root in list(self._stale_roots):
+            self._refresh(root)
 
     def recount(self, root) -> int:
         """Recompute (and store) the exact open-pc count of a partition.
@@ -232,7 +371,7 @@ class PartitionManager:
         Walks the live members, refreshing each one's satisfaction
         against the graph's current edges.  Returns the new open count.
         """
-        root = self.find(root)
+        root = self._fresh_root(root)
         total_open = 0
         for query_id in self._root_members[root]:
             query = self._graph.query(query_id)

@@ -1,0 +1,709 @@
+"""The incremental coordination runtime: one delta-driven scheduler.
+
+Historically the engine had three disjoint evaluation paths: per-arrival
+incremental admission, a ``run_batch`` that recomputed the partition
+structure from scratch, and expiry sweeps that scanned the whole pending
+set.  The paper's coordination loop is inherently incremental — queries
+arrive, join the unifiability graph, and only the affected components
+need re-matching — so this module unifies all three behind a single
+scheduler built on two pieces of machinery:
+
+* **Graph deltas** — :class:`repro.core.graph.UnifiabilityGraph` emits a
+  :class:`~repro.core.graph.GraphDelta` after every insertion/removal.
+  The scheduler is the listener: it keeps
+  :class:`~repro.engine.partitions.PartitionManager` (the sole source of
+  component truth) in sync and marks the touched components *dirty*.
+* **A dirty-component worklist** — set-at-a-time rounds
+  (:meth:`CoordinationScheduler.drain_all`) simply drain the worklist:
+  only components that changed since their last attempt are re-matched.
+  An unchanged component would deterministically produce its previous
+  outcome against an unchanged database, so skipping it is
+  answer-preserving; callers that mutate the database go through
+  ``D3CEngine.invalidate_cache`` which re-marks everything.
+
+Arrival ingestion is batched and parallel
+(:meth:`CoordinationScheduler.ingest_block`): candidate edges for a
+block of new queries are discovered concurrently on the shared worker
+pool against the pre-block graph (read-only), then the queries are
+committed in arrival order, discovering intra-block edges against small
+block-local indexes.  The graph commits edge lists in a canonical rank
+order, so block ingestion is byte-identical to sequential ingestion.
+
+The scheduler owns coordination *mechanics* (worklist, matching,
+combined-query evaluation, failure caches); its host — the
+:class:`~repro.engine.engine.D3CEngine` — owns *policy and lifecycle*
+(admission, safety, tickets, staleness, statistics) and exposes the
+configuration and settlement callbacks the scheduler uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+from ..concurrency import map_bounded
+from ..core.combine import build_combined_query
+from ..core.evaluate import _record_answers
+from ..core.graph import GraphDelta, UnifiabilityGraph
+from ..core.matching import ComponentMatch, match_component
+from ..core.query import EntangledQuery
+from ..core.terms import Constant, TermNumbering
+from ..core.ucs import check_ucs_graph
+from ..errors import ReproError
+from .partitions import PartitionManager
+
+#: Marker for postcondition slots the body does not bind; never equal to
+#: any database value, mirroring the unbound Variable objects that used
+#: to occupy those slots.
+_UNBOUND = object()
+
+
+class CoordinationScheduler:
+    """Delta-driven coordination over one unifiability graph.
+
+    The *host* (the engine) provides configuration attributes
+    (``database``, ``stats``, ``rng``, ``incremental_strategy``,
+    ``max_group_size``, ``max_candidate_attempts``,
+    ``max_combined_atoms``, ``ucs_fallback``, ``parallel_workers``), the
+    arrival-order mapping ``_arrival``, and the settlement callback
+    ``_settle_answers``.  All entry points must be called under the
+    host's lock.
+    """
+
+    #: Cap on body valuations enumerated by the feasibility prefilter.
+    _FEASIBILITY_LIMIT = 64
+
+    #: Entry cap for the feasibility memo; like the planner's plan
+    #: cache, it is dropped wholesale on overflow so a long-lived
+    #: engine serving many distinct users cannot grow without bound.
+    _FEASIBILITY_MEMO_LIMIT = 8_192
+
+    def __init__(self, host):
+        self._host = host
+        self.graph = UnifiabilityGraph()
+        # Batch engines track structure and closure only — the paper's
+        # set-at-a-time design carries no partial matching state
+        # between arrivals, and the propagation pass is the expensive
+        # part of partition maintenance on massively unifying sets.
+        self.partitions = PartitionManager(
+            self.graph,
+            maintain_unifiers=host.mode == "incremental")
+        self.graph.add_listener(self._on_delta)
+        # The worklist: query id -> None, insertion-ordered.  Entries
+        # are representatives — drain_all resolves each to its current
+        # partition root and deduplicates, so the worklist stays exact
+        # across union-find merges without eager re-rooting.
+        self._dirty: dict = {}
+        # Local groups whose combined query found no data; the database
+        # is treated as a snapshot per the paper, so a failed group
+        # cannot succeed until the data changes (see invalidate).
+        self._failed_groups: set[frozenset] = set()
+        # Canonical-body-key -> (canonical valuations, complete,
+        # table versions) for the feasibility prefilter; entries are
+        # revalidated against table versions on every hit.
+        self._feasible_memo: dict[tuple, tuple[list, bool, tuple]] = {}
+        # When set, removal deltas are collected instead of applied so
+        # multi-query removals rebuild each affected partition once.
+        self._removal_batch: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # delta protocol
+    # ------------------------------------------------------------------
+
+    def _on_delta(self, delta: GraphDelta) -> None:
+        """Fold one graph delta into partition state and the worklist."""
+        if delta.kind == "add":
+            self.partitions.add_query(delta.query, delta.edges)
+            self._dirty[delta.query_id] = None
+            return
+        if self._removal_batch is not None:
+            self._removal_batch.append(delta.query_id)
+            return
+        self._dirty.pop(delta.query_id, None)
+        for representative in self.partitions.remove_queries(
+                (delta.query_id,)):
+            self._dirty[representative] = None
+
+    def remove_block(self, query_ids: Sequence) -> None:
+        """Remove many queries, rebuilding affected partitions once.
+
+        Used by settlement and expiry; the survivors of every affected
+        partition are marked dirty, so the next set-at-a-time round
+        re-attempts exactly the components that changed shape.
+        """
+        if not query_ids:
+            return
+        self._removal_batch = []
+        try:
+            for query_id in query_ids:
+                self.graph.remove_query(query_id)
+        finally:
+            removed, self._removal_batch = self._removal_batch, None
+        for query_id in removed:
+            self._dirty.pop(query_id, None)
+        for representative in self.partitions.remove_queries(removed):
+            self._dirty[representative] = None
+
+    def mark_all_dirty(self) -> None:
+        """Queue every live component for the next drain (used after
+        database mutations, when previous failures may now succeed)."""
+        for query_id in self.graph.query_ids():
+            self._dirty[query_id] = None
+
+    def invalidate(self) -> None:
+        """Forget data-dependent caches and re-queue everything."""
+        self._failed_groups.clear()
+        self._feasible_memo.clear()
+        self.mark_all_dirty()
+
+    # ------------------------------------------------------------------
+    # arrival ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, query: EntangledQuery):
+        """Admit one query into the graph; returns its new edges."""
+        stats = self._host.stats
+        start = time.perf_counter()
+        new_edges = self.graph.add_query(query)
+        stats.graph_seconds += time.perf_counter() - start
+        return new_edges
+
+    def ingest_block(self, queries: Sequence[EntangledQuery],
+                     workers: int) -> list:
+        """Admit a block of queries, discovering edges in parallel.
+
+        Candidate edges against the pre-block graph are discovered
+        concurrently on the shared pool (pure reads); the block is then
+        committed in arrival order, finding edges *within* the block
+        via small block-local indexes.  Because the graph sorts every
+        committed edge list into canonical rank order, the result is
+        byte-identical to ingesting the queries one at a time.
+
+        Returns ``(query, new_edges)`` pairs in arrival order.  No
+        coordination runs here — the caller drains afterwards.
+        """
+        stats = self._host.stats
+        start = time.perf_counter()
+        ingested: list = []
+        if workers > 1 and len(queries) > 1:
+            # Chunked dispatch: a few queries per task amortizes pool
+            # overhead (per-query tasks are far too small).
+            discover = self.graph.discover_edges
+            chunk_size = max(1, len(queries) // (workers * 4))
+            chunks = [queries[index:index + chunk_size]
+                      for index in range(0, len(queries), chunk_size)]
+            external = [edges for chunk_edges in map_bounded(
+                            lambda chunk: [discover(query)
+                                           for query in chunk],
+                            chunks, workers)
+                        for edges in chunk_edges]
+            block_heads = self.graph.make_scratch_index()
+            block_pcs = self.graph.make_scratch_index()
+            for query, ext_edges in zip(queries, external):
+                intra = self.graph.discover_edges(
+                    query, head_index=block_heads, pc_index=block_pcs)
+                query_id = query.query_id
+                if not intra:
+                    merged = ext_edges
+                elif len(query.head) == 1 and query.pccount <= 1:
+                    # Each discovery is already canonical; with one
+                    # head and at most one postcondition the per-
+                    # direction groups are contiguous, and external
+                    # ranks all precede block ranks — a partitioned
+                    # concatenation restores the global order.
+                    ext_out = [edge for edge in ext_edges
+                               if edge.src == query_id]
+                    ext_in = [edge for edge in ext_edges
+                              if edge.src != query_id]
+                    intra_out = [edge for edge in intra
+                                 if edge.src == query_id]
+                    intra_in = [edge for edge in intra
+                                if edge.src != query_id]
+                    merged = ext_out + intra_out + ext_in + intra_in
+                else:
+                    merged = self.graph.canonical_edge_order(
+                        query_id, ext_edges + intra)
+                committed = self.graph.insert_query(query, merged)
+                for head_pos, head in enumerate(query.head):
+                    block_heads.add((query_id, head_pos), head)
+                for pc_pos, pc_atom in enumerate(query.postconditions):
+                    block_pcs.add((query_id, pc_pos), pc_atom)
+                ingested.append((query, committed))
+        else:
+            for query in queries:
+                ingested.append((query, self.graph.add_query(query)))
+        stats.graph_seconds += time.perf_counter() - start
+        stats.blocks_ingested += 1
+        return ingested
+
+    # ------------------------------------------------------------------
+    # incremental (per-arrival) draining
+    # ------------------------------------------------------------------
+
+    def drain_arrival(self, query: EntangledQuery, new_edges,
+                      attempted_roots: Optional[set] = None) -> None:
+        """Attempt coordination triggered by one arrival.
+
+        ``"component"`` strategy: match the arrival's whole partition
+        when it just closed.  ``"local"`` strategy: build bounded local
+        groups around the arrival (or its dependents, for a
+        postcondition-free arrival).
+
+        *attempted_roots* dedupes component-strategy attempts within
+        one ingestion block: every member of a closed-but-unsatisfied
+        partition would otherwise re-match the identical partition (a
+        deterministic repeat of the same failure) once per block
+        member, where sequential submission attempts once at closure.
+        """
+        host = self._host
+        origin = query.query_id
+        if host.incremental_strategy == "component":
+            if self.partitions.is_closed(origin):
+                members = self.partitions.members(origin)
+                if attempted_roots is not None:
+                    # Key by member set, not root id: a partition that
+                    # lost members to a settlement mid-block must be
+                    # re-attempted even if its representative recurs,
+                    # while an identical member set implies an
+                    # identical graph and a deterministic repeat.
+                    key = frozenset(members)
+                    if key in attempted_roots:
+                        return
+                    attempted_roots.add(key)
+                host.stats.closure_events += 1
+                self._attempt_component(members)
+            return
+        if query.pccount:
+            self._attempt_around(origin)
+        else:
+            # A postcondition-free query can satisfy others or answer
+            # alone.  Give dependents first shot at forming a group
+            # containing it; if none consumes it, answer it solo.
+            for dst in self._arrival_order({edge.dst for edge
+                                            in new_edges}):
+                if origin not in self.graph:
+                    return
+                if dst in self.graph:
+                    self._attempt_around(dst)
+            if origin in self.graph:
+                self._attempt_group(frozenset((origin,)))
+
+    def _arrival_order(self, query_ids: Iterable) -> list:
+        arrival = self._host._arrival
+        return sorted(query_ids, key=arrival.__getitem__)
+
+    def _attempt_component(self, members: Sequence) -> None:
+        """Paper-faithful attempt: match and evaluate a whole partition.
+
+        Used by the ``"component"`` incremental strategy.  On massively
+        unifying partitions this re-matches a growing component on
+        every arrival — the cost the paper observes in Figure 8 before
+        recommending set-at-a-time evaluation there.
+        """
+        host = self._host
+        host.stats.coordination_rounds += 1
+        start = time.perf_counter()
+        match = match_component(self.graph, members,
+                                order=host._arrival)
+        host.stats.match_seconds += time.perf_counter() - start
+        if not match.survivors or match.global_unifier is None:
+            return
+        queries_by_id = {query_id: self.graph.query(query_id)
+                         for query_id in match.survivors}
+        combined = build_combined_query(queries_by_id, match)
+        host.stats.combined_queries_built += 1
+        if len(combined.query.atoms) <= host.max_combined_atoms:
+            self._evaluate_combined(combined, queries_by_id)
+
+    def _attempt_around(self, origin) -> None:
+        """Try bounded local coordination groups seeded at *origin*.
+
+        Builds the dependency closure of *origin* under the current
+        pending set, preferring providers already in the group (so
+        mutually coordinating pairs and cliques close on themselves).
+        When the origin's postconditions transiently over-unify with
+        several pending heads, alternative providers are tried up to
+        ``max_candidate_attempts``, *feasible-first*: a cheap semi-join
+        of the origin's body against the database reorders candidates so
+        providers the data can actually pair with are tried before stale
+        pendings (this is what keeps the paper's "random workload"
+        linear — without it, attempts are wasted on dead queries).
+        Groups whose combined query already failed on the data are
+        skipped for free.
+        """
+        host = self._host
+        query = self.graph.query(origin)
+        primary_edges: Sequence = ()
+        if query.pccount:
+            by_src = self.graph.in_edges_by_src(origin, 0)
+            if not by_src:
+                return
+            if len(by_src) == 1:
+                primary_edges = next(iter(by_src.values()))
+            else:
+                # Sort the (fewer) providers, not the flattened edges;
+                # per-provider edge order is preserved, so this matches
+                # the old stable sort of the flat list by arrival.
+                arrival = host._arrival
+                primary_edges = [edge for src
+                                 in sorted(by_src,
+                                           key=arrival.__getitem__)
+                                 for edge in by_src[src]]
+            if len(primary_edges) > 1:
+                primary_edges = self._feasible_first(query, primary_edges)
+                if not primary_edges:
+                    # The data supports no pending provider; any group
+                    # through this postcondition is empty on the DB.
+                    return
+        choices = (list(primary_edges[:host.max_candidate_attempts])
+                   if query.pccount else [None])
+        tried: set[frozenset] = set()
+        for edge in choices:
+            forced = {} if edge is None else {(origin, 0): edge}
+            group = self._build_group(origin, forced)
+            if group is None or group in tried:
+                continue
+            tried.add(group)
+            if group in self._failed_groups:
+                continue
+            host.stats.closure_events += 1
+            if self._attempt_group(group):
+                return
+
+    def _feasible_first(self, query: EntangledQuery,
+                        edges: list) -> list:
+        """Filter/reorder candidate providers by data feasibility.
+
+        Evaluates the origin query's body (bounded) to learn which
+        groundings of its first postcondition the data supports.  If the
+        enumeration is *complete* (did not hit the cap), candidates the
+        data cannot pair with are dropped outright — their combined
+        query is guaranteed empty.  If the enumeration was truncated,
+        infeasible-looking candidates are merely moved to the back.
+        Either way a provider whose head is non-ground is kept in front
+        (feasibility cannot be decided statically for it).
+
+        The body enumeration is memoized under a renaming-invariant body
+        key — the semi-join depends only on the body and the database
+        snapshot, and workload bodies repeat heavily (every query a user
+        submits enumerates the same friends-and-towns join).  The memo
+        is dropped by :meth:`invalidate`.
+        """
+        from ..db.expression import ConjunctiveQuery
+        host = self._host
+        if not query.body:
+            return edges
+        pc_atom = query.postconditions[0]
+        if pc_atom.is_ground():
+            return edges
+
+        # Canonical body key: constants by value, variables by first
+        # occurrence, so renamed-apart copies of one body share a key.
+        numbering = TermNumbering()
+        body_key = numbering.atoms_key(query.body)
+        # Memo entries are validated against the involved tables'
+        # mutation versions, so data changes invalidate automatically —
+        # invalidate() is a belt-and-braces sweep, not a correctness
+        # requirement.
+        try:
+            versions = tuple(host.database.table(atom.relation).version
+                             for atom in query.body)
+        except ReproError:
+            return edges
+        # Projection of the pc atom in canonical terms; pc variables not
+        # bound by the body project to _UNBOUND (they can never equal a
+        # candidate's ground values, exactly like the unbound Variable
+        # objects the unmemoized code used to leave in place).
+        slots = tuple(
+            (True, term.value) if isinstance(term, Constant)
+            else (False, numbering.get(term))
+            for term in pc_atom.args)
+
+        cached = self._feasible_memo.get(body_key)
+        if cached is not None and cached[2] != versions:
+            cached = None
+        if cached is None:
+            canon_valuations: list[dict] = []
+            start = time.perf_counter()
+            try:
+                count = 0
+                stream = host.database.evaluate(
+                    ConjunctiveQuery(query.body),
+                    limit=self._FEASIBILITY_LIMIT, reusable=False)
+                for valuation in stream:
+                    count += 1
+                    canon_valuations.append(
+                        {numbering.get(variable): value
+                         for variable, value in valuation.items()})
+                complete = count < self._FEASIBILITY_LIMIT
+            except ReproError:
+                return edges
+            finally:
+                host.stats.db_seconds += time.perf_counter() - start
+            cached = (canon_valuations, complete, versions)
+            if len(self._feasible_memo) >= self._FEASIBILITY_MEMO_LIMIT:
+                self._feasible_memo.clear()
+            self._feasible_memo[body_key] = cached
+
+        canon_valuations, complete, _ = cached
+        feasible: set[tuple] = set()
+        for canon in canon_valuations:
+            feasible.add(tuple(
+                payload if is_const
+                else (_UNBOUND if payload is None else canon[payload])
+                for is_const, payload in slots))
+
+        preferred, fallback = [], []
+        for edge in edges:
+            key = edge.ground_key()
+            if key is None or key in feasible:
+                preferred.append(edge)
+            else:
+                fallback.append(edge)
+        if complete:
+            return preferred
+        return preferred + fallback
+
+    def _build_group(self, origin, forced: dict) -> Optional[frozenset]:
+        """Dependency closure of *origin*, or None if it cannot close.
+
+        Every member's every postcondition must have a provider inside
+        the group; providers already in the group are preferred, then
+        earliest arrival.  ``forced`` pins specific providers (used to
+        iterate alternatives for the origin's first postcondition).
+        """
+        group: set = {origin}
+        stack: list = [origin]
+        arrival = self._host._arrival
+        max_group_size = self._host.max_group_size
+        while stack:
+            current = stack.pop()
+            query = self.graph.query(current)
+            for pc_pos in range(query.pccount):
+                by_src = self.graph.in_edges_by_src(current, pc_pos)
+                if not by_src:
+                    return None
+                pinned = forced.get((current, pc_pos))
+                if pinned is not None:
+                    chosen = pinned
+                else:
+                    in_group = [src for src in by_src if src in group]
+                    pool = in_group or by_src.keys()
+                    best_src = min(pool, key=arrival.__getitem__)
+                    chosen = by_src[best_src][0]
+                if chosen.src not in group:
+                    if len(group) >= max_group_size:
+                        return None
+                    group.add(chosen.src)
+                    stack.append(chosen.src)
+        return frozenset(group)
+
+    def _attempt_group(self, group: frozenset) -> bool:
+        """Match, combine, and evaluate one candidate group."""
+        host = self._host
+        host.stats.coordination_rounds += 1
+        start = time.perf_counter()
+        match = match_component(self.graph, group,
+                                order=host._arrival)
+        host.stats.match_seconds += time.perf_counter() - start
+        if (set(match.survivors) != set(group)
+                or match.global_unifier is None):
+            # The group as chosen cannot mutually satisfy; it is a
+            # static failure, cache it so retries are free.
+            self._failed_groups.add(group)
+            return False
+        queries_by_id = {query_id: self.graph.query(query_id)
+                         for query_id in match.survivors}
+        combined = build_combined_query(queries_by_id, match)
+        host.stats.combined_queries_built += 1
+        if self._evaluate_combined(combined, queries_by_id):
+            return True
+        self._failed_groups.add(group)
+        return False
+
+    # ------------------------------------------------------------------
+    # set-at-a-time draining (the worklist)
+    # ------------------------------------------------------------------
+
+    def _resolve_marks(self, marks: Sequence) -> list[set]:
+        """Map worklist marks to live components, in arrival order.
+
+        Marks are mapped to their partition roots via the manager
+        (answered/expired marks drop out) and deduplicated; component
+        member sets are snapshotted so settlement during the drain
+        cannot mutate them under the caller.
+        """
+        seen_roots: set = set()
+        components: list[set] = []
+        for query_id in marks:
+            if query_id not in self.graph:
+                continue
+            # A mark from a removal stands for its whole (possibly
+            # stale) partition: refreshing yields every component the
+            # partition split into, all of which changed shape.
+            for root in self.partitions.refreshed_roots(query_id):
+                if root in seen_roots:
+                    continue
+                seen_roots.add(root)
+                components.append(self.partitions.members_set(root))
+        arrival = self._host._arrival
+        components.sort(key=lambda component: min(
+            arrival[query_id] for query_id in component))
+        return components
+
+    def drain_all(self) -> None:
+        """One set-at-a-time coordination round over dirty components.
+
+        Replaces the old full recompute: instead of rebuilding the
+        partition structure of the entire pending set, only components
+        touched since their last attempt are matched and evaluated.
+        Components whose evaluation settles queries re-enter the
+        worklist through the removal deltas (their survivors changed
+        shape); failed components stay clean until something changes.
+        If the round aborts mid-drain (a planner or evaluation error),
+        the consumed marks are restored so the affected components are
+        re-attempted by the next round rather than silently dropped.
+        """
+        marks = list(self._dirty)
+        self._dirty.clear()
+        try:
+            self._drain_marks(marks)
+        except BaseException:
+            for query_id in marks:
+                self._dirty[query_id] = None
+            raise
+
+    def _drain_marks(self, marks: Sequence) -> None:
+        host = self._host
+        components = self._resolve_marks(marks)
+        host.stats.components_drained += len(components)
+        if not components:
+            return
+        order = host._arrival
+        start = time.perf_counter()
+        matches = [match_component(self.graph, component, order=order)
+                   for component in components]
+        host.stats.match_seconds += time.perf_counter() - start
+
+        viable = [match for match in matches
+                  if match.survivors
+                  and match.global_unifier is not None]
+        if host.parallel_workers > 1 and len(viable) > 1:
+            self._evaluate_parallel(viable)
+            return
+        for match in viable:
+            queries_by_id = {query_id: self.graph.query(query_id)
+                             for query_id in match.survivors}
+            combined = build_combined_query(queries_by_id, match)
+            host.stats.combined_queries_built += 1
+            if len(combined.query.atoms) > host.max_combined_atoms:
+                # The paper observes the DB collapses past a
+                # join-count threshold (Figure 7); refuse to send
+                # monster queries and leave the queries pending.
+                continue
+            if self._evaluate_combined(combined, queries_by_id,
+                                       reusable=True):
+                continue
+            if host.ucs_fallback:
+                self._core_fallback(match)
+
+    def _core_fallback(self, match: ComponentMatch) -> None:
+        """Retry a failed component's strongly connected cores."""
+        host = self._host
+        report = check_ucs_graph(self.graph, set(match.survivors))
+        for core in report.cores:
+            core_match = match_component(self.graph, core,
+                                         order=host._arrival)
+            if (not core_match.survivors
+                    or core_match.global_unifier is None):
+                continue
+            core_queries = {query_id: self.graph.query(query_id)
+                            for query_id in core_match.survivors}
+            core_combined = build_combined_query(core_queries, core_match)
+            if len(core_combined.query.atoms) <= host.max_combined_atoms:
+                self._evaluate_combined(core_combined, core_queries,
+                                        reusable=True)
+
+    def _evaluate_parallel(self, matches: list[ComponentMatch]) -> None:
+        """Evaluate independent partitions on the shared worker pool.
+
+        Combined-query evaluation is read-only on the database, so
+        partitions can proceed concurrently; settlement (which mutates
+        engine state) happens back on the calling thread, in partition
+        arrival order, so parallel rounds settle identically to
+        sequential ones.
+        """
+        host = self._host
+        graph = self.graph
+
+        def build_and_probe(match: ComponentMatch):
+            queries_by_id = {query_id: graph.query(query_id)
+                             for query_id in match.survivors}
+            combined = build_combined_query(queries_by_id, match)
+            if len(combined.query.atoms) > host.max_combined_atoms:
+                return combined, queries_by_id, []
+            choose = max(query.choose
+                         for query in queries_by_id.values())
+            valuations = list(host.database.evaluate(combined.query,
+                                                     limit=choose))
+            return combined, queries_by_id, valuations
+
+        start = time.perf_counter()
+        outcomes = map_bounded(build_and_probe, matches,
+                               host.parallel_workers)
+        host.stats.db_seconds += time.perf_counter() - start
+        host.stats.combined_queries_built += len(matches)
+
+        from ..core.evaluate import CoordinationResult
+        for combined, queries_by_id, valuations in outcomes:
+            if not valuations:
+                continue
+            scratch = CoordinationResult()
+            _record_answers(combined, valuations, scratch)
+            host._settle_answers(scratch.answers)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_combined(self, combined, queries_by_id,
+                           reusable: bool = False) -> bool:
+        """Evaluate a combined query; settle and evict on success.
+
+        *reusable* feeds the executor's compiled-template cache: batch
+        drains may re-attempt an identical combined query (a dirty
+        component whose data changed back, an invalidated worklist),
+        while incremental attempts are one-shot — their outcomes are
+        cached upstream in the failed-group set."""
+        host = self._host
+        choose = max(query.choose for query in queries_by_id.values())
+        start = time.perf_counter()
+        if host.rng is None:
+            valuations = list(host.database.evaluate(combined.query,
+                                                     limit=choose,
+                                                     reusable=reusable))
+        else:
+            valuations = self._sample(combined.query, choose, reusable)
+        host.stats.db_seconds += time.perf_counter() - start
+        if not valuations:
+            return False
+
+        from ..core.evaluate import CoordinationResult
+        scratch = CoordinationResult()
+        _record_answers(combined, valuations, scratch)
+        host._settle_answers(scratch.answers)
+        return True
+
+    def _sample(self, query, choose: int,
+                reusable: bool = False) -> list:
+        host = self._host
+        reservoir: list = []
+        for count, valuation in enumerate(
+                host.database.evaluate(query, reusable=reusable)):
+            if len(reservoir) < choose:
+                reservoir.append(valuation)
+            else:
+                slot = host.rng.randint(0, count)
+                if slot < choose:
+                    reservoir[slot] = valuation
+        return reservoir

@@ -47,16 +47,46 @@ class ManualClock(Clock):
 
 
 class StalenessPolicy(abc.ABC):
-    """Decides when a pending query has waited long enough."""
+    """Decides when a pending query has waited long enough.
+
+    ``is_stale`` is the source of truth.  Policies that can *predict*
+    expiry additionally expose :meth:`deadline` (a fixed future instant
+    per query) or :meth:`candidates` (explicitly flagged ids) and set
+    ``requires_full_scan = False``; the engine then sweeps in
+    O(expired) off an expiry heap instead of testing every pending
+    query.  Custom subclasses inherit the safe full-scan default.
+    """
+
+    #: True when an expiry sweep must test every pending query (the
+    #: conservative default for custom policies).
+    requires_full_scan = True
 
     @abc.abstractmethod
     def is_stale(self, query: EntangledQuery, submitted_at: float,
                  now: float) -> bool:
         """True if the query should be expired."""
 
+    def deadline(self, query: EntangledQuery,
+                 submitted_at: float) -> Optional[float]:
+        """The instant after which the query turns stale, if known.
+
+        ``None`` means "no predictable deadline" (the query is never
+        scheduled on the expiry heap); ``math.inf`` likewise keeps it
+        off the heap (it never expires by time).
+        """
+        return None
+
+    def candidates(self) -> tuple:
+        """Query ids flagged for expiry outside the deadline mechanism
+        (e.g. manual marks).  Checked with :meth:`is_stale` before
+        expiring."""
+        return ()
+
 
 class NeverStale(StalenessPolicy):
     """Queries wait indefinitely (the default for batch workloads)."""
+
+    requires_full_scan = False
 
     def is_stale(self, query: EntangledQuery, submitted_at: float,
                  now: float) -> bool:
@@ -65,6 +95,8 @@ class NeverStale(StalenessPolicy):
 
 class TimeoutStaleness(StalenessPolicy):
     """Expire queries pending longer than a fixed number of seconds."""
+
+    requires_full_scan = False
 
     def __init__(self, timeout_seconds: float):
         if timeout_seconds <= 0:
@@ -75,9 +107,15 @@ class TimeoutStaleness(StalenessPolicy):
                  now: float) -> bool:
         return now - submitted_at > self.timeout_seconds
 
+    def deadline(self, query: EntangledQuery,
+                 submitted_at: float) -> Optional[float]:
+        return submitted_at + self.timeout_seconds
+
 
 class ManualStaleness(StalenessPolicy):
     """Expire only queries explicitly marked stale by the application."""
+
+    requires_full_scan = False
 
     def __init__(self) -> None:
         self._marked: set = set()
@@ -93,3 +131,6 @@ class ManualStaleness(StalenessPolicy):
     def is_stale(self, query: EntangledQuery, submitted_at: float,
                  now: float) -> bool:
         return query.query_id in self._marked
+
+    def candidates(self) -> tuple:
+        return tuple(self._marked)

@@ -22,6 +22,8 @@ class EngineStats:
     coordination_rounds: int = 0
     combined_queries_built: int = 0
     closure_events: int = 0
+    blocks_ingested: int = 0
+    components_drained: int = 0
     graph_seconds: float = 0.0
     match_seconds: float = 0.0
     db_seconds: float = 0.0
@@ -52,6 +54,8 @@ class EngineStats:
             "coordination_rounds": self.coordination_rounds,
             "combined_queries_built": self.combined_queries_built,
             "closure_events": self.closure_events,
+            "blocks_ingested": self.blocks_ingested,
+            "components_drained": self.components_drained,
             "graph_seconds": self.graph_seconds,
             "match_seconds": self.match_seconds,
             "db_seconds": self.db_seconds,

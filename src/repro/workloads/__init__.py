@@ -13,7 +13,7 @@ from .socialnet import SocialNetwork, generate_social_network
 from .flightdb import (FRIENDS, RESERVE, USER, build_flight_database,
                        build_intro_database)
 from .generators import (SafetyStressWorkload, big_cluster_queries,
-                         chain_queries, clique_queries,
+                         chain_queries, churn_rounds, clique_queries,
                          non_unifying_queries, safety_stress_workload,
                          three_way_triangles, two_way_pairs)
 
@@ -23,6 +23,7 @@ __all__ = [
     "FRIENDS", "RESERVE", "USER", "build_flight_database",
     "build_intro_database",
     "SafetyStressWorkload", "big_cluster_queries", "chain_queries",
+    "churn_rounds",
     "clique_queries", "non_unifying_queries", "safety_stress_workload",
     "three_way_triangles", "two_way_pairs",
 ]

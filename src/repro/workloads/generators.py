@@ -288,6 +288,72 @@ def big_cluster_queries(network: SocialNetwork, num_queries: int,
     return queries
 
 
+def churn_rounds(network: SocialNetwork, num_rounds: int,
+                 arrivals_per_round: int,
+                 answerable_fraction: float = 0.5,
+                 chain_length: int = 8, seed: int = 8,
+                 destinations: Sequence[str] = AIRPORTS
+                 ) -> list[list[EntangledQuery]]:
+    """Per-round arrival blocks for the high-churn service scenario.
+
+    Models a long-running coordination service under heavy arrival
+    traffic: every round delivers a block of fresh arrivals, a
+    coordination round runs, and old queries expire.  Each block mixes
+
+    * *answerable* specific two-way pairs (both members arrive in the
+      same block, so they coordinate and leave at that round's
+      coordination round when co-located), with
+    * never-closing chains (round-unique ``churnee`` names, so they
+      linger in the pending set until staleness expires them).
+
+    The lingering chains are what makes the scenario interesting: a
+    from-scratch coordination round pays for the whole pending set
+    every round, while a delta-driven round only pays for the blocks
+    that actually changed.  Returns ``num_rounds`` lists of queries.
+    """
+    if not 0.0 <= answerable_fraction <= 1.0:
+        raise ValueError("answerable_fraction must be within [0, 1]")
+    if chain_length < 2:
+        raise ValueError("chains need at least two queries")
+    rng = random.Random(seed)
+    pairs = network.friend_pairs(rng)
+    town_pool = list(destinations)
+    rounds: list[list[EntangledQuery]] = []
+    for round_index in range(num_rounds):
+        block: list[EntangledQuery] = []
+        pair_count = int(arrivals_per_round * answerable_fraction) // 2
+        for pair_index in range(pair_count):
+            left, right = next(pairs)
+            destination = rng.choice(town_pool)
+            tag = f"churn-r{round_index}-p{pair_index}"
+            block.append(_specific_member(f"{tag}-a", left, right,
+                                          destination))
+            block.append(_specific_member(f"{tag}-b", right, left,
+                                          destination))
+        chain_id = 0
+        while len(block) < arrivals_per_round:
+            length = min(chain_length, arrivals_per_round - len(block))
+            destination = rng.choice(town_pool)
+            prefix = f"churnee-r{round_index}-c{chain_id}"
+            for position in range(length):
+                user = rng.choice(network.users)
+                if position + 1 < length:
+                    required = f"{prefix}-{position + 1}"
+                else:
+                    required = f"{prefix}-open"
+                town = Variable("c")
+                block.append(EntangledQuery(
+                    query_id=f"churn-r{round_index}-c{chain_id}-"
+                             f"{position}",
+                    head=(_reserve(f"{prefix}-{position}", destination),),
+                    postconditions=(_reserve(required, destination),),
+                    body=(_user(user, town),),
+                    owner=user))
+            chain_id += 1
+        rounds.append(block)
+    return rounds
+
+
 @dataclass(frozen=True, slots=True)
 class SafetyStressWorkload:
     """Resident queries plus unsafe addition sets (Experiment 5.3.5)."""

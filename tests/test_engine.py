@@ -152,11 +152,17 @@ class TestBatchMode:
         assert engine.run_batch() == 2
         assert engine.run_batch() == 0
 
-    def test_partition_sizes_unavailable(self, pair_db):
+    def test_partition_sizes_available_in_batch_mode(self, pair_db):
+        # The unified runtime maintains partition state incrementally
+        # for batch engines too, so the diagnostic works in both modes.
         engine = D3CEngine(pair_db, mode="batch")
-        from repro.errors import CoordinationError
-        with pytest.raises(CoordinationError):
-            engine.partition_sizes()
+        assert engine.partition_sizes() == []
+        engine.submit(pair("j", "jerry", "kramer"))
+        engine.submit(pair("k", "kramer", "jerry"))
+        engine.submit(pair("e", "elaine", "newman"))
+        assert engine.partition_sizes() == [2, 1]
+        engine.run_batch()
+        assert engine.partition_sizes() == [1]
 
 
 class TestSafetyModes:

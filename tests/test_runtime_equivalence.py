@@ -1,0 +1,201 @@
+"""Randomized equivalence: incremental runtime vs from-scratch oracle.
+
+The delta-driven scheduler must be observationally identical to a full
+recompute: after any interleaving of submissions (single and block),
+expirations, and set-at-a-time rounds, the engine's answers, survivor
+sets, and component assignments must match what an oracle computes from
+scratch — a fresh unifiability graph over the pending queries, exact
+connected components, and a full match/combine/evaluate pass per
+component.  This is the contract that lets ``run_batch`` drain a dirty
+worklist instead of recomputing partitions (an unchanged component
+re-attempted against an unchanged database deterministically reproduces
+its previous outcome).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.combine import build_combined_query
+from repro.core.evaluate import CoordinationResult, _record_answers
+from repro.core.graph import UnifiabilityGraph
+from repro.core.matching import match_component
+from repro.engine.engine import D3CEngine
+from repro.engine.staleness import ManualClock, TimeoutStaleness
+from repro.workloads import (build_flight_database, chain_queries,
+                             generate_social_network, three_way_triangles,
+                             two_way_pairs)
+
+
+def _edge_set(graph: UnifiabilityGraph) -> set[tuple]:
+    return {(edge.src, edge.head_pos, edge.dst, edge.pc_pos)
+            for query_id in graph.query_ids()
+            for edge in graph.out_edges(query_id)}
+
+
+class Oracle:
+    """From-scratch recompute of one set-at-a-time round."""
+
+    def __init__(self, engine: D3CEngine):
+        self.order = dict(engine._arrival)
+        # The engine's pending map preserves arrival order and holds
+        # the renamed-apart working copies — exactly what a fresh
+        # graph build needs.
+        self.pending = [entry[0] for entry in engine._pending.values()]
+        self.graph = UnifiabilityGraph()
+        for query in self.pending:
+            self.graph.add_query(query)
+        self.components = self.graph.connected_components()
+        self.components.sort(key=lambda component: min(
+            self.order[query_id] for query_id in component))
+
+    def survivors_by_component(self) -> list[tuple]:
+        return [match_component(self.graph, component, order=self.order)
+                .survivors for component in self.components]
+
+    def round_answers(self, database,
+                      max_combined_atoms: int = 512) -> dict:
+        """Answers a full recompute round would produce (rng=None)."""
+        answers: dict = {}
+        for component in self.components:
+            match = match_component(self.graph, component,
+                                    order=self.order)
+            if not match.survivors or match.global_unifier is None:
+                continue
+            queries_by_id = {query_id: self.graph.query(query_id)
+                             for query_id in match.survivors}
+            combined = build_combined_query(queries_by_id, match)
+            if len(combined.query.atoms) > max_combined_atoms:
+                continue
+            choose = max(query.choose
+                         for query in queries_by_id.values())
+            valuations = list(database.evaluate(combined.query,
+                                                limit=choose))
+            if not valuations:
+                continue
+            scratch = CoordinationResult()
+            _record_answers(combined, valuations, scratch)
+            answers.update(scratch.answers)
+        return answers
+
+
+def _mixed_workload(network, seed: int):
+    rng = random.Random(seed)
+    queries = (two_way_pairs(network, 120, specific=True, seed=seed)
+               + chain_queries(network, 48, chain_length=4,
+                               seed=seed + 1)
+               + three_way_triangles(network, 36, seed=seed + 2))
+    rng.shuffle(queries)
+    return queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = generate_social_network(num_users=400, seed=21,
+                                      planted_cliques={4: 20})
+    return network, build_flight_database(network)
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_batch_rounds_match_fullrecompute_oracle(setup, seed):
+    network, database = setup
+    queries = _mixed_workload(network, seed)
+    rng = random.Random(seed * 7)
+    clock = ManualClock()
+    engine = D3CEngine(database, mode="batch",
+                       staleness=TimeoutStaleness(3.5), clock=clock)
+
+    position = 0
+    rounds = 0
+    while position < len(queries) or engine.pending_count:
+        action = rng.random()
+        if position < len(queries) and action < 0.55:
+            block = queries[position:position + rng.randint(1, 40)]
+            position += len(block)
+            if rng.random() < 0.5:
+                engine.submit_many(block)
+            else:
+                for query in block:
+                    engine.submit(query)
+        elif action < 0.75:
+            clock.advance(rng.choice([0.5, 1.0, 2.0]))
+            engine.expire_stale()
+            if position >= len(queries):
+                # Drain the tail: everything left eventually expires.
+                clock.advance(4.0)
+                engine.expire_stale()
+        else:
+            oracle = Oracle(engine)
+            # Component assignments: the partition manager must report
+            # exactly the oracle's connected components, and the
+            # incrementally maintained graph must carry the same edges.
+            engine_components = sorted(
+                tuple(sorted(map(repr,
+                                 engine._partitions.members_set(root))))
+                for root in engine._partitions.roots())
+            oracle_components = sorted(
+                tuple(sorted(map(repr, component)))
+                for component in oracle.components)
+            assert engine_components == oracle_components
+            assert _edge_set(engine._graph) == _edge_set(oracle.graph)
+
+            # Survivor sets per component agree between the engine's
+            # graph and the oracle's from-scratch graph.
+            engine_survivors = sorted(
+                match_component(engine._graph, component,
+                                order=engine._arrival).survivors
+                for component in (set(members) for members in (
+                    engine._partitions.members_set(root)
+                    for root in engine._partitions.roots())))
+            assert engine_survivors == sorted(
+                oracle.survivors_by_component())
+
+            # Answers: the worklist drain settles exactly the queries a
+            # full recompute round would, with identical rows.
+            expected = oracle.round_answers(database)
+            before = {ticket.query_id
+                      for _, ticket, _ in engine._pending.values()}
+            answered = engine.run_batch()
+            rounds += 1
+            still = set(engine.pending_ids())
+            settled = before - still
+            assert settled == set(expected)
+            assert answered == len(expected)
+        if rounds > 60:  # safety net against pathological schedules
+            break
+    assert engine.stats.answered > 0
+
+
+@pytest.mark.parametrize("seed", [11, 22])
+def test_incremental_component_state_matches_oracle(setup, seed):
+    """Incremental engines keep exact components across settle/expire."""
+    network, database = setup
+    queries = _mixed_workload(network, seed)
+    rng = random.Random(seed)
+    clock = ManualClock()
+    engine = D3CEngine(database, staleness=TimeoutStaleness(2.5),
+                       clock=clock)
+    position = 0
+    while position < len(queries):
+        block = queries[position:position + rng.randint(1, 25)]
+        position += len(block)
+        if rng.random() < 0.5:
+            engine.submit_many(block)
+        else:
+            for query in block:
+                engine.submit(query)
+        if rng.random() < 0.4:
+            clock.advance(1.0)
+            engine.expire_stale()
+        oracle = Oracle(engine)
+        engine_components = sorted(
+            tuple(sorted(map(repr, engine._partitions.members_set(root))))
+            for root in engine._partitions.roots())
+        oracle_components = sorted(
+            tuple(sorted(map(repr, component)))
+            for component in oracle.components)
+        assert engine_components == oracle_components
+        assert _edge_set(engine._graph) == _edge_set(oracle.graph)
+    assert engine.stats.answered > 0
