@@ -10,9 +10,9 @@ or through pytest-benchmark (one file per figure in ``benchmarks/``).
 
 from .harness import (Series, SeriesRow, bench_database, bench_network,
                       bench_scale, run_batch, run_churn, run_incremental,
-                      scaled, stopwatch)
+                      run_sharded, scaled, stopwatch)
 from .figures import (churn, figure6, figure7, figure8, figure9,
-                      run_all)
+                      run_all, sharded)
 
 # NB: repro.bench.regression is intentionally not imported here — it is
 # an entry point (`python -m repro.bench.regression`), and importing it
@@ -21,6 +21,7 @@ from .figures import (churn, figure6, figure7, figure8, figure9,
 __all__ = [
     "Series", "SeriesRow", "bench_database", "bench_network",
     "bench_scale", "run_batch", "run_churn", "run_incremental",
-    "scaled", "stopwatch",
+    "run_sharded", "scaled", "stopwatch",
     "churn", "figure6", "figure7", "figure8", "figure9", "run_all",
+    "sharded",
 ]

@@ -33,11 +33,13 @@ from ..core.safety import SafetyChecker
 from ..engine.engine import D3CEngine
 from ..workloads.generators import (big_cluster_queries, chain_queries,
                                     churn_rounds, clique_queries,
+                                    multi_tenant_rounds,
                                     non_unifying_queries,
                                     safety_stress_workload,
                                     three_way_triangles, two_way_pairs)
 from .harness import (Series, bench_database, bench_network, run_batch,
-                      run_churn, run_incremental, scaled, stopwatch)
+                      run_churn, run_incremental, run_sharded, scaled,
+                      stopwatch)
 
 #: Default query-set sizes for the Figure 6 sweep (paper: 5 … 100,000).
 FIG6_SIZES = (6, 60, 600, 3_000, 12_000)
@@ -237,10 +239,62 @@ def churn(round_counts: Sequence[int] | None = None,
     return [series]
 
 
+def sharded(shard_counts: Sequence[int] | None = None,
+            num_rounds: int | None = None,
+            arrivals_per_round: int | None = None,
+            backend: str = "process",
+            network=None, database=None) -> list[Series]:
+    """Beyond the paper: the sharded service on multi-tenant traffic.
+
+    Drives the skewed multi-tenant arrival scenario (see
+    :func:`repro.workloads.generators.multi_tenant_rounds`) through a
+    single engine and through :class:`repro.shard.coordinator.
+    ShardedCoordinator` fleets of growing size.  Process-backed shards
+    are the point — each worker owns its components on its own core,
+    the first configuration whose coordination hot path is not
+    GIL-bound — but note the scaling column is only meaningful on a
+    multi-core host (``repro.concurrency.process_parallelism_available``).
+    The migrations column counts cross-shard component moves (the
+    two-phase protocol at work).
+    """
+    if network is None:
+        network = bench_network()
+    if database is None:
+        database = bench_database(network)
+    if shard_counts is None:
+        shard_counts = [1, 2, 4]
+    if num_rounds is None:
+        num_rounds = 12
+    if arrivals_per_round is None:
+        arrivals_per_round = scaled(250)
+    rounds = multi_tenant_rounds(network, num_rounds,
+                                 arrivals_per_round,
+                                 seed=arrivals_per_round)
+
+    single_series = Series(
+        f"Sharded service: single-engine baseline "
+        f"({arrivals_per_round} arrivals per round)", "engines")
+    metrics = run_churn(database, rounds)
+    single_series.add(1, seconds=metrics["seconds"],
+                      throughput_qps=metrics["throughput_qps"],
+                      answered=metrics["answered"])
+
+    shard_series = Series(
+        f"Sharded service: {backend}-backed shards", "shards")
+    for num_shards in shard_counts:
+        metrics = run_sharded(database, rounds, num_shards,
+                              backend=backend)
+        shard_series.add(num_shards, seconds=metrics["seconds"],
+                         throughput_qps=metrics["throughput_qps"],
+                         answered=metrics["answered"],
+                         migrations=metrics["migrations"])
+    return [single_series, shard_series]
+
+
 def run_all() -> list[Series]:
     """Run every figure and return all series (also printed)."""
     all_series: list[Series] = []
-    for runner in (figure6, figure7, figure8, figure9, churn):
+    for runner in (figure6, figure7, figure8, figure9, churn, sharded):
         start = time.perf_counter()
         produced = runner()
         elapsed = time.perf_counter() - start

@@ -227,6 +227,53 @@ def run_churn(database: Database, rounds,
     return _metrics(engine, num_queries, total)
 
 
+def run_sharded(database: Database, rounds, num_shards: int,
+                backend: str = "process", ttl_rounds: int = 4,
+                **coordinator_kwargs) -> dict:
+    """Drive arrival/expiry rounds through the sharded service.
+
+    Same round loop as :func:`run_churn` — expire, ingest a block,
+    coordinate — but against a :class:`repro.shard.coordinator.
+    ShardedCoordinator` with *num_shards* workers on the chosen
+    backend.  Worker start-up (process spawn + database rebuild from
+    its wire dump) happens before the stopwatch starts, mirroring
+    engine construction in the other runners; the measured region is
+    steady-state service traffic.  Metrics additionally report the
+    cross-shard migration counters.
+    """
+    from ..engine.staleness import ManualClock, TimeoutStaleness
+    from ..shard import ShardedCoordinator
+    clock = ManualClock()
+    if backend == "process" and "warm_indexes" not in coordinator_kwargs:
+        # Mirror bench_database's warm index set inside each worker so
+        # lazy index construction stays out of the measured region.
+        coordinator_kwargs["warm_indexes"] = [
+            (name, positions) for name in database.table_names()
+            for positions in ((0,), (0, 1), (1,))
+            if max(positions) < database.table(name).schema.arity]
+    coordinator = ShardedCoordinator(
+        database, num_shards=num_shards, backend=backend, mode="batch",
+        staleness=TimeoutStaleness(ttl_rounds + 0.5), clock=clock,
+        **coordinator_kwargs)
+    try:
+        with frozen_dataset():
+            with stopwatch() as elapsed:
+                for block in rounds:
+                    clock.advance(1.0)
+                    coordinator.expire_stale()
+                    coordinator.submit_many(block)
+                    coordinator.run_batch()
+                total = elapsed()
+        num_queries = sum(len(block) for block in rounds)
+        metrics = _metrics(coordinator, num_queries, total)
+        metrics["shards"] = num_shards
+        metrics["migrations"] = coordinator.migrations
+        metrics["migrated_queries"] = coordinator.migrated_queries
+        return metrics
+    finally:
+        coordinator.close()
+
+
 def _metrics(engine: D3CEngine, num_queries: int, total: float) -> dict:
     from ..core.evaluate import FailureReason
     stats = engine.stats

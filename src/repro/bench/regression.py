@@ -32,10 +32,11 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..workloads import (big_cluster_queries, chain_queries,
-                         churn_rounds, non_unifying_queries,
-                         three_way_triangles, two_way_pairs)
+                         churn_rounds, multi_tenant_rounds,
+                         non_unifying_queries, three_way_triangles,
+                         two_way_pairs)
 from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
-                      run_batch, run_churn, run_incremental)
+                      run_batch, run_churn, run_incremental, run_sharded)
 
 #: Largest Figure 6 configuration (per series) at scale 1.
 FIG6_SIZE = 12_000
@@ -46,6 +47,11 @@ CLUSTER_SIZE = 200
 #: Arrival-churn probe: rounds are fixed (shape), block size scales.
 CHURN_ROUNDS = 24
 CHURN_PER_ROUND = 250
+#: Shard-scaling probe: multi-tenant rounds (shape fixed, block scales)
+#: driven through one engine and through 4 process-backed shards.
+SHARD_ROUNDS = 12
+SHARD_PER_ROUND = 250
+SHARD_COUNT = 4
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
 HEADLINE_SERIES = "fig6_two_way_generic"
@@ -91,6 +97,8 @@ def collect_series(scale: float = 1.0) -> dict:
                                    answerable_fraction=0.4,
                                    seed=CHURN_PER_ROUND),
             ttl_rounds=6)),
+        ("shard_scaling", lambda: _shard_scaling_probe(network, database,
+                                                       scale)),
     )
     series: dict = {}
     for name, probe in probes:
@@ -101,8 +109,43 @@ def collect_series(scale: float = 1.0) -> dict:
             "throughput_qps": round(metrics["throughput_qps"], 2),
             "answered": metrics["answered"],
         }
+        for extra in ("shards", "migrations", "single_engine_seconds",
+                      "scaling_vs_single", "note"):
+            if extra in metrics:
+                series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
     return series
+
+
+def _shard_scaling_probe(network, database, scale: float) -> dict:
+    """Multi-tenant rounds: 4 process-backed shards vs one engine.
+
+    Reports the sharded run's timings plus the paired single-engine
+    seconds and the scaling ratio.  The ratio only demonstrates
+    speedup on a multi-core host — worker processes dodge the GIL, not
+    the core count — so a single-core run records a note instead of a
+    win (the equivalence suite still proves the answers identical).
+    """
+    from ..concurrency import process_parallelism_available
+    rounds = multi_tenant_rounds(network, SHARD_ROUNDS,
+                                 _sized(SHARD_PER_ROUND, scale),
+                                 seed=SHARD_PER_ROUND)
+    single = run_churn(database, rounds, ttl_rounds=6)
+    metrics = run_sharded(database, rounds, SHARD_COUNT,
+                          backend="process", ttl_rounds=6)
+    if metrics["answered"] != single["answered"]:
+        raise RuntimeError(
+            f"shard_scaling probe diverged: sharded answered "
+            f"{metrics['answered']} vs single {single['answered']}")
+    metrics["single_engine_seconds"] = round(single["seconds"], 4)
+    if metrics["seconds"] > 0:
+        metrics["scaling_vs_single"] = round(
+            single["seconds"] / metrics["seconds"], 2)
+    if not process_parallelism_available():
+        metrics["note"] = (
+            "single-core host: process shards cannot beat one engine "
+            "here; scaling_vs_single is an overhead measurement")
+    return metrics
 
 
 def build_report(after: dict, before: Optional[dict] = None,

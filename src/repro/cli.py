@@ -10,6 +10,8 @@ Commands:
     Load a database from a data file (see :mod:`repro.dataio`) and an
     entangled-query workload (one IR-syntax query per line), coordinate
     them set-at-a-time, and print per-query answers and failures.
+    ``--shards N`` routes the same workload through the sharded
+    coordination service (:mod:`repro.shard`) instead of one engine.
 
 ``sql DATA "SELECT ..."``
     Run a plain SQL SELECT against a data file.
@@ -17,7 +19,8 @@ Commands:
 ``bench [FIGURE ...]``
     Regenerate the paper's figures (same as ``python -m repro.bench``);
     figure names include the beyond-paper ``churn`` arrival/expiry
-    scenario driven through the incremental runtime.
+    scenario driven through the incremental runtime and the ``sharded``
+    multi-tenant scenario driven through the shard fleet.
 """
 
 from __future__ import annotations
@@ -59,6 +62,8 @@ def _command_coordinate(arguments: argparse.Namespace) -> int:
     if not queries:
         print("workload is empty", file=sys.stderr)
         return 1
+    if arguments.shards:
+        return _coordinate_sharded(database, queries, arguments)
     result = coordinate(queries, database,
                         check_safety=not arguments.no_safety,
                         ucs_fallback=arguments.ucs_fallback)
@@ -74,6 +79,48 @@ def _command_coordinate(arguments: argparse.Namespace) -> int:
     return 0 if result.answers else 2
 
 
+def _coordinate_sharded(database, queries, arguments) -> int:
+    """Coordinate a workload through the sharded service (one round).
+
+    Safety checking needs the global pending set, so ``--shards``
+    implies ``--no-safety`` (the paper's throughput experiments run the
+    same way).  Queries the round cannot answer are reported pending —
+    a service would hold them for future partners, not fail them.
+    """
+    from .engine.futures import TicketState
+    from .shard import ShardedCoordinator
+    if not arguments.no_safety:
+        print("note: --shards implies --no-safety (admission checking "
+              "is global)", file=sys.stderr)
+    coordinator = ShardedCoordinator(
+        database, num_shards=arguments.shards,
+        backend=arguments.shard_backend, mode="batch",
+        ucs_fallback=arguments.ucs_fallback)
+    try:
+        tickets = coordinator.submit_many(queries)
+        coordinator.run_batch()
+        answered = 0
+        for ticket in sorted(tickets, key=lambda t: repr(t.query_id)):
+            if ticket.state is TicketState.ANSWERED:
+                print(f"answered  {ticket.query_id}: "
+                      f"{ticket.answer.rows}")
+                answered += 1
+            elif ticket.state is TicketState.FAILED:
+                print(f"failed    {ticket.query_id}: "
+                      f"{ticket.failure_reason.value}")
+            else:
+                print(f"pending   {ticket.query_id}")
+        stats = coordinator.stats
+        print(f"-- shards {arguments.shards}  "
+              f"migrations {coordinator.migrations}  "
+              f"graph {stats.graph_seconds:.3f}s  "
+              f"match {stats.match_seconds:.3f}s  "
+              f"db {stats.db_seconds:.3f}s")
+        return 0 if answered else 2
+    finally:
+        coordinator.close()
+
+
 def _command_sql(arguments: argparse.Namespace) -> int:
     database = load_database(arguments.data)
     for row in run_sql(database, arguments.query):
@@ -83,9 +130,9 @@ def _command_sql(arguments: argparse.Namespace) -> int:
 
 def _command_bench(arguments: argparse.Namespace) -> int:
     from .bench.figures import (churn, figure6, figure7, figure8,
-                                figure9, run_all)
+                                figure9, run_all, sharded)
     figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
-               "churn": churn}
+               "churn": churn, "sharded": sharded}
     if not arguments.figures:
         run_all()
         return 0
@@ -117,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
     coordinate_parser.add_argument("--ucs-fallback", action="store_true",
                                    help="retry strongly connected cores "
                                         "when a component finds no data")
+    coordinate_parser.add_argument("--shards", type=int, default=0,
+                                   metavar="N",
+                                   help="coordinate through the sharded "
+                                        "service with N shard workers "
+                                        "(implies --no-safety)")
+    coordinate_parser.add_argument("--shard-backend",
+                                   choices=["inprocess", "process"],
+                                   default="inprocess",
+                                   help="shard worker backend for "
+                                        "--shards (default: inprocess)")
     coordinate_parser.set_defaults(handler=_command_coordinate)
 
     sql = subparsers.add_parser(
@@ -129,7 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the paper's figures and the beyond-"
                       "paper scenarios")
     bench.add_argument("figures", nargs="*",
-                       choices=["6", "7", "8", "9", "churn", []],
+                       choices=["6", "7", "8", "9", "churn", "sharded",
+                                []],
                        help="figure numbers or scenario names "
                             "(default: all)")
     bench.set_defaults(handler=_command_bench)

@@ -32,8 +32,34 @@ _pool_lock = threading.Lock()
 
 
 def default_worker_count() -> int:
-    """Worker count used when callers ask for an 'auto'-sized pool."""
+    """Worker count used when callers ask for an 'auto'-sized pool.
+
+    The ``REPRO_WORKERS`` environment variable overrides the automatic
+    sizing (floored at 1 worker); deployments use it to pin the shared
+    pool and every 'auto'-sized fan-out — thread or process — without
+    touching call sites.  Invalid values are ignored.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
     return min(MAX_POOL_WORKERS, (os.cpu_count() or 1) + 4)
+
+
+def process_parallelism_available() -> bool:
+    """True when worker *processes* can deliver real CPU parallelism.
+
+    The GIL gates threads, not processes: the sharded coordination
+    service's multiprocessing backend runs one engine per worker
+    process and scales on any multi-core host, GIL or not.  This
+    reports whether that is worth doing — more than one CPU is visible
+    (a single-core host only pays serialization overhead).  Callers
+    that must spawn regardless (the shard-equivalence oracle, tests)
+    simply ignore it.
+    """
+    return (os.cpu_count() or 1) > 1
 
 
 def cpu_parallelism_available() -> bool:

@@ -16,6 +16,15 @@ Values in ``row`` lines use the same literal syntax as queries: quoted
 strings, bare numbers, or bare identifiers (taken as strings).  Query
 workload files contain one IR-syntax entangled query per line (see
 :func:`repro.lang.parse_ir_workload`).
+
+This module also defines the **wire format** of the sharded
+coordination service (:mod:`repro.shard`): :func:`to_payload` /
+:func:`from_payload` turn :class:`~repro.core.query.EntangledQuery`
+instances and settled :class:`~repro.core.evaluate.Answer` objects into
+kind-tagged payloads of plain dicts, lists, and scalars.  Payloads are
+JSON-compatible and carry no live objects, so they cross process
+boundaries without depending on pickle's class-identity machinery, and
+the round trip is exact: ``from_payload(to_payload(x)) == x``.
 """
 
 from __future__ import annotations
@@ -23,10 +32,17 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Union
 
+from .core.evaluate import Answer
+from .core.query import EntangledQuery
+from .core.terms import Atom, Constant, Term, Variable
 from .db.database import Database
 from .db.types import column_type_of
-from .errors import ParseError, SchemaError
+from .errors import ParseError, SchemaError, ValidationError
 from .lang.tokenizer import TokenStream, TokenType  # leaf module; no cycle
+
+#: Version stamp carried by every payload; bump on format changes so
+#: mixed-revision shard fleets fail loudly instead of misparsing.
+WIRE_VERSION = 1
 
 
 def load_database(source: Union[str, Path]) -> Database:
@@ -134,3 +150,108 @@ def _render_value(value: object) -> str:
         return str(value)
     escaped = str(value).replace("'", "''")
     return f"'{escaped}'"
+
+
+# ----------------------------------------------------------------------
+# wire payloads (queries and answers crossing shard boundaries)
+# ----------------------------------------------------------------------
+
+#: Scalar types allowed in payloads (ids, owners, constants, values).
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+def _wire_scalar(value: object, what: str) -> object:
+    if not isinstance(value, _WIRE_SCALARS):
+        raise ValidationError(
+            f"{what} {value!r} is not wire-serializable; the shard wire "
+            f"format carries str/int/float/bool/None only")
+    return value
+
+
+def _term_to_payload(term: Term) -> list:
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    return ["c", _wire_scalar(term.value, "constant value")]
+
+
+def _term_from_payload(item) -> Term:
+    tag, payload = item
+    if tag == "v":
+        return Variable(payload)
+    if tag == "c":
+        return Constant(payload)
+    raise ParseError(f"unknown term tag {tag!r} in payload")
+
+
+def _atoms_to_payload(atoms: Iterable[Atom]) -> list:
+    return [[atom.relation, [_term_to_payload(term) for term in atom.args]]
+            for atom in atoms]
+
+
+def _atoms_from_payload(items) -> tuple[Atom, ...]:
+    return tuple(Atom(relation, tuple(_term_from_payload(term)
+                                      for term in terms))
+                 for relation, terms in items)
+
+
+def to_payload(obj: Union[EntangledQuery, Answer]) -> dict:
+    """Serialize a query or settled answer into a wire payload.
+
+    The payload is a kind-tagged tree of dicts, lists, and scalars —
+    stable under JSON round trips and safe to ship between shard
+    worker processes.  Queries carrying Section 6 aggregate constraints
+    are rejected: the sharded service does not speak them (yet), and a
+    silent drop would change answers.
+    """
+    if isinstance(obj, EntangledQuery):
+        if obj.aggregates:
+            raise ValidationError(
+                f"query {obj.query_id!r} carries aggregate constraints, "
+                f"which the wire format does not support")
+        return {
+            "wire": WIRE_VERSION,
+            "kind": "query",
+            "id": _wire_scalar(obj.query_id, "query id"),
+            "head": _atoms_to_payload(obj.head),
+            "post": _atoms_to_payload(obj.postconditions),
+            "body": _atoms_to_payload(obj.body),
+            "choose": obj.choose,
+            "owner": _wire_scalar(obj.owner, "query owner"),
+        }
+    if isinstance(obj, Answer):
+        return {
+            "wire": WIRE_VERSION,
+            "kind": "answer",
+            "id": _wire_scalar(obj.query_id, "query id"),
+            "rows": {relation: [[_wire_scalar(value, "answer value")
+                                 for value in row] for row in rows]
+                     for relation, rows in obj.rows.items()},
+            "choices": obj.choices,
+        }
+    raise ValidationError(
+        f"cannot serialize {type(obj).__name__} to a wire payload")
+
+
+def from_payload(payload: dict) -> Union[EntangledQuery, Answer]:
+    """Rebuild the query or answer a payload stands for (exact inverse
+    of :func:`to_payload`)."""
+    if payload.get("wire") != WIRE_VERSION:
+        raise ParseError(
+            f"payload wire version {payload.get('wire')!r} != "
+            f"{WIRE_VERSION} (mixed shard revisions?)")
+    kind = payload.get("kind")
+    if kind == "query":
+        return EntangledQuery(
+            query_id=payload["id"],
+            head=_atoms_from_payload(payload["head"]),
+            postconditions=_atoms_from_payload(payload["post"]),
+            body=_atoms_from_payload(payload["body"]),
+            choose=payload["choose"],
+            owner=payload["owner"])
+    if kind == "answer":
+        return Answer(
+            query_id=payload["id"],
+            rows={relation: [tuple(row) for row in rows]
+                  for relation, rows in payload["rows"].items()},
+            choices=payload["choices"])
+    raise ParseError(f"unknown payload kind {kind!r}")

@@ -39,7 +39,8 @@ import math
 import random
 import threading
 import time
-from typing import Iterable, Literal, Optional
+from dataclasses import dataclass
+from typing import Iterable, Literal, Optional, Sequence
 
 from ..concurrency import cpu_parallelism_available, default_worker_count
 
@@ -55,6 +56,24 @@ from .stats import EngineStats
 
 EngineMode = Literal["incremental", "batch"]
 SafetyMode = Literal["reject", "off"]
+
+
+@dataclass(frozen=True, slots=True)
+class PendingRecord:
+    """One pending query detached from an engine for migration.
+
+    Carries everything another engine needs to adopt the query as if it
+    had been submitted there originally: the renamed-apart working
+    copy, the (global) arrival sequence number, and the submission
+    timestamp staleness is judged against.  Produced by
+    :meth:`D3CEngine.export_component`, consumed by
+    :meth:`D3CEngine.import_pending`; the sharded coordination service
+    moves whole components between shard engines with these.
+    """
+
+    query: EntangledQuery
+    arrival_seq: int
+    submitted_at: float
 
 
 class D3CEngine:
@@ -197,14 +216,22 @@ class D3CEngine:
     # ------------------------------------------------------------------
 
     def submit(self, query: EntangledQuery,
-               callback: TicketCallback | None = None
-               ) -> CoordinationTicket:
+               callback: TicketCallback | None = None,
+               arrival_seq: int | None = None) -> CoordinationTicket:
         """Submit one entangled query; returns its ticket.
 
         The query is validated and renamed apart.  Query ids must be
         unique across the engine's lifetime.  In incremental mode a
         coordination attempt may run synchronously inside this call (and
         settle the returned ticket before it is returned).
+
+        *arrival_seq* overrides the engine's own arrival counter; the
+        sharded coordinator uses it to impose one global arrival order
+        across shard engines (matching and conflict resolution are
+        arrival-ordered, so shard-local counters would not reproduce a
+        single engine's choices once queries migrate between shards).
+        Caller-supplied sequences must be strictly increasing across
+        submissions.
         """
         query.validate()
         ticket = CoordinationTicket(query.query_id)
@@ -214,7 +241,8 @@ class D3CEngine:
         settle_unsafe = False
         with self._lock:
             self._check_new_id(query.query_id)
-            working, settle_unsafe = self._admit(query, ticket)
+            working, settle_unsafe = self._admit(query, ticket,
+                                                 arrival_seq)
             if not settle_unsafe:
                 if self.mode == "incremental":
                     new_edges = self._runtime.ingest(working)
@@ -233,7 +261,8 @@ class D3CEngine:
         """Submit many queries in order; returns their tickets."""
         return [self.submit(query) for query in queries]
 
-    def submit_many(self, queries: Iterable[EntangledQuery]
+    def submit_many(self, queries: Iterable[EntangledQuery],
+                    arrival_seqs: Sequence[int] | None = None
                     ) -> list[CoordinationTicket]:
         """Submit a block of arrivals through the batched pipeline.
 
@@ -248,9 +277,14 @@ class D3CEngine:
         arrival may coordinate before the next is ingested.)
 
         Returns the tickets in input order; tickets may already be
-        settled on return.
+        settled on return.  *arrival_seqs*, when given, must be one
+        strictly increasing sequence number per query (see
+        :meth:`submit`).
         """
         queries = list(queries)
+        if arrival_seqs is not None and len(arrival_seqs) != len(queries):
+            raise ValidationError(
+                "arrival_seqs must match the block length")
         tickets: list[CoordinationTicket] = []
         with self._lock:
             seen: set = set()
@@ -265,10 +299,13 @@ class D3CEngine:
 
             admitted: list[EntangledQuery] = []
             unsafe: list[CoordinationTicket] = []
-            for query in queries:
+            for position, query in enumerate(queries):
                 ticket = CoordinationTicket(query.query_id)
                 tickets.append(ticket)
-                working, settle_unsafe = self._admit(query, ticket)
+                working, settle_unsafe = self._admit(
+                    query, ticket,
+                    None if arrival_seqs is None
+                    else arrival_seqs[position])
                 if settle_unsafe:
                     unsafe.append(ticket)
                 else:
@@ -296,7 +333,8 @@ class D3CEngine:
                 f"query id {query_id!r} already used in this engine")
 
     def _admit(self, query: EntangledQuery,
-               ticket: CoordinationTicket):
+               ticket: CoordinationTicket,
+               arrival_seq: int | None = None):
         """Shared admission: rename, arrival seq, safety, pending entry.
 
         Returns ``(working_copy, settle_unsafe)``; on safe admission
@@ -305,8 +343,10 @@ class D3CEngine:
         """
         working = query.rename_apart()
         self.stats.submitted += 1
-        self._arrival[query.query_id] = self._next_seq
-        self._next_seq += 1
+        if arrival_seq is None:
+            arrival_seq = self._next_seq
+        self._arrival[query.query_id] = arrival_seq
+        self._next_seq = max(self._next_seq, arrival_seq) + 1
 
         if self.safety_mode == "reject":
             start = time.perf_counter()
@@ -358,6 +398,104 @@ class D3CEngine:
         """
         with self._lock:
             self._runtime.invalidate()
+
+    # ------------------------------------------------------------------
+    # component migration (the sharded service's export/import hooks)
+    # ------------------------------------------------------------------
+
+    def component_members(self, query_id) -> list:
+        """All pending query ids in *query_id*'s coordination component.
+
+        Reported by the partition manager (exact even after removals),
+        in arrival order.  The sharded coordinator uses this to move
+        whole components — never fragments — between shard engines.
+        """
+        with self._lock:
+            members = self._runtime.partitions.members_set(query_id)
+            return sorted(members, key=self._arrival.__getitem__)
+
+    def export_component(self, query_ids: Sequence) -> list[PendingRecord]:
+        """Detach pending queries for migration to another engine.
+
+        The queries leave the pending set, the safety state, and the
+        graph (their partitions re-split and survivors are re-queued,
+        exactly as settlement would).  Their tickets are abandoned
+        unsettled — the caller owns answer delivery across engines and
+        re-wires fresh tickets on import.  Returns one record per
+        query, in arrival order.
+
+        Callers must export whole components (see
+        :meth:`component_members`); exporting a fragment would leave
+        edges dangling across engines and change coordination outcomes.
+        """
+        with self._lock:
+            records: list[PendingRecord] = []
+            exported: list = []
+            for query_id in query_ids:
+                entry = self._pending.pop(query_id, None)
+                if entry is None:
+                    raise ValidationError(
+                        f"query {query_id!r} is not pending; cannot "
+                        f"export it")
+                working, _, submitted_at = entry
+                records.append(PendingRecord(
+                    working, self._arrival[query_id], submitted_at))
+                self._safety.remove(query_id)
+                exported.append(query_id)
+            self._runtime.remove_block(exported)
+            records.sort(key=lambda record: record.arrival_seq)
+            return records
+
+    def import_pending(self, records: Iterable[PendingRecord]) -> dict:
+        """Adopt previously exported queries; returns fresh tickets.
+
+        The inverse of :meth:`export_component`: each record's working
+        copy re-enters the pending set and the graph under its original
+        arrival sequence number and submission time, so matching order
+        and staleness behave as if the query had been submitted here in
+        the first place.  No coordination attempt runs — imported
+        components are re-attempted by the next arrival that touches
+        them or the next set-at-a-time round (imports mark them dirty).
+
+        Returns ``{query_id: ticket}`` with unsettled tickets the
+        caller wires to its own answer delivery.
+
+        Atomic: every record is validated before any is applied, so a
+        rejected import leaves the engine untouched — the migration
+        protocol's abort path relies on this (a partial import plus an
+        abort would duplicate part of the component across engines).
+        """
+        tickets: dict = {}
+        ordered = sorted(records, key=lambda record: record.arrival_seq)
+        with self._lock:
+            seen: set = set()
+            for record in ordered:
+                query_id = record.query.query_id
+                if query_id in self._pending or query_id in seen:
+                    raise ValidationError(
+                        f"query id {query_id!r} is already pending in "
+                        f"this engine")
+                seen.add(query_id)
+            for record in ordered:
+                working = record.query
+                query_id = working.query_id
+                ticket = CoordinationTicket(query_id)
+                self._arrival[query_id] = record.arrival_seq
+                self._next_seq = max(self._next_seq,
+                                     record.arrival_seq + 1)
+                self._pending[query_id] = (working, ticket,
+                                           record.submitted_at)
+                if self.safety_mode == "reject":
+                    self._safety.add(working)
+                deadline = self.staleness.deadline(working,
+                                                   record.submitted_at)
+                if deadline is not None and deadline != math.inf:
+                    heapq.heappush(self._expiry_heap,
+                                   (deadline, record.arrival_seq,
+                                    query_id))
+                self._runtime.ingest(working)
+                tickets[query_id] = ticket
+        return tickets
 
     # ------------------------------------------------------------------
     # batch (set-at-a-time) mode
@@ -461,12 +599,13 @@ class D3CEngine:
     def pending_ids(self) -> list:
         """Ids of pending queries, in arrival order.
 
-        The pending map's insertion order *is* arrival order (ids are
-        never reused), so this is O(pending) with no sort or graph
-        rescan.
+        Sorted by arrival sequence: the pending map's insertion order
+        is arrival order for submitted queries, but
+        :meth:`import_pending` may splice migrated queries in at
+        earlier sequence numbers.
         """
         with self._lock:
-            return list(self._pending)
+            return sorted(self._pending, key=self._arrival.__getitem__)
 
     def partition_sizes(self) -> list[int]:
         """Current partition sizes, reported by the partition manager.

@@ -1,0 +1,26 @@
+"""The sharded coordination service (beyond the paper).
+
+Scales the D3C engine across CPU cores: a
+:class:`~repro.shard.coordinator.ShardedCoordinator` presents the
+single-engine API over N shard workers, each owning a disjoint set of
+coordination components.  A deterministic
+:class:`~repro.shard.router.ShardRouter` places arrivals by anchor-atom
+fingerprint; arrivals that entangle queries on different shards trigger
+the two-phase cross-shard migration protocol (reserve → transfer →
+commit) so components are always whole on one shard — which is what
+keeps the fleet's answers byte-identical to a single engine at any
+shard count.  Two interchangeable backends implement the shard-worker
+protocol: in-process engines (deterministic, debuggable) and spawned
+worker processes speaking the :mod:`repro.dataio` wire format (real
+multi-core parallelism despite the GIL).  See DESIGN.md §6.
+"""
+
+from .backend import InProcessBackend, ShardBackend
+from .coordinator import ShardedCoordinator
+from .process import ProcessBackend, ShardWorkerError
+from .router import ShardRouter
+
+__all__ = [
+    "InProcessBackend", "ProcessBackend", "ShardBackend",
+    "ShardRouter", "ShardWorkerError", "ShardedCoordinator",
+]

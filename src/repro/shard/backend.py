@@ -1,0 +1,237 @@
+"""The shard-worker abstraction: one engine behind a command surface.
+
+A :class:`ShardBackend` owns one :class:`~repro.engine.engine.D3CEngine`
+holding a disjoint set of coordination components.  The coordinator
+drives backends through a small, strictly request/response command
+surface; settlements (answers, staleness failures) come back as
+**events** the backend buffers and the coordinator drains after every
+call — tickets never cross the backend boundary, which is what lets the
+same coordinator drive in-process engines and worker processes
+interchangeably.
+
+Two implementations ship:
+
+* :class:`InProcessBackend` (here) — the engine lives in the
+  coordinator's process.  Deterministic, debuggable, zero serialization;
+  the shard-equivalence oracle suite runs against it, and migration
+  records stay live :class:`~repro.engine.engine.PendingRecord` objects.
+* :class:`~repro.shard.process.ProcessBackend` — the engine lives in a
+  worker process behind the :mod:`repro.dataio` wire format; the GIL
+  stays per-process, so shards coordinate on separate cores.
+
+The migration protocol is two-phase on the source shard:
+``reserve`` detaches a component and parks it under a manifest (the
+queries can no longer coordinate or expire), ``transfer`` hands the
+records out, and ``commit`` forgets them once the target has imported —
+with ``abort`` restoring the component locally if the import fails.
+Answer preservation does not depend on *where* the component lands,
+only on it landing exactly once, which reserve/commit guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol, Sequence
+
+from ..core.query import EntangledQuery
+from ..db.database import Database
+from ..engine.engine import D3CEngine, PendingRecord
+from ..engine.futures import CoordinationTicket, TicketState
+
+#: One settlement event: ``("answered", query_id, Answer)`` or
+#: ``("failed", query_id, FailureReason)``.
+Event = tuple
+
+
+class ShardBackend(Protocol):
+    """What the coordinator requires of a shard worker."""
+
+    shard_index: int
+
+    def submit_block(self, queries: Sequence[EntangledQuery],
+                     seqs: Sequence[int], now: float) -> None:
+        """Ingest a block of arrivals with global arrival seqs."""
+
+    def run_batch(self, now: float) -> int:
+        """One set-at-a-time round over the shard's dirty components."""
+
+    def expire(self, now: float) -> int:
+        """Expire stale pending queries at coordinator time *now*."""
+
+    # Fan-out form of the three serving commands: ``begin_*`` issues
+    # the command without waiting, ``finish_*`` collects its result.
+    # The coordinator begins on every shard before finishing on any —
+    # with process workers the shards genuinely run concurrently
+    # (shard state is disjoint, the database is read-only, and events
+    # are applied in shard order, so the fan-out is answer-identical
+    # to the sequential form).  At most one command may be outstanding
+    # per backend.
+
+    def begin_submit_block(self, queries: Sequence[EntangledQuery],
+                           seqs: Sequence[int], now: float) -> None: ...
+
+    def finish_submit_block(self) -> None: ...
+
+    def begin_run_batch(self, now: float) -> None: ...
+
+    def finish_run_batch(self) -> int: ...
+
+    def begin_expire(self, now: float) -> None: ...
+
+    def finish_expire(self) -> int: ...
+
+    def component_members(self, query_id: object) -> list:
+        """The full coordination component of one pending query."""
+
+    def reserve(self, query_ids: Sequence) -> str:
+        """Phase 1: detach a component for migration; returns a manifest."""
+
+    def transfer(self, manifest: str) -> list:
+        """Phase 2: the reserved records (opaque to the coordinator)."""
+
+    def commit(self, manifest: str) -> None:
+        """Phase 3: forget a transferred manifest."""
+
+    def abort(self, manifest: str) -> None:
+        """Undo a reservation: restore the component locally."""
+
+    def import_records(self, records: list) -> None:
+        """Adopt records produced by a peer backend's ``transfer``."""
+
+    def drain_events(self) -> list[Event]:
+        """Settlements since the last drain, in settlement order."""
+
+    def pending_ids(self) -> list:
+        """Pending query ids on this shard (arrival order)."""
+
+    def partition_sizes(self) -> list[int]:
+        """Component sizes on this shard."""
+
+    def stats_snapshot(self) -> dict:
+        """The shard engine's ``EngineStats.snapshot()``."""
+
+    def invalidate_cache(self) -> None:
+        """Forget data-dependent caches after a database mutation."""
+
+    def close(self) -> None:
+        """Release the worker (idempotent)."""
+
+
+class InProcessBackend:
+    """A shard engine living in the coordinator's own process.
+
+    The engine shares the coordinator's database and clock objects, so
+    ``now`` arguments are informational here (the engine reads the same
+    clock the coordinator just did).  Settlement events are captured by
+    ticket callbacks the backend wires at submission and import time.
+    """
+
+    def __init__(self, shard_index: int, database: Database,
+                 engine_kwargs: dict):
+        self.shard_index = shard_index
+        self.engine = D3CEngine(database, **engine_kwargs)
+        self._events: list[Event] = []
+        self._manifests: dict[str, list[PendingRecord]] = {}
+        self._manifest_counter = itertools.count()
+        self._deferred: object = None
+
+    # -- settlement capture --------------------------------------------
+
+    def _track(self, ticket: CoordinationTicket) -> None:
+        ticket.add_callback(self._on_settle)
+
+    def _on_settle(self, ticket: CoordinationTicket) -> None:
+        if ticket.state is TicketState.ANSWERED:
+            self._events.append(("answered", ticket.query_id,
+                                 ticket.answer))
+        else:
+            self._events.append(("failed", ticket.query_id,
+                                 ticket.failure_reason))
+
+    def drain_events(self) -> list[Event]:
+        events, self._events = self._events, []
+        return events
+
+    # -- command surface ------------------------------------------------
+
+    def submit_block(self, queries: Sequence[EntangledQuery],
+                     seqs: Sequence[int], now: float) -> None:
+        if len(queries) == 1:
+            ticket = self.engine.submit(queries[0], arrival_seq=seqs[0])
+            tickets = [ticket]
+        else:
+            tickets = self.engine.submit_many(queries,
+                                              arrival_seqs=list(seqs))
+        # Wire settlement capture first, then flush tickets that
+        # settled synchronously inside the engine call (their callbacks
+        # fire immediately on add).
+        for ticket in tickets:
+            self._track(ticket)
+
+    def run_batch(self, now: float) -> int:
+        return self.engine.run_batch()
+
+    def expire(self, now: float) -> int:
+        return self.engine.expire_stale()
+
+    # In-process "fan-out": there is no worker to overlap with, so
+    # begin executes eagerly and finish hands the result back.
+
+    def begin_submit_block(self, queries, seqs, now: float) -> None:
+        self._deferred = self.submit_block(queries, seqs, now)
+
+    def finish_submit_block(self) -> None:
+        self._deferred = None
+
+    def begin_run_batch(self, now: float) -> None:
+        self._deferred = self.run_batch(now)
+
+    def finish_run_batch(self) -> int:
+        result, self._deferred = self._deferred, None
+        return result
+
+    def begin_expire(self, now: float) -> None:
+        self._deferred = self.expire(now)
+
+    def finish_expire(self) -> int:
+        result, self._deferred = self._deferred, None
+        return result
+
+    def component_members(self, query_id: object) -> list:
+        return self.engine.component_members(query_id)
+
+    def reserve(self, query_ids: Sequence) -> str:
+        records = self.engine.export_component(query_ids)
+        manifest = f"m{next(self._manifest_counter)}"
+        self._manifests[manifest] = records
+        return manifest
+
+    def transfer(self, manifest: str) -> list:
+        return list(self._manifests[manifest])
+
+    def commit(self, manifest: str) -> None:
+        del self._manifests[manifest]
+
+    def abort(self, manifest: str) -> None:
+        records = self._manifests.pop(manifest, None)
+        if records:
+            self.import_records(records)
+
+    def import_records(self, records: list) -> None:
+        for ticket in self.engine.import_pending(records).values():
+            self._track(ticket)
+
+    def pending_ids(self) -> list:
+        return self.engine.pending_ids()
+
+    def partition_sizes(self) -> list[int]:
+        return self.engine.partition_sizes()
+
+    def stats_snapshot(self) -> dict:
+        return self.engine.stats.snapshot()
+
+    def invalidate_cache(self) -> None:
+        self.engine.invalidate_cache()
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,556 @@
+"""The sharded coordination service (front door + migration protocol).
+
+:class:`ShardedCoordinator` presents the familiar
+:class:`~repro.engine.engine.D3CEngine` surface — ``submit`` /
+``submit_many`` / ``run_batch`` / ``expire_stale`` / ``pending_ids`` /
+``partition_sizes`` / ``stats`` — over N shard workers, each owning a
+disjoint set of coordination components.  Three mechanisms make the
+fleet behave byte-identically to one engine:
+
+* **Component co-location.**  Coordination components are the unit of
+  independent work (paper §4.1.2), so answers are preserved as long as
+  every component lives wholly on one shard.  The coordinator keeps a
+  global routing index (the same verified atom index the unifiability
+  graph uses) over all pending heads and postconditions; an arrival's
+  partners are discovered *before* placement, and when they span
+  shards, the smaller components are migrated to a single owner first
+  (two-phase reserve → transfer → commit against the source shard, see
+  :mod:`repro.shard.backend`).  Arrivals with no partners fall to the
+  deterministic :class:`~repro.shard.router.ShardRouter` fingerprint.
+* **Global arrival order.**  Matching resolves conflicts by arrival
+  order, so the coordinator issues one global sequence number per
+  arrival and shard engines adopt it (including across migrations) —
+  a query coordinates identically wherever it lands.
+* **Coordinator-owned policy.**  Tickets, the staleness clock, and the
+  batch-size trigger live here; shard engines only execute.  Shard
+  workers report settlements as events, which the coordinator applies
+  to its own tickets in order.
+
+Restrictions (all checked at construction): safety must be ``"off"``
+(the admission check needs the *global* pending set; the paper's
+throughput experiments run without it), and ``rng`` must be ``None``
+(sampled CHOOSE draws from one shared stream cannot be replayed
+per-shard).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..core.atom_index import AtomIndex
+from ..core.query import EntangledQuery
+from ..db.database import Database
+from ..engine.futures import CoordinationTicket, TicketCallback
+from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
+    SystemClock
+from ..engine.stats import EngineStats
+from ..errors import ValidationError
+from .backend import InProcessBackend, ShardBackend
+from .router import ShardRouter
+
+#: Backend selector values accepted by :class:`ShardedCoordinator`.
+BACKENDS = ("inprocess", "process")
+
+
+class ShardedCoordinator:
+    """A D3C engine fleet behind one engine-shaped front door.
+
+    Args:
+        database: shared substrate.  In-process shards share the live
+            object (reads only); process shards rebuild it from its
+            :func:`repro.dataio.dump_database` text.
+        num_shards: worker count (1 is a valid, useful baseline).
+        backend: ``"inprocess"`` (deterministic, debuggable — the
+            equivalence oracle runs against it) or ``"process"``
+            (spawned workers, real CPU parallelism under the GIL).
+        mode / staleness / clock / batch_size / ucs_fallback /
+        parallel_workers / ingest_workers / max_group_size /
+        max_candidate_attempts / max_combined_atoms /
+        incremental_strategy: exactly as on
+            :class:`~repro.engine.engine.D3CEngine`; forwarded to every
+            shard engine (``batch_size`` is enforced *here*, against
+            the global pending count).
+        router: injectable :class:`~repro.shard.router.ShardRouter`
+            (defaults to one over *num_shards*).
+    """
+
+    def __init__(self, database: Database,
+                 num_shards: int = 2,
+                 backend: str = "inprocess",
+                 mode: str = "incremental",
+                 staleness: StalenessPolicy | None = None,
+                 clock: Clock | None = None,
+                 batch_size: int | None = None,
+                 rng=None,
+                 ucs_fallback: bool = False,
+                 parallel_workers: int = 1,
+                 ingest_workers: int = 0,
+                 max_group_size: int = 64,
+                 max_candidate_attempts: int = 8,
+                 max_combined_atoms: int = 512,
+                 incremental_strategy: str = "local",
+                 router: ShardRouter | None = None,
+                 warm_indexes: Sequence[tuple] = ()):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown shard backend {backend!r}")
+        if rng is not None:
+            raise ValidationError(
+                "the sharded coordinator is deterministic-only: CHOOSE "
+                "sampling from a shared rng cannot be replayed "
+                "per-shard (submit with rng=None)")
+        self.database = database
+        self.mode = mode
+        self.backend_kind = backend
+        self.batch_size = batch_size
+        self.num_shards = num_shards
+        self._staleness = staleness or NeverStale()
+        self._clock = clock or SystemClock()
+        self._router = router or ShardRouter(num_shards)
+        if self._router.num_shards != num_shards:
+            raise ValueError("router and coordinator disagree on the "
+                             "shard count")
+
+        engine_kwargs = dict(
+            mode=mode, safety="off", batch_size=None, rng=None,
+            ucs_fallback=ucs_fallback,
+            parallel_workers=parallel_workers,
+            ingest_workers=ingest_workers,
+            max_group_size=max_group_size,
+            max_candidate_attempts=max_candidate_attempts,
+            max_combined_atoms=max_combined_atoms,
+            incremental_strategy=incremental_strategy)
+
+        self._backends: list[ShardBackend] = []
+        if backend == "inprocess":
+            for index in range(num_shards):
+                self._backends.append(InProcessBackend(
+                    index, database,
+                    dict(engine_kwargs, staleness=self._staleness,
+                         clock=self._clock)))
+        else:
+            from ..dataio import dump_database
+            from .process import ProcessBackend, staleness_to_spec
+            # Workers rebuild the database from text, which loses the
+            # caller's lazily built hash indexes; warm_indexes
+            # ((table, positions) pairs) rebuilds them at worker
+            # start-up instead of inside the serving path.
+            config = {
+                "database_text": dump_database(database),
+                "staleness": staleness_to_spec(self._staleness),
+                "engine": engine_kwargs,
+                "warm_indexes": [[table, list(positions)]
+                                 for table, positions in warm_indexes],
+            }
+            try:
+                for index in range(num_shards):
+                    self._backends.append(ProcessBackend(index, config))
+                # Start every worker before waiting on any: database
+                # rebuilds overlap across cores, and serving calls
+                # never absorb start-up latency.
+                for shard_backend in self._backends:
+                    shard_backend.ensure_ready()
+            except BaseException:
+                self.close()
+                raise
+
+        # Global routing state: verified atom indexes over every
+        # pending query's heads and postconditions (entries are
+        # (query_id, position) handles, like the graph's own indexes).
+        self._head_index = AtomIndex()
+        self._pc_index = AtomIndex()
+        self._shard_of: dict = {}
+        self._pending_meta: dict = {}       # qid -> (working, seq)
+        self._tickets: dict = {}
+        self._used_ids: set = set()
+        self._next_seq = 0
+        self._closed = False
+
+        self._submitted = 0
+        self._answered = 0
+        self._failed: Counter = Counter()
+        #: Cross-shard migration counters (diagnostics / benchmarks).
+        self.migrations = 0
+        self.migrated_queries = 0
+
+    # ------------------------------------------------------------------
+    # routing and migration
+    # ------------------------------------------------------------------
+
+    def _index_query(self, working: EntangledQuery) -> None:
+        query_id = working.query_id
+        for head_pos, head in enumerate(working.head):
+            self._head_index.add((query_id, head_pos), head)
+        for pc_pos, pc_atom in enumerate(working.postconditions):
+            self._pc_index.add((query_id, pc_pos), pc_atom)
+
+    def _unindex_query(self, working: EntangledQuery) -> None:
+        query_id = working.query_id
+        for head_pos in range(len(working.head)):
+            self._head_index.remove((query_id, head_pos))
+        for pc_pos in range(working.pccount):
+            self._pc_index.remove((query_id, pc_pos))
+
+    def _find_partner_ids(self, working: EntangledQuery) -> set:
+        """Pending queries this arrival would share an edge with.
+
+        The same verified lookups graph insertion performs, so the
+        partner set equals the arrival's future edge partners exactly —
+        migrations happen if and only if real entanglement spans
+        shards.
+        """
+        query_id = working.query_id
+        partners: set = set()
+        for head in working.head:
+            for entry, _ in self._pc_index.lookup_unifiable(head):
+                if entry[0] != query_id:
+                    partners.add(entry[0])
+        for pc_atom in working.postconditions:
+            for entry, _ in self._head_index.lookup_unifiable(pc_atom):
+                if entry[0] != query_id:
+                    partners.add(entry[0])
+        return partners
+
+    def _route_block(self, workings: Sequence[EntangledQuery]) -> list[int]:
+        """Choose a shard per arrival, migrating components to co-locate.
+
+        Invariant maintained: every coordination component (and every
+        not-yet-submitted block member, counting the partners known so
+        far) lives wholly on one shard.  Within a block, adjacency is
+        tracked symmetrically so a later arrival that bridges earlier
+        block members drags their whole clusters to one owner.
+        """
+        assignments: dict = {}
+        queued_partners: dict = {}
+        for working in workings:
+            query_id = working.query_id
+            partners = self._find_partner_ids(working)
+            queued_partners[query_id] = set(partners)
+            for partner in partners:
+                if partner in queued_partners:
+                    queued_partners[partner].add(query_id)
+            if not partners:
+                target = self._router.home_shard(working)
+            else:
+                target = self._colocate(query_id, partners,
+                                        queued_partners, assignments)
+            assignments[query_id] = target
+            self._shard_of[query_id] = target
+            self._index_query(working)
+        # Read placements only now: a later block member that bridged
+        # two clusters may have reassigned earlier members.
+        return [assignments[working.query_id] for working in workings]
+
+    def _colocate(self, origin, partners: set, queued_partners: dict,
+                  assignments: dict) -> int:
+        """Pick one owner shard for an arrival's partners; migrate the
+        rest's components to it.  Returns the owner."""
+        # Transitive closure over same-block (queued) adjacency;
+        # resident partners anchor engine-resident components, which
+        # are already co-located per the invariant.  The origin itself
+        # is unplaced (it is being routed right now) and excluded.
+        resident: set = set()
+        queued: set = set()
+        frontier = list(partners)
+        seen = set(partners) | {origin}
+        while frontier:
+            partner = frontier.pop()
+            if partner in queued_partners:
+                queued.add(partner)
+                for neighbor in queued_partners[partner]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            else:
+                resident.add(partner)
+
+        members_by_shard: dict[int, set] = {}
+        for partner in resident:
+            shard = self._shard_of[partner]
+            members_by_shard.setdefault(shard, set())
+        for shard in set(members_by_shard):
+            anchors = [partner for partner in resident
+                       if self._shard_of[partner] == shard]
+            members: set = set()
+            backend = self._backends[shard]
+            for anchor in anchors:
+                if anchor not in members:
+                    members.update(backend.component_members(anchor))
+            members_by_shard[shard] = members
+
+        weight: Counter = Counter()
+        for shard, members in members_by_shard.items():
+            weight[shard] += len(members)
+        for partner in queued:
+            weight[self._shard_of[partner]] += 1
+        involved = set(weight)
+        # Owner: the shard already holding the most involved queries
+        # ("move the smaller components"), ties to the lowest index.
+        target = min(involved, key=lambda shard: (-weight[shard], shard))
+
+        for shard in sorted(members_by_shard):
+            members = members_by_shard[shard]
+            if shard == target or not members:
+                continue
+            self._migrate(shard, sorted(members, key=repr), target)
+        for partner in queued:
+            if self._shard_of[partner] != target:
+                self._shard_of[partner] = target
+                assignments[partner] = target
+        return target
+
+    def _migrate(self, source: int, member_ids: list, target: int) -> None:
+        """Two-phase component move: reserve → transfer → commit.
+
+        Reservation detaches the component on the source shard (it can
+        no longer coordinate or expire there); the records are imported
+        into the target before the source forgets them, and a failed
+        import aborts back to the source — the component exists exactly
+        once at every step.
+        """
+        source_backend = self._backends[source]
+        target_backend = self._backends[target]
+        manifest = source_backend.reserve(member_ids)
+        try:
+            records = source_backend.transfer(manifest)
+            target_backend.import_records(records)
+        except BaseException:
+            source_backend.abort(manifest)
+            raise
+        source_backend.commit(manifest)
+        self.migrations += 1
+        self.migrated_queries += len(member_ids)
+        for query_id in member_ids:
+            self._shard_of[query_id] = target
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def _check_new_id(self, query_id, block_seen: set) -> None:
+        if query_id in self._used_ids:
+            raise ValidationError(
+                f"query id {query_id!r} already used in this service")
+        if query_id in block_seen:
+            raise ValidationError(
+                f"query id {query_id!r} appears twice in one block")
+        block_seen.add(query_id)
+
+    def _register(self, working: EntangledQuery, seq: int,
+                  ticket: CoordinationTicket) -> None:
+        query_id = working.query_id
+        self._used_ids.add(query_id)
+        self._pending_meta[query_id] = (working, seq)
+        self._tickets[query_id] = ticket
+        self._submitted += 1
+
+    def submit(self, query: EntangledQuery,
+               callback: TicketCallback | None = None
+               ) -> CoordinationTicket:
+        """Submit one entangled query; returns its ticket (it may
+        already be settled, exactly as on the single engine)."""
+        query.validate()
+        self._check_new_id(query.query_id, set())
+        working = query.rename_apart()
+        ticket = CoordinationTicket(query.query_id)
+        if callback is not None:
+            ticket.add_callback(callback)
+        now = self._clock.now()
+        seq = self._next_seq
+        self._next_seq += 1
+        (target,) = self._route_block([working])
+        self._register(working, seq, ticket)
+        self._backends[target].submit_block([working], [seq], now)
+        self._drain_all_events()
+        self._maybe_autobatch()
+        return ticket
+
+    def submit_all(self, queries: Iterable[EntangledQuery]
+                   ) -> list[CoordinationTicket]:
+        """Submit many queries in order; returns their tickets."""
+        return [self.submit(query) for query in queries]
+
+    def submit_many(self, queries: Iterable[EntangledQuery]
+                    ) -> list[CoordinationTicket]:
+        """Submit a block through the shards' batched pipelines.
+
+        The block is routed (with migrations) up front, split into
+        per-shard sub-blocks preserving arrival order, and each shard
+        ingests its sub-block with the same deferred-drain semantics as
+        :meth:`D3CEngine.submit_many` — entangled block members are
+        always co-located, so the per-shard deferral reproduces the
+        single engine's whole-block deferral.
+        """
+        queries = list(queries)
+        block_seen: set = set()
+        for query in queries:
+            query.validate()
+            self._check_new_id(query.query_id, block_seen)
+        workings = [query.rename_apart() for query in queries]
+        tickets = [CoordinationTicket(query.query_id)
+                   for query in queries]
+        now = self._clock.now()
+        seqs = list(range(self._next_seq,
+                          self._next_seq + len(queries)))
+        self._next_seq += len(queries)
+        targets = self._route_block(workings)
+        for working, seq, ticket in zip(workings, seqs, tickets):
+            self._register(working, seq, ticket)
+        blocks: dict[int, tuple[list, list]] = {}
+        for working, seq, target in zip(workings, seqs, targets):
+            sub_queries, sub_seqs = blocks.setdefault(target, ([], []))
+            sub_queries.append(working)
+            sub_seqs.append(seq)
+        # Fan out: every shard ingests its sub-block concurrently
+        # (process workers overlap on real cores); results collected
+        # and events applied in shard order for determinism.
+        targets_in_order = sorted(blocks)
+        for target in targets_in_order:
+            sub_queries, sub_seqs = blocks[target]
+            self._backends[target].begin_submit_block(sub_queries,
+                                                      sub_seqs, now)
+        for target in targets_in_order:
+            self._backends[target].finish_submit_block()
+        self._drain_all_events()
+        self._maybe_autobatch()
+        return tickets
+
+    def _maybe_autobatch(self) -> None:
+        if (self.mode == "batch" and self.batch_size is not None
+                and len(self._tickets) >= self.batch_size):
+            self.run_batch()
+
+    # ------------------------------------------------------------------
+    # rounds, expiry, events
+    # ------------------------------------------------------------------
+
+    def run_batch(self) -> int:
+        """One set-at-a-time round across every shard (dirty components
+        only, per shard); returns the number answered.
+
+        Shards round concurrently — components are disjoint and the
+        database is read-only, so the fan-out settles exactly what
+        sequential rounds would; events apply in shard order.
+        """
+        now = self._clock.now()
+        answered = 0
+        for backend in self._backends:
+            backend.begin_run_batch(now)
+        for backend in self._backends:
+            answered += backend.finish_run_batch()
+            self._apply_events(backend.drain_events())
+        return answered
+
+    def expire_stale(self) -> int:
+        """Expire stale pending queries fleet-wide; returns the count."""
+        now = self._clock.now()
+        expired = 0
+        for backend in self._backends:
+            backend.begin_expire(now)
+        for backend in self._backends:
+            expired += backend.finish_expire()
+            self._apply_events(backend.drain_events())
+        return expired
+
+    def invalidate_cache(self) -> None:
+        """Forget data-dependent coordination state on every shard."""
+        for backend in self._backends:
+            backend.invalidate_cache()
+
+    def _drain_all_events(self) -> None:
+        for backend in self._backends:
+            self._apply_events(backend.drain_events())
+
+    def _apply_events(self, events) -> None:
+        for kind, query_id, payload in events:
+            ticket = self._tickets.pop(query_id, None)
+            meta = self._pending_meta.pop(query_id, None)
+            if meta is not None:
+                self._unindex_query(meta[0])
+            self._shard_of.pop(query_id, None)
+            if ticket is None:
+                continue
+            if kind == "answered":
+                self._answered += 1
+                ticket.resolve(payload)
+            else:
+                self._failed[payload] += 1
+                ticket.fail(payload)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queries awaiting coordination, fleet-wide."""
+        return len(self._tickets)
+
+    def pending_ids(self) -> list:
+        """Ids of pending queries, in global arrival order."""
+        return sorted(self._tickets,
+                      key=lambda query_id:
+                      self._pending_meta[query_id][1])
+
+    def partition_sizes(self) -> list[int]:
+        """Component sizes across all shards, largest first."""
+        sizes: list[int] = []
+        for backend in self._backends:
+            sizes.extend(backend.partition_sizes())
+        return sorted(sizes, reverse=True)
+
+    def shard_of(self, query_id) -> int:
+        """The shard currently owning a pending query."""
+        return self._shard_of[query_id]
+
+    def shard_pending_counts(self) -> list[int]:
+        """Pending queries per shard (load-balance diagnostics)."""
+        counts = [0] * len(self._backends)
+        for shard in self._shard_of.values():
+            counts[shard] += 1
+        return counts
+
+    @property
+    def stats(self) -> EngineStats:
+        """Fleet-wide statistics in the engine's vocabulary.
+
+        Lifecycle counters (submitted / answered / failed) come from
+        the coordinator (the shard engines' own counts double-count
+        nothing, but migrations make them misleading); work counters
+        and phase timings are summed over shards.
+        """
+        merged = EngineStats()
+        merged.submitted = self._submitted
+        merged.answered = self._answered
+        merged.failed = Counter(self._failed)
+        for backend in self._backends:
+            snapshot = backend.stats_snapshot()
+            merged.coordination_rounds += snapshot["coordination_rounds"]
+            merged.combined_queries_built += \
+                snapshot["combined_queries_built"]
+            merged.closure_events += snapshot["closure_events"]
+            merged.blocks_ingested += snapshot["blocks_ingested"]
+            merged.components_drained += snapshot["components_drained"]
+            merged.graph_seconds += snapshot["graph_seconds"]
+            merged.match_seconds += snapshot["match_seconds"]
+            merged.db_seconds += snapshot["db_seconds"]
+            merged.safety_seconds += snapshot["safety_seconds"]
+        return merged
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down shard workers (idempotent; in-process is a no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self._backends:
+            backend.close()
+
+    def __enter__(self) -> "ShardedCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,371 @@
+"""Process-parallel shard workers behind the dataio wire format.
+
+The GIL serializes Python threads, so PR 2's thread-parallel pipelines
+auto-degrade to serial on stock CPython; worker *processes* do not.
+:class:`ProcessBackend` runs one :class:`~repro.engine.engine.D3CEngine`
+per spawned worker process and speaks a strict request/response command
+protocol over a pipe.  Everything crossing the boundary is a tree of
+dicts, lists, and scalars built on :func:`repro.dataio.to_payload` /
+:func:`repro.dataio.from_payload` — queries, settled answers, and
+migration records all use the same stable wire format, so the protocol
+does not depend on pickle's class-identity machinery and survives
+mixed-revision inspection.
+
+Workers are started with the ``spawn`` method: the coordinator's
+process may be running pool threads (forking one is lock-roulette), and
+spawn gives each worker a clean interpreter that rebuilds its database
+from :func:`repro.dataio.dump_database` text.  The worker's clock is a
+:class:`_SettableClock` pinned by the coordinator's ``now`` on every
+command, so staleness is judged against coordinator time and the
+process fleet behaves byte-identically to in-process shards.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from typing import Optional, Sequence
+
+from ..core.evaluate import FailureReason
+from ..engine.engine import D3CEngine, PendingRecord
+from ..engine.futures import CoordinationTicket, TicketState
+from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
+    TimeoutStaleness
+
+
+class _SettableClock(Clock):
+    """A clock pinned by the coordinator: every command carries 'now'."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def set(self, now: float) -> None:
+        # Never move backwards: commands arrive in send order, but a
+        # caller mixing clock sources should not unexpire anything.
+        if now > self._now:
+            self._now = now
+
+
+def staleness_to_spec(policy: StalenessPolicy) -> tuple:
+    """Encode a staleness policy for the wire (the supported subset)."""
+    if isinstance(policy, NeverStale):
+        return ("never",)
+    if isinstance(policy, TimeoutStaleness):
+        return ("timeout", policy.timeout_seconds)
+    raise ValueError(
+        f"staleness policy {type(policy).__name__} cannot cross the "
+        f"process boundary; use NeverStale or TimeoutStaleness (or the "
+        f"in-process backend)")
+
+
+def staleness_from_spec(spec: Sequence) -> StalenessPolicy:
+    if spec[0] == "never":
+        return NeverStale()
+    if spec[0] == "timeout":
+        return TimeoutStaleness(spec[1])
+    raise ValueError(f"unknown staleness spec {spec!r}")
+
+
+def record_to_payload(record: PendingRecord) -> dict:
+    from ..dataio import to_payload
+    return {"query": to_payload(record.query),
+            "seq": record.arrival_seq,
+            "at": record.submitted_at}
+
+
+def record_from_payload(payload: dict) -> PendingRecord:
+    from ..dataio import from_payload
+    return PendingRecord(from_payload(payload["query"]),
+                         payload["seq"], payload["at"])
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    """The engine host running inside a shard worker process."""
+
+    def __init__(self, config: dict):
+        from ..dataio import load_database
+        self.database = load_database(config["database_text"])
+        for spec in config.get("warm_indexes", ()):
+            self.database.table(spec[0]).index_on(tuple(spec[1]))
+        self.clock = _SettableClock()
+        self.engine = D3CEngine(
+            self.database,
+            staleness=staleness_from_spec(config["staleness"]),
+            clock=self.clock,
+            **config["engine"])
+        self.events: list[tuple] = []
+        self.manifests: dict[str, list[PendingRecord]] = {}
+        self._manifest_counter = itertools.count()
+
+    def _track(self, ticket: CoordinationTicket) -> None:
+        ticket.add_callback(self._on_settle)
+
+    def _on_settle(self, ticket: CoordinationTicket) -> None:
+        from ..dataio import to_payload
+        if ticket.state is TicketState.ANSWERED:
+            self.events.append(("answered", ticket.query_id,
+                                to_payload(ticket.answer)))
+        else:
+            self.events.append(("failed", ticket.query_id,
+                                ticket.failure_reason.value))
+
+    def handle(self, op: str, args: dict):
+        from ..dataio import from_payload
+        if op == "submit_block":
+            self.clock.set(args["now"])
+            queries = [from_payload(payload)
+                       for payload in args["queries"]]
+            if len(queries) == 1:
+                tickets = [self.engine.submit(queries[0],
+                                              arrival_seq=args["seqs"][0])]
+            else:
+                tickets = self.engine.submit_many(
+                    queries, arrival_seqs=args["seqs"])
+            for ticket in tickets:
+                self._track(ticket)
+            return None
+        if op == "run_batch":
+            self.clock.set(args["now"])
+            return self.engine.run_batch()
+        if op == "expire":
+            self.clock.set(args["now"])
+            return self.engine.expire_stale()
+        if op == "members":
+            return self.engine.component_members(args["id"])
+        if op == "reserve":
+            records = self.engine.export_component(args["ids"])
+            manifest = f"m{next(self._manifest_counter)}"
+            self.manifests[manifest] = records
+            return manifest
+        if op == "transfer":
+            return [record_to_payload(record)
+                    for record in self.manifests[args["manifest"]]]
+        if op == "commit":
+            del self.manifests[args["manifest"]]
+            return None
+        if op == "abort":
+            records = self.manifests.pop(args["manifest"], None)
+            if records:
+                for ticket in self.engine.import_pending(
+                        records).values():
+                    self._track(ticket)
+            return None
+        if op == "import":
+            records = [record_from_payload(payload)
+                       for payload in args["records"]]
+            for ticket in self.engine.import_pending(records).values():
+                self._track(ticket)
+            return None
+        if op == "pending":
+            return self.engine.pending_ids()
+        if op == "sizes":
+            return self.engine.partition_sizes()
+        if op == "stats":
+            return self.engine.stats.snapshot()
+        if op == "invalidate":
+            self.engine.invalidate_cache()
+            return None
+        raise ValueError(f"unknown shard command {op!r}")
+
+
+def _worker_main(connection, config: dict) -> None:
+    """Entry point of a shard worker process (spawned)."""
+    try:
+        worker = _Worker(config)
+    except BaseException:
+        connection.send(("err", traceback.format_exc(), []))
+        connection.close()
+        return
+    # Readiness handshake: database rebuild and engine construction
+    # are done.  The coordinator collects this after starting *all*
+    # workers, so start-up overlaps across cores and never leaks into
+    # a caller's measured serving region.
+    connection.send(("ok", "ready", []))
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        op, args = message
+        if op == "stop":
+            connection.send(("ok", None, []))
+            break
+        try:
+            result = worker.handle(op, args)
+        except BaseException:
+            # Settlements that fired before the failure still ship —
+            # withholding them would desynchronize the coordinator's
+            # tickets from the engine (the coordinator applies events
+            # from error replies before raising).
+            events, worker.events = worker.events, []
+            connection.send(("err", traceback.format_exc(), events))
+            continue
+        events, worker.events = worker.events, []
+        connection.send(("ok", result, events))
+    connection.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker reported a failure executing a command."""
+
+
+class ProcessBackend:
+    """A shard engine hosted in a spawned worker process.
+
+    Commands are synchronous request/response pairs over a duplex pipe;
+    settlement events piggyback on every response and are buffered
+    until the coordinator drains them.  Answers and failure reasons are
+    rebuilt from their wire payloads on receipt, so the coordinator
+    sees exactly the event vocabulary :class:`~repro.shard.backend.
+    InProcessBackend` produces.
+    """
+
+    def __init__(self, shard_index: int, config: dict):
+        import multiprocessing
+        self.shard_index = shard_index
+        context = multiprocessing.get_context("spawn")
+        self._connection, child = context.Pipe()
+        self._process = context.Process(
+            target=_worker_main, args=(child, config),
+            name=f"repro-shard-{shard_index}", daemon=True)
+        self._process.start()
+        child.close()
+        self._events: list[tuple] = []
+        self._inflight: Optional[str] = "ready"
+        self._closed = False
+
+    def ensure_ready(self) -> None:
+        """Block until the worker finished starting up (idempotent)."""
+        if self._inflight == "ready":
+            self._recv()
+
+    def _send(self, op: str, **args) -> None:
+        if self._closed:
+            raise ShardWorkerError(
+                f"shard {self.shard_index} is closed")
+        self.ensure_ready()
+        if self._inflight is not None:
+            raise ShardWorkerError(
+                f"shard {self.shard_index}: command {self._inflight!r} "
+                f"still outstanding")
+        self._connection.send((op, args))
+        self._inflight = op
+
+    def _recv(self):
+        op, self._inflight = self._inflight, None
+        status, result, events = self._connection.recv()
+        for kind, query_id, payload in events:
+            if kind == "answered":
+                from ..dataio import from_payload
+                self._events.append((kind, query_id,
+                                     from_payload(payload)))
+            else:
+                self._events.append((kind, query_id,
+                                     FailureReason(payload)))
+        if status != "ok":
+            raise ShardWorkerError(
+                f"shard {self.shard_index} failed {op!r}:\n{result}")
+        return result
+
+    def _call(self, op: str, **args):
+        self._send(op, **args)
+        return self._recv()
+
+    def drain_events(self) -> list[tuple]:
+        events, self._events = self._events, []
+        return events
+
+    # -- command surface ------------------------------------------------
+
+    def submit_block(self, queries, seqs, now: float) -> None:
+        self.begin_submit_block(queries, seqs, now)
+        self.finish_submit_block()
+
+    def run_batch(self, now: float) -> int:
+        return self._call("run_batch", now=now)
+
+    def expire(self, now: float) -> int:
+        return self._call("expire", now=now)
+
+    # Fan-out form: begin sends without waiting (the worker starts
+    # immediately), finish collects.  One outstanding command per
+    # worker, enforced by _send.
+
+    def begin_submit_block(self, queries, seqs, now: float) -> None:
+        from ..dataio import to_payload
+        self._send("submit_block",
+                   queries=[to_payload(query) for query in queries],
+                   seqs=list(seqs), now=now)
+
+    def finish_submit_block(self) -> None:
+        self._recv()
+
+    def begin_run_batch(self, now: float) -> None:
+        self._send("run_batch", now=now)
+
+    def finish_run_batch(self) -> int:
+        return self._recv()
+
+    def begin_expire(self, now: float) -> None:
+        self._send("expire", now=now)
+
+    def finish_expire(self) -> int:
+        return self._recv()
+
+    def component_members(self, query_id) -> list:
+        return self._call("members", id=query_id)
+
+    def reserve(self, query_ids) -> str:
+        return self._call("reserve", ids=list(query_ids))
+
+    def transfer(self, manifest: str) -> list:
+        return self._call("transfer", manifest=manifest)
+
+    def commit(self, manifest: str) -> None:
+        self._call("commit", manifest=manifest)
+
+    def abort(self, manifest: str) -> None:
+        self._call("abort", manifest=manifest)
+
+    def import_records(self, records: list) -> None:
+        self._call("import", records=records)
+
+    def pending_ids(self) -> list:
+        return self._call("pending")
+
+    def partition_sizes(self) -> list[int]:
+        return self._call("sizes")
+
+    def stats_snapshot(self) -> dict:
+        return self._call("stats")
+
+    def invalidate_cache(self) -> None:
+        self._call("invalidate")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._connection.send(("stop", {}))
+            self._connection.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._connection.close()
+        self._process.join(timeout=5)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5)

@@ -354,6 +354,136 @@ def churn_rounds(network: SocialNetwork, num_rounds: int,
     return rounds
 
 
+def multi_tenant_rounds(network: SocialNetwork, num_rounds: int,
+                        arrivals_per_round: int,
+                        tenants: int = 6, skew: float = 1.4,
+                        rendezvous_fraction: float = 0.15,
+                        answerable_fraction: float = 0.5,
+                        seed: int = 9,
+                        destinations: Sequence[str] = AIRPORTS
+                        ) -> list[list[EntangledQuery]]:
+    """Skewed multi-tenant arrival blocks for the sharded service.
+
+    Models a coordination service shared by *tenants* (disjoint user
+    groups with disjoint preferred-destination pools) whose traffic is
+    zipf-skewed by ``skew`` — hot tenants hammer a few routing keys,
+    which is what stresses shard placement.  Each round's block mixes:
+
+    * **intra-tenant pairs** — mutually coordinating pairs inside one
+      tenant; the second member always finds the first through partner
+      lookup, so these exercise *component-affine routing* and answer
+      at the round's coordination round;
+    * **cross-tenant rendezvous triples** — two providers ``A`` and
+      ``B`` in *different* tenants (different destinations, so their
+      anchor atoms route to different shards) arrive one round before a
+      two-postcondition bridge ``C`` that requires both their heads and
+      provides both their postconditions.  ``C``'s arrival entangles
+      two components that live on different shards, forcing the
+      cross-shard migration protocol before the triple coordinates;
+    * **never-coordinating fillers** — postconditions naming travellers
+      nobody provides; they linger until staleness expires them,
+      keeping a realistic pending set under the router.
+
+    Returns ``num_rounds`` arrival blocks, deterministically seeded.
+    """
+    if tenants < 2:
+        raise ValueError("need at least two tenants")
+    if not 0.0 <= rendezvous_fraction <= 1.0:
+        raise ValueError("rendezvous_fraction must be within [0, 1]")
+    if not 0.0 <= answerable_fraction <= 1.0:
+        raise ValueError("answerable_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    town_pool = list(destinations)
+    if len(town_pool) < tenants:
+        raise ValueError("need at least one destination per tenant")
+    users_of = [network.users[index::tenants] for index in range(tenants)]
+    towns_of = [town_pool[index::tenants] for index in range(tenants)]
+    weights = [1.0 / (index + 1) ** skew for index in range(tenants)]
+
+    def pick_tenant() -> int:
+        return rng.choices(range(tenants), weights=weights)[0]
+
+    def tenant_user(tenant: int) -> str:
+        return rng.choice(users_of[tenant])
+
+    def tenant_town(tenant: int) -> str:
+        return rng.choice(towns_of[tenant])
+
+    rounds: list[list[EntangledQuery]] = []
+    held_bridges: list[EntangledQuery] = []
+    for round_index in range(num_rounds):
+        block: list[EntangledQuery] = []
+        # Bridges staged last round: their providers are resident (and,
+        # under a sharded engine, usually on different shards) by now.
+        block.extend(held_bridges)
+        held_bridges = []
+
+        triple_count = int(arrivals_per_round * rendezvous_fraction) // 2
+        for triple_index in range(triple_count):
+            left_tenant = pick_tenant()
+            right_tenant = rng.choice(
+                [tenant for tenant in range(tenants)
+                 if tenant != left_tenant])
+            tag = f"mt-r{round_index}-x{triple_index}"
+            left_dest = tenant_town(left_tenant)
+            right_dest = tenant_town(right_tenant)
+            bridge_name = f"{tag}-c"
+            town_a, town_b, town_c = (Variable("c"), Variable("c"),
+                                      Variable("c"))
+            block.append(EntangledQuery(
+                query_id=f"{tag}-a",
+                head=(_reserve(f"{tag}-a", left_dest),),
+                postconditions=(_reserve(bridge_name, left_dest),),
+                body=(_user(tenant_user(left_tenant), town_a),),
+                owner=f"tenant-{left_tenant}"))
+            block.append(EntangledQuery(
+                query_id=f"{tag}-b",
+                head=(_reserve(f"{tag}-b", right_dest),),
+                postconditions=(_reserve(bridge_name, right_dest),),
+                body=(_user(tenant_user(right_tenant), town_b),),
+                owner=f"tenant-{right_tenant}"))
+            held_bridges.append(EntangledQuery(
+                query_id=f"{tag}-c",
+                head=(_reserve(bridge_name, left_dest),
+                      _reserve(bridge_name, right_dest)),
+                postconditions=(_reserve(f"{tag}-a", left_dest),
+                                _reserve(f"{tag}-b", right_dest)),
+                body=(_user(tenant_user(left_tenant), town_c),),
+                owner=f"tenant-{left_tenant}"))
+
+        pair_count = int(arrivals_per_round * answerable_fraction) // 2
+        for pair_index in range(pair_count):
+            tenant = pick_tenant()
+            destination = tenant_town(tenant)
+            tag = f"mt-r{round_index}-p{pair_index}"
+            for member, partner in (("a", "b"), ("b", "a")):
+                town = Variable("c")
+                block.append(EntangledQuery(
+                    query_id=f"{tag}-{member}",
+                    head=(_reserve(f"{tag}-{member}", destination),),
+                    postconditions=(_reserve(f"{tag}-{partner}",
+                                             destination),),
+                    body=(_user(tenant_user(tenant), town),),
+                    owner=f"tenant-{tenant}"))
+
+        filler_index = 0
+        while len(block) < arrivals_per_round:
+            tenant = pick_tenant()
+            destination = tenant_town(tenant)
+            town = Variable("c")
+            block.append(EntangledQuery(
+                query_id=f"mt-r{round_index}-f{filler_index}",
+                head=(_reserve(tenant_user(tenant), destination),),
+                postconditions=(_reserve(
+                    f"mt-nobody-r{round_index}-{filler_index}",
+                    destination),),
+                body=(_user(tenant_user(tenant), town),),
+                owner=f"tenant-{tenant}"))
+            filler_index += 1
+        rounds.append(block)
+    return rounds
+
+
 @dataclass(frozen=True, slots=True)
 class SafetyStressWorkload:
     """Resident queries plus unsafe addition sets (Experiment 5.3.5)."""

@@ -1,0 +1,55 @@
+"""Worker-sizing knobs: the REPRO_WORKERS override and the
+process-parallelism probe."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import concurrency
+
+
+@pytest.fixture
+def workers_env(monkeypatch):
+    def set_value(value):
+        if value is None:
+            monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_WORKERS", value)
+    return set_value
+
+
+def test_default_worker_count_auto_sizes(workers_env):
+    workers_env(None)
+    count = concurrency.default_worker_count()
+    assert 1 <= count <= concurrency.MAX_POOL_WORKERS
+
+
+def test_repro_workers_override_is_honored(workers_env):
+    workers_env("3")
+    assert concurrency.default_worker_count() == 3
+    # The override is exact — it may exceed the automatic cap (pinning
+    # is the operator's call).
+    workers_env(str(concurrency.MAX_POOL_WORKERS + 8))
+    assert concurrency.default_worker_count() \
+        == concurrency.MAX_POOL_WORKERS + 8
+
+
+def test_repro_workers_override_floors_at_one(workers_env):
+    workers_env("0")
+    assert concurrency.default_worker_count() == 1
+    workers_env("-4")
+    assert concurrency.default_worker_count() == 1
+
+
+def test_repro_workers_invalid_values_fall_back(workers_env):
+    workers_env("many")
+    fallback = concurrency.default_worker_count()
+    workers_env(None)
+    assert fallback == concurrency.default_worker_count()
+
+
+def test_process_parallelism_probe_matches_cpu_count():
+    expected = (os.cpu_count() or 1) > 1
+    assert concurrency.process_parallelism_available() == expected
