@@ -12,7 +12,7 @@ from .harness import (Series, SeriesRow, bench_database, bench_network,
                       bench_scale, run_batch, run_churn, run_incremental,
                       run_sharded, scaled, stopwatch)
 from .figures import (churn, figure6, figure7, figure8, figure9,
-                      run_all, sharded)
+                      migration_heavy, run_all, sharded)
 
 # NB: repro.bench.regression is intentionally not imported here — it is
 # an entry point (`python -m repro.bench.regression`), and importing it
@@ -22,6 +22,6 @@ __all__ = [
     "Series", "SeriesRow", "bench_database", "bench_network",
     "bench_scale", "run_batch", "run_churn", "run_incremental",
     "run_sharded", "scaled", "stopwatch",
-    "churn", "figure6", "figure7", "figure8", "figure9", "run_all",
-    "sharded",
+    "churn", "figure6", "figure7", "figure8", "figure9",
+    "migration_heavy", "run_all", "sharded",
 ]

@@ -33,6 +33,7 @@ from ..core.safety import SafetyChecker
 from ..engine.engine import D3CEngine
 from ..workloads.generators import (big_cluster_queries, chain_queries,
                                     churn_rounds, clique_queries,
+                                    migration_heavy_rounds,
                                     multi_tenant_rounds,
                                     non_unifying_queries,
                                     safety_stress_workload,
@@ -291,10 +292,55 @@ def sharded(shard_counts: Sequence[int] | None = None,
     return [single_series, shard_series]
 
 
+def migration_heavy(num_rounds: int | None = None,
+                    arrivals_per_round: int | None = None,
+                    num_shards: int = 2,
+                    backend: str = "process",
+                    network=None, database=None) -> list[Series]:
+    """Beyond the paper: migration-dominated rendezvous traffic.
+
+    Drives :func:`repro.workloads.generators.migration_heavy_rounds`
+    (steep-skew cross-tenant triples — most arrivals entangle
+    components on different shards) through the sharded service twice:
+    once with the PR 3-era transport shape (one manifest exchange per
+    co-location decision, ``migration_batching=False``) and once with
+    batched per-(source, destination) manifests on the pipelined
+    protocol.  The columns to compare are ``wire_per_round`` (protocol
+    commands issued per round) and ``manifests`` — the moved-query
+    count is identical by construction, the exchanges collapse.
+    """
+    if network is None:
+        network = bench_network()
+    if database is None:
+        database = bench_database(network)
+    if num_rounds is None:
+        num_rounds = 10
+    if arrivals_per_round is None:
+        arrivals_per_round = scaled(200)
+    rounds = migration_heavy_rounds(network, num_rounds,
+                                    arrivals_per_round,
+                                    seed=arrivals_per_round)
+    series = Series(
+        f"Migration-heavy rendezvous traffic: {backend}-backed "
+        f"{num_shards}-shard fleet (manifest batching off/on)",
+        "batching")
+    for batching in (False, True):
+        metrics = run_sharded(database, rounds, num_shards,
+                              backend=backend,
+                              migration_batching=batching)
+        series.add(int(batching), seconds=metrics["seconds"],
+                   wire_per_round=metrics["wire_requests_per_round"],
+                   manifests=metrics["migrations"],
+                   moved=metrics["migrated_queries"],
+                   answered=metrics["answered"])
+    return [series]
+
+
 def run_all() -> list[Series]:
     """Run every figure and return all series (also printed)."""
     all_series: list[Series] = []
-    for runner in (figure6, figure7, figure8, figure9, churn, sharded):
+    for runner in (figure6, figure7, figure8, figure9, churn, sharded,
+                   migration_heavy):
         start = time.perf_counter()
         produced = runner()
         elapsed = time.perf_counter() - start

@@ -269,6 +269,12 @@ def run_sharded(database: Database, rounds, num_shards: int,
         metrics["shards"] = num_shards
         metrics["migrations"] = coordinator.migrations
         metrics["migrated_queries"] = coordinator.migrated_queries
+        # Protocol round-trip accounting: commands issued to workers
+        # over the whole run, and normalized per round — the counter
+        # the migration-heavy probe tracks across transport revisions.
+        metrics["wire_requests"] = coordinator.wire_requests
+        metrics["wire_requests_per_round"] = round(
+            coordinator.wire_requests / max(len(rounds), 1), 2)
         return metrics
     finally:
         coordinator.close()

@@ -32,9 +32,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..workloads import (big_cluster_queries, chain_queries,
-                         churn_rounds, multi_tenant_rounds,
-                         non_unifying_queries, three_way_triangles,
-                         two_way_pairs)
+                         churn_rounds, migration_heavy_rounds,
+                         multi_tenant_rounds, non_unifying_queries,
+                         three_way_triangles, two_way_pairs)
 from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
                       run_batch, run_churn, run_incremental, run_sharded)
 
@@ -52,6 +52,12 @@ CHURN_PER_ROUND = 250
 SHARD_ROUNDS = 12
 SHARD_PER_ROUND = 250
 SHARD_COUNT = 4
+#: Migration-heavy probe: rendezvous-dominated rounds through 2
+#: process-backed shards, paired against the unbatched (one exchange
+#: per co-location decision) transport.
+MIGRATION_ROUNDS = 10
+MIGRATION_PER_ROUND = 200
+MIGRATION_SHARDS = 2
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
 HEADLINE_SERIES = "fig6_two_way_generic"
@@ -99,6 +105,8 @@ def collect_series(scale: float = 1.0) -> dict:
             ttl_rounds=6)),
         ("shard_scaling", lambda: _shard_scaling_probe(network, database,
                                                        scale)),
+        ("migration_heavy", lambda: _migration_heavy_probe(
+            network, database, scale)),
     )
     series: dict = {}
     for name, probe in probes:
@@ -109,8 +117,11 @@ def collect_series(scale: float = 1.0) -> dict:
             "throughput_qps": round(metrics["throughput_qps"], 2),
             "answered": metrics["answered"],
         }
-        for extra in ("shards", "migrations", "single_engine_seconds",
-                      "scaling_vs_single", "note"):
+        for extra in ("shards", "migrations", "migrated_queries",
+                      "single_engine_seconds", "scaling_vs_single",
+                      "wire_requests_per_round", "unbatched_seconds",
+                      "unbatched_wire_requests_per_round",
+                      "round_trip_reduction", "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
@@ -145,6 +156,40 @@ def _shard_scaling_probe(network, database, scale: float) -> dict:
         metrics["note"] = (
             "single-core host: process shards cannot beat one engine "
             "here; scaling_vs_single is an overhead measurement")
+    return metrics
+
+
+def _migration_heavy_probe(network, database, scale: float) -> dict:
+    """Rendezvous-dominated traffic through 2 process-backed shards,
+    batched-manifest transport paired against the per-decision one.
+
+    Both runs answer identically (checked); the report records the
+    per-round protocol round-trip counter (``wire_requests_per_round``)
+    for each transport and their ratio — the number the pipelined +
+    batched protocol exists to shrink.  Paired interleaved-revision
+    runs per ROADMAP conventions: same harness, same process, back to
+    back.
+    """
+    rounds = migration_heavy_rounds(network, MIGRATION_ROUNDS,
+                                    _sized(MIGRATION_PER_ROUND, scale),
+                                    seed=MIGRATION_PER_ROUND)
+    unbatched = run_sharded(database, rounds, MIGRATION_SHARDS,
+                            backend="process", ttl_rounds=6,
+                            migration_batching=False)
+    metrics = run_sharded(database, rounds, MIGRATION_SHARDS,
+                          backend="process", ttl_rounds=6)
+    if metrics["answered"] != unbatched["answered"]:
+        raise RuntimeError(
+            f"migration_heavy probe diverged: batched answered "
+            f"{metrics['answered']} vs unbatched "
+            f"{unbatched['answered']}")
+    metrics["unbatched_seconds"] = round(unbatched["seconds"], 4)
+    metrics["unbatched_wire_requests_per_round"] = \
+        unbatched["wire_requests_per_round"]
+    if metrics["wire_requests_per_round"]:
+        metrics["round_trip_reduction"] = round(
+            unbatched["wire_requests_per_round"]
+            / metrics["wire_requests_per_round"], 2)
     return metrics
 
 

@@ -19,8 +19,10 @@ Commands:
 ``bench [FIGURE ...]``
     Regenerate the paper's figures (same as ``python -m repro.bench``);
     figure names include the beyond-paper ``churn`` arrival/expiry
-    scenario driven through the incremental runtime and the ``sharded``
-    multi-tenant scenario driven through the shard fleet.
+    scenario driven through the incremental runtime, the ``sharded``
+    multi-tenant scenario driven through the shard fleet, and the
+    ``migration_heavy`` rendezvous scenario comparing the batched
+    manifest transport against per-decision exchanges.
 """
 
 from __future__ import annotations
@@ -130,9 +132,11 @@ def _command_sql(arguments: argparse.Namespace) -> int:
 
 def _command_bench(arguments: argparse.Namespace) -> int:
     from .bench.figures import (churn, figure6, figure7, figure8,
-                                figure9, run_all, sharded)
+                                figure9, migration_heavy, run_all,
+                                sharded)
     figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
-               "churn": churn, "sharded": sharded}
+               "churn": churn, "sharded": sharded,
+               "migration_heavy": migration_heavy}
     if not arguments.figures:
         run_all()
         return 0
@@ -187,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "paper scenarios")
     bench.add_argument("figures", nargs="*",
                        choices=["6", "7", "8", "9", "churn", "sharded",
-                                []],
+                                "migration_heavy", []],
                        help="figure numbers or scenario names "
                             "(default: all)")
     bench.set_defaults(handler=_command_bench)

@@ -20,6 +20,7 @@ import atexit
 import os
 import sys
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
@@ -35,17 +36,28 @@ def default_worker_count() -> int:
     """Worker count used when callers ask for an 'auto'-sized pool.
 
     The ``REPRO_WORKERS`` environment variable overrides the automatic
-    sizing (floored at 1 worker); deployments use it to pin the shared
-    pool and every 'auto'-sized fan-out — thread or process — without
-    touching call sites.  Invalid values are ignored.
+    sizing; deployments use it to pin the shared pool and every
+    'auto'-sized fan-out — thread or process — without touching call
+    sites.  An unusable value (empty, non-numeric, zero, or negative)
+    falls back to the automatic size with a :class:`RuntimeWarning` —
+    a typo in a deployment manifest should degrade sizing, never crash
+    the service at first pool use.
     """
+    automatic = min(MAX_POOL_WORKERS, (os.cpu_count() or 1) + 4)
     override = os.environ.get("REPRO_WORKERS")
-    if override is not None:
-        try:
-            return max(1, int(override))
-        except ValueError:
-            pass
-    return min(MAX_POOL_WORKERS, (os.cpu_count() or 1) + 4)
+    if override is None:
+        return automatic
+    try:
+        value = int(override.strip())
+    except ValueError:
+        value = None
+    if value is None or value < 1:
+        warnings.warn(
+            f"ignoring REPRO_WORKERS={override!r}: expected a positive "
+            f"integer; using the automatic size ({automatic})",
+            RuntimeWarning, stacklevel=2)
+        return automatic
+    return value
 
 
 def process_parallelism_available() -> bool:

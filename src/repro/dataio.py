@@ -21,7 +21,10 @@ This module also defines the **wire format** of the sharded
 coordination service (:mod:`repro.shard`): :func:`to_payload` /
 :func:`from_payload` turn :class:`~repro.core.query.EntangledQuery`
 instances and settled :class:`~repro.core.evaluate.Answer` objects into
-kind-tagged payloads of plain dicts, lists, and scalars.  Payloads are
+kind-tagged payloads of plain dicts, lists, and scalars, and
+:func:`manifest_to_payload` / :func:`manifest_from_payload` do the same
+for whole cross-shard migration manifests (batches of pending records
+moving between one shard pair in one exchange).  Payloads are
 JSON-compatible and carry no live objects, so they cross process
 boundaries without depending on pickle's class-identity machinery, and
 the round trip is exact: ``from_payload(to_payload(x)) == x``.
@@ -255,3 +258,65 @@ def from_payload(payload: dict) -> Union[EntangledQuery, Answer]:
                   for relation, rows in payload["rows"].items()},
             choices=payload["choices"])
     raise ParseError(f"unknown payload kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# migration payloads (pending records crossing shard boundaries)
+# ----------------------------------------------------------------------
+
+
+def record_to_payload(record) -> dict:
+    """Serialize one :class:`~repro.engine.engine.PendingRecord`.
+
+    The record's working query rides as a regular query payload; the
+    arrival sequence number and submission instant ride beside it, so
+    the importing engine reproduces matching order and staleness as if
+    the query had been submitted there originally.
+    """
+    return {"query": to_payload(record.query),
+            "seq": record.arrival_seq,
+            "at": record.submitted_at}
+
+
+def record_from_payload(payload: dict):
+    """Rebuild the :class:`~repro.engine.engine.PendingRecord` a
+    payload stands for (exact inverse of :func:`record_to_payload`)."""
+    from .engine.engine import PendingRecord  # avoid an import cycle
+    return PendingRecord(from_payload(payload["query"]),
+                         payload["seq"], payload["at"])
+
+
+def manifest_to_payload(manifest_id: str, records) -> dict:
+    """Serialize a whole migration manifest: the batched unit of the
+    cross-shard move protocol.
+
+    One manifest carries every component record moving between one
+    (source, destination) shard pair in one reserve → transfer →
+    commit exchange; it is version-stamped and self-describing
+    (``count`` lets the importer reject a truncated transfer) so the
+    exchange stays all-or-nothing on the wire too.
+    """
+    items = [record_to_payload(record) for record in records]
+    return {"wire": WIRE_VERSION,
+            "kind": "migration_manifest",
+            "manifest": _wire_scalar(manifest_id, "manifest id"),
+            "count": len(items),
+            "records": items}
+
+
+def manifest_from_payload(payload: dict) -> tuple:
+    """Rebuild ``(manifest_id, records)`` from a manifest payload."""
+    if payload.get("wire") != WIRE_VERSION:
+        raise ParseError(
+            f"manifest wire version {payload.get('wire')!r} != "
+            f"{WIRE_VERSION} (mixed shard revisions?)")
+    if payload.get("kind") != "migration_manifest":
+        raise ParseError(
+            f"expected a migration_manifest payload, got "
+            f"{payload.get('kind')!r}")
+    records = [record_from_payload(item) for item in payload["records"]]
+    if len(records) != payload["count"]:
+        raise ParseError(
+            f"manifest {payload['manifest']!r} carries {len(records)} "
+            f"records but declares {payload['count']}")
+    return payload["manifest"], records

@@ -57,6 +57,10 @@ from .stats import EngineStats
 EngineMode = Literal["incremental", "batch"]
 SafetyMode = Literal["reject", "off"]
 
+#: Sentinel distinguishing "id had no arrival entry" from "entry was
+#: None" when rolling back a failed import.
+_ABSENT = object()
+
 
 @dataclass(frozen=True, slots=True)
 class PendingRecord:
@@ -221,7 +225,10 @@ class D3CEngine:
         """Submit one entangled query; returns its ticket.
 
         The query is validated and renamed apart.  Query ids must be
-        unique across the engine's lifetime.  In incremental mode a
+        unique among live and answered queries; an id whose previous
+        incarnation *expired* may be re-submitted (application retry
+        semantics — the new record gets a fresh submission instant and
+        deadline).  In incremental mode a
         coordination attempt may run synchronously inside this call (and
         settle the returned ticket before it is returned).
 
@@ -460,8 +467,9 @@ class D3CEngine:
         Returns ``{query_id: ticket}`` with unsettled tickets the
         caller wires to its own answer delivery.
 
-        Atomic: every record is validated before any is applied, so a
-        rejected import leaves the engine untouched — the migration
+        Atomic: every record is validated before any is applied, and a
+        failure while applying (a poisoned record, an engine fault)
+        rolls back the records applied so far — the migration
         protocol's abort path relies on this (a partial import plus an
         abort would duplicate part of the component across engines).
         """
@@ -476,26 +484,57 @@ class D3CEngine:
                         f"query id {query_id!r} is already pending in "
                         f"this engine")
                 seen.add(query_id)
-            for record in ordered:
-                working = record.query
-                query_id = working.query_id
-                ticket = CoordinationTicket(query_id)
-                self._arrival[query_id] = record.arrival_seq
-                self._next_seq = max(self._next_seq,
-                                     record.arrival_seq + 1)
-                self._pending[query_id] = (working, ticket,
-                                           record.submitted_at)
-                if self.safety_mode == "reject":
-                    self._safety.add(working)
-                deadline = self.staleness.deadline(working,
-                                                   record.submitted_at)
-                if deadline is not None and deadline != math.inf:
-                    heapq.heappush(self._expiry_heap,
-                                   (deadline, record.arrival_seq,
-                                    query_id))
-                self._runtime.ingest(working)
-                tickets[query_id] = ticket
+            prior_arrival: dict = {}
+            applied: list = []
+            try:
+                for record in ordered:
+                    working = record.query
+                    query_id = working.query_id
+                    ticket = CoordinationTicket(query_id)
+                    prior_arrival[query_id] = self._arrival.get(
+                        query_id, _ABSENT)
+                    self._arrival[query_id] = record.arrival_seq
+                    self._next_seq = max(self._next_seq,
+                                         record.arrival_seq + 1)
+                    self._pending[query_id] = (working, ticket,
+                                               record.submitted_at)
+                    if self.safety_mode == "reject":
+                        self._safety.add(working)
+                    deadline = self.staleness.deadline(
+                        working, record.submitted_at)
+                    if deadline is not None and deadline != math.inf:
+                        heapq.heappush(self._expiry_heap,
+                                       (deadline, record.arrival_seq,
+                                        query_id))
+                    self._runtime.ingest(working)
+                    applied.append(query_id)
+                    tickets[query_id] = ticket
+            except BaseException:
+                self._rollback_import(prior_arrival, applied)
+                raise
         return tickets
+
+    def _rollback_import(self, prior_arrival: dict,
+                         applied: list) -> None:
+        """Undo a partially applied import (under the engine lock).
+
+        Records fully applied come out of the pending set, the safety
+        state, and the graph; the record that failed mid-ingest (in
+        ``prior_arrival`` but not ``applied``) is scrubbed too.  Stale
+        expiry-heap entries are dropped lazily by the sweep's
+        pending-and-is_stale re-check, so they need no undo.
+        """
+        for query_id in prior_arrival:
+            self._pending.pop(query_id, None)
+            self._safety.remove(query_id)
+        self._runtime.remove_block(
+            [query_id for query_id in prior_arrival
+             if query_id in self._runtime.graph])
+        for query_id, prior in prior_arrival.items():
+            if prior is _ABSENT:
+                self._arrival.pop(query_id, None)
+            else:
+                self._arrival[query_id] = prior
 
     # ------------------------------------------------------------------
     # batch (set-at-a-time) mode
@@ -550,6 +589,15 @@ class D3CEngine:
                 expired.append(ticket)
                 self.stats.record_failure(FailureReason.STALE)
             self._runtime.remove_block(doomed)
+            # Expired ids become re-submittable (an application retry
+            # is a new incarnation): drop the arrival tombstone and let
+            # the policy release per-id verdict state (manual marks).
+            # Any heap entry the old incarnation left behind is
+            # harmless — the sweep re-checks is_stale against the
+            # *current* record before expiring (see _due_candidates).
+            for query_id in doomed:
+                self._arrival.pop(query_id, None)
+                policy.on_expired(query_id)
         for ticket in expired:
             ticket.fail(FailureReason.STALE)
         return len(expired)

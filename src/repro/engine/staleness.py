@@ -82,6 +82,15 @@ class StalenessPolicy(abc.ABC):
         expiring."""
         return ()
 
+    def on_expired(self, query_id: object) -> None:
+        """Notification that *query_id* was just expired.
+
+        Policies holding per-id state (manual marks) must release it
+        here: expired ids may be re-submitted, and a verdict left over
+        from a previous incarnation would expire the new record early.
+        The default is a no-op.
+        """
+
 
 class NeverStale(StalenessPolicy):
     """Queries wait indefinitely (the default for batch workloads)."""
@@ -134,3 +143,8 @@ class ManualStaleness(StalenessPolicy):
 
     def candidates(self) -> tuple:
         return tuple(self._marked)
+
+    def on_expired(self, query_id: object) -> None:
+        # A mark is consumed by the expiry it caused; keeping it would
+        # instantly kill a re-submission of the same id.
+        self._marked.discard(query_id)

@@ -15,12 +15,13 @@ worker processes speaking the :mod:`repro.dataio` wire format (real
 multi-core parallelism despite the GIL).  See DESIGN.md §6.
 """
 
-from .backend import InProcessBackend, ShardBackend
-from .coordinator import ShardedCoordinator
+from .backend import InProcessBackend, ShardBackend, ShardCall
+from .coordinator import ShardMigrationError, ShardedCoordinator
 from .process import ProcessBackend, ShardWorkerError
 from .router import ShardRouter
 
 __all__ = [
-    "InProcessBackend", "ProcessBackend", "ShardBackend",
-    "ShardRouter", "ShardWorkerError", "ShardedCoordinator",
+    "InProcessBackend", "ProcessBackend", "ShardBackend", "ShardCall",
+    "ShardMigrationError", "ShardRouter", "ShardWorkerError",
+    "ShardedCoordinator",
 ]

@@ -43,10 +43,56 @@ from ..engine.futures import CoordinationTicket, TicketState
 Event = tuple
 
 
+class ShardCall:
+    """Handle for one pipelined backend call.
+
+    ``call_*`` methods issue their command without waiting and hand
+    back one of these; :meth:`result` collects the reply (raising the
+    command's failure, if any).  On the process backend the command is
+    genuinely in flight — calls issued against several shards overlap
+    on the wire — while the in-process backend executes eagerly and
+    parks the outcome, so coordinator code is written once against the
+    issue-then-collect shape.  ``result`` may be called at most once.
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve):
+        self._resolve = resolve
+
+    @classmethod
+    def completed(cls, value) -> "ShardCall":
+        return cls(lambda: value)
+
+    @classmethod
+    def failed(cls, error: BaseException) -> "ShardCall":
+        def reraise():
+            raise error
+        return cls(reraise)
+
+    def result(self):
+        """The call's result (raises what the command raised)."""
+        return self._resolve()
+
+
+def _eager(fn) -> ShardCall:
+    """Run *fn* now, deferring its outcome to ``result()`` time —
+    in-process backends mirror the process backend's failure timing."""
+    try:
+        return ShardCall.completed(fn())
+    except Exception as error:
+        return ShardCall.failed(error)
+
+
 class ShardBackend(Protocol):
     """What the coordinator requires of a shard worker."""
 
     shard_index: int
+
+    #: Protocol commands issued to this worker (request frames on the
+    #: process backend, command-method calls in-process).  The bench
+    #: layer reads this to report per-round wire traffic.
+    wire_requests: int
 
     def submit_block(self, queries: Sequence[EntangledQuery],
                      seqs: Sequence[int], now: float) -> None:
@@ -59,13 +105,14 @@ class ShardBackend(Protocol):
         """Expire stale pending queries at coordinator time *now*."""
 
     # Fan-out form of the three serving commands: ``begin_*`` issues
-    # the command without waiting, ``finish_*`` collects its result.
-    # The coordinator begins on every shard before finishing on any —
-    # with process workers the shards genuinely run concurrently
-    # (shard state is disjoint, the database is read-only, and events
-    # are applied in shard order, so the fan-out is answer-identical
-    # to the sequential form).  At most one command may be outstanding
-    # per backend.
+    # the command without waiting, ``finish_*`` collects its result
+    # (FIFO per backend).  The coordinator begins on every shard before
+    # finishing on any — with process workers the shards genuinely run
+    # concurrently (shard state is disjoint, the database is read-only,
+    # and events are applied in shard order, so the fan-out is
+    # answer-identical to the sequential form).  Commands pipeline:
+    # several may be outstanding per backend, bounded by the process
+    # backend's in-flight window.
 
     def begin_submit_block(self, queries: Sequence[EntangledQuery],
                            seqs: Sequence[int], now: float) -> None: ...
@@ -84,19 +131,45 @@ class ShardBackend(Protocol):
         """The full coordination component of one pending query."""
 
     def reserve(self, query_ids: Sequence) -> str:
-        """Phase 1: detach a component for migration; returns a manifest."""
+        """Phase 1: detach a component batch for migration; returns a
+        manifest id."""
 
-    def transfer(self, manifest: str) -> list:
-        """Phase 2: the reserved records (opaque to the coordinator)."""
+    def transfer(self, manifest: str) -> object:
+        """Phase 2: the reserved records (opaque to the coordinator —
+        live records in-process, a ``migration_manifest`` payload on
+        the wire)."""
 
     def commit(self, manifest: str) -> None:
         """Phase 3: forget a transferred manifest."""
 
     def abort(self, manifest: str) -> None:
-        """Undo a reservation: restore the component locally."""
+        """Undo a reservation: restore the component batch locally."""
 
-    def import_records(self, records: list) -> None:
-        """Adopt records produced by a peer backend's ``transfer``."""
+    def import_records(self, records: object) -> None:
+        """Adopt what a peer backend's ``transfer`` produced."""
+
+    # Pipelined form of the commands the coordinator fans out during
+    # routing and migration: ``call_*`` issues without waiting and
+    # returns a :class:`ShardCall`.  Several calls may be in flight per
+    # backend (the process backend windows them); replies — and the
+    # settlement events that ride on them — are applied in worker
+    # execution order regardless of collection order.
+
+    def call_members(self, query_id: object) -> ShardCall: ...
+
+    def call_reserve(self, query_ids: Sequence) -> ShardCall: ...
+
+    def call_transfer(self, manifest: str) -> ShardCall: ...
+
+    def call_commit(self, manifest: str) -> ShardCall: ...
+
+    def call_abort(self, manifest: str) -> ShardCall: ...
+
+    def call_import(self, records: object) -> ShardCall: ...
+
+    def call_stats(self) -> ShardCall: ...
+
+    def call_partition_sizes(self) -> ShardCall: ...
 
     def drain_events(self) -> list[Event]:
         """Settlements since the last drain, in settlement order."""
@@ -134,6 +207,7 @@ class InProcessBackend:
         self._manifests: dict[str, list[PendingRecord]] = {}
         self._manifest_counter = itertools.count()
         self._deferred: object = None
+        self.wire_requests = 0
 
     # -- settlement capture --------------------------------------------
 
@@ -156,6 +230,7 @@ class InProcessBackend:
 
     def submit_block(self, queries: Sequence[EntangledQuery],
                      seqs: Sequence[int], now: float) -> None:
+        self.wire_requests += 1
         if len(queries) == 1:
             ticket = self.engine.submit(queries[0], arrival_seq=seqs[0])
             tickets = [ticket]
@@ -169,9 +244,11 @@ class InProcessBackend:
             self._track(ticket)
 
     def run_batch(self, now: float) -> int:
+        self.wire_requests += 1
         return self.engine.run_batch()
 
     def expire(self, now: float) -> int:
+        self.wire_requests += 1
         return self.engine.expire_stale()
 
     # In-process "fan-out": there is no worker to overlap with, so
@@ -198,39 +275,77 @@ class InProcessBackend:
         return result
 
     def component_members(self, query_id: object) -> list:
+        self.wire_requests += 1
         return self.engine.component_members(query_id)
 
     def reserve(self, query_ids: Sequence) -> str:
+        self.wire_requests += 1
         records = self.engine.export_component(query_ids)
         manifest = f"m{next(self._manifest_counter)}"
         self._manifests[manifest] = records
         return manifest
 
     def transfer(self, manifest: str) -> list:
+        self.wire_requests += 1
         return list(self._manifests[manifest])
 
     def commit(self, manifest: str) -> None:
+        self.wire_requests += 1
         del self._manifests[manifest]
 
     def abort(self, manifest: str) -> None:
+        self.wire_requests += 1
         records = self._manifests.pop(manifest, None)
         if records:
-            self.import_records(records)
+            for ticket in self.engine.import_pending(records).values():
+                self._track(ticket)
 
     def import_records(self, records: list) -> None:
+        self.wire_requests += 1
         for ticket in self.engine.import_pending(records).values():
             self._track(ticket)
 
+    # In-process pipelining: execute eagerly, park the outcome (see
+    # ShardCall — failures surface at result() on both backends).
+
+    def call_members(self, query_id: object) -> ShardCall:
+        return _eager(lambda: self.component_members(query_id))
+
+    def call_reserve(self, query_ids: Sequence) -> ShardCall:
+        return _eager(lambda: self.reserve(query_ids))
+
+    def call_transfer(self, manifest: str) -> ShardCall:
+        return _eager(lambda: self.transfer(manifest))
+
+    def call_commit(self, manifest: str) -> ShardCall:
+        return _eager(lambda: self.commit(manifest))
+
+    def call_abort(self, manifest: str) -> ShardCall:
+        return _eager(lambda: self.abort(manifest))
+
+    def call_import(self, records: object) -> ShardCall:
+        return _eager(lambda: self.import_records(records))
+
+    def call_stats(self) -> ShardCall:
+        return _eager(self.stats_snapshot)
+
+    def call_partition_sizes(self) -> ShardCall:
+        return _eager(self.partition_sizes)
+
     def pending_ids(self) -> list:
+        self.wire_requests += 1
         return self.engine.pending_ids()
 
     def partition_sizes(self) -> list[int]:
+        self.wire_requests += 1
         return self.engine.partition_sizes()
 
     def stats_snapshot(self) -> dict:
+        self.wire_requests += 1
         return self.engine.stats.snapshot()
 
     def invalidate_cache(self) -> None:
+        self.wire_requests += 1
         self.engine.invalidate_cache()
 
     def close(self) -> None:

@@ -53,6 +53,11 @@ from .router import ShardRouter
 BACKENDS = ("inprocess", "process")
 
 
+class ShardMigrationError(RuntimeError):
+    """A migration manifest could not be restored anywhere (every
+    candidate shard failed); the affected component left the fleet."""
+
+
 class ShardedCoordinator:
     """A D3C engine fleet behind one engine-shaped front door.
 
@@ -73,6 +78,13 @@ class ShardedCoordinator:
             the global pending count).
         router: injectable :class:`~repro.shard.router.ShardRouter`
             (defaults to one over *num_shards*).
+        migration_batching: when True (default), all components that
+            must co-locate for one routing block are collected into a
+            single manifest per (source, destination) shard pair and
+            moved in one reserve → transfer → commit exchange; False
+            restores the PR 3 behaviour of one exchange per
+            co-location decision (kept for paired benchmarking of the
+            protocol round-trip reduction).
     """
 
     def __init__(self, database: Database,
@@ -91,7 +103,8 @@ class ShardedCoordinator:
                  max_combined_atoms: int = 512,
                  incremental_strategy: str = "local",
                  router: ShardRouter | None = None,
-                 warm_indexes: Sequence[tuple] = ()):
+                 warm_indexes: Sequence[tuple] = (),
+                 migration_batching: bool = True):
         if backend not in BACKENDS:
             raise ValueError(f"unknown shard backend {backend!r}")
         if rng is not None:
@@ -169,7 +182,11 @@ class ShardedCoordinator:
         self._submitted = 0
         self._answered = 0
         self._failed: Counter = Counter()
-        #: Cross-shard migration counters (diagnostics / benchmarks).
+        self.migration_batching = migration_batching
+        #: Cross-shard migration counters (diagnostics / benchmarks):
+        #: ``migrations`` counts manifest *exchanges* (one reserve →
+        #: transfer → commit round per (source, destination) pair),
+        #: ``migrated_queries`` the records moved by them.
         self.migrations = 0
         self.migrated_queries = 0
 
@@ -219,32 +236,74 @@ class ShardedCoordinator:
         far) lives wholly on one shard.  Within a block, adjacency is
         tracked symmetrically so a later arrival that bridges earlier
         block members drags their whole clusters to one owner.
+
+        Migrations are *planned* during routing (``physical`` tracks
+        where each logically reassigned component still physically
+        lives) and flushed as batched manifests — one per (source,
+        destination) pair — after the whole block is placed, so a
+        component retargeted several times within a block moves over
+        the wire at most once, directly to its final owner.  On
+        failure the block's arrivals are unwound from the routing
+        indexes (nothing was submitted yet), leaving no ghost entries.
         """
         assignments: dict = {}
         queued_partners: dict = {}
-        for working in workings:
-            query_id = working.query_id
-            partners = self._find_partner_ids(working)
-            queued_partners[query_id] = set(partners)
-            for partner in partners:
-                if partner in queued_partners:
-                    queued_partners[partner].add(query_id)
-            if not partners:
-                target = self._router.home_shard(working)
-            else:
-                target = self._colocate(query_id, partners,
-                                        queued_partners, assignments)
-            assignments[query_id] = target
-            self._shard_of[query_id] = target
-            self._index_query(working)
+        physical: dict = {}
+        try:
+            for working in workings:
+                query_id = working.query_id
+                partners = self._find_partner_ids(working)
+                queued_partners[query_id] = set(partners)
+                for partner in partners:
+                    if partner in queued_partners:
+                        queued_partners[partner].add(query_id)
+                if not partners:
+                    target = self._router.home_shard(working)
+                else:
+                    target = self._colocate(query_id, partners,
+                                            queued_partners,
+                                            assignments, physical)
+                assignments[query_id] = target
+                self._shard_of[query_id] = target
+                self._index_query(working)
+                if not self.migration_batching:
+                    self._flush_migrations(physical)
+            self._flush_migrations(physical)
+        except BaseException:
+            # Planned-but-unflushed moves are ownership edits with no
+            # physical counterpart yet — revert them (the flush paths
+            # revert their own failures and empty `physical` first).
+            for query_id, source in physical.items():
+                self._shard_of[query_id] = source
+            self._unwind_block(workings, assignments)
+            raise
         # Read placements only now: a later block member that bridged
         # two clusters may have reassigned earlier members.
         return [assignments[working.query_id] for working in workings]
 
+    def _unwind_block(self, workings: Sequence[EntangledQuery],
+                      assignments: dict) -> None:
+        """Scrub a failed block's arrivals from the routing state.
+
+        They were indexed for partner discovery but never registered
+        or submitted; leaving the entries behind would make future
+        arrivals chase partners whose shard assignment no longer
+        exists.
+        """
+        for working in workings:
+            if working.query_id in assignments:
+                self._unindex_query(working)
+                self._shard_of.pop(working.query_id, None)
+
+    def _physical_shard(self, query_id, physical: dict) -> int:
+        """Where a pending query's records actually live right now
+        (its logical assignment, unless a planned move is unflushed)."""
+        return physical.get(query_id, self._shard_of[query_id])
+
     def _colocate(self, origin, partners: set, queued_partners: dict,
-                  assignments: dict) -> int:
-        """Pick one owner shard for an arrival's partners; migrate the
-        rest's components to it.  Returns the owner."""
+                  assignments: dict, physical: dict) -> int:
+        """Pick one owner shard for an arrival's partners; plan the
+        rest's component moves to it.  Returns the owner."""
         # Transitive closure over same-block (queued) adjacency;
         # resident partners anchor engine-resident components, which
         # are already co-located per the invariant.  The origin itself
@@ -264,19 +323,38 @@ class ShardedCoordinator:
             else:
                 resident.add(partner)
 
-        members_by_shard: dict[int, set] = {}
+        # Membership lookups pipeline *across* shards in rounds: each
+        # round issues at most one request per shard (the next anchor
+        # not already covered by a collected component) before
+        # collecting any reply, so shard workers overlap while
+        # same-component anchors still cost a single lookup.  Anchors
+        # group by *logical* shard (the ownership view); each lookup
+        # goes to the anchor's *physical* shard, whose engine still
+        # holds the component when a planned move is unflushed.
+        anchors_by_shard: dict[int, list] = {}
         for partner in resident:
-            shard = self._shard_of[partner]
-            members_by_shard.setdefault(shard, set())
-        for shard in set(members_by_shard):
-            anchors = [partner for partner in resident
-                       if self._shard_of[partner] == shard]
-            members: set = set()
-            backend = self._backends[shard]
-            for anchor in anchors:
-                if anchor not in members:
-                    members.update(backend.component_members(anchor))
-            members_by_shard[shard] = members
+            anchors_by_shard.setdefault(
+                self._shard_of[partner], []).append(partner)
+        queues = {shard: sorted(anchors, key=repr)[::-1]
+                  for shard, anchors in anchors_by_shard.items()}
+        members_by_shard: dict[int, set] = {
+            shard: set() for shard in anchors_by_shard}
+        while True:
+            batch: list[tuple[int, object]] = []
+            for shard in sorted(queues):
+                queue = queues[shard]
+                while queue:
+                    anchor = queue.pop()
+                    if anchor not in members_by_shard[shard]:
+                        holder = self._backends[
+                            self._physical_shard(anchor, physical)]
+                        batch.append((shard,
+                                      holder.call_members(anchor)))
+                        break
+            if not batch:
+                break
+            for shard, call in batch:
+                members_by_shard[shard].update(call.result())
 
         weight: Counter = Counter()
         for shard, members in members_by_shard.items():
@@ -292,36 +370,174 @@ class ShardedCoordinator:
             members = members_by_shard[shard]
             if shard == target or not members:
                 continue
-            self._migrate(shard, sorted(members, key=repr), target)
+            # Logical move now, physical move at flush: remember where
+            # the records live (their first physical home — a component
+            # retargeted twice still moves only once).
+            for member in sorted(members, key=repr):
+                physical.setdefault(
+                    member, self._physical_shard(member, physical))
+                self._shard_of[member] = target
         for partner in queued:
             if self._shard_of[partner] != target:
                 self._shard_of[partner] = target
                 assignments[partner] = target
         return target
 
-    def _migrate(self, source: int, member_ids: list, target: int) -> None:
-        """Two-phase component move: reserve → transfer → commit.
+    def _flush_migrations(self, physical: dict) -> None:
+        """Move every planned component to its owner, one manifest per
+        (source, destination) shard pair."""
+        groups: dict[tuple[int, int], list] = {}
+        for query_id, source in physical.items():
+            target = self._shard_of[query_id]
+            if source != target:
+                groups.setdefault((source, target), []).append(query_id)
+        physical.clear()
+        if not groups:
+            return
+        for pair in groups:
+            # Manifest order is arrival order (matches export order).
+            groups[pair].sort(
+                key=lambda query_id: self._pending_meta[query_id][1])
+        self._exchange_manifests(groups)
 
-        Reservation detaches the component on the source shard (it can
-        no longer coordinate or expire there); the records are imported
-        into the target before the source forgets them, and a failed
-        import aborts back to the source — the component exists exactly
-        once at every step.
+    def _exchange_manifests(self, groups: dict) -> None:
+        """Batched two-phase moves: reserve → transfer → commit, one
+        exchange per (source, destination) manifest, pipelined across
+        pairs.
+
+        Abort semantics are exact and per-manifest: a manifest is
+        either fully imported on its destination (then committed away
+        on its source) or fully restored — to the source via ``abort``,
+        or, if the source has also failed, re-homed onto a healthy
+        shard from the coordinator's own copy of the transferred
+        records.  No component is ever lost or duplicated, whichever
+        side dies at whichever step.
         """
-        source_backend = self._backends[source]
-        target_backend = self._backends[target]
-        manifest = source_backend.reserve(member_ids)
+        backends = self._backends
+        pairs = sorted(groups)
+        reserved: dict = {}
+        payloads: dict = {}
+        failure: BaseException | None = None
         try:
-            records = source_backend.transfer(manifest)
-            target_backend.import_records(records)
+            calls = [(pair,
+                      backends[pair[0]].call_reserve(groups[pair]))
+                     for pair in pairs]
+            for pair, call in calls:
+                # Collect every reply even after a failure: a reserve
+                # that succeeded on its worker must be aborted, not
+                # orphaned.
+                try:
+                    reserved[pair] = call.result()
+                except Exception as error:
+                    failure = failure or error
+            if failure is None:
+                calls = [(pair, backends[pair[0]].call_transfer(
+                    reserved[pair])) for pair in pairs]
+                for pair, call in calls:
+                    try:
+                        payloads[pair] = call.result()
+                    except Exception as error:
+                        failure = failure or error
         except BaseException:
-            source_backend.abort(manifest)
+            # Interrupted (nothing imported yet): best-effort restore
+            # of whatever was reserved before propagating — reserved
+            # components are detached and would otherwise be stranded.
+            self._abort_reserved(reserved, groups)
             raise
-        source_backend.commit(manifest)
-        self.migrations += 1
-        self.migrated_queries += len(member_ids)
-        for query_id in member_ids:
-            self._shard_of[query_id] = target
+        if failure is not None:
+            # Nothing was imported anywhere: restore every reservation
+            # that made it and surface the original failure.
+            self._abort_reserved(reserved, groups)
+            raise failure
+        import_calls = [(pair,
+                         backends[pair[1]].call_import(payloads[pair]))
+                        for pair in pairs]
+        imported: list = []
+        failed: list = []
+        for pair, call in import_calls:
+            try:
+                call.result()
+            except Exception as error:
+                failed.append((pair, error))
+            else:
+                imported.append(pair)
+        errors = [error for _, error in failed]
+        # Manifests that landed are owned by their destinations from
+        # this moment — bookkeeping first, so a commit failure (a
+        # source dying late) can no longer corrupt placement.
+        commit_calls = [(pair,
+                         backends[pair[0]].call_commit(reserved[pair]))
+                        for pair in imported]
+        for pair, call in commit_calls:
+            source, target = pair
+            members = groups[pair]
+            self.migrations += 1
+            self.migrated_queries += len(members)
+            for query_id in members:
+                self._shard_of[query_id] = target
+            try:
+                call.result()
+            except Exception as error:
+                # The records live exactly once (on the target); the
+                # source merely failed to drop its inert parked copy.
+                errors.append(error)
+        for pair, error in failed:
+            source, _ = pair
+            members = groups[pair]
+            try:
+                backends[source].call_abort(reserved[pair]).result()
+            except Exception as abort_error:
+                # Destination and source both failed: the coordinator
+                # still holds the transferred records — adopt them on
+                # a healthy shard rather than lose the component.
+                # Even a lost component must not abandon the *other*
+                # failed pairs' recovery, so keep walking the list.
+                errors.append(abort_error)
+                try:
+                    self._rehome_records(members, payloads[pair],
+                                         exclude={source, pair[1]})
+                except ShardMigrationError as lost:
+                    errors.append(lost)
+            else:
+                for query_id in members:
+                    self._shard_of[query_id] = source
+        if errors:
+            # A lost component outranks whatever failed first.
+            for error in errors:
+                if isinstance(error, ShardMigrationError):
+                    raise error
+            raise errors[0]
+
+    def _abort_reserved(self, reserved: dict, groups: dict) -> None:
+        """Restore every group to its source: abort the manifests that
+        were reserved, and revert ownership for all of them (a group
+        whose reserve never happened still sits on its source)."""
+        for pair in sorted(groups):
+            source = pair[0]
+            if pair in reserved:
+                try:
+                    self._backends[source].abort(reserved[pair])
+                except Exception:
+                    pass  # the primary failure is already propagating
+            for query_id in groups[pair]:
+                self._shard_of[query_id] = source
+
+    def _rehome_records(self, member_ids: list, payload, exclude) -> None:
+        """Last-resort restore: import a failed manifest's records into
+        the lowest-indexed healthy shard (both original parties died)."""
+        for shard, backend in enumerate(self._backends):
+            if shard in exclude:
+                continue
+            try:
+                backend.import_records(payload)
+            except Exception:
+                continue
+            for query_id in member_ids:
+                self._shard_of[query_id] = shard
+            return
+        raise ShardMigrationError(
+            f"migration manifest carrying {member_ids!r} could not be "
+            f"restored on any shard: records lost from the fleet")
 
     # ------------------------------------------------------------------
     # submission
@@ -462,6 +678,7 @@ class ShardedCoordinator:
             self._apply_events(backend.drain_events())
 
     def _apply_events(self, events) -> None:
+        from ..core.evaluate import FailureReason
         for kind, query_id, payload in events:
             ticket = self._tickets.pop(query_id, None)
             meta = self._pending_meta.pop(query_id, None)
@@ -475,6 +692,10 @@ class ShardedCoordinator:
                 ticket.resolve(payload)
             else:
                 self._failed[payload] += 1
+                if payload is FailureReason.STALE:
+                    # Expired ids are retryable (mirrors the engine):
+                    # a re-submission is a fresh incarnation.
+                    self._used_ids.discard(query_id)
                 ticket.fail(payload)
 
     # ------------------------------------------------------------------
@@ -493,10 +714,13 @@ class ShardedCoordinator:
                       self._pending_meta[query_id][1])
 
     def partition_sizes(self) -> list[int]:
-        """Component sizes across all shards, largest first."""
+        """Component sizes across all shards, largest first (snapshots
+        collected concurrently — the lookups pipeline across shards)."""
+        calls = [backend.call_partition_sizes()
+                 for backend in self._backends]
         sizes: list[int] = []
-        for backend in self._backends:
-            sizes.extend(backend.partition_sizes())
+        for call in calls:
+            sizes.extend(call.result())
         return sorted(sizes, reverse=True)
 
     def shard_of(self, query_id) -> int:
@@ -511,6 +735,14 @@ class ShardedCoordinator:
         return counts
 
     @property
+    def wire_requests(self) -> int:
+        """Protocol commands issued across all shard workers (request
+        frames on the process backend).  Manifest batching is visible
+        here: migrating N components between one shard pair costs one
+        reserve/transfer/import/commit quartet instead of N."""
+        return sum(backend.wire_requests for backend in self._backends)
+
+    @property
     def stats(self) -> EngineStats:
         """Fleet-wide statistics in the engine's vocabulary.
 
@@ -523,8 +755,9 @@ class ShardedCoordinator:
         merged.submitted = self._submitted
         merged.answered = self._answered
         merged.failed = Counter(self._failed)
-        for backend in self._backends:
-            snapshot = backend.stats_snapshot()
+        calls = [backend.call_stats() for backend in self._backends]
+        for call in calls:
+            snapshot = call.result()
             merged.coordination_rounds += snapshot["coordination_rounds"]
             merged.combined_queries_built += \
                 snapshot["combined_queries_built"]

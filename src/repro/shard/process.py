@@ -1,15 +1,36 @@
-"""Process-parallel shard workers behind the dataio wire format.
+"""Process-parallel shard workers behind a pipelined wire protocol.
 
 The GIL serializes Python threads, so PR 2's thread-parallel pipelines
 auto-degrade to serial on stock CPython; worker *processes* do not.
 :class:`ProcessBackend` runs one :class:`~repro.engine.engine.D3CEngine`
-per spawned worker process and speaks a strict request/response command
-protocol over a pipe.  Everything crossing the boundary is a tree of
-dicts, lists, and scalars built on :func:`repro.dataio.to_payload` /
+per spawned worker process and speaks a **correlation-ID** command
+protocol over a pipe:
+
+* requests are ``(req_id, op, args)`` frames with a per-connection
+  monotonically increasing ``req_id``;
+* replies are ``(req_id, status, result, events)`` frames;
+* several requests may be in flight at once (bounded by
+  :attr:`ProcessBackend.window`), so coordinator fan-outs —
+  ``begin_submit_block`` / ``begin_run_batch`` / ``begin_expire``,
+  partner-discovery lookups, migration exchanges, stats snapshots —
+  overlap across shards instead of serializing on round trips.
+
+The worker executes commands strictly in send order (one engine, one
+loop), so replies actually come back in order too — but the frame
+format never relies on it, and the coordinator side buffers replies by
+``req_id``.  Settlement **events** ride on the reply of the command
+that produced them and are decoded the moment the frame is read off
+the pipe (never when the caller happens to collect that command's
+result), so draining stays in worker execution order no matter how
+replies interleave with other in-flight calls.
+
+Everything crossing the boundary is a tree of dicts, lists, and
+scalars built on :func:`repro.dataio.to_payload` /
 :func:`repro.dataio.from_payload` — queries, settled answers, and
-migration records all use the same stable wire format, so the protocol
-does not depend on pickle's class-identity machinery and survives
-mixed-revision inspection.
+batched migration manifests (:func:`repro.dataio.manifest_to_payload`)
+all use the same stable wire format, so the protocol does not depend
+on pickle's class-identity machinery and survives mixed-revision
+inspection.
 
 Workers are started with the ``spawn`` method: the coordinator's
 process may be running pool threads (forking one is lock-roulette), and
@@ -24,13 +45,19 @@ from __future__ import annotations
 
 import itertools
 import traceback
-from typing import Optional, Sequence
+from collections import deque
+from typing import Sequence
 
 from ..core.evaluate import FailureReason
 from ..engine.engine import D3CEngine, PendingRecord
 from ..engine.futures import CoordinationTicket, TicketState
 from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
     TimeoutStaleness
+from .backend import ShardCall
+
+#: ``req_id`` of the worker's one unsolicited frame: the readiness
+#: handshake sent after the database rebuild.
+READY_REQ_ID = 0
 
 
 class _SettableClock(Clock):
@@ -69,19 +96,6 @@ def staleness_from_spec(spec: Sequence) -> StalenessPolicy:
     raise ValueError(f"unknown staleness spec {spec!r}")
 
 
-def record_to_payload(record: PendingRecord) -> dict:
-    from ..dataio import to_payload
-    return {"query": to_payload(record.query),
-            "seq": record.arrival_seq,
-            "at": record.submitted_at}
-
-
-def record_from_payload(payload: dict) -> PendingRecord:
-    from ..dataio import from_payload
-    return PendingRecord(from_payload(payload["query"]),
-                         payload["seq"], payload["at"])
-
-
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
@@ -118,7 +132,8 @@ class _Worker:
                                 ticket.failure_reason.value))
 
     def handle(self, op: str, args: dict):
-        from ..dataio import from_payload
+        from ..dataio import from_payload, manifest_from_payload, \
+            manifest_to_payload
         if op == "submit_block":
             self.clock.set(args["now"])
             queries = [from_payload(payload)
@@ -146,8 +161,8 @@ class _Worker:
             self.manifests[manifest] = records
             return manifest
         if op == "transfer":
-            return [record_to_payload(record)
-                    for record in self.manifests[args["manifest"]]]
+            return manifest_to_payload(args["manifest"],
+                                       self.manifests[args["manifest"]])
         if op == "commit":
             del self.manifests[args["manifest"]]
             return None
@@ -159,8 +174,7 @@ class _Worker:
                     self._track(ticket)
             return None
         if op == "import":
-            records = [record_from_payload(payload)
-                       for payload in args["records"]]
+            _, records = manifest_from_payload(args["manifest"])
             for ticket in self.engine.import_pending(records).values():
                 self._track(ticket)
             return None
@@ -181,22 +195,22 @@ def _worker_main(connection, config: dict) -> None:
     try:
         worker = _Worker(config)
     except BaseException:
-        connection.send(("err", traceback.format_exc(), []))
+        connection.send((READY_REQ_ID, "err", traceback.format_exc(), []))
         connection.close()
         return
     # Readiness handshake: database rebuild and engine construction
     # are done.  The coordinator collects this after starting *all*
     # workers, so start-up overlaps across cores and never leaks into
     # a caller's measured serving region.
-    connection.send(("ok", "ready", []))
+    connection.send((READY_REQ_ID, "ok", "ready", []))
     while True:
         try:
             message = connection.recv()
         except EOFError:
             break
-        op, args = message
+        req_id, op, args = message
         if op == "stop":
-            connection.send(("ok", None, []))
+            connection.send((req_id, "ok", None, []))
             break
         try:
             result = worker.handle(op, args)
@@ -206,10 +220,11 @@ def _worker_main(connection, config: dict) -> None:
             # tickets from the engine (the coordinator applies events
             # from error replies before raising).
             events, worker.events = worker.events, []
-            connection.send(("err", traceback.format_exc(), events))
+            connection.send((req_id, "err", traceback.format_exc(),
+                             events))
             continue
         events, worker.events = worker.events, []
-        connection.send(("ok", result, events))
+        connection.send((req_id, "ok", result, events))
     connection.close()
 
 
@@ -225,13 +240,21 @@ class ShardWorkerError(RuntimeError):
 class ProcessBackend:
     """A shard engine hosted in a spawned worker process.
 
-    Commands are synchronous request/response pairs over a duplex pipe;
-    settlement events piggyback on every response and are buffered
-    until the coordinator drains them.  Answers and failure reasons are
+    Commands are correlation-ID frames over a duplex pipe; up to
+    :attr:`window` may be in flight at once (``_send`` drains replies
+    when the window is full).  Settlement events piggyback on every
+    reply and are decoded into the drain buffer *at frame receipt* —
+    in worker execution order — so out-of-order result collection can
+    never reorder or drop them.  Answers and failure reasons are
     rebuilt from their wire payloads on receipt, so the coordinator
     sees exactly the event vocabulary :class:`~repro.shard.backend.
     InProcessBackend` produces.
     """
+
+    #: In-flight request cap per worker; deep enough that routing-time
+    #: lookup bursts and migration exchanges never stall, small enough
+    #: to bound pipe buffering.
+    window = 64
 
     def __init__(self, shard_index: int, config: dict):
         import multiprocessing
@@ -244,45 +267,101 @@ class ProcessBackend:
         self._process.start()
         child.close()
         self._events: list[tuple] = []
-        self._inflight: Optional[str] = "ready"
+        self._req_ids = itertools.count(READY_REQ_ID + 1)
+        self._inflight: dict[int, str] = {}
+        self._replies: dict[int, tuple] = {}
+        self._begun: deque[tuple[str, int]] = deque()
+        self._ready = False
         self._closed = False
+        self.wire_requests = 0
 
     def ensure_ready(self) -> None:
         """Block until the worker finished starting up (idempotent)."""
-        if self._inflight == "ready":
-            self._recv()
+        if self._ready:
+            return
+        req_id, status, result, _ = self._recv_frame()
+        if req_id != READY_REQ_ID:
+            raise ShardWorkerError(
+                f"shard {self.shard_index}: expected the readiness "
+                f"frame, got a reply to request {req_id}")
+        if status != "ok":
+            raise ShardWorkerError(
+                f"shard {self.shard_index} failed to start:\n{result}")
+        self._ready = True
 
-    def _send(self, op: str, **args) -> None:
+    # -- frame plumbing -------------------------------------------------
+
+    def _recv_frame(self) -> tuple:
+        try:
+            return self._connection.recv()
+        except (EOFError, OSError) as error:
+            raise ShardWorkerError(
+                f"shard {self.shard_index} worker died "
+                f"(connection lost: {error!r})") from error
+
+    def _send(self, op: str, **args) -> int:
         if self._closed:
             raise ShardWorkerError(
                 f"shard {self.shard_index} is closed")
         self.ensure_ready()
-        if self._inflight is not None:
+        while len(self._inflight) >= self.window:
+            self._pump_one()
+        req_id = next(self._req_ids)
+        try:
+            self._connection.send((req_id, op, args))
+        except (BrokenPipeError, OSError) as error:
             raise ShardWorkerError(
-                f"shard {self.shard_index}: command {self._inflight!r} "
-                f"still outstanding")
-        self._connection.send((op, args))
-        self._inflight = op
+                f"shard {self.shard_index} worker died "
+                f"(send failed: {error!r})") from error
+        self._inflight[req_id] = op
+        self.wire_requests += 1
+        return req_id
 
-    def _recv(self):
-        op, self._inflight = self._inflight, None
-        status, result, events = self._connection.recv()
+    def _pump_one(self) -> None:
+        """Read one reply frame; decode its events immediately.
+
+        Events are appended to the drain buffer here — at receipt, in
+        frame order — never at result-collection time, so events from
+        an early in-flight command can't be reordered behind (or lost
+        under) a later command's reply that happened to be collected
+        first.
+        """
+        req_id, status, result, events = self._recv_frame()
+        from ..dataio import from_payload
         for kind, query_id, payload in events:
             if kind == "answered":
-                from ..dataio import from_payload
                 self._events.append((kind, query_id,
                                      from_payload(payload)))
             else:
                 self._events.append((kind, query_id,
                                      FailureReason(payload)))
+        op = self._inflight.pop(req_id, "?")
+        self._replies[req_id] = (op, status, result)
+
+    def _wait(self, req_id: int):
+        while req_id not in self._replies:
+            if req_id not in self._inflight:
+                # Already consumed (result() called twice?): raising
+                # beats pumping forever for a frame that won't come.
+                raise ShardWorkerError(
+                    f"shard {self.shard_index}: reply to request "
+                    f"{req_id} was already collected")
+            self._pump_one()
+        op, status, result = self._replies.pop(req_id)
         if status != "ok":
             raise ShardWorkerError(
                 f"shard {self.shard_index} failed {op!r}:\n{result}")
         return result
 
     def _call(self, op: str, **args):
-        self._send(op, **args)
-        return self._recv()
+        return self._wait(self._send(op, **args))
+
+    def _call_async(self, op: str, **args) -> ShardCall:
+        try:
+            req_id = self._send(op, **args)
+        except Exception as error:
+            return ShardCall.failed(error)
+        return ShardCall(lambda: self._wait(req_id))
 
     def drain_events(self) -> list[tuple]:
         events, self._events = self._events, []
@@ -301,29 +380,47 @@ class ProcessBackend:
         return self._call("expire", now=now)
 
     # Fan-out form: begin sends without waiting (the worker starts
-    # immediately), finish collects.  One outstanding command per
-    # worker, enforced by _send.
+    # immediately), finish collects FIFO.  Pipelined — several begins
+    # (and async calls) may be outstanding, bounded by the window.
+
+    def _finish(self, expected_op: str):
+        if not self._begun:
+            raise ShardWorkerError(
+                f"shard {self.shard_index}: finish called with no "
+                f"begin outstanding")
+        op, req_id = self._begun[0]
+        if op != expected_op:
+            # Begins/finishes must pair FIFO per command — silently
+            # handing one command's result back as another's would be
+            # far worse than refusing.
+            raise ShardWorkerError(
+                f"shard {self.shard_index}: finish of {expected_op!r} "
+                f"requested but {op!r} is the oldest outstanding begin")
+        self._begun.popleft()
+        return self._wait(req_id)
 
     def begin_submit_block(self, queries, seqs, now: float) -> None:
         from ..dataio import to_payload
-        self._send("submit_block",
-                   queries=[to_payload(query) for query in queries],
-                   seqs=list(seqs), now=now)
+        self._begun.append(("submit_block", self._send(
+            "submit_block",
+            queries=[to_payload(query) for query in queries],
+            seqs=list(seqs), now=now)))
 
     def finish_submit_block(self) -> None:
-        self._recv()
+        self._finish("submit_block")
 
     def begin_run_batch(self, now: float) -> None:
-        self._send("run_batch", now=now)
+        self._begun.append(("run_batch", self._send("run_batch",
+                                                    now=now)))
 
     def finish_run_batch(self) -> int:
-        return self._recv()
+        return self._finish("run_batch")
 
     def begin_expire(self, now: float) -> None:
-        self._send("expire", now=now)
+        self._begun.append(("expire", self._send("expire", now=now)))
 
     def finish_expire(self) -> int:
-        return self._recv()
+        return self._finish("expire")
 
     def component_members(self, query_id) -> list:
         return self._call("members", id=query_id)
@@ -331,7 +428,7 @@ class ProcessBackend:
     def reserve(self, query_ids) -> str:
         return self._call("reserve", ids=list(query_ids))
 
-    def transfer(self, manifest: str) -> list:
+    def transfer(self, manifest: str) -> dict:
         return self._call("transfer", manifest=manifest)
 
     def commit(self, manifest: str) -> None:
@@ -340,8 +437,34 @@ class ProcessBackend:
     def abort(self, manifest: str) -> None:
         self._call("abort", manifest=manifest)
 
-    def import_records(self, records: list) -> None:
-        self._call("import", records=records)
+    def import_records(self, records: dict) -> None:
+        self._call("import", manifest=records)
+
+    # Pipelined forms (see ShardBackend protocol).
+
+    def call_members(self, query_id) -> ShardCall:
+        return self._call_async("members", id=query_id)
+
+    def call_reserve(self, query_ids) -> ShardCall:
+        return self._call_async("reserve", ids=list(query_ids))
+
+    def call_transfer(self, manifest: str) -> ShardCall:
+        return self._call_async("transfer", manifest=manifest)
+
+    def call_commit(self, manifest: str) -> ShardCall:
+        return self._call_async("commit", manifest=manifest)
+
+    def call_abort(self, manifest: str) -> ShardCall:
+        return self._call_async("abort", manifest=manifest)
+
+    def call_import(self, records: dict) -> ShardCall:
+        return self._call_async("import", manifest=records)
+
+    def call_stats(self) -> ShardCall:
+        return self._call_async("stats")
+
+    def call_partition_sizes(self) -> ShardCall:
+        return self._call_async("sizes")
 
     def pending_ids(self) -> list:
         return self._call("pending")
@@ -360,8 +483,14 @@ class ProcessBackend:
             return
         self._closed = True
         try:
-            self._connection.send(("stop", {}))
-            self._connection.recv()
+            stop_id = next(self._req_ids)
+            self._connection.send((stop_id, "stop", {}))
+            # Drain replies to anything still in flight until the stop
+            # acknowledgment (or the worker hangs up).
+            while True:
+                req_id, _, _, _ = self._connection.recv()
+                if req_id == stop_id:
+                    break
         except (BrokenPipeError, EOFError, OSError):
             pass
         self._connection.close()

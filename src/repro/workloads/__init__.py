@@ -14,9 +14,9 @@ from .flightdb import (FRIENDS, RESERVE, USER, build_flight_database,
                        build_intro_database)
 from .generators import (SafetyStressWorkload, big_cluster_queries,
                          chain_queries, churn_rounds, clique_queries,
-                         multi_tenant_rounds, non_unifying_queries,
-                         safety_stress_workload, three_way_triangles,
-                         two_way_pairs)
+                         migration_heavy_rounds, multi_tenant_rounds,
+                         non_unifying_queries, safety_stress_workload,
+                         three_way_triangles, two_way_pairs)
 
 __all__ = [
     "AIRPORTS", "airport",
@@ -25,7 +25,7 @@ __all__ = [
     "build_intro_database",
     "SafetyStressWorkload", "big_cluster_queries", "chain_queries",
     "churn_rounds",
-    "clique_queries", "multi_tenant_rounds", "non_unifying_queries",
-    "safety_stress_workload",
+    "clique_queries", "migration_heavy_rounds", "multi_tenant_rounds",
+    "non_unifying_queries", "safety_stress_workload",
     "three_way_triangles", "two_way_pairs",
 ]

@@ -484,6 +484,31 @@ def multi_tenant_rounds(network: SocialNetwork, num_rounds: int,
     return rounds
 
 
+def migration_heavy_rounds(network: SocialNetwork, num_rounds: int,
+                           arrivals_per_round: int,
+                           tenants: int = 8, seed: int = 11,
+                           destinations: Sequence[str] = AIRPORTS
+                           ) -> list[list[EntangledQuery]]:
+    """Migration-stress variant of :func:`multi_tenant_rounds`.
+
+    The dial positions that hurt a sharded transport most: many
+    tenants under steep zipf skew (``2.0``) and a block dominated by
+    cross-tenant rendezvous triples (``rendezvous_fraction=0.7``, only
+    a sliver of intra-tenant pairs), so nearly every bridge arrival
+    entangles components resident on different shards and forces a
+    manifest exchange.  The round-trip economics of the migration
+    protocol — one reserve → transfer → commit per batched manifest
+    versus one per co-location decision — dominate this scenario's
+    wall clock on the process backend, which is exactly what the
+    ``migration_heavy`` regression probe measures.
+    """
+    return multi_tenant_rounds(network, num_rounds, arrivals_per_round,
+                               tenants=tenants, skew=2.0,
+                               rendezvous_fraction=0.7,
+                               answerable_fraction=0.15,
+                               seed=seed, destinations=destinations)
+
+
 @dataclass(frozen=True, slots=True)
 class SafetyStressWorkload:
     """Resident queries plus unsafe addition sets (Experiment 5.3.5)."""

@@ -36,18 +36,26 @@ def test_repro_workers_override_is_honored(workers_env):
         == concurrency.MAX_POOL_WORKERS + 8
 
 
-def test_repro_workers_override_floors_at_one(workers_env):
-    workers_env("0")
-    assert concurrency.default_worker_count() == 1
-    workers_env("-4")
-    assert concurrency.default_worker_count() == 1
+def test_repro_workers_tolerates_whitespace(workers_env):
+    workers_env("  5\n")
+    assert concurrency.default_worker_count() == 5
 
 
-def test_repro_workers_invalid_values_fall_back(workers_env):
-    workers_env("many")
-    fallback = concurrency.default_worker_count()
+@pytest.mark.parametrize("bad", ["", "0", "-4", "many", "2.5", " "])
+def test_repro_workers_invalid_values_warn_and_fall_back(workers_env, bad):
     workers_env(None)
-    assert fallback == concurrency.default_worker_count()
+    automatic = concurrency.default_worker_count()
+    workers_env(bad)
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        assert concurrency.default_worker_count() == automatic
+
+
+def test_repro_workers_valid_values_do_not_warn(workers_env):
+    import warnings as warnings_module
+    workers_env("2")
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        assert concurrency.default_worker_count() == 2
 
 
 def test_process_parallelism_probe_matches_cpu_count():

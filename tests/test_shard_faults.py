@@ -1,0 +1,351 @@
+"""Fault injection for the cross-shard migration protocol.
+
+The invariant under attack: **no coordination component is ever lost or
+duplicated**, whichever side of a migration dies at whichever step —
+a destination failing mid-import (including after partially applying
+records), a destination worker process killed on the wire, a source
+refusing the abort, a source dying between import and commit.  Each
+test drives the failure through the real protocol machinery and then
+audits the fleet: every query pending exactly once, coordinator
+bookkeeping consistent, and the service able to retry and coordinate
+afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.engine.engine import D3CEngine
+from repro.shard import (ShardCall, ShardMigrationError, ShardRouter,
+                         ShardWorkerError, ShardedCoordinator)
+
+
+def make_pair(query_id_left, query_id_right, left, right, destination):
+    """A mutually coordinating specific pair (inlined — ``import
+    conftest`` is ambiguous between the tests/ and benchmarks/
+    conftests in full-suite runs)."""
+    queries = []
+    for query_id, user, partner in ((query_id_left, left, right),
+                                    (query_id_right, right, left)):
+        town = Variable("c")
+        queries.append(EntangledQuery(
+            query_id=query_id,
+            head=(atom("R", user, destination),),
+            postconditions=(atom("R", partner, destination),),
+            body=(atom("F", user, partner), atom("U", user, town),
+                  atom("U", partner, town))))
+    return queries
+
+
+class ScriptedRouter(ShardRouter):
+    """Pins chosen query ids to chosen home shards (tests need the
+    rendezvous providers to provably start on different shards)."""
+
+    def __init__(self, num_shards: int, script: dict):
+        super().__init__(num_shards)
+        self.script = script
+
+    def home_shard(self, query) -> int:
+        if query.query_id in self.script:
+            return self.script[query.query_id]
+        return super().home_shard(query)
+
+
+def rendezvous_triple(tag: str, dest_a: str = "AAA",
+                      dest_b: str = "BBB") -> list[EntangledQuery]:
+    """Providers ``a`` and ``b`` plus a two-postcondition bridge ``c``
+    that entangles both (same shape as the multi-tenant generator)."""
+    a = EntangledQuery(
+        query_id=f"{tag}-a",
+        head=(atom("R", f"{tag}-a", dest_a),),
+        postconditions=(atom("R", f"{tag}-c", dest_a),),
+        body=(atom("U", "user1", Variable("t")),))
+    b = EntangledQuery(
+        query_id=f"{tag}-b",
+        head=(atom("R", f"{tag}-b", dest_b),),
+        postconditions=(atom("R", f"{tag}-c", dest_b),),
+        body=(atom("U", "user2", Variable("t")),))
+    c = EntangledQuery(
+        query_id=f"{tag}-c",
+        head=(atom("R", f"{tag}-c", dest_a),
+              atom("R", f"{tag}-c", dest_b)),
+        postconditions=(atom("R", f"{tag}-a", dest_a),
+                        atom("R", f"{tag}-b", dest_b)),
+        body=(atom("U", "user1", Variable("t")),))
+    return [a, b, c]
+
+
+def _audit_exactly_once(coordinator) -> None:
+    """Every tracked query pending on exactly one shard, and the
+    coordinator's ownership map agreeing with the engines."""
+    fleet: list = []
+    for backend in coordinator._backends:
+        fleet.extend(backend.pending_ids())
+    assert len(fleet) == len(set(fleet)), f"duplicated: {fleet}"
+    assert sorted(fleet, key=repr) == sorted(coordinator._shard_of,
+                                             key=repr)
+    for query_id in fleet:
+        shard = coordinator.shard_of(query_id)
+        assert query_id in coordinator._backends[shard].pending_ids()
+
+
+# ----------------------------------------------------------------------
+# engine level: a partial import must roll back
+# ----------------------------------------------------------------------
+
+
+def test_partial_import_rolls_back_everything(small_flight_db,
+                                              monkeypatch):
+    source = D3CEngine(small_flight_db, mode="batch")
+    target = D3CEngine(small_flight_db, mode="batch")
+    for query in make_pair("r1", "r2", "user1", "user2", "ITH"):
+        source.submit(query)
+    records = source.export_component(["r1", "r2"])
+
+    real_ingest = target._runtime.ingest
+    seen: list = []
+
+    def exploding_ingest(working):
+        seen.append(working.query_id)
+        if len(seen) == 2:
+            raise RuntimeError("mid-import fault")
+        return real_ingest(working)
+
+    monkeypatch.setattr(target._runtime, "ingest", exploding_ingest)
+    with pytest.raises(RuntimeError, match="mid-import fault"):
+        target.import_pending(records)
+    # The first record was fully applied before the fault — it must be
+    # gone again (a partial import plus an abort-restore on the source
+    # would duplicate it across engines).
+    assert target.pending_count == 0
+    assert target.pending_ids() == []
+    assert target.partition_sizes() == []
+
+    monkeypatch.undo()
+    tickets = target.import_pending(records)
+    assert sorted(tickets) == ["r1", "r2"]
+    assert target.pending_ids() == ["r1", "r2"]
+    assert target.partition_sizes() == [2]
+
+
+# ----------------------------------------------------------------------
+# coordinator level: destination failures
+# ----------------------------------------------------------------------
+
+
+def _submit_providers(coordinator, triple):
+    a, b, c = triple
+    coordinator.submit(a)
+    coordinator.submit(b)
+    assert coordinator.shard_of(a.query_id) == 0
+    assert coordinator.shard_of(b.query_id) == 1
+    return a, b, c
+
+
+def test_destination_import_failure_restores_source(small_flight_db,
+                                                    monkeypatch):
+    router = ScriptedRouter(2, {"t-a": 0, "t-b": 1})
+    coordinator = ShardedCoordinator(small_flight_db, num_shards=2,
+                                     mode="batch", router=router)
+    a, b, c = _submit_providers(coordinator, rendezvous_triple("t"))
+
+    monkeypatch.setattr(
+        coordinator._backends[0], "call_import",
+        lambda payload: ShardCall.failed(RuntimeError("dest down")))
+    with pytest.raises(RuntimeError, match="dest down"):
+        coordinator.submit(c)
+
+    # Abort restored the component on its source; nothing duplicated,
+    # nothing lost, and the failed arrival left no ghost routing state.
+    assert coordinator.shard_of("t-b") == 1
+    assert coordinator._backends[1].pending_ids() == ["t-b"]
+    assert coordinator._backends[0].pending_ids() == ["t-a"]
+    assert coordinator.pending_ids() == ["t-a", "t-b"]
+    _audit_exactly_once(coordinator)
+
+    # After the destination heals, the same bridge id is retryable and
+    # the migration completes.
+    monkeypatch.undo()
+    coordinator.submit(c)
+    assert {coordinator.shard_of(query_id)
+            for query_id in ("t-a", "t-b", "t-c")} == {0}
+    _audit_exactly_once(coordinator)
+
+
+def test_destination_and_source_failure_rehomes_records(
+        small_flight_db, monkeypatch):
+    router = ScriptedRouter(3, {"d-a": 0, "d-b": 1})
+    coordinator = ShardedCoordinator(small_flight_db, num_shards=3,
+                                     mode="batch", router=router)
+    a, b, c = _submit_providers(coordinator, rendezvous_triple("d"))
+
+    monkeypatch.setattr(
+        coordinator._backends[0], "call_import",
+        lambda payload: ShardCall.failed(RuntimeError("dest down")))
+    monkeypatch.setattr(
+        coordinator._backends[1], "call_abort",
+        lambda manifest: ShardCall.failed(RuntimeError("source down")))
+    with pytest.raises(RuntimeError):
+        coordinator.submit(c)
+
+    # Both migration parties failed; the coordinator still held the
+    # transferred records and adopted them on the surviving shard.
+    assert coordinator.shard_of("d-b") == 2
+    assert coordinator._backends[2].pending_ids() == ["d-b"]
+    _audit_exactly_once(coordinator)
+
+
+def test_total_failure_raises_migration_error(small_flight_db,
+                                              monkeypatch):
+    router = ScriptedRouter(2, {"x-a": 0, "x-b": 1})
+    coordinator = ShardedCoordinator(small_flight_db, num_shards=2,
+                                     mode="batch", router=router)
+    a, b, c = _submit_providers(coordinator, rendezvous_triple("x"))
+
+    monkeypatch.setattr(
+        coordinator._backends[0], "call_import",
+        lambda payload: ShardCall.failed(RuntimeError("dest down")))
+    monkeypatch.setattr(
+        coordinator._backends[1], "call_abort",
+        lambda manifest: ShardCall.failed(RuntimeError("source down")))
+    # Two shards, both failed: there is nowhere left to restore to —
+    # that terminal state is named loudly, never silent.
+    with pytest.raises(ShardMigrationError, match="could not be "
+                                                  "restored"):
+        coordinator.submit(c)
+
+
+def test_commit_failure_after_import_does_not_duplicate(
+        small_flight_db, monkeypatch):
+    router = ScriptedRouter(2, {"k-a": 0, "k-b": 1})
+    coordinator = ShardedCoordinator(small_flight_db, num_shards=2,
+                                     mode="batch", router=router)
+    a, b, c = _submit_providers(coordinator, rendezvous_triple("k"))
+
+    monkeypatch.setattr(
+        coordinator._backends[1], "call_commit",
+        lambda manifest: ShardCall.failed(RuntimeError("late death")))
+    with pytest.raises(RuntimeError, match="late death"):
+        coordinator.submit(c)
+
+    # The import landed before the source died, so the component's one
+    # live copy is on the destination — an abort here would duplicate
+    # it, and reverting ownership would strand it.
+    assert coordinator.shard_of("k-b") == 0
+    assert coordinator._backends[0].pending_ids() == ["k-a", "k-b"]
+    assert "k-b" not in coordinator._backends[1].pending_ids()
+    _audit_exactly_once(coordinator)
+
+    monkeypatch.undo()
+    coordinator.submit(c)
+    assert coordinator.shard_of("k-c") == 0
+    _audit_exactly_once(coordinator)
+
+
+def test_failure_between_plan_and_flush_reverts_ownership(
+        small_flight_db, monkeypatch):
+    """A fault *after* a move was planned but *before* the block
+    flushed (here: a later bridge's membership lookup dying) must
+    revert the planned ownership edits — they have no physical
+    counterpart yet."""
+    router = ScriptedRouter(2, {"t-a": 0, "t-b": 1, "u-a": 0,
+                                "u-b": 1})
+    coordinator = ShardedCoordinator(small_flight_db, num_shards=2,
+                                     mode="batch", router=router)
+    t_a, t_b, t_c = rendezvous_triple("t", "AAA", "BBB")
+    u_a, u_b, u_c = rendezvous_triple("u", "CCC", "DDD")
+    coordinator.submit_many([t_a, t_b, u_a, u_b])
+
+    source = coordinator._backends[1]
+    real_members = source.call_members
+
+    def failing_members(query_id):
+        if query_id == "u-b":
+            return ShardCall.failed(RuntimeError("lookup died"))
+        return real_members(query_id)
+
+    # First bridge plans moving t-b (1 → 0); the second bridge's
+    # lookup fails before anything flushes.
+    monkeypatch.setattr(source, "call_members", failing_members)
+    with pytest.raises(RuntimeError, match="lookup died"):
+        coordinator.submit_many([t_c, u_c])
+
+    assert coordinator.shard_of("t-b") == 1
+    assert coordinator._backends[1].pending_ids() == ["t-b", "u-b"]
+    _audit_exactly_once(coordinator)
+
+    # After the worker heals the same bridges route and migrate fine.
+    monkeypatch.undo()
+    coordinator.submit_many([t_c, u_c])
+    assert {coordinator.shard_of(query_id)
+            for query_id in ("t-a", "t-b", "t-c")} == {0}
+    _audit_exactly_once(coordinator)
+
+
+# ----------------------------------------------------------------------
+# process backend: a worker killed mid-protocol
+# ----------------------------------------------------------------------
+
+
+def test_killed_destination_worker_aborts_to_source(small_flight_db,
+                                                    monkeypatch):
+    router = ScriptedRouter(2, {"w-a": 0, "w-b": 1})
+    with ShardedCoordinator(small_flight_db, num_shards=2,
+                            backend="process", mode="batch",
+                            router=router) as coordinator:
+        a, b, c = _submit_providers(coordinator,
+                                    rendezvous_triple("w"))
+        destination = coordinator._backends[0]
+        real_import = destination.call_import
+
+        def kill_then_import(payload):
+            destination._process.kill()
+            destination._process.join(5)
+            return real_import(payload)
+
+        monkeypatch.setattr(destination, "call_import",
+                            kill_then_import)
+        with pytest.raises(ShardWorkerError):
+            coordinator.submit(c)
+
+        # The surviving source shard holds its component, exactly once.
+        assert coordinator.shard_of("w-b") == 1
+        assert coordinator._backends[1].pending_ids() == ["w-b"]
+
+
+def test_killed_worker_surfaces_as_shard_worker_error(small_flight_db):
+    """Protocol-level: reserve/transfer on a live source, import into a
+    dead worker, abort back — the wire failure is a named error and the
+    records survive on the source."""
+    from repro.dataio import dump_database
+    from repro.shard.process import ProcessBackend
+
+    config = {
+        "database_text": dump_database(small_flight_db),
+        "staleness": ("never",),
+        "engine": {"mode": "batch", "safety": "off"},
+        "warm_indexes": [],
+    }
+    source = ProcessBackend(0, config)
+    target = ProcessBackend(1, config)
+    try:
+        pair = [query.rename_apart()
+                for query in make_pair("z1", "z2", "user1", "user2",
+                                       "ORD")]
+        source.submit_block(pair, [0, 1], 0.0)
+        manifest = source.reserve(["z1", "z2"])
+        payload = source.transfer(manifest)
+
+        target._process.kill()
+        target._process.join(5)
+        with pytest.raises(ShardWorkerError):
+            target.import_records(payload)
+
+        source.abort(manifest)
+        assert source.pending_ids() == ["z1", "z2"]
+        assert source.partition_sizes() == [2]
+    finally:
+        source.close()
+        target.close()

@@ -1,0 +1,225 @@
+"""The pipelined shard wire protocol: correlation IDs, in-flight
+windows, event ordering under interleaved replies, and manifest
+batching.
+
+The regression of record: settle events ride the reply of the command
+that produced them, and with several commands in flight the coordinator
+may collect replies out of order — events must be decoded at *frame
+receipt*, in worker execution order, never at result-collection time
+(where a flood of settlements during an in-flight call could be
+reordered behind a later command's reply, or dropped with it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.dataio import dump_database
+from repro.shard import ShardedCoordinator, ShardRouter
+from repro.shard.process import ProcessBackend
+
+#: A two-row co-located users table: every `_settling_pair` below
+#: coordinates (and therefore settles) at the next run_batch.
+TINY_DB = "table U user:text town:text\nrow U a x\nrow U b x\n"
+
+
+def _settling_pair(tag: str) -> list[EntangledQuery]:
+    return [
+        EntangledQuery(query_id=f"{tag}-1",
+                       head=(atom("R", f"{tag}-1", "d"),),
+                       postconditions=(atom("R", f"{tag}-2", "d"),),
+                       body=(atom("U", "a", Variable("c1")),)),
+        EntangledQuery(query_id=f"{tag}-2",
+                       head=(atom("R", f"{tag}-2", "d"),),
+                       postconditions=(atom("R", f"{tag}-1", "d"),),
+                       body=(atom("U", "b", Variable("c2")),)),
+    ]
+
+
+def _filler(tag: str) -> EntangledQuery:
+    return EntangledQuery(query_id=tag,
+                          head=(atom("R", tag, "d"),),
+                          postconditions=(atom("R", f"{tag}-nobody",
+                                               "d"),),
+                          body=(atom("U", "a", Variable("c")),))
+
+
+def _backend(staleness=("never",)) -> ProcessBackend:
+    return ProcessBackend(0, {"database_text": TINY_DB,
+                              "staleness": staleness,
+                              "engine": {"mode": "batch",
+                                         "safety": "off"},
+                              "warm_indexes": []})
+
+
+def test_settle_flood_during_inflight_call_keeps_order():
+    backend = _backend()
+    try:
+        queries = [query.rename_apart()
+                   for index in range(6)
+                   for query in _settling_pair(f"p{index}")]
+        backend.begin_submit_block(queries, list(range(len(queries))),
+                                   0.0)
+        backend.begin_run_batch(0.0)       # will settle all 12
+        stats_call = backend.call_stats()  # three commands in flight
+
+        # Collect the *last* command first: pumping its reply forces
+        # the earlier replies (carrying the settle flood) through the
+        # pipe out of collection order.
+        snapshot = stats_call.result()
+        assert snapshot["answered"] == len(queries)
+
+        events = backend.drain_events()
+        answered = [query_id for kind, query_id, _ in events]
+        assert all(kind == "answered" for kind, _, _ in events)
+        assert sorted(answered) == sorted(query.query_id
+                                          for query in queries)
+        assert len(answered) == len(set(answered)), "events duplicated"
+
+        backend.finish_submit_block()
+        assert backend.finish_run_batch() == len(queries)
+        # Collecting the results later must not replay their events.
+        assert backend.drain_events() == []
+    finally:
+        backend.close()
+
+
+def test_events_from_pipelined_commands_keep_worker_order():
+    backend = _backend(staleness=("timeout", 1.0))
+    try:
+        backend.submit_block([_filler("old").rename_apart()], [0], 0.0)
+        pair = [query.rename_apart() for query in _settling_pair("new")]
+        backend.submit_block(pair, [1, 2], 4.5)
+
+        backend.begin_expire(5.0)     # expires "old" (not the pair)
+        backend.begin_run_batch(5.0)  # answers the pair
+        snapshot = backend.call_stats().result()  # out-of-order collect
+        assert snapshot["failed"] == {"stale": 1}
+
+        events = backend.drain_events()
+        # Worker execution order: the expiry's failure event strictly
+        # before the round's answer events, despite all three replies
+        # arriving while pipelined.
+        assert [kind for kind, _, _ in events] \
+            == ["failed", "answered", "answered"]
+        assert events[0][1] == "old"
+
+        assert backend.finish_expire() == 1
+        assert backend.finish_run_batch() == 2
+    finally:
+        backend.close()
+
+
+def test_inflight_window_applies_backpressure():
+    backend = _backend()
+    try:
+        backend.window = 2
+        calls = [backend.call_stats() for _ in range(11)]
+        assert len(backend._inflight) <= 2
+        results = [call.result() for call in calls]
+        assert all(snapshot["submitted"] == 0 for snapshot in results)
+        assert backend.wire_requests == 11
+    finally:
+        backend.close()
+
+
+def test_replies_resolve_out_of_order():
+    backend = _backend()
+    try:
+        first = backend.call_partition_sizes()
+        second = backend.call_stats()
+        third = backend.call_partition_sizes()
+        assert third.result() == []
+        assert second.result()["submitted"] == 0
+        assert first.result() == []
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# manifest batching
+# ----------------------------------------------------------------------
+
+
+class ScriptedRouter(ShardRouter):
+    def __init__(self, num_shards: int, script: dict):
+        super().__init__(num_shards)
+        self.script = script
+
+    def home_shard(self, query) -> int:
+        if query.query_id in self.script:
+            return self.script[query.query_id]
+        return super().home_shard(query)
+
+
+def _triple(tag: str) -> list[EntangledQuery]:
+    a = EntangledQuery(query_id=f"{tag}-a",
+                       head=(atom("R", f"{tag}-a", "AAA"),),
+                       postconditions=(atom("R", f"{tag}-c", "AAA"),),
+                       body=(atom("U", "user1", Variable("t")),))
+    b = EntangledQuery(query_id=f"{tag}-b",
+                       head=(atom("R", f"{tag}-b", "BBB"),),
+                       postconditions=(atom("R", f"{tag}-c", "BBB"),),
+                       body=(atom("U", "user2", Variable("t")),))
+    c = EntangledQuery(query_id=f"{tag}-c",
+                       head=(atom("R", f"{tag}-c", "AAA"),
+                             atom("R", f"{tag}-c", "BBB")),
+                       postconditions=(atom("R", f"{tag}-a", "AAA"),
+                                       atom("R", f"{tag}-b", "BBB")),
+                       body=(atom("U", "user1", Variable("t")),))
+    return [a, b, c]
+
+
+def _bridged_coordinator(small_flight_db, **kwargs) -> tuple:
+    """Two rendezvous triples whose providers straddle shards 0/1;
+    submitting both bridges in one block forces two component moves
+    with the same (source, destination)."""
+    script = {"m1-a": 0, "m1-b": 1, "m2-a": 0, "m2-b": 1}
+    coordinator = ShardedCoordinator(
+        small_flight_db, num_shards=2, mode="batch",
+        router=ScriptedRouter(2, script), **kwargs)
+    one, two = _triple("m1"), _triple("m2")
+    coordinator.submit_many([one[0], one[1], two[0], two[1]])
+    coordinator.submit_many([one[2], two[2]])
+    return coordinator
+
+
+def test_block_migrations_share_one_manifest(small_flight_db):
+    batched = _bridged_coordinator(small_flight_db)
+    unbatched = _bridged_coordinator(small_flight_db,
+                                     migration_batching=False)
+
+    # Same physics: both moved both providers to shard 0...
+    for coordinator in (batched, unbatched):
+        assert coordinator.migrated_queries == 2
+        assert {coordinator.shard_of(query_id)
+                for query_id in ("m1-a", "m1-b", "m1-c",
+                                 "m2-a", "m2-b", "m2-c")} == {0}
+    assert batched.pending_ids() == unbatched.pending_ids()
+    assert batched.partition_sizes() == unbatched.partition_sizes()
+
+    # ...but the batched transport needed one manifest exchange where
+    # the per-decision transport needed two.
+    assert unbatched.migrations == 2
+    assert batched.migrations == 1
+    assert batched.wire_requests < unbatched.wire_requests
+
+
+def test_batching_is_equivalent_on_the_process_backend(small_flight_db):
+    script = {"m1-a": 0, "m1-b": 1, "m2-a": 0, "m2-b": 1}
+    outcomes = []
+    for batching in (True, False):
+        with ShardedCoordinator(
+                small_flight_db, num_shards=2, backend="process",
+                mode="batch", router=ScriptedRouter(2, script),
+                migration_batching=batching) as coordinator:
+            one, two = _triple("m1"), _triple("m2")
+            coordinator.submit_many([one[0], one[1], two[0], two[1]])
+            coordinator.submit_many([one[2], two[2]])
+            answered = coordinator.run_batch()
+            outcomes.append((answered, coordinator.pending_ids(),
+                             coordinator.partition_sizes(),
+                             coordinator.migrated_queries))
+    assert outcomes[0] == outcomes[1]

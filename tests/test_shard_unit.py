@@ -12,8 +12,8 @@ from repro.errors import ValidationError
 from repro.shard import InProcessBackend, ShardRouter, ShardedCoordinator
 from repro.core.query import EntangledQuery
 from repro.core.terms import Variable, atom
-from repro.shard.process import record_from_payload, record_to_payload, \
-    staleness_from_spec, staleness_to_spec
+from repro.dataio import record_from_payload, record_to_payload
+from repro.shard.process import staleness_from_spec, staleness_to_spec
 from repro.shard.router import atom_route_key, fingerprint
 
 
@@ -219,18 +219,19 @@ def test_worker_error_replies_carry_prior_settlements():
         "engine": {"mode": "batch", "safety": "off"},
     }
     connection = _FakeConnection([
-        ("submit_block", {
+        (1, "submit_block", {
             "queries": [to_payload(query.rename_apart())
                         for query in good + bad],
             "seqs": [0, 1, 2, 3], "now": 0.0}),
-        ("run_batch", {"now": 0.0}),
+        (2, "run_batch", {"now": 0.0}),
     ])
     _worker_main(connection, config)
 
     ready, submit_reply, batch_reply = connection.sent
-    assert ready == ("ok", "ready", [])
-    assert submit_reply[0] == "ok"
-    status, payload, events = batch_reply
+    assert ready == (0, "ok", "ready", [])
+    assert submit_reply[:2] == (1, "ok")
+    req_id, status, payload, events = batch_reply
+    assert req_id == 2
     assert status == "err"
     assert "Missing" in payload
     # The good pair's settlements shipped despite the failure.

@@ -1,0 +1,164 @@
+"""Expiry-heap hygiene across query-id reuse.
+
+Expired ids are retryable (an application whose query timed out
+resubmits it); answered ids stay burned.  The hazards these tests pin
+down: a heap entry left by a previous incarnation must never expire the
+retry early (the sweep re-checks ``is_stale`` against the *current*
+record), and per-id policy state — a ``ManualStaleness`` mark — must be
+consumed by the expiry it caused instead of instantly killing the
+retry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.engine.engine import D3CEngine
+from repro.engine.staleness import (ManualClock, ManualStaleness,
+                                    StalenessPolicy, TimeoutStaleness)
+from repro.errors import ValidationError
+from repro.shard import ShardedCoordinator
+
+
+def _filler(query_id: str) -> EntangledQuery:
+    """Pends forever: its postcondition names a traveller nobody
+    provides."""
+    return EntangledQuery(
+        query_id=query_id,
+        head=(atom("R", f"{query_id}-self", "ITH"),),
+        postconditions=(atom("R", f"{query_id}-nobody", "ITH"),),
+        body=(atom("U", "user1", Variable("c")),))
+
+
+class MarkableTimeout(StalenessPolicy):
+    """Deadline-bearing policy with manual marks on the side — the
+    combination that leaves a live heap entry behind an early expiry."""
+
+    requires_full_scan = False
+
+    def __init__(self, timeout_seconds: float):
+        self.timeout_seconds = timeout_seconds
+        self._marked: set = set()
+
+    def mark(self, query_id) -> None:
+        self._marked.add(query_id)
+
+    def is_stale(self, query, submitted_at, now) -> bool:
+        return (query.query_id in self._marked
+                or now - submitted_at > self.timeout_seconds)
+
+    def deadline(self, query, submitted_at):
+        return submitted_at + self.timeout_seconds
+
+    def candidates(self) -> tuple:
+        return tuple(self._marked)
+
+    def on_expired(self, query_id) -> None:
+        self._marked.discard(query_id)
+
+
+def test_expired_id_is_resubmittable(small_flight_db):
+    clock = ManualClock()
+    engine = D3CEngine(small_flight_db, mode="batch",
+                       staleness=TimeoutStaleness(2.0), clock=clock)
+    engine.submit(_filler("retry"))
+    clock.advance(3.0)
+    assert engine.expire_stale() == 1
+
+    retry = engine.submit(_filler("retry"))
+    assert engine.pending_ids() == ["retry"]
+    # The retry's deadline is its own: half the timeout later it is
+    # still fresh, a full timeout later it expires.
+    clock.advance(1.0)
+    assert engine.expire_stale() == 0
+    clock.advance(1.5)
+    assert engine.expire_stale() == 1
+    from repro.core.evaluate import FailureReason
+    assert retry.failure_reason is FailureReason.STALE
+
+
+def test_answered_id_stays_burned(small_flight_db):
+    engine = D3CEngine(small_flight_db, mode="batch")
+    pair = []
+    for query_id, partner in (("a1", "a2"), ("a2", "a1")):
+        pair.append(EntangledQuery(
+            query_id=query_id,
+            head=(atom("R", query_id, "ITH"),),
+            postconditions=(atom("R", partner, "ITH"),),
+            body=(atom("U", "u1", Variable("c")),)))
+    tickets = engine.submit_many(pair)
+    engine.run_batch()
+    assert all(ticket.done() for ticket in tickets)
+    with pytest.raises(ValidationError, match="already used"):
+        engine.submit(_filler("a1"))
+
+
+def test_stale_heap_entry_does_not_expire_the_retry_early(
+        small_flight_db):
+    clock = ManualClock()
+    policy = MarkableTimeout(10.0)
+    engine = D3CEngine(small_flight_db, mode="batch",
+                       staleness=policy, clock=clock)
+    engine.submit(_filler("q"))          # heap entry at deadline 10
+    policy.mark("q")
+    clock.advance(1.0)
+    assert engine.expire_stale() == 1    # via the mark; entry remains
+
+    engine.submit(_filler("q"))          # retry: own entry, deadline 11
+    # When the first incarnation's (still-heaped) deadline passes, the
+    # sweep pops it, re-checks is_stale against the retry's submission
+    # instant, and re-schedules instead of expiring 0.5s early.
+    clock.advance(9.5)
+    assert engine.expire_stale() == 0
+    assert engine.pending_ids() == ["q"]
+    clock.advance(1.0)                   # now past the retry's deadline
+    assert engine.expire_stale() == 1
+
+
+def test_manual_mark_is_consumed_by_the_expiry_it_caused(
+        small_flight_db):
+    clock = ManualClock()
+    policy = ManualStaleness()
+    engine = D3CEngine(small_flight_db, mode="batch",
+                       staleness=policy, clock=clock)
+    engine.submit(_filler("m"))
+    policy.mark("m")
+    assert engine.expire_stale() == 1
+
+    engine.submit(_filler("m"))
+    # Without mark consumption the leftover verdict would kill the
+    # retry at the very next sweep.
+    assert engine.expire_stale() == 0
+    assert engine.pending_ids() == ["m"]
+    policy.mark("m")
+    assert engine.expire_stale() == 1
+
+
+def test_coordinator_matches_engine_on_expired_id_retry(
+        small_flight_db):
+    def drive(engine, clock):
+        log = []
+        engine.submit(_filler("svc"))
+        clock.advance(3.0)
+        log.append(engine.expire_stale())
+        engine.submit(_filler("svc"))
+        clock.advance(1.0)
+        log.append(engine.expire_stale())
+        log.append(engine.pending_ids())
+        clock.advance(2.5)
+        log.append(engine.expire_stale())
+        return log
+
+    clock = ManualClock()
+    single = D3CEngine(small_flight_db, mode="batch",
+                       staleness=TimeoutStaleness(2.0), clock=clock)
+    expected = drive(single, clock)
+
+    clock = ManualClock()
+    coordinator = ShardedCoordinator(
+        small_flight_db, num_shards=2, mode="batch",
+        staleness=TimeoutStaleness(2.0), clock=clock)
+    assert drive(coordinator, clock) == expected
+    assert expected == [1, 0, ["svc"], 1]
