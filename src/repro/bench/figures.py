@@ -33,14 +33,15 @@ from ..core.safety import SafetyChecker
 from ..engine.engine import D3CEngine
 from ..workloads.generators import (big_cluster_queries, chain_queries,
                                     churn_rounds, clique_queries,
+                                    dynamic_db_rounds,
                                     migration_heavy_rounds,
                                     multi_tenant_rounds,
                                     non_unifying_queries,
                                     safety_stress_workload,
                                     three_way_triangles, two_way_pairs)
 from .harness import (Series, bench_database, bench_network, run_batch,
-                      run_churn, run_incremental, run_sharded, scaled,
-                      stopwatch)
+                      run_churn, run_dynamic, run_incremental,
+                      run_sharded, scaled, stopwatch)
 
 #: Default query-set sizes for the Figure 6 sweep (paper: 5 … 100,000).
 FIG6_SIZES = (6, 60, 600, 3_000, 12_000)
@@ -336,11 +337,59 @@ def migration_heavy(num_rounds: int | None = None,
     return [series]
 
 
+def dynamic_db(round_counts: Sequence[int] | None = None,
+               arrivals_per_round: int | None = None,
+               network=None, database=None) -> list[Series]:
+    """Beyond the paper: live database mutations under pending queries.
+
+    Drives :func:`repro.workloads.generators.dynamic_db_rounds` — gate
+    rows arriving and retracting while coordination queries are pending
+    — through :func:`repro.bench.harness.run_dynamic` twice per point:
+    once with ``invalidate_cache()`` after every mutation batch (the
+    full-recompute baseline: every component re-matched, every
+    data-dependent cache dropped) and once with the default targeted
+    invalidation, where a mutation re-queues only the components whose
+    plans read the mutated table.  Both answer identically; the
+    ``speedup`` column is the delta-driven win.
+    """
+    if network is None:
+        network = bench_network()
+    if database is None:
+        database = bench_database(network)
+    if round_counts is None:
+        round_counts = [8, 16, 24]
+    if arrivals_per_round is None:
+        arrivals_per_round = scaled(250)
+
+    series = Series(
+        f"Dynamic DB: live mutations, targeted invalidation vs full "
+        f"recompute ({arrivals_per_round} arrivals per round)", "rounds")
+    for num_rounds in round_counts:
+        rounds = dynamic_db_rounds(network, num_rounds,
+                                   arrivals_per_round,
+                                   seed=arrivals_per_round)
+        full = run_dynamic(database, rounds, ttl_rounds=10,
+                           full_recompute=True)
+        delta = run_dynamic(database, rounds, ttl_rounds=10)
+        if delta["answered"] != full["answered"]:
+            raise RuntimeError(
+                f"dynamic_db diverged: targeted answered "
+                f"{delta['answered']} vs full recompute "
+                f"{full['answered']}")
+        series.add(num_rounds, seconds=delta["seconds"],
+                   full_recompute_seconds=full["seconds"],
+                   speedup=(full["seconds"] / delta["seconds"]
+                            if delta["seconds"] > 0 else 0.0),
+                   answered=delta["answered"],
+                   mutations=delta["mutation_ops"])
+    return [series]
+
+
 def run_all() -> list[Series]:
     """Run every figure and return all series (also printed)."""
     all_series: list[Series] = []
     for runner in (figure6, figure7, figure8, figure9, churn, sharded,
-                   migration_heavy):
+                   migration_heavy, dynamic_db):
         start = time.perf_counter()
         produced = runner()
         elapsed = time.perf_counter() - start

@@ -32,11 +32,13 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..workloads import (big_cluster_queries, chain_queries,
-                         churn_rounds, migration_heavy_rounds,
-                         multi_tenant_rounds, non_unifying_queries,
-                         three_way_triangles, two_way_pairs)
+                         churn_rounds, dynamic_db_rounds,
+                         migration_heavy_rounds, multi_tenant_rounds,
+                         non_unifying_queries, three_way_triangles,
+                         two_way_pairs)
 from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
-                      run_batch, run_churn, run_incremental, run_sharded)
+                      run_batch, run_churn, run_dynamic,
+                      run_incremental, run_sharded)
 
 #: Largest Figure 6 configuration (per series) at scale 1.
 FIG6_SIZE = 12_000
@@ -58,6 +60,26 @@ SHARD_COUNT = 4
 MIGRATION_ROUNDS = 10
 MIGRATION_PER_ROUND = 200
 MIGRATION_SHARDS = 2
+#: Dynamic-DB probe: live-mutation rounds (shape fixed, block scales)
+#: paired against the full-recompute (invalidate-everything) baseline.
+DYNAMIC_ROUNDS = 18
+DYNAMIC_PER_ROUND = 250
+
+#: The fixed probe set, in execution order.  ``--list`` prints these
+#: without building any workload, so CI and scripts can enumerate them.
+PROBE_NAMES = (
+    "fig6_two_way_generic",
+    "fig6_two_way_specific",
+    "fig6_three_way",
+    "fig8_no_unification",
+    "fig8_chains",
+    "fig8_cluster_incremental_component",
+    "fig8_cluster_batch",
+    "churn_arrival_expiry",
+    "shard_scaling",
+    "migration_heavy",
+    "dynamic_db",
+)
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
 HEADLINE_SERIES = "fig6_two_way_generic"
@@ -107,7 +129,14 @@ def collect_series(scale: float = 1.0) -> dict:
                                                        scale)),
         ("migration_heavy", lambda: _migration_heavy_probe(
             network, database, scale)),
+        ("dynamic_db", lambda: _dynamic_db_probe(network, database,
+                                                 scale)),
     )
+    if tuple(name for name, _ in probes) != PROBE_NAMES:
+        # A real error, not an assert: --list must never drift from
+        # what collect_series runs (asserts vanish under python -O).
+        raise RuntimeError(
+            "regression probe set drifted from PROBE_NAMES")
     series: dict = {}
     for name, probe in probes:
         metrics = probe()
@@ -121,7 +150,10 @@ def collect_series(scale: float = 1.0) -> dict:
                       "single_engine_seconds", "scaling_vs_single",
                       "wire_requests_per_round", "unbatched_seconds",
                       "unbatched_wire_requests_per_round",
-                      "round_trip_reduction", "note"):
+                      "round_trip_reduction", "mutation_ops",
+                      "full_recompute_seconds", "delta_speedup",
+                      "match_seconds_targeted",
+                      "match_seconds_full_recompute", "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
@@ -193,6 +225,41 @@ def _migration_heavy_probe(network, database, scale: float) -> dict:
     return metrics
 
 
+def _dynamic_db_probe(network, database, scale: float) -> dict:
+    """Live-mutation rounds, delta-driven targeted invalidation paired
+    against the full-recompute (invalidate-everything) baseline.
+
+    Both runs answer identically (checked); the report records the
+    baseline's seconds and the ``delta_speedup`` ratio — the number
+    the targeted dirty-marking exists to grow.  Paired back-to-back
+    runs per ROADMAP conventions: same harness, same process, same
+    private database copy recipe.
+    """
+    rounds = dynamic_db_rounds(network, DYNAMIC_ROUNDS,
+                               _sized(DYNAMIC_PER_ROUND, scale),
+                               seed=DYNAMIC_PER_ROUND)
+    full = run_dynamic(database, rounds, ttl_rounds=10,
+                       full_recompute=True)
+    metrics = run_dynamic(database, rounds, ttl_rounds=10)
+    if metrics["answered"] != full["answered"]:
+        raise RuntimeError(
+            f"dynamic_db probe diverged: targeted answered "
+            f"{metrics['answered']} vs full recompute "
+            f"{full['answered']}")
+    metrics["full_recompute_seconds"] = round(full["seconds"], 4)
+    if metrics["seconds"] > 0:
+        metrics["delta_speedup"] = round(
+            full["seconds"] / metrics["seconds"], 2)
+    # The structural counter behind the wall-clock gap: a mutation
+    # round re-matches only the components reading the mutated gate,
+    # so matching seconds shrink while ingestion/expiry stay common.
+    metrics["match_seconds_targeted"] = round(
+        metrics["match_seconds"], 4)
+    metrics["match_seconds_full_recompute"] = round(
+        full["match_seconds"], 4)
+    return metrics
+
+
 def build_report(after: dict, before: Optional[dict] = None,
                  scale: float = 1.0) -> dict:
     """Assemble the report payload, computing per-series speedups."""
@@ -237,13 +304,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.regression",
         description="Produce a benchmark-regression report.")
-    parser.add_argument("--out", required=True,
+    parser.add_argument("--out", default=None,
                         help="path of the JSON report to write")
     parser.add_argument("--baseline", default=None,
                         help="prior report to diff against (its 'series')")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="probe-size multiplier (default 1.0)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the probe names (one per line) "
+                             "without running anything, then exit")
     args = parser.parse_args(argv)
+
+    if args.list:
+        for name in PROBE_NAMES:
+            print(name)
+        return 0
+    if not args.out:
+        parser.error("--out is required unless --list is given")
 
     before = None
     if args.baseline:

@@ -20,9 +20,11 @@ Commands:
     Regenerate the paper's figures (same as ``python -m repro.bench``);
     figure names include the beyond-paper ``churn`` arrival/expiry
     scenario driven through the incremental runtime, the ``sharded``
-    multi-tenant scenario driven through the shard fleet, and the
+    multi-tenant scenario driven through the shard fleet, the
     ``migration_heavy`` rendezvous scenario comparing the batched
-    manifest transport against per-decision exchanges.
+    manifest transport against per-decision exchanges, and the
+    ``dynamic_db`` live-mutation scenario comparing targeted
+    invalidation against full recompute.
 """
 
 from __future__ import annotations
@@ -131,12 +133,13 @@ def _command_sql(arguments: argparse.Namespace) -> int:
 
 
 def _command_bench(arguments: argparse.Namespace) -> int:
-    from .bench.figures import (churn, figure6, figure7, figure8,
-                                figure9, migration_heavy, run_all,
-                                sharded)
+    from .bench.figures import (churn, dynamic_db, figure6, figure7,
+                                figure8, figure9, migration_heavy,
+                                run_all, sharded)
     figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
                "churn": churn, "sharded": sharded,
-               "migration_heavy": migration_heavy}
+               "migration_heavy": migration_heavy,
+               "dynamic_db": dynamic_db}
     if not arguments.figures:
         run_all()
         return 0
@@ -191,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "paper scenarios")
     bench.add_argument("figures", nargs="*",
                        choices=["6", "7", "8", "9", "churn", "sharded",
-                                "migration_heavy", []],
+                                "migration_heavy", "dynamic_db", []],
                        help="figure numbers or scenario names "
                             "(default: all)")
     bench.set_defaults(handler=_command_bench)

@@ -24,7 +24,10 @@ instances and settled :class:`~repro.core.evaluate.Answer` objects into
 kind-tagged payloads of plain dicts, lists, and scalars, and
 :func:`manifest_to_payload` / :func:`manifest_from_payload` do the same
 for whole cross-shard migration manifests (batches of pending records
-moving between one shard pair in one exchange).  Payloads are
+moving between one shard pair in one exchange), and
+:func:`db_delta_to_payload` / :func:`db_delta_from_payload` for the
+versioned replication blocks that carry live database mutations to
+shard-local replicas.  Payloads are
 JSON-compatible and carry no live objects, so they cross process
 boundaries without depending on pickle's class-identity machinery, and
 the round trip is exact: ``from_payload(to_payload(x)) == x``.
@@ -56,6 +59,11 @@ def load_database(source: Union[str, Path]) -> Database:
     """
     text = _read(source)
     database = Database()
+    # Rows are validated line by line (for error line numbers) but
+    # buffered and bulk-inserted per table: one committed delta and
+    # one cache-invalidation round per table instead of one per row —
+    # this is the shard replica's bootstrap path.
+    buffered: dict[str, list[tuple]] = {}
     for line_number, line in enumerate(text.splitlines(), 1):
         stripped = line.strip()
         if not stripped or stripped.startswith("--"):
@@ -64,11 +72,13 @@ def load_database(source: Union[str, Path]) -> Database:
         if keyword == "table":
             _load_table_line(database, rest, line_number)
         elif keyword == "row":
-            _load_row_line(database, rest, line_number)
+            _buffer_row_line(database, buffered, rest, line_number)
         else:
             raise ParseError(
                 f"expected 'table' or 'row', found {keyword!r}",
                 line_number)
+    for name, rows in buffered.items():
+        database.insert_stored_rows(name, rows)
     return database
 
 
@@ -119,16 +129,17 @@ def _load_table_line(database: Database, rest: str,
         raise ParseError(f"bad table line: {error}", line_number)
 
 
-def _load_row_line(database: Database, rest: str,
-                   line_number: int) -> None:
+def _buffer_row_line(database: Database, buffered: dict, rest: str,
+                     line_number: int) -> None:
     name, _, values_text = rest.partition(" ")
     if not name:
         raise ParseError("row line needs a table name", line_number)
     values = _parse_values(values_text, line_number)
     try:
-        database.insert_row(name, values)
+        stored = database.table(name).schema.check_row(values)
     except SchemaError as error:
         raise ParseError(f"bad row line: {error}", line_number)
+    buffered.setdefault(name, []).append(stored)
 
 
 def _parse_values(text: str, line_number: int) -> tuple:
@@ -284,6 +295,67 @@ def record_from_payload(payload: dict):
     from .engine.engine import PendingRecord  # avoid an import cycle
     return PendingRecord(from_payload(payload["query"]),
                          payload["seq"], payload["at"])
+
+
+def delta_to_payload(delta) -> dict:
+    """Serialize one :class:`~repro.db.database.TableDelta`."""
+    return {"table": _wire_scalar(delta.table, "table name"),
+            "insert": [[_wire_scalar(value, "row value")
+                        for value in row] for row in delta.inserted],
+            "delete": [[_wire_scalar(value, "row value")
+                        for value in row] for row in delta.deleted],
+            "version": delta.version}
+
+
+def delta_from_payload(payload: dict):
+    """Rebuild the :class:`~repro.db.database.TableDelta` a payload
+    stands for (exact inverse of :func:`delta_to_payload`)."""
+    from .db.database import TableDelta  # facade import; no cycle risk
+    return TableDelta(
+        table=payload["table"],
+        inserted=tuple(tuple(row) for row in payload["insert"]),
+        deleted=tuple(tuple(row) for row in payload["delete"]),
+        version=payload["version"])
+
+
+def db_delta_to_payload(from_version: int, version: int,
+                        deltas) -> dict:
+    """Serialize one replication block of the live-mutation protocol.
+
+    One ``db_delta`` frame carries every :class:`~repro.db.database.
+    TableDelta` committed between two database versions, in commit
+    order.  ``from`` names the version a replica must be at to apply
+    the block and ``version`` the version it ends at, so replicas
+    detect gaps (and replays of already-applied blocks) instead of
+    silently diverging; ``count`` guards against truncation like the
+    migration manifest's does.
+    """
+    items = [delta_to_payload(delta) for delta in deltas]
+    return {"wire": WIRE_VERSION,
+            "kind": "db_delta",
+            "from": from_version,
+            "version": version,
+            "count": len(items),
+            "deltas": items}
+
+
+def db_delta_from_payload(payload: dict) -> tuple:
+    """Rebuild ``(from_version, version, deltas)`` from a ``db_delta``
+    payload (exact inverse of :func:`db_delta_to_payload`)."""
+    if payload.get("wire") != WIRE_VERSION:
+        raise ParseError(
+            f"db_delta wire version {payload.get('wire')!r} != "
+            f"{WIRE_VERSION} (mixed shard revisions?)")
+    if payload.get("kind") != "db_delta":
+        raise ParseError(
+            f"expected a db_delta payload, got {payload.get('kind')!r}")
+    deltas = [delta_from_payload(item) for item in payload["deltas"]]
+    if len(deltas) != payload["count"]:
+        raise ParseError(
+            f"db_delta block {payload['from']}->{payload['version']} "
+            f"carries {len(deltas)} deltas but declares "
+            f"{payload['count']}")
+    return payload["from"], payload["version"], deltas
 
 
 def manifest_to_payload(manifest_id: str, records) -> dict:

@@ -14,7 +14,7 @@ from .table import Table
 from .expression import Comparison, ConjunctiveQuery
 from .planner import Plan, Planner, PlanStep
 from .executor import Executor, evaluate_naive
-from .database import Database
+from .database import Database, TableDelta
 from .sql import SelectStatement, SqlFrontend, parse_select, run_sql
 
 __all__ = [
@@ -24,6 +24,6 @@ __all__ = [
     "Comparison", "ConjunctiveQuery",
     "Plan", "Planner", "PlanStep",
     "Executor", "evaluate_naive",
-    "Database",
+    "Database", "TableDelta",
     "SelectStatement", "SqlFrontend", "parse_select", "run_sql",
 ]

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.terms import Variable
 from ..errors import SchemaError
@@ -10,6 +12,30 @@ from .executor import Executor, Valuation
 from .expression import ConjunctiveQuery
 from .schema import Catalog, TableSchema, schema as make_schema
 from .table import Table
+
+
+@dataclass(frozen=True, slots=True)
+class TableDelta:
+    """One committed mutation batch against one table.
+
+    The unit of the live-mutation protocol: every DML call commits one
+    delta carrying the rows that entered and left the table (in their
+    validated stored form) and the database's resulting ``db_version``.
+    Deltas are emitted to mutation listeners (coordination engines mark
+    affected components dirty; the sharded coordinator replicates them
+    to worker databases) and are replayable —
+    :meth:`Database.apply_delta` applies one on a byte-identical
+    replica, advancing its version in lockstep.
+    """
+
+    table: str
+    inserted: tuple[tuple, ...]
+    deleted: tuple[tuple, ...]
+    version: int
+
+
+#: A mutation listener: called with each committed TableDelta.
+MutationListener = Callable[[TableDelta], None]
 
 
 class Database:
@@ -30,6 +56,13 @@ class Database:
         self._catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._executor = Executor(self)
+        # Monotone mutation counter: +1 per committed TableDelta.  The
+        # sharded service's replication protocol versions db_delta
+        # frames with it, so replicas can detect gaps and replay.
+        self._db_version = 0
+        # Mutation listeners, held weakly where possible so transient
+        # engines registered against a long-lived database do not leak.
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # DDL
@@ -76,12 +109,141 @@ class Database:
         return self._tables.get(name)
 
     def insert(self, name: str, rows: Iterable[Sequence]) -> int:
-        """Bulk insert; returns the number of rows inserted."""
-        return self.table(name).insert_many(rows)
+        """Bulk insert; commits one delta, returns the rows inserted.
+
+        All-or-nothing: every row is validated before any is inserted,
+        so a bad row mid-batch cannot leave earlier rows committed
+        without a delta (listeners and shard replicas would silently
+        diverge from the table).
+        """
+        table = self.table(name)
+        stored = tuple(table.schema.check_row(row) for row in rows)
+        for row in stored:
+            table.insert_stored(row)
+        if stored:
+            self._commit_delta(name, stored, ())
+        return len(stored)
+
+    def insert_stored_rows(self, name: str,
+                           stored_rows: Sequence[tuple]) -> int:
+        """Bulk-insert rows already in validated stored form.
+
+        Trusted internal path (``load_database``'s per-table flush):
+        skips the facade's re-validation — the caller has already run
+        ``schema.check_row`` on every row — while still committing one
+        delta for the batch.
+        """
+        table = self.table(name)
+        for row in stored_rows:
+            table.insert_stored(row)
+        if stored_rows:
+            self._commit_delta(name, tuple(stored_rows), ())
+        return len(stored_rows)
 
     def insert_row(self, name: str, row: Sequence) -> int:
         """Insert one row; returns its row id."""
-        return self.table(name).insert(row)
+        table = self.table(name)
+        row_id = table.insert(row)
+        self._commit_delta(name, (table.row(row_id),), ())
+        return row_id
+
+    def delete_rows(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Delete one stored copy per given row value (bag semantics;
+        absent values are skipped).  Commits one delta carrying the
+        rows actually removed; returns their count."""
+        removed = self.table(name).delete_rows(rows)
+        if removed:
+            self._commit_delta(name, (), tuple(removed))
+        return len(removed)
+
+    def delete_where(self, name: str,
+                     predicate: Callable[[tuple], bool]) -> int:
+        """Delete rows satisfying *predicate*; returns the count.
+
+        The delta-emitting form of :meth:`Table.delete_where` — use
+        this (not the table method) when mutation listeners or shard
+        replicas must observe the change.  The predicate is evaluated
+        exactly once per row (a stateful predicate sees each row a
+        single time, and the committed delta lists exactly the rows
+        removed).
+        """
+        removed = self.table(name).delete_matching(predicate)
+        if removed:
+            self._commit_delta(name, (), tuple(removed))
+        return len(removed)
+
+    # ------------------------------------------------------------------
+    # mutation protocol: versions, listeners, delta replay
+    # ------------------------------------------------------------------
+
+    @property
+    def db_version(self) -> int:
+        """Monotone mutation counter (+1 per committed delta)."""
+        return self._db_version
+
+    def reset_db_version(self, version: int) -> None:
+        """Pin the mutation counter (replica bootstrap only).
+
+        A replica rebuilt from :func:`repro.dataio.dump_database` text
+        re-runs every insert, so its counter disagrees with the
+        primary's; the shard worker pins it to the primary's value
+        after the rebuild so replicated ``db_delta`` frames line up.
+        """
+        self._db_version = version
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register a callback invoked with every committed delta.
+
+        Bound methods are held weakly (a dropped engine unregisters
+        itself by dying); plain callables are held strongly.
+        """
+        try:
+            reference = weakref.WeakMethod(listener)
+        except TypeError:
+            self._listeners.append(lambda: listener)
+        else:
+            self._listeners.append(reference)
+
+    def apply_delta(self, delta: TableDelta) -> None:
+        """Replay a delta produced elsewhere onto this database.
+
+        Replication primitive: a replica that starts byte-identical to
+        the primary and applies the primary's deltas in order stays
+        byte-identical (and its ``db_version`` advances in lockstep —
+        both sides bump once per delta).  Raises :class:`SchemaError`
+        if a deletion targets rows this replica does not hold (the
+        replicas have diverged; silently skipping would entrench it).
+        """
+        table = self.table(delta.table)
+        inserted = tuple(table.schema.check_row(row)
+                         for row in delta.inserted)
+        for row in inserted:
+            table.insert_stored(row)
+        removed = table.delete_rows(delta.deleted)
+        if len(removed) != len(delta.deleted):
+            raise SchemaError(
+                f"replica diverged: delta v{delta.version} deletes "
+                f"{len(delta.deleted)} rows from {delta.table!r} but "
+                f"only {len(removed)} were present")
+        self._commit_delta(delta.table, inserted, tuple(removed))
+
+    def _commit_delta(self, name: str, inserted: tuple,
+                      deleted: tuple) -> None:
+        self._db_version += 1
+        delta = TableDelta(name, inserted, deleted, self._db_version)
+        # Evict cached plans/compiled templates reading the table ahead
+        # of notification (the per-hit version checks would catch them
+        # anyway; eager eviction keeps the caches small and the hit
+        # counters honest after mutations).
+        self._executor.invalidate_tables((name,))
+        if self._listeners:
+            live = []
+            for reference in self._listeners:
+                listener = reference()
+                if listener is not None:
+                    live.append(reference)
+                    listener(delta)
+            self._listeners = live
 
     # ------------------------------------------------------------------
     # query evaluation

@@ -127,6 +127,9 @@ class Executor:
         # Guarded by a lock — evaluation runs on worker threads during
         # parallel component rounds.
         self._compiled: dict[ConjunctiveQuery, tuple] = {}
+        # table name -> cached queries reading it (targeted eviction on
+        # mutation; see invalidate_tables).
+        self._compiled_by_table: dict[str, set] = {}
         self._compiled_lock = threading.Lock()
         # Diagnostics (read by benchmarks and tests).
         self.compile_hits = 0
@@ -199,8 +202,44 @@ class Executor:
         with self._compiled_lock:
             if len(self._compiled) >= MAX_COMPILED_PLANS:
                 self._compiled.clear()
+                self._compiled_by_table.clear()
             self._compiled[query] = (compiled, pre, tables, versions)
+            for table in tables:
+                self._compiled_by_table.setdefault(
+                    table.schema.name, set()).add(query)
         return compiled, pre
+
+    def invalidate_tables(self, names) -> None:
+        """Evict compiled templates (and cached plan orders) reading
+        any of *names*; entries over untouched tables survive.
+
+        Called by the database on every committed mutation.  The
+        per-hit version/identity validation in :meth:`_compiled_for`
+        remains the correctness backstop for direct table mutations.
+        An evicted entry leaves *every* table's reverse-index bucket,
+        not just the mutated one, so stable tables' buckets cannot
+        accumulate references to dead entries under mutation-heavy
+        workloads.
+        """
+        with self._compiled_lock:
+            for name in names:
+                for query in self._compiled_by_table.pop(name, ()):
+                    entry = self._compiled.pop(query, None)
+                    if entry is None:
+                        continue
+                    for table in entry[2]:
+                        other = table.schema.name
+                        bucket = self._compiled_by_table.get(other)
+                        if bucket is not None:
+                            bucket.discard(query)
+                            if not bucket:
+                                del self._compiled_by_table[other]
+        self._planner.invalidate_tables(names)
+
+    def compiled_plan_count(self) -> int:
+        """Number of cached compiled templates (diagnostics)."""
+        with self._compiled_lock:
+            return len(self._compiled)
 
     def _compile_fresh(self, query: ConjunctiveQuery,
                        with_tables: bool = False) -> tuple:

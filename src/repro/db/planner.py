@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..core.terms import Atom, Constant, TermNumbering, Variable
 from ..errors import QueryEvaluationError
@@ -131,6 +132,11 @@ class Planner:
         self._database = database
         self._cache_plans = cache_plans
         self._cache: dict[tuple, _CachedOrder] = {}
+        # table name -> signatures of cached orders reading it (so a
+        # mutation evicts exactly the entries it invalidates), plus
+        # the inverse so an eviction leaves every bucket it is in.
+        self._by_table: dict[str, set[tuple]] = {}
+        self._sig_tables: dict[tuple, tuple[str, ...]] = {}
         # Guards the cache and its counters: plan_order is called from
         # worker threads during parallel component evaluation.
         self._cache_lock = threading.Lock()
@@ -192,13 +198,50 @@ class Planner:
         with self._cache_lock:
             if len(self._cache) >= MAX_CACHED_PLANS:
                 self._cache.clear()
+                self._by_table.clear()
+                self._sig_tables.clear()
             self._cache[signature] = stored
+            relations = {atom.relation for atom in query.atoms}
+            self._sig_tables[signature] = tuple(relations)
+            for relation in relations:
+                self._by_table.setdefault(relation,
+                                          set()).add(signature)
         return stored, tables
 
     def clear_cache(self) -> None:
         """Drop all cached plan orders."""
         with self._cache_lock:
             self._cache.clear()
+            self._by_table.clear()
+            self._sig_tables.clear()
+
+    def invalidate_tables(self, names: Iterable[str]) -> None:
+        """Evict cached orders whose query reads any of *names*.
+
+        Called by the database on every committed mutation; entries
+        over untouched tables stay (the cache-hit counters prove it),
+        and an evicted signature leaves every table's bucket so stable
+        tables cannot accumulate dead references.  The per-hit
+        table-version check remains as the correctness backstop for
+        mutations that bypass the database facade.
+        """
+        with self._cache_lock:
+            for name in names:
+                for signature in self._by_table.pop(name, ()):
+                    self._cache.pop(signature, None)
+                    for other in self._sig_tables.pop(signature, ()):
+                        if other == name:
+                            continue
+                        bucket = self._by_table.get(other)
+                        if bucket is not None:
+                            bucket.discard(signature)
+                            if not bucket:
+                                del self._by_table[other]
+
+    def cached_plan_count(self) -> int:
+        """Number of cached plan orders (diagnostics)."""
+        with self._cache_lock:
+            return len(self._cache)
 
     @staticmethod
     def _replay(query: ConjunctiveQuery, cached: _CachedOrder) -> Plan:

@@ -42,7 +42,15 @@ class Table:
 
     def insert(self, row: Sequence) -> int:
         """Validate and insert one row; returns its row id."""
-        stored = self.schema.check_row(row)
+        return self.insert_stored(self.schema.check_row(row))
+
+    def insert_stored(self, stored: tuple) -> int:
+        """Insert a row already in validated stored form.
+
+        The bulk paths (:meth:`repro.db.database.Database.insert`,
+        delta replay) validate whole batches up front for atomicity;
+        this skips the redundant second ``check_row``.
+        """
         row_id = self._next_row_id
         self._next_row_id += 1
         self._rows[row_id] = stored
@@ -59,16 +67,52 @@ class Table:
             count += 1
         return count
 
+    def delete_rows(self, rows: Iterable[Sequence]) -> list[tuple]:
+        """Delete one stored copy per given row value.
+
+        Bag semantics: a value appearing twice in *rows* removes two
+        copies; values not present are skipped.  Returns the rows
+        actually removed (validated/coerced form), so callers emitting
+        deltas record exactly what left the table.
+        """
+        rows = list(rows)
+        removed: list[tuple] = []
+        if not rows:
+            return removed
+        index = self.index_on(tuple(range(self.schema.arity)))
+        for row in rows:
+            stored = self.schema.check_row(row)
+            bucket = index.probe(stored)
+            if not bucket:
+                continue
+            row_id = bucket[0]
+            actual = self._rows.pop(row_id)
+            self._version += 1
+            for other in self._indexes.values():
+                other.remove(row_id, actual)
+            removed.append(actual)
+        return removed
+
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
         """Delete rows satisfying *predicate*; returns the count removed."""
-        doomed = [row_id for row_id, row in self._rows.items()
+        return len(self.delete_matching(predicate))
+
+    def delete_matching(self, predicate: Callable[[tuple], bool]
+                        ) -> list[tuple]:
+        """Delete rows satisfying *predicate*; returns the removed rows.
+
+        One pass, by row id — no value lookups, no index construction;
+        the delta-emitting :meth:`repro.db.database.Database.
+        delete_where` records the returned rows.
+        """
+        doomed = [(row_id, row) for row_id, row in self._rows.items()
                   if predicate(row)]
-        for row_id in doomed:
-            row = self._rows.pop(row_id)
+        for row_id, row in doomed:
+            del self._rows[row_id]
             self._version += 1
             for index in self._indexes.values():
                 index.remove(row_id, row)
-        return len(doomed)
+        return [row for _, row in doomed]
 
     # ------------------------------------------------------------------
     # access

@@ -84,8 +84,11 @@ class D3CEngine:
     """Coordination middleware over one database.
 
     Args:
-        database: substrate evaluated against (a snapshot per round; the
-            engine never writes to it).
+        database: substrate evaluated against (a snapshot per round;
+            the engine never writes to it, but it may be mutated
+            between rounds — the engine listens for committed
+            :class:`~repro.db.database.TableDelta`\\ s and re-queues
+            exactly the components reading the mutated tables).
         mode: ``"incremental"`` or ``"batch"`` (set-at-a-time).
         safety: ``"reject"`` fails arrivals that over-unify with pending
             heads immediately; ``"off"`` (default) admits everything and
@@ -194,6 +197,11 @@ class D3CEngine:
         # staleness policies; settled entries are dropped lazily, so an
         # expiry sweep is O(expired log pending), not O(pending).
         self._expiry_heap: list[tuple] = []
+        # Live-mutation hook: every committed TableDelta re-queues
+        # exactly the components whose plans read the mutated table
+        # (held weakly by the database — a dropped engine unregisters
+        # itself).
+        database.add_mutation_listener(self._on_table_delta)
 
     # ------------------------------------------------------------------
     # compatibility views (tests and diagnostics reach for these)
@@ -396,15 +404,33 @@ class D3CEngine:
         return len(settled)
 
     def invalidate_cache(self) -> None:
-        """Forget data-dependent coordination state.
+        """Forget data-dependent coordination state, indiscriminately.
 
-        Call after mutating the database: failed groups and feasibility
-        enumerations may now succeed, and previously-failed components
-        are re-queued on the scheduler's worklist so the next
-        :meth:`run_batch` re-attempts them.
+        The full-recompute hammer: every component is re-queued and
+        every data-dependent cache dropped.  Mutations performed
+        through the :class:`~repro.db.database.Database` DML surface do
+        not need it — the engine listens for
+        :class:`~repro.db.database.TableDelta` commits and re-queues
+        exactly the components whose plans read the mutated table (see
+        :meth:`_on_table_delta`).  Kept for mutations that bypass the
+        facade and as the paired baseline the ``dynamic_db`` benchmark
+        measures targeted invalidation against.
         """
         with self._lock:
             self._runtime.invalidate()
+
+    def _on_table_delta(self, delta) -> None:
+        """Database mutation listener: targeted dirty-marking.
+
+        Components whose plans read ``delta.table`` are re-queued on
+        the scheduler's worklist (their failed-group entries dropped,
+        their feasibility enumerations evicted); components over
+        untouched tables keep their clean state.  The db-layer caches
+        (plan orders, compiled templates) were already evicted by the
+        database before listeners ran.
+        """
+        with self._lock:
+            self._runtime.mark_tables_dirty((delta.table,))
 
     # ------------------------------------------------------------------
     # component migration (the sharded service's export/import hooks)

@@ -97,11 +97,32 @@ class CoordinationScheduler:
         # Local groups whose combined query found no data; the database
         # is treated as a snapshot per the paper, so a failed group
         # cannot succeed until the data changes (see invalidate).
+        # Indexed by member so a mutation drops the affected groups
+        # without scanning the whole set.
         self._failed_groups: set[frozenset] = set()
+        self._failed_by_member: dict = {}
         # Canonical-body-key -> (canonical valuations, complete,
-        # table versions) for the feasibility prefilter; entries are
-        # revalidated against table versions on every hit.
-        self._feasible_memo: dict[tuple, tuple[list, bool, tuple]] = {}
+        # table versions, relations read) for the feasibility
+        # prefilter; entries are revalidated against table versions on
+        # every hit and evicted when a read table mutates.
+        self._feasible_memo: dict[tuple, tuple[list, bool, tuple,
+                                               frozenset]] = {}
+        # relation -> memo body keys reading it (targeted eviction
+        # without a per-mutation scan of the whole memo).
+        self._feasible_by_table: dict[str, set] = {}
+        # Feasibility-memo diagnostics (cache-invalidation tests read
+        # these, mirroring the planner/executor hit counters).
+        self.feasibility_hits = 0
+        self.feasibility_misses = 0
+        # relation name -> {query_id: None} of live queries whose body
+        # reads it, plus the inverse for cleanup: database mutations
+        # dirty-mark exactly the components that read the mutated
+        # table (see mark_tables_dirty).  Built lazily at the first
+        # mutation — mutation-free workloads (every paper benchmark)
+        # pay nothing on the arrival hot path — then maintained
+        # incrementally by the delta listener.
+        self._readers: Optional[dict] = None
+        self._reads_of: dict = {}
         # When set, removal deltas are collected instead of applied so
         # multi-query removals rebuild each affected partition once.
         self._removal_batch: Optional[list] = None
@@ -115,14 +136,44 @@ class CoordinationScheduler:
         if delta.kind == "add":
             self.partitions.add_query(delta.query, delta.edges)
             self._dirty[delta.query_id] = None
+            self._track_reader(delta.query)
             return
         if self._removal_batch is not None:
             self._removal_batch.append(delta.query_id)
             return
         self._dirty.pop(delta.query_id, None)
+        self._forget_reader(delta.query_id)
+        self._drop_failed_groups_of(delta.query_id)
         for representative in self.partitions.remove_queries(
                 (delta.query_id,)):
             self._dirty[representative] = None
+
+    def _track_reader(self, query: EntangledQuery) -> None:
+        if self._readers is None:
+            return
+        relations = {atom.relation for atom in query.body}
+        self._reads_of[query.query_id] = relations
+        for relation in relations:
+            self._readers.setdefault(relation, {})[query.query_id] = None
+
+    def _forget_reader(self, query_id) -> None:
+        if self._readers is None:
+            return
+        for relation in self._reads_of.pop(query_id, ()):
+            readers = self._readers.get(relation)
+            if readers is not None:
+                readers.pop(query_id, None)
+                if not readers:
+                    del self._readers[relation]
+
+    def _ensure_reader_index(self) -> None:
+        """Build the relation -> readers index from the live graph
+        (first mutation only; incremental from then on)."""
+        if self._readers is not None:
+            return
+        self._readers = {}
+        for query_id in self.graph.query_ids():
+            self._track_reader(self.graph.query(query_id))
 
     def remove_block(self, query_ids: Sequence) -> None:
         """Remove many queries, rebuilding affected partitions once.
@@ -141,6 +192,8 @@ class CoordinationScheduler:
             removed, self._removal_batch = self._removal_batch, None
         for query_id in removed:
             self._dirty.pop(query_id, None)
+            self._forget_reader(query_id)
+            self._drop_failed_groups_of(query_id)
         for representative in self.partitions.remove_queries(removed):
             self._dirty[representative] = None
 
@@ -150,11 +203,78 @@ class CoordinationScheduler:
         for query_id in self.graph.query_ids():
             self._dirty[query_id] = None
 
+    def mark_tables_dirty(self, tables: Iterable[str]) -> None:
+        """Targeted invalidation after a mutation to *tables*.
+
+        Exactly the queries whose bodies read a mutated table are
+        re-queued (their components re-attempt at the next drain —
+        previously failed groups over those tables may now succeed, and
+        previously successful shapes may now fail); components reading
+        only untouched tables keep their clean state, their failed-group
+        entries, and their feasibility enumerations.  This is what lets
+        a live service absorb fact arrivals and retractions without
+        paying a full-recompute round per mutation.
+
+        All three invalidations go through maintained reverse indexes
+        (relation -> readers, member -> failed groups, relation -> memo
+        keys): the per-mutation cost is proportional to what is
+        actually invalidated, never to the size of the caches.
+        """
+        self._ensure_reader_index()
+        affected: set = set()
+        for table in tables:
+            affected.update(self._readers.get(table, ()))
+        for query_id in affected:
+            self._dirty[query_id] = None
+            self._drop_failed_groups_of(query_id)
+        for table in tables:
+            for body_key in self._feasible_by_table.pop(table, ()):
+                entry = self._feasible_memo.pop(body_key, None)
+                if entry is None:
+                    continue
+                for other in entry[3]:
+                    if other == table:
+                        continue
+                    bucket = self._feasible_by_table.get(other)
+                    if bucket is not None:
+                        bucket.discard(body_key)
+                        if not bucket:
+                            del self._feasible_by_table[other]
+
     def invalidate(self) -> None:
         """Forget data-dependent caches and re-queue everything."""
         self._failed_groups.clear()
+        self._failed_by_member.clear()
         self._feasible_memo.clear()
+        self._feasible_by_table.clear()
         self.mark_all_dirty()
+
+    def _record_failed_group(self, group: frozenset) -> None:
+        """Cache a group's data failure, indexed by member for
+        targeted invalidation on mutation."""
+        self._failed_groups.add(group)
+        for member in group:
+            self._failed_by_member.setdefault(member, set()).add(group)
+
+    def _drop_failed_groups_of(self, query_id) -> None:
+        """Forget every cached failure involving *query_id*.
+
+        Called on mutation (the failure may no longer hold) and on
+        query removal (a settled or expired member can never re-form
+        the identical group — and a re-submitted incarnation deserves
+        a fresh attempt), so the failure cache tracks the live pending
+        set instead of growing for the engine's lifetime.
+        """
+        for group in self._failed_by_member.pop(query_id, ()):
+            self._failed_groups.discard(group)
+            for member in group:
+                if member == query_id:
+                    continue
+                bucket = self._failed_by_member.get(member)
+                if bucket is not None:
+                    bucket.discard(group)
+                    if not bucket:
+                        del self._failed_by_member[member]
 
     # ------------------------------------------------------------------
     # arrival ingestion
@@ -422,7 +542,10 @@ class CoordinationScheduler:
         cached = self._feasible_memo.get(body_key)
         if cached is not None and cached[2] != versions:
             cached = None
-        if cached is None:
+        if cached is not None:
+            self.feasibility_hits += 1
+        else:
+            self.feasibility_misses += 1
             canon_valuations: list[dict] = []
             start = time.perf_counter()
             try:
@@ -440,12 +563,17 @@ class CoordinationScheduler:
                 return edges
             finally:
                 host.stats.db_seconds += time.perf_counter() - start
-            cached = (canon_valuations, complete, versions)
+            cached = (canon_valuations, complete, versions,
+                      frozenset(atom.relation for atom in query.body))
             if len(self._feasible_memo) >= self._FEASIBILITY_MEMO_LIMIT:
                 self._feasible_memo.clear()
+                self._feasible_by_table.clear()
             self._feasible_memo[body_key] = cached
+            for relation in cached[3]:
+                self._feasible_by_table.setdefault(
+                    relation, set()).add(body_key)
 
-        canon_valuations, complete, _ = cached
+        canon_valuations, complete = cached[0], cached[1]
         feasible: set[tuple] = set()
         for canon in canon_valuations:
             feasible.add(tuple(
@@ -510,7 +638,7 @@ class CoordinationScheduler:
                 or match.global_unifier is None):
             # The group as chosen cannot mutually satisfy; it is a
             # static failure, cache it so retries are free.
-            self._failed_groups.add(group)
+            self._record_failed_group(group)
             return False
         queries_by_id = {query_id: self.graph.query(query_id)
                          for query_id in match.survivors}
@@ -518,7 +646,7 @@ class CoordinationScheduler:
         host.stats.combined_queries_built += 1
         if self._evaluate_combined(combined, queries_by_id):
             return True
-        self._failed_groups.add(group)
+        self._record_failed_group(group)
         return False
 
     # ------------------------------------------------------------------

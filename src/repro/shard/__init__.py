@@ -16,12 +16,15 @@ multi-core parallelism despite the GIL).  See DESIGN.md §6.
 """
 
 from .backend import InProcessBackend, ShardBackend, ShardCall
-from .coordinator import ShardMigrationError, ShardedCoordinator
-from .process import ProcessBackend, ShardWorkerError
+from .coordinator import (ShardMigrationError, ShardReplicationError,
+                          ShardedCoordinator)
+from .process import (ProcessBackend, ShardReplicaStaleError,
+                      ShardWorkerError)
 from .router import ShardRouter
 
 __all__ = [
     "InProcessBackend", "ProcessBackend", "ShardBackend", "ShardCall",
-    "ShardMigrationError", "ShardRouter", "ShardWorkerError",
+    "ShardMigrationError", "ShardReplicaStaleError",
+    "ShardReplicationError", "ShardRouter", "ShardWorkerError",
     "ShardedCoordinator",
 ]

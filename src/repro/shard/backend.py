@@ -108,7 +108,8 @@ class ShardBackend(Protocol):
     # the command without waiting, ``finish_*`` collects its result
     # (FIFO per backend).  The coordinator begins on every shard before
     # finishing on any — with process workers the shards genuinely run
-    # concurrently (shard state is disjoint, the database is read-only,
+    # concurrently (shard state is disjoint, the database only changes
+    # between fan-outs — replicated db_delta frames, never mid-round —
     # and events are applied in shard order, so the fan-out is
     # answer-identical to the sequential form).  Commands pipeline:
     # several may be outstanding per backend, bounded by the process
@@ -148,6 +149,15 @@ class ShardBackend(Protocol):
     def import_records(self, records: object) -> None:
         """Adopt what a peer backend's ``transfer`` produced."""
 
+    def apply_db_delta(self, payload: dict) -> int:
+        """Apply one versioned ``db_delta`` replication block to the
+        shard's database replica; returns the replica's resulting
+        ``db_version`` (the ack the coordinator verifies).  Blocks the
+        replica has already applied are acknowledged without reapplying
+        (replays are idempotent); a block whose ``from`` version is
+        ahead of the replica raises — the replica has a gap and must be
+        replayed from the mutation log first."""
+
     # Pipelined form of the commands the coordinator fans out during
     # routing and migration: ``call_*`` issues without waiting and
     # returns a :class:`ShardCall`.  Several calls may be in flight per
@@ -166,6 +176,8 @@ class ShardBackend(Protocol):
     def call_abort(self, manifest: str) -> ShardCall: ...
 
     def call_import(self, records: object) -> ShardCall: ...
+
+    def call_db_delta(self, payload: dict) -> ShardCall: ...
 
     def call_stats(self) -> ShardCall: ...
 
@@ -305,6 +317,14 @@ class InProcessBackend:
         for ticket in self.engine.import_pending(records).values():
             self._track(ticket)
 
+    def apply_db_delta(self, payload: dict) -> int:
+        self.wire_requests += 1
+        # In-process shards share the coordinator's live database
+        # object: the mutation block is already applied (and the shard
+        # engine's own mutation listener already dirty-marked its
+        # components), so the ack is simply the shared version.
+        return self.engine.database.db_version
+
     # In-process pipelining: execute eagerly, park the outcome (see
     # ShardCall — failures surface at result() on both backends).
 
@@ -325,6 +345,9 @@ class InProcessBackend:
 
     def call_import(self, records: object) -> ShardCall:
         return _eager(lambda: self.import_records(records))
+
+    def call_db_delta(self, payload: dict) -> ShardCall:
+        return _eager(lambda: self.apply_db_delta(payload))
 
     def call_stats(self) -> ShardCall:
         return _eager(self.stats_snapshot)

@@ -58,13 +58,24 @@ class ShardMigrationError(RuntimeError):
     candidate shard failed); the affected component left the fleet."""
 
 
+class ShardReplicationError(RuntimeError):
+    """A shard replica acknowledged the wrong database version for a
+    ``db_delta`` block.  A worker whose ack disagrees with the block it
+    was sent is refused — removed from the fleet with its components
+    re-homed onto current replicas — rather than left serving answers
+    from stale data."""
+
+
 class ShardedCoordinator:
     """A D3C engine fleet behind one engine-shaped front door.
 
     Args:
-        database: shared substrate.  In-process shards share the live
-            object (reads only); process shards rebuild it from its
-            :func:`repro.dataio.dump_database` text.
+        database: shared substrate and replication *primary*.
+            In-process shards share the live object; process shards
+            rebuild a replica from its
+            :func:`repro.dataio.dump_database` text and stay current
+            via versioned ``db_delta`` frames (see
+            :meth:`apply_mutations`).
         num_shards: worker count (1 is a valid, useful baseline).
         backend: ``"inprocess"`` (deterministic, debuggable — the
             equivalence oracle runs against it) or ``"process"``
@@ -117,6 +128,9 @@ class ShardedCoordinator:
         self.backend_kind = backend
         self.batch_size = batch_size
         self.num_shards = num_shards
+        # Set before backend construction: the failure path below
+        # calls close(), which reads it.
+        self._closed = False
         self._staleness = staleness or NeverStale()
         self._clock = clock or SystemClock()
         self._router = router or ShardRouter(num_shards)
@@ -150,6 +164,7 @@ class ShardedCoordinator:
             # start-up instead of inside the serving path.
             config = {
                 "database_text": dump_database(database),
+                "db_version": database.db_version,
                 "staleness": staleness_to_spec(self._staleness),
                 "engine": engine_kwargs,
                 "warm_indexes": [[table, list(positions)]
@@ -173,11 +188,27 @@ class ShardedCoordinator:
         self._head_index = AtomIndex()
         self._pc_index = AtomIndex()
         self._shard_of: dict = {}
-        self._pending_meta: dict = {}       # qid -> (working, seq)
+        # qid -> (working, seq, submitted_at); the coordinator's own
+        # copy of every pending record, which is what lets it re-home
+        # a dead worker's components without the worker's cooperation.
+        self._pending_meta: dict = {}
         self._tickets: dict = {}
         self._used_ids: set = set()
         self._next_seq = 0
-        self._closed = False
+
+        # Live-mutation replication state: the coordinator's database
+        # is the primary; TableDeltas it commits buffer here (via the
+        # mutation listener) and flush as ONE versioned db_delta frame
+        # per block to every live worker, which must ack the resulting
+        # version.  The log retains flushed blocks until every live
+        # shard acked them, so a lagging or re-homed-to shard can be
+        # replayed to the current version before accepting work.
+        self._db_version = database.db_version
+        self._acked = [database.db_version] * num_shards
+        self._mutation_log: list[dict] = []
+        self._pending_deltas: list = []
+        self._dead: set[int] = set()
+        database.add_mutation_listener(self._on_local_delta)
 
         self._submitted = 0
         self._answered = 0
@@ -258,7 +289,8 @@ class ShardedCoordinator:
                     if partner in queued_partners:
                         queued_partners[partner].add(query_id)
                 if not partners:
-                    target = self._router.home_shard(working)
+                    target = self._live_home(
+                        self._router.home_shard(working))
                 else:
                     target = self._colocate(query_id, partners,
                                             queued_partners,
@@ -495,7 +527,8 @@ class ShardedCoordinator:
                 errors.append(abort_error)
                 try:
                     self._rehome_records(members, payloads[pair],
-                                         exclude={source, pair[1]})
+                                         exclude={source, pair[1]}
+                                         | self._dead)
                 except ShardMigrationError as lost:
                     errors.append(lost)
             else:
@@ -540,6 +573,243 @@ class ShardedCoordinator:
             f"restored on any shard: records lost from the fleet")
 
     # ------------------------------------------------------------------
+    # live mutations: replication to shard replicas
+    # ------------------------------------------------------------------
+
+    def _on_local_delta(self, delta) -> None:
+        """Database mutation listener: buffer deltas for replication.
+
+        Mutations through :meth:`apply_mutations` (or directly against
+        :attr:`database`) land here; they flush as one ``db_delta``
+        frame per block — explicitly in :meth:`apply_mutations`, or
+        lazily before the next serving command, so a worker never
+        coordinates against data older than the coordinator's.
+        """
+        self._pending_deltas.append(delta)
+
+    def apply_mutations(self, operations: Sequence[tuple]) -> list[int]:
+        """Apply a batch of DML operations and replicate them.
+
+        *operations* is a sequence of ``("insert", table, rows)`` /
+        ``("delete", table, rows)`` tuples, applied in order against
+        the coordinator's database (the primary) and then shipped to
+        every live worker as a single versioned ``db_delta`` frame.
+        Returns the per-operation row counts.  Workers ack the
+        resulting ``db_version``; a worker acking any other version is
+        refused (:class:`ShardReplicationError`), and a worker that
+        died mid-frame has its components re-homed onto a healthy
+        shard (replayed to the current version first).
+        """
+        # Validate the whole batch — kinds, table names, and every
+        # row — before applying any operation: a bad op mid-batch
+        # must not leave earlier ops committed behind an exception
+        # (a retry of the "failed" batch would double-apply them
+        # fleet-wide under bag semantics).
+        checked: list[tuple] = []
+        for operation in operations:
+            kind, table, rows = operation
+            if kind not in ("insert", "delete"):
+                raise ValidationError(
+                    f"unknown mutation op {kind!r}; expected 'insert' "
+                    f"or 'delete'")
+            schema = self.database.table(table).schema
+            rows = [schema.check_row(row) for row in rows]
+            checked.append((kind, table, rows))
+        counts: list[int] = []
+        for kind, table, rows in checked:
+            if kind == "insert":
+                counts.append(self.database.insert(table, rows))
+            else:
+                counts.append(self.database.delete_rows(table, rows))
+        self._replicate()
+        return counts
+
+    def insert(self, table: str, rows) -> int:
+        """Insert rows fleet-wide (one replicated mutation block)."""
+        return self.apply_mutations([("insert", table, rows)])[0]
+
+    def delete_rows(self, table: str, rows) -> int:
+        """Delete rows fleet-wide (one replicated mutation block)."""
+        return self.apply_mutations([("delete", table, rows)])[0]
+
+    @property
+    def db_version(self) -> int:
+        """The last database version replicated to the fleet."""
+        return self._db_version
+
+    def dead_shards(self) -> set[int]:
+        """Shards removed from the fleet after a worker death."""
+        return set(self._dead)
+
+    def _live_shards(self) -> list[int]:
+        return [shard for shard in range(len(self._backends))
+                if shard not in self._dead]
+
+    def _live_home(self, shard: int) -> int:
+        """Remap a router-chosen home off dead shards (deterministic:
+        the lowest-indexed live shard stands in)."""
+        if shard not in self._dead:
+            return shard
+        live = self._live_shards()
+        if not live:
+            raise ShardMigrationError(
+                "no live shards remain in the fleet")
+        return live[0]
+
+    def _replicate(self) -> None:
+        """Flush buffered deltas as one db_delta frame to every live
+        worker; verify acks, re-home components of workers that died."""
+        if not self._pending_deltas:
+            return
+        from ..dataio import db_delta_to_payload
+        version = self.database.db_version
+        # Serialize BEFORE consuming the buffer: if a delta carries a
+        # non-wire value (an `any`-typed column holding an object),
+        # the buffer survives and every subsequent serving command
+        # re-raises — the fleet never silently skips a version range.
+        payload = db_delta_to_payload(self._db_version, version,
+                                      self._pending_deltas)
+        self._pending_deltas = []
+        self._db_version = version
+        self._mutation_log.append(payload)
+        calls = [(shard, self._backends[shard].call_db_delta(payload))
+                 for shard in self._live_shards()]
+        from .process import ShardReplicaStaleError
+        died: list[tuple[int, BaseException]] = []
+        lagging: list[int] = []
+        refused: list[int] = []
+        for shard, call in calls:
+            try:
+                ack = call.result()
+            except ShardReplicaStaleError:
+                # The worker detected a gap (a previous frame was
+                # lost): recoverable — replay the log to it.
+                lagging.append(shard)
+                continue
+            except Exception as error:
+                died.append((shard, error))
+                continue
+            if ack != version:
+                refused.append(shard)
+                continue
+            self._acked[shard] = ack
+        for shard in lagging:
+            # A failure replaying must not abandon the died-shard
+            # re-homing below: a replay death joins the died list, a
+            # short ack (or a log too short to heal the gap) joins
+            # the refused list.
+            try:
+                self._sync_shard(shard)
+            except (ShardReplicationError, ShardReplicaStaleError):
+                refused.append(shard)
+                continue
+            except Exception as error:
+                died.append((shard, error))
+                continue
+            if self._acked[shard] != version:
+                refused.append(shard)
+        # Mark every casualty dead before re-homing any, so one dead
+        # shard's components can never be re-homed onto another shard
+        # that died (or was refused) in the same flush.
+        for shard, _ in died:
+            self._dead.add(shard)
+        for shard in refused:
+            self._dead.add(shard)
+        for shard, error in died:
+            self._rehome_dead_shard(shard, error)
+        failure: ShardReplicationError | None = None
+        if refused:
+            # A refused replica cannot be trusted with coordination:
+            # remove it from the fleet and adopt its components on
+            # shards known to be current, then surface the refusal.
+            failure = ShardReplicationError(
+                f"shards {sorted(refused)!r} acked the wrong "
+                f"db_version for block ->{version}; stale replicas "
+                f"are refused (removed from the fleet, components "
+                f"re-homed)")
+            for shard in refused:
+                self._rehome_dead_shard(shard, failure)
+        self._trim_log()
+        if failure is not None:
+            raise failure
+
+    def _sync_shard(self, shard: int) -> None:
+        """Replay the mutation log to *shard* up to the current
+        version (idempotent: already-applied blocks are skipped by the
+        worker and acked with its current version)."""
+        backend = self._backends[shard]
+        for payload in self._mutation_log:
+            if payload["version"] <= self._acked[shard]:
+                continue
+            ack = backend.apply_db_delta(payload)
+            if ack < payload["version"]:
+                raise ShardReplicationError(
+                    f"shard {shard} acked db_version {ack} while "
+                    f"replaying block ->{payload['version']}")
+            self._acked[shard] = payload["version"]
+
+    def _trim_log(self) -> None:
+        """Drop log blocks every live shard has acked (a re-home
+        target is always a live shard, so older blocks can never be
+        needed again)."""
+        live = self._live_shards()
+        if not live:
+            return
+        floor = min(self._acked[shard] for shard in live)
+        self._mutation_log = [payload for payload in self._mutation_log
+                              if payload["version"] > floor]
+
+    def _rehome_dead_shard(self, shard: int,
+                           cause: BaseException) -> None:
+        """Remove a dead worker from the fleet and adopt its pending
+        components on a healthy shard.
+
+        The coordinator holds its own copy of every pending record
+        (working query, global arrival seq, submission instant), so the
+        dead worker's cooperation is not needed.  The target shard is
+        replayed to the current ``db_version`` before it accepts the
+        records — a re-homed component must never coordinate against
+        older data than the rest of the fleet.
+        """
+        backend = self._backends[shard]
+        self._dead.add(shard)
+        # Salvage settlements already decoded off the wire before the
+        # death — their tickets must still resolve.
+        self._apply_events(backend.drain_events())
+        try:
+            backend.close()
+        except Exception:
+            pass
+        stranded = sorted(
+            (query_id for query_id, owner in self._shard_of.items()
+             if owner == shard),
+            key=lambda query_id: self._pending_meta[query_id][1])
+        if not stranded:
+            return
+        from ..engine.engine import PendingRecord
+        records = [PendingRecord(*self._pending_meta[query_id])
+                   for query_id in stranded]
+        if self.backend_kind == "process":
+            from ..dataio import manifest_to_payload
+            importable: object = manifest_to_payload(
+                f"rehome-{shard}", records)
+        else:
+            importable = records
+        for target in self._live_shards():
+            try:
+                self._sync_shard(target)
+                self._backends[target].import_records(importable)
+            except Exception:
+                continue
+            for query_id in stranded:
+                self._shard_of[query_id] = target
+            return
+        raise ShardMigrationError(
+            f"components of dead shard {shard} ({cause!r}) could not "
+            f"be re-homed on any live shard: records lost from the "
+            f"fleet") from cause
+
+    # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
 
@@ -553,10 +823,10 @@ class ShardedCoordinator:
         block_seen.add(query_id)
 
     def _register(self, working: EntangledQuery, seq: int,
-                  ticket: CoordinationTicket) -> None:
+                  ticket: CoordinationTicket, now: float) -> None:
         query_id = working.query_id
         self._used_ids.add(query_id)
-        self._pending_meta[query_id] = (working, seq)
+        self._pending_meta[query_id] = (working, seq, now)
         self._tickets[query_id] = ticket
         self._submitted += 1
 
@@ -567,6 +837,7 @@ class ShardedCoordinator:
         already be settled, exactly as on the single engine)."""
         query.validate()
         self._check_new_id(query.query_id, set())
+        self._replicate()
         working = query.rename_apart()
         ticket = CoordinationTicket(query.query_id)
         if callback is not None:
@@ -575,7 +846,7 @@ class ShardedCoordinator:
         seq = self._next_seq
         self._next_seq += 1
         (target,) = self._route_block([working])
-        self._register(working, seq, ticket)
+        self._register(working, seq, ticket, now)
         self._backends[target].submit_block([working], [seq], now)
         self._drain_all_events()
         self._maybe_autobatch()
@@ -602,6 +873,7 @@ class ShardedCoordinator:
         for query in queries:
             query.validate()
             self._check_new_id(query.query_id, block_seen)
+        self._replicate()
         workings = [query.rename_apart() for query in queries]
         tickets = [CoordinationTicket(query.query_id)
                    for query in queries]
@@ -611,7 +883,7 @@ class ShardedCoordinator:
         self._next_seq += len(queries)
         targets = self._route_block(workings)
         for working, seq, ticket in zip(workings, seqs, tickets):
-            self._register(working, seq, ticket)
+            self._register(working, seq, ticket, now)
         blocks: dict[int, tuple[list, list]] = {}
         for working, seq, target in zip(workings, seqs, targets):
             sub_queries, sub_seqs = blocks.setdefault(target, ([], []))
@@ -645,37 +917,42 @@ class ShardedCoordinator:
         only, per shard); returns the number answered.
 
         Shards round concurrently — components are disjoint and the
-        database is read-only, so the fan-out settles exactly what
-        sequential rounds would; events apply in shard order.
+        database only changes between rounds (buffered mutations are
+        replicated before the fan-out), so the fan-out settles exactly
+        what sequential rounds would; events apply in shard order.
         """
+        self._replicate()
         now = self._clock.now()
         answered = 0
-        for backend in self._backends:
+        live = [self._backends[shard] for shard in self._live_shards()]
+        for backend in live:
             backend.begin_run_batch(now)
-        for backend in self._backends:
+        for backend in live:
             answered += backend.finish_run_batch()
             self._apply_events(backend.drain_events())
         return answered
 
     def expire_stale(self) -> int:
         """Expire stale pending queries fleet-wide; returns the count."""
+        self._replicate()
         now = self._clock.now()
         expired = 0
-        for backend in self._backends:
+        live = [self._backends[shard] for shard in self._live_shards()]
+        for backend in live:
             backend.begin_expire(now)
-        for backend in self._backends:
+        for backend in live:
             expired += backend.finish_expire()
             self._apply_events(backend.drain_events())
         return expired
 
     def invalidate_cache(self) -> None:
         """Forget data-dependent coordination state on every shard."""
-        for backend in self._backends:
-            backend.invalidate_cache()
+        for shard in self._live_shards():
+            self._backends[shard].invalidate_cache()
 
     def _drain_all_events(self) -> None:
-        for backend in self._backends:
-            self._apply_events(backend.drain_events())
+        for shard in self._live_shards():
+            self._apply_events(self._backends[shard].drain_events())
 
     def _apply_events(self, events) -> None:
         from ..core.evaluate import FailureReason
@@ -716,8 +993,8 @@ class ShardedCoordinator:
     def partition_sizes(self) -> list[int]:
         """Component sizes across all shards, largest first (snapshots
         collected concurrently — the lookups pipeline across shards)."""
-        calls = [backend.call_partition_sizes()
-                 for backend in self._backends]
+        calls = [self._backends[shard].call_partition_sizes()
+                 for shard in self._live_shards()]
         sizes: list[int] = []
         for call in calls:
             sizes.extend(call.result())
@@ -755,7 +1032,8 @@ class ShardedCoordinator:
         merged.submitted = self._submitted
         merged.answered = self._answered
         merged.failed = Counter(self._failed)
-        calls = [backend.call_stats() for backend in self._backends]
+        calls = [self._backends[shard].call_stats()
+                 for shard in self._live_shards()]
         for call in calls:
             snapshot = call.result()
             merged.coordination_rounds += snapshot["coordination_rounds"]

@@ -35,7 +35,12 @@ inspection.
 Workers are started with the ``spawn`` method: the coordinator's
 process may be running pool threads (forking one is lock-roulette), and
 spawn gives each worker a clean interpreter that rebuilds its database
-from :func:`repro.dataio.dump_database` text.  The worker's clock is a
+from :func:`repro.dataio.dump_database` text — a *replica* of the
+coordinator's primary, pinned to the primary's ``db_version`` at
+start-up and kept current by versioned ``db_delta`` frames (the worker
+acks each block's resulting version, skips already-applied replays,
+and refuses gapped blocks with a ``stale replica`` error so the
+coordinator replays its mutation log).  The worker's clock is a
 :class:`_SettableClock` pinned by the coordinator's ``now`` on every
 command, so staleness is judged against coordinator time and the
 process fleet behaves byte-identically to in-process shards.
@@ -58,6 +63,24 @@ from .backend import ShardCall
 #: ``req_id`` of the worker's one unsolicited frame: the readiness
 #: handshake sent after the database rebuild.
 READY_REQ_ID = 0
+
+
+class ReplicaGapError(ValueError):
+    """Worker-side: a ``db_delta`` block starts ahead of the replica's
+    version (a frame was lost).  Travels the wire as a dedicated
+    ``"stale"`` reply status — never by matching message text — so the
+    coordinator can replay its mutation log instead of declaring the
+    worker dead."""
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker reported a failure executing a command."""
+
+
+class ShardReplicaStaleError(ShardWorkerError):
+    """Coordinator-side: the worker refused a ``db_delta`` block
+    because its replica is behind the block's ``from`` version.
+    Recoverable — the coordinator replays the retained mutation log."""
 
 
 class _SettableClock(Clock):
@@ -109,6 +132,10 @@ class _Worker:
         self.database = load_database(config["database_text"])
         for spec in config.get("warm_indexes", ()):
             self.database.table(spec[0]).index_on(tuple(spec[1]))
+        # The rebuild replayed every row insert, so the replica's
+        # mutation counter disagrees with the primary's; pin it so
+        # replicated db_delta frames line up from the first block.
+        self.database.reset_db_version(config.get("db_version", 0))
         self.clock = _SettableClock()
         self.engine = D3CEngine(
             self.database,
@@ -178,6 +205,28 @@ class _Worker:
             for ticket in self.engine.import_pending(records).values():
                 self._track(ticket)
             return None
+        if op == "db_delta":
+            from ..dataio import db_delta_from_payload
+            from_version, version, deltas = db_delta_from_payload(
+                args["payload"])
+            current = self.database.db_version
+            if current >= version:
+                # Replayed block (a coordinator re-sync after a fake
+                # or lost ack): already applied, ack idempotently.
+                return current
+            if current != from_version:
+                raise ReplicaGapError(
+                    f"stale replica: database at version {current}, "
+                    f"db_delta block starts at {from_version} — replay "
+                    f"the mutation log first")
+            for delta in deltas:
+                self.database.apply_delta(delta)
+            if self.database.db_version != version:
+                raise ValueError(
+                    f"replica version skew: expected {version} after "
+                    f"applying the block, at "
+                    f"{self.database.db_version}")
+            return self.database.db_version
         if op == "pending":
             return self.engine.pending_ids()
         if op == "sizes":
@@ -214,13 +263,17 @@ def _worker_main(connection, config: dict) -> None:
             break
         try:
             result = worker.handle(op, args)
-        except BaseException:
+        except BaseException as error:
             # Settlements that fired before the failure still ship —
             # withholding them would desynchronize the coordinator's
             # tickets from the engine (the coordinator applies events
-            # from error replies before raising).
+            # from error replies before raising).  A replica gap gets
+            # its own status so the coordinator's recovery choice
+            # never depends on message text.
+            status = ("stale" if isinstance(error, ReplicaGapError)
+                      else "err")
             events, worker.events = worker.events, []
-            connection.send((req_id, "err", traceback.format_exc(),
+            connection.send((req_id, status, traceback.format_exc(),
                              events))
             continue
         events, worker.events = worker.events, []
@@ -231,10 +284,6 @@ def _worker_main(connection, config: dict) -> None:
 # ----------------------------------------------------------------------
 # coordinator side
 # ----------------------------------------------------------------------
-
-
-class ShardWorkerError(RuntimeError):
-    """A shard worker reported a failure executing a command."""
 
 
 class ProcessBackend:
@@ -348,6 +397,10 @@ class ProcessBackend:
                     f"{req_id} was already collected")
             self._pump_one()
         op, status, result = self._replies.pop(req_id)
+        if status == "stale":
+            raise ShardReplicaStaleError(
+                f"shard {self.shard_index} refused {op!r} as a stale "
+                f"replica:\n{result}")
         if status != "ok":
             raise ShardWorkerError(
                 f"shard {self.shard_index} failed {op!r}:\n{result}")
@@ -440,6 +493,9 @@ class ProcessBackend:
     def import_records(self, records: dict) -> None:
         self._call("import", manifest=records)
 
+    def apply_db_delta(self, payload: dict) -> int:
+        return self._call("db_delta", payload=payload)
+
     # Pipelined forms (see ShardBackend protocol).
 
     def call_members(self, query_id) -> ShardCall:
@@ -459,6 +515,9 @@ class ProcessBackend:
 
     def call_import(self, records: dict) -> ShardCall:
         return self._call_async("import", manifest=records)
+
+    def call_db_delta(self, payload: dict) -> ShardCall:
+        return self._call_async("db_delta", payload=payload)
 
     def call_stats(self) -> ShardCall:
         return self._call_async("stats")

@@ -12,8 +12,10 @@ from .airports import AIRPORTS, airport
 from .socialnet import SocialNetwork, generate_social_network
 from .flightdb import (FRIENDS, RESERVE, USER, build_flight_database,
                        build_intro_database)
-from .generators import (SafetyStressWorkload, big_cluster_queries,
-                         chain_queries, churn_rounds, clique_queries,
+from .generators import (DYNAMIC_GATE_TABLES, SafetyStressWorkload,
+                         big_cluster_queries, chain_queries,
+                         churn_rounds, clique_queries,
+                         dynamic_db_rounds, install_dynamic_tables,
                          migration_heavy_rounds, multi_tenant_rounds,
                          non_unifying_queries, safety_stress_workload,
                          three_way_triangles, two_way_pairs)
@@ -23,9 +25,10 @@ __all__ = [
     "SocialNetwork", "generate_social_network",
     "FRIENDS", "RESERVE", "USER", "build_flight_database",
     "build_intro_database",
-    "SafetyStressWorkload", "big_cluster_queries", "chain_queries",
-    "churn_rounds",
-    "clique_queries", "migration_heavy_rounds", "multi_tenant_rounds",
+    "DYNAMIC_GATE_TABLES", "SafetyStressWorkload",
+    "big_cluster_queries", "chain_queries", "churn_rounds",
+    "clique_queries", "dynamic_db_rounds", "install_dynamic_tables",
+    "migration_heavy_rounds", "multi_tenant_rounds",
     "non_unifying_queries", "safety_stress_workload",
     "three_way_triangles", "two_way_pairs",
 ]

@@ -509,6 +509,131 @@ def migration_heavy_rounds(network: SocialNetwork, num_rounds: int,
                                seed=seed, destinations=destinations)
 
 
+#: Gate tables of the ``dynamic_db`` scenario: small mutable relations
+#: whose rows arrive and retract at runtime, gating coordination.  The
+#: flight tables (``F``/``U``) stay immutable, so targeted dirty-marking
+#: re-evaluates only the components reading the mutated gate.
+DYNAMIC_GATE_TABLES = ("G0", "G1", "G2", "G3")
+
+
+def install_dynamic_tables(database,
+                           gate_tables=DYNAMIC_GATE_TABLES) -> None:
+    """Create the (initially empty) gate tables the scenario mutates."""
+    for name in gate_tables:
+        if not database.has_table(name):
+            database.create_table(name, "UserName1 text",
+                                  "UserName2 text")
+
+
+def dynamic_db_rounds(network: SocialNetwork, num_rounds: int,
+                      arrivals_per_round: int,
+                      gated_fraction: float = 0.4,
+                      lag: int = 2,
+                      doomed_every: int = 5,
+                      gate_tables: Sequence[str] = DYNAMIC_GATE_TABLES,
+                      chain_length: int = 8, seed: int = 12,
+                      destinations: Sequence[str] = AIRPORTS
+                      ) -> list[tuple[list[tuple], list[EntangledQuery]]]:
+    """Per-round ``(mutations, arrivals)`` for the live-mutation scenario.
+
+    Models a coordination service over a database that changes while
+    queries are pending — the regime the paper assumes but the frozen
+    substrate never exercised.  Each round delivers:
+
+    * **mutations** — a list of ``("insert"/"delete", table, rows)``
+      operations.  Round *r* inserts the gate rows that *enable* the
+      gated pairs submitted at round ``r - lag`` (facts arriving), and
+      deletes the gate rows it inserted two rounds earlier (facts
+      retracting, after their pairs settled or lingered).  Every
+      ``doomed_every``-th enabling is immediately retracted in the same
+      batch (insert/delete interleaved on the same key), so those pairs
+      never coordinate and expire instead.
+    * **arrivals** — gated pairs whose body reads this round's gate
+      table (``gate_tables[r % len]``) plus the flight ``U`` join, and
+      never-coordinating filler chains reading only ``U``.  The chains
+      linger until staleness expires them, so the pending set a
+      full-recompute round must re-match is large while the set a
+      mutation actually touches stays small — exactly the gap the
+      ``dynamic_db`` regression probe measures.
+
+    The caller owns applying the mutations (``Database.insert`` /
+    ``delete_rows``, or ``ShardedCoordinator.apply_mutations``) and
+    must create the gate tables first (:func:`install_dynamic_tables`).
+    """
+    if not 0.0 <= gated_fraction <= 1.0:
+        raise ValueError("gated_fraction must be within [0, 1]")
+    if lag < 1:
+        raise ValueError("lag must be at least one round")
+    if chain_length < 2:
+        raise ValueError("chains need at least two queries")
+    rng = random.Random(seed)
+    pairs = network.friend_pairs(rng)
+    town_pool = list(destinations)
+    #: submission round -> [(gate, left, right, doomed)] awaiting gates.
+    awaiting: dict[int, list[tuple]] = {}
+    #: enabling round -> [(gate, rows)] for later retraction.
+    enabled: dict[int, list[tuple]] = {}
+    rounds: list[tuple[list[tuple], list[EntangledQuery]]] = []
+    for round_index in range(num_rounds):
+        mutations: list[tuple] = []
+        batch = enabled.setdefault(round_index, [])
+        for position, (gate, left, right, doomed) in enumerate(
+                awaiting.pop(round_index - lag, ())):
+            rows = [(left, right), (right, left)]
+            mutations.append(("insert", gate, rows))
+            if doomed:
+                # Retracted before anyone coordinates: the same batch
+                # interleaves insert and delete on the same key.
+                mutations.append(("delete", gate, rows))
+            else:
+                batch.append((gate, rows))
+        for gate, rows in enabled.pop(round_index - 2, ()):
+            mutations.append(("delete", gate, rows))
+
+        block: list[EntangledQuery] = []
+        gate = gate_tables[round_index % len(gate_tables)]
+        staged = awaiting.setdefault(round_index, [])
+        pair_count = int(arrivals_per_round * gated_fraction) // 2
+        for pair_index in range(pair_count):
+            left, right = next(pairs)
+            destination = rng.choice(town_pool)
+            tag = f"dyn-r{round_index}-p{pair_index}"
+            for member, user, partner in (("a", left, right),
+                                          ("b", right, left)):
+                town = Variable("c")
+                block.append(EntangledQuery(
+                    query_id=f"{tag}-{member}",
+                    head=(_reserve(user, destination),),
+                    postconditions=(_reserve(partner, destination),),
+                    body=(atom(gate, user, partner),
+                          _user(user, town), _user(partner, town)),
+                    owner=user))
+            staged.append((gate, left, right,
+                           pair_index % doomed_every == doomed_every - 1))
+
+        chain_id = 0
+        while len(block) < arrivals_per_round:
+            length = min(chain_length, arrivals_per_round - len(block))
+            destination = rng.choice(town_pool)
+            prefix = f"dynee-r{round_index}-c{chain_id}"
+            for position in range(length):
+                user = rng.choice(network.users)
+                if position + 1 < length:
+                    required = f"{prefix}-{position + 1}"
+                else:
+                    required = f"{prefix}-open"
+                town = Variable("c")
+                block.append(EntangledQuery(
+                    query_id=f"{prefix}-{position}",
+                    head=(_reserve(f"{prefix}-{position}", destination),),
+                    postconditions=(_reserve(required, destination),),
+                    body=(_user(user, town),),
+                    owner=user))
+            chain_id += 1
+        rounds.append((mutations, block))
+    return rounds
+
+
 @dataclass(frozen=True, slots=True)
 class SafetyStressWorkload:
     """Resident queries plus unsafe addition sets (Experiment 5.3.5)."""

@@ -12,7 +12,10 @@ from repro.core.evaluate import Answer
 from repro.core.extensions import AggregateConstraint
 from repro.core.query import EntangledQuery
 from repro.core.terms import Variable, atom
-from repro.dataio import from_payload, to_payload
+from repro.dataio import (db_delta_from_payload, db_delta_to_payload,
+                          delta_from_payload, delta_to_payload,
+                          from_payload, to_payload)
+from repro.db.database import TableDelta
 from repro.errors import ParseError, ValidationError
 from repro.workloads import (chain_queries, clique_queries,
                              generate_social_network, multi_tenant_rounds,
@@ -91,6 +94,78 @@ def test_answers_round_trip_exactly():
     assert isinstance(rebuilt.rows["R"][0], tuple)
     assert from_payload(json.loads(json.dumps(to_payload(answer)))) \
         == answer
+
+
+def _roundtrip_block(from_version, version, deltas):
+    payload = db_delta_to_payload(from_version, version, deltas)
+    # Also through JSON text: replication frames are plain trees.
+    rebuilt = db_delta_from_payload(json.loads(json.dumps(payload)))
+    assert rebuilt == (from_version, version, deltas)
+    return payload
+
+
+def test_db_delta_empty_batch_round_trips():
+    payload = _roundtrip_block(7, 7, [])
+    assert payload["count"] == 0
+    empty = TableDelta("T", (), (), 3)
+    assert delta_from_payload(
+        json.loads(json.dumps(delta_to_payload(empty)))) == empty
+
+
+def test_db_delta_unicode_values_round_trip():
+    delta = TableDelta(
+        "Städte", (("Zürich", "χαίρετε"), ("naïve", "🛫✈🛬")),
+        (("Ĉiuj", "рейс"),), 12)
+    rebuilt = delta_from_payload(
+        json.loads(json.dumps(delta_to_payload(delta))))
+    assert rebuilt == delta
+    assert rebuilt.inserted[1][1] == "🛫✈🛬"
+    _roundtrip_block(11, 12, [delta])
+
+
+def test_db_delta_interleaved_insert_delete_same_key():
+    """A block whose deltas insert and delete the same row value (the
+    dynamic_db scenario's insert-then-retract gates) must survive with
+    order and multiplicity intact."""
+    key = ("u1", "u2")
+    deltas = [
+        TableDelta("G0", (key, key), (), 4),
+        TableDelta("G0", (), (key,), 5),
+        TableDelta("G0", (key,), (key, key), 6),
+    ]
+    _roundtrip_block(3, 6, deltas)
+
+
+def test_db_delta_mixed_scalar_types_round_trip():
+    rng = random.Random(7)
+    deltas = []
+    for version in range(1, 6):
+        rows = tuple(
+            (rng.randint(-10**9, 10**9), rng.random() * 1e6,
+             f"s-{version}", rng.random() < 0.5, None)
+            for _ in range(version))
+        deltas.append(TableDelta("M", rows, rows[:1], version))
+    payload = _roundtrip_block(0, 5, deltas)
+    _, _, rebuilt = db_delta_from_payload(
+        json.loads(json.dumps(payload)))
+    for before, after in zip(deltas, rebuilt):
+        for row_before, row_after in zip(before.inserted,
+                                         after.inserted):
+            assert [type(value) for value in row_after] \
+                == [type(value) for value in row_before]
+
+
+def test_db_delta_rejects_malformed():
+    delta = TableDelta("T", (("a",),), (), 1)
+    good = db_delta_to_payload(0, 1, [delta])
+    with pytest.raises(ParseError):
+        db_delta_from_payload(dict(good, wire=99))
+    with pytest.raises(ParseError):
+        db_delta_from_payload(dict(good, kind="mystery"))
+    with pytest.raises(ParseError):
+        db_delta_from_payload(dict(good, count=5))
+    with pytest.raises(ValidationError):
+        delta_to_payload(TableDelta("T", ((object(),),), (), 1))
 
 
 def test_wire_rejects_unserializable_and_malformed():

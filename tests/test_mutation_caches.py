@@ -1,0 +1,307 @@
+"""Targeted cache invalidation under live database mutations.
+
+Every data-dependent cache in the stack — the planner's plan-order
+cache, the executor's compiled-template cache, the scheduler's
+feasibility memo and failed-group set, and the dirty-component
+worklist — must (a) return correct results after a mutation to a table
+it covered and (b) keep its entries for untouched tables, proven by the
+hit counters.  These are the regression tests for the live-mutation
+subsystem's invalidation story; the oracle-equivalence suite proves the
+end-to-end answers, these pin the mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import EntangledQuery
+from repro.core.terms import Variable, atom
+from repro.db import Database
+from repro.db.expression import ConjunctiveQuery
+from repro.engine.engine import D3CEngine
+from repro.errors import SchemaError
+
+
+def _two_table_db() -> Database:
+    db = Database()
+    db.create_table("A", "x text", "y text")
+    db.create_table("B", "x text", "y text")
+    db.insert("A", [("a1", "v1"), ("a2", "v2")])
+    db.insert("B", [("b1", "w1"), ("b2", "w2")])
+    return db
+
+
+def _cq(table: str) -> ConjunctiveQuery:
+    left, right = Variable(f"{table}_l"), Variable(f"{table}_r")
+    return ConjunctiveQuery((atom(table, left, right),))
+
+
+# ----------------------------------------------------------------------
+# planner plan-order cache
+# ----------------------------------------------------------------------
+
+
+def test_plan_cache_mutation_evicts_covered_table_only():
+    db = _two_table_db()
+    planner = db._executor.planner
+    planner.plan_order(_cq("A"))
+    planner.plan_order(_cq("B"))
+    assert planner.cached_plan_count() == 2
+
+    planner.plan_order(_cq("A"))
+    hits_before = planner.cache_hits
+    assert hits_before >= 1
+
+    db.insert("B", [("b3", "w3")])
+    # B's entry is gone, A's survives and still hits.
+    assert planner.cached_plan_count() == 1
+    planner.plan_order(_cq("A"))
+    assert planner.cache_hits == hits_before + 1
+    misses_before = planner.cache_misses
+    rows = sorted(valuation[Variable("B_l")]
+                  for valuation in db.evaluate(_cq("B")))
+    assert rows == ["b1", "b2", "b3"]
+    assert planner.cache_misses == misses_before + 1
+
+
+def test_plan_cache_delete_also_invalidates():
+    db = _two_table_db()
+    planner = db._executor.planner
+    list(db.evaluate(_cq("A")))
+    db.delete_rows("A", [("a1", "v1")])
+    rows = sorted(valuation[Variable("A_l")]
+                  for valuation in db.evaluate(_cq("A")))
+    assert rows == ["a2"]
+    assert planner.cached_plan_count() == 1  # the fresh A entry
+
+
+# ----------------------------------------------------------------------
+# executor compiled-template cache
+# ----------------------------------------------------------------------
+
+
+def test_compiled_templates_survive_unrelated_mutations():
+    db = _two_table_db()
+    executor = db._executor
+    query_a, query_b = _cq("A"), _cq("B")
+    list(db.evaluate(query_a))
+    list(db.evaluate(query_b))
+    list(db.evaluate(query_a))
+    hits_before = executor.compile_hits
+    assert hits_before >= 1
+    assert executor.compiled_plan_count() == 2
+
+    db.insert("B", [("b3", "w3")])
+    assert executor.compiled_plan_count() == 1
+    list(db.evaluate(query_a))
+    assert executor.compile_hits == hits_before + 1
+    misses_before = executor.compile_misses
+    assert len(list(db.evaluate(query_b))) == 3
+    assert executor.compile_misses == misses_before + 1
+
+
+def test_const_rows_materialization_not_stale_after_mutation():
+    """The all-constant probe path materializes rows at compile time —
+    the classic stale-cache hazard once the table mutates."""
+    db = _two_table_db()
+    value = Variable("v")
+    query = ConjunctiveQuery((atom("A", "a1", value),))
+    assert [valuation[value] for valuation in db.evaluate(query)] \
+        == ["v1"]
+    db.insert("A", [("a1", "v9")])
+    assert sorted(valuation[value]
+                  for valuation in db.evaluate(query)) == ["v1", "v9"]
+    db.delete_rows("A", [("a1", "v1")])
+    assert [valuation[value] for valuation in db.evaluate(query)] \
+        == ["v9"]
+
+
+# ----------------------------------------------------------------------
+# scheduler: feasibility memo
+# ----------------------------------------------------------------------
+
+
+def _generic(query_id: str, user: str, tag: str,
+             friends_table: str = "F") -> EntangledQuery:
+    partner, town = Variable(tag), Variable(tag + "_c")
+    return EntangledQuery(
+        query_id=query_id,
+        head=(atom("Res", user, "PAR"),),
+        postconditions=(atom("Res", partner, "PAR"),),
+        body=(atom(friends_table, user, partner),
+              atom("U", user, town), atom("U", partner, town)))
+
+
+def test_feasibility_memo_evicts_mutated_tables_keeps_others():
+    db = Database()
+    db.create_table("F", "a text", "b text")
+    db.create_table("F2", "a text", "b text")
+    db.create_table("U", "u text", "t text")
+    db.insert("U", [("alice", "t1"), ("bob", "t1"), ("carol", "t1"),
+                    ("dave", "t1")])
+    engine = D3CEngine(db, mode="incremental")
+    # Two pending providers force the prefilter for each arrival family.
+    engine.submit(_generic("c1", "carol", "p"))
+    engine.submit(_generic("d1", "dave", "q"))
+    engine.submit(_generic("a1", "alice", "r"))
+    engine.submit(_generic("c2", "carol", "p2", friends_table="F2"))
+    engine.submit(_generic("d2", "dave", "q2", friends_table="F2"))
+    engine.submit(_generic("b1", "bob", "r2", friends_table="F2"))
+    def memo_relations():
+        return [entry[3] for entry in
+                engine._runtime._feasible_memo.values()]
+
+    assert any("F" in relations for relations in memo_relations())
+    f2_entries = sum("F2" in relations
+                     for relations in memo_relations())
+    assert f2_entries
+    misses_before = engine._runtime.feasibility_misses
+
+    # Mutating F evicts the F entries; the F2 entries survive and hit.
+    db.insert("F", [("zz", "yy")])
+    assert not any("F" in relations for relations in memo_relations())
+    assert sum("F2" in relations
+               for relations in memo_relations()) == f2_entries
+    engine.submit(_generic("b2", "bob", "r2", friends_table="F2"))
+    assert engine._runtime.feasibility_hits >= 1
+    # A fresh F arrival re-enumerates (a miss) and sees the new rows.
+    db.insert("F", [("alice", "carol"), ("carol", "alice")])
+    engine.submit(_generic("a2", "alice", "s"))
+    assert engine._runtime.feasibility_misses > misses_before
+    assert engine.stats.answered == 2
+    assert "a2" not in engine.pending_ids()
+
+
+# ----------------------------------------------------------------------
+# scheduler: worklist dirty-marking and failed groups
+# ----------------------------------------------------------------------
+
+
+def _gated_pair(tag: str, gate: str) -> list[EntangledQuery]:
+    queries = []
+    for query_id, user, partner in ((f"{tag}-a", "u1", "u2"),
+                                    (f"{tag}-b", "u2", "u1")):
+        town = Variable("c")
+        queries.append(EntangledQuery(
+            query_id=query_id,
+            head=(atom("R", user, tag),),
+            postconditions=(atom("R", partner, tag),),
+            body=(atom(gate, user, partner), atom("U", user, town),
+                  atom("U", partner, town))))
+    return queries
+
+
+def _gate_db() -> Database:
+    db = Database()
+    db.create_table("G1", "a text", "b text")
+    db.create_table("G2", "a text", "b text")
+    db.insert("U", []) if db.has_table("U") else \
+        db.create_table("U", "a text", "b text")
+    db.insert("U", [("u1", "t"), ("u2", "t")])
+    return db
+
+
+def test_mutation_requeues_only_reading_components():
+    db = _gate_db()
+    engine = D3CEngine(db, mode="batch")
+    first = engine.submit_many(_gated_pair("d1", "G1"))
+    engine.submit_many(_gated_pair("d2", "G2"))
+    assert engine.run_batch() == 0
+    assert not engine._runtime._dirty
+
+    drained_before = engine.stats.components_drained
+    db.insert("G1", [("u1", "u2"), ("u2", "u1")])
+    # Only the G1 component is re-queued...
+    assert set(engine._runtime._dirty) == {"d1-a", "d1-b"}
+    assert engine.run_batch() == 2
+    assert first[0].answer.rows
+    # ...and only it was re-drained.
+    assert engine.stats.components_drained - drained_before == 1
+
+
+def test_failed_groups_dropped_only_for_mutated_tables():
+    db = _gate_db()
+    engine = D3CEngine(db, mode="incremental")
+    engine.submit_many(_gated_pair("g1", "G1"))
+    engine.submit_many(_gated_pair("g2", "G2"))
+    failed = engine._failed_groups
+    assert len(failed) >= 2
+    g2_groups = {group for group in failed
+                 if any(str(member).startswith("g2") for member in group)}
+    assert g2_groups
+
+    db.insert("G1", [("u1", "u2"), ("u2", "u1")])
+    # G1 groups forgotten (they can now succeed); G2 groups retained.
+    assert g2_groups <= engine._failed_groups
+    assert not any(str(member).startswith("g1")
+                   for group in engine._failed_groups
+                   for member in group)
+    # The freed component answers at the next round.
+    assert engine.run_batch() == 2
+
+
+def test_insert_is_all_or_nothing_on_a_bad_row():
+    """A bad row mid-batch must not leave earlier rows committed with
+    no delta — listeners and shard replicas would silently diverge."""
+    db = _two_table_db()
+    committed = []
+    db.add_mutation_listener(committed.append)
+    version = db.db_version
+    with pytest.raises(SchemaError):
+        db.insert("A", [("ok", "row"), ("bad",)])
+    assert len(list(db.table("A").rows())) == 2
+    assert not committed
+    assert db.db_version == version
+
+
+def test_delete_where_evaluates_predicate_once_per_row():
+    """A stateful predicate must see each row exactly once, and the
+    committed delta must list exactly the rows removed."""
+    db = _two_table_db()
+    calls: list = []
+    committed = []
+    db.add_mutation_listener(committed.append)
+
+    def predicate(row):
+        calls.append(row)
+        return row[0] == "a1"
+
+    assert db.delete_where("A", predicate) == 1
+    assert len(calls) == 2
+    assert committed[-1].deleted == (("a1", "v1"),)
+    assert sorted(db.table("A").rows()) == [("a2", "v2")]
+
+
+def test_eviction_leaves_every_reverse_index_bucket():
+    """An entry reading two tables must vanish from BOTH tables'
+    reverse-index buckets when either mutates (no dead references
+    retained under mutation-heavy workloads)."""
+    db = _two_table_db()
+    executor = db._executor
+    planner = executor.planner
+    left, right = Variable("l"), Variable("r")
+    joined = ConjunctiveQuery((atom("A", left, right),
+                               atom("B", left, right)))
+    list(db.evaluate(joined))
+    assert executor.compiled_plan_count() == 1
+    assert planner.cached_plan_count() == 1
+
+    db.insert("A", [("a9", "v9")])
+    assert executor.compiled_plan_count() == 0
+    assert planner.cached_plan_count() == 0
+    for bucket in executor._compiled_by_table.values():
+        assert joined not in bucket
+    assert all(not bucket for bucket
+               in planner._by_table.values()) or \
+        not planner._by_table
+
+
+def test_db_version_is_monotone_and_per_commit():
+    db = _gate_db()
+    version = db.db_version
+    db.insert("G1", [("u1", "u2"), ("u2", "u1")])
+    assert db.db_version == version + 1
+    db.delete_rows("G1", [("u1", "u2")])
+    assert db.db_version == version + 2
+    db.delete_rows("G1", [("never", "there")])  # no-op: no commit
+    assert db.db_version == version + 2
