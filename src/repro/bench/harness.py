@@ -229,6 +229,9 @@ def run_churn(database: Database, rounds,
 
 def run_dynamic(database: Database, rounds,
                 ttl_rounds: int = 4, full_recompute: bool = False,
+                wal_dir=None, snapshot_every: int | None = 64,
+                sync_every: int | None = 8,
+                snapshot_log_bytes: int | None = None,
                 **engine_kwargs) -> dict:
     """Drive the live-mutation (``dynamic_db``) scenario; return metrics.
 
@@ -246,6 +249,15 @@ def run_dynamic(database: Database, rounds,
     the delta-driven targeted invalidation is measured against; both
     modes answer identically (re-attempting an untouched component is a
     deterministic repeat).
+
+    With ``wal_dir`` the same loop runs under a
+    :class:`~repro.durability.DurableEngine` (fresh — the directory
+    must not hold prior state): every round's commands are journalled
+    with ``sync_every``-batched fsync and a snapshot every
+    ``snapshot_every`` commands, and each round's mutation batch goes
+    through the durable ``apply_mutations`` API (one ``mutate`` frame
+    per round, the recommended bulk path).  This is the logged leg of
+    the ``wal_overhead`` regression probe.
     """
     from ..dataio import dump_database, load_database
     from ..engine.staleness import ManualClock, TimeoutStaleness
@@ -253,20 +265,35 @@ def run_dynamic(database: Database, rounds,
     working = load_database(dump_database(database))
     install_dynamic_tables(working)
     clock = ManualClock()
-    engine = D3CEngine(working, mode="batch",
-                       staleness=TimeoutStaleness(ttl_rounds + 0.5),
-                       clock=clock, **engine_kwargs)
+    staleness = TimeoutStaleness(ttl_rounds + 0.5)
+    if wal_dir is not None:
+        from ..durability import DurableEngine
+        engine = DurableEngine(wal_dir, working, clock=clock,
+                               snapshot_every=snapshot_every,
+                               sync_every=sync_every,
+                               snapshot_log_bytes=snapshot_log_bytes,
+                               mode="batch",
+                               staleness=staleness, **engine_kwargs)
+    else:
+        engine = D3CEngine(working, mode="batch", staleness=staleness,
+                           clock=clock, **engine_kwargs)
     mutation_ops = 0
     with frozen_dataset():
         with stopwatch() as elapsed:
             for mutations, block in rounds:
                 clock.advance(1.0)
                 engine.expire_stale()
-                for kind, table, rows in mutations:
-                    if kind == "insert":
-                        working.insert(table, rows)
-                    else:
-                        working.delete_rows(table, rows)
+                if wal_dir is not None and mutations:
+                    # The durable mutate API: the whole batch rides in
+                    # one journalled command frame instead of one
+                    # wal_delta frame per TableDelta.
+                    engine.apply_mutations(mutations)
+                else:
+                    for kind, table, rows in mutations:
+                        if kind == "insert":
+                            working.insert(table, rows)
+                        else:
+                            working.delete_rows(table, rows)
                 mutation_ops += len(mutations)
                 if full_recompute and mutations:
                     engine.invalidate_cache()
@@ -276,6 +303,11 @@ def run_dynamic(database: Database, rounds,
     num_queries = sum(len(block) for _, block in rounds)
     metrics = _metrics(engine, num_queries, total)
     metrics["mutation_ops"] = mutation_ops
+    if wal_dir is not None:
+        metrics["wal_bytes"] = engine.wal_bytes
+        metrics["wal_commands"] = engine.commands_applied
+        metrics["wal_snapshots"] = engine.snapshots_taken
+        engine.close()
     return metrics
 
 

@@ -64,6 +64,20 @@ MIGRATION_SHARDS = 2
 #: paired against the full-recompute (invalidate-everything) baseline.
 DYNAMIC_ROUNDS = 18
 DYNAMIC_PER_ROUND = 250
+#: WAL-overhead probe: the same live-mutation rounds with and without
+#: the durability journal (fsync batched every SYNC_EVERY records,
+#: snapshots on the size-based cadence — a new generation once the
+#: log segment reaches SNAPSHOT_LOG_BYTES, which bounds both replay
+#: length and write amplification; a command-count cadence would
+#: rewrite the multi-megabyte state every N ~2KB frames).  The
+#: acceptance budget for the logged run is <= 15% wall-clock over the
+#: plain run.
+WAL_SYNC_EVERY = 8
+WAL_SNAPSHOT_LOG_BYTES = 4 * 1024 * 1024
+#: Paired interleaved repetitions of the wal_overhead probe's two
+#: legs; each leg keeps its minimum wall-clock (see the probe's
+#: docstring for why pairing beats repeating one leg at a time).
+_WAL_PROBE_REPS = 5
 
 #: The fixed probe set, in execution order.  ``--list`` prints these
 #: without building any workload, so CI and scripts can enumerate them.
@@ -79,6 +93,7 @@ PROBE_NAMES = (
     "shard_scaling",
     "migration_heavy",
     "dynamic_db",
+    "wal_overhead",
 )
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
@@ -131,6 +146,8 @@ def collect_series(scale: float = 1.0) -> dict:
             network, database, scale)),
         ("dynamic_db", lambda: _dynamic_db_probe(network, database,
                                                  scale)),
+        ("wal_overhead", lambda: _wal_overhead_probe(network, database,
+                                                     scale)),
     )
     if tuple(name for name, _ in probes) != PROBE_NAMES:
         # A real error, not an assert: --list must never drift from
@@ -153,7 +170,9 @@ def collect_series(scale: float = 1.0) -> dict:
                       "round_trip_reduction", "mutation_ops",
                       "full_recompute_seconds", "delta_speedup",
                       "match_seconds_targeted",
-                      "match_seconds_full_recompute", "note"):
+                      "match_seconds_full_recompute",
+                      "plain_seconds", "wal_overhead_pct", "wal_bytes",
+                      "wal_commands", "wal_snapshots", "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
@@ -257,6 +276,59 @@ def _dynamic_db_probe(network, database, scale: float) -> dict:
         metrics["match_seconds"], 4)
     metrics["match_seconds_full_recompute"] = round(
         full["match_seconds"], 4)
+    return metrics
+
+
+def _wal_overhead_probe(network, database, scale: float) -> dict:
+    """The ``dynamic_db`` rounds with and without the durability
+    journal, paired back to back in one process.
+
+    The logged leg runs under a fresh
+    :class:`~repro.durability.DurableEngine` in a temporary WAL
+    directory (fsync batched, size-triggered snapshots); the plain leg
+    is the ordinary engine.  Both legs must answer/expire identically —
+    journaling happens after execution and must never change outcomes
+    — and the report records ``plain_seconds`` plus the headline
+    ``wal_overhead_pct`` (acceptance budget: <= 15%).
+
+    Like the other timed probes, the legs are noise-sensitive, so the
+    pair is run interleaved ``_WAL_PROBE_REPS`` times and each leg
+    keeps its best (minimum) wall-clock — paired interleaving means a
+    background hiccup hits both legs alike instead of skewing the
+    ratio one way.
+    """
+    import shutil
+    import tempfile
+    rounds = dynamic_db_rounds(network, DYNAMIC_ROUNDS,
+                               _sized(DYNAMIC_PER_ROUND, scale),
+                               seed=DYNAMIC_PER_ROUND)
+    plain = None
+    metrics = None
+    for _ in range(_WAL_PROBE_REPS):
+        plain_run = run_dynamic(database, rounds, ttl_rounds=10)
+        wal_dir = tempfile.mkdtemp(prefix="repro-wal-probe-")
+        try:
+            wal_run = run_dynamic(database, rounds, ttl_rounds=10,
+                                  wal_dir=wal_dir,
+                                  snapshot_every=None,
+                                  snapshot_log_bytes=WAL_SNAPSHOT_LOG_BYTES,
+                                  sync_every=WAL_SYNC_EVERY)
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+        for field in ("answered", "failed_stale", "pending"):
+            if wal_run[field] != plain_run[field]:
+                raise RuntimeError(
+                    f"wal_overhead probe diverged: logged {field} "
+                    f"{wal_run[field]} vs plain {plain_run[field]}")
+        if plain is None or plain_run["seconds"] < plain["seconds"]:
+            plain = plain_run
+        if metrics is None or wal_run["seconds"] < metrics["seconds"]:
+            metrics = wal_run
+    metrics["plain_seconds"] = round(plain["seconds"], 4)
+    if plain["seconds"] > 0:
+        metrics["wal_overhead_pct"] = round(
+            100.0 * (metrics["seconds"] - plain["seconds"])
+            / plain["seconds"], 1)
     return metrics
 
 

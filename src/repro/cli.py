@@ -12,6 +12,10 @@ Commands:
     them set-at-a-time, and print per-query answers and failures.
     ``--shards N`` routes the same workload through the sharded
     coordination service (:mod:`repro.shard`) instead of one engine.
+    ``--wal-dir DIR`` journals every command to a write-ahead log (and
+    recovers from DIR when it already holds state — see
+    :mod:`repro.durability`); ``--snapshot-every N`` sets the snapshot
+    cadence.
 
 ``sql DATA "SELECT ..."``
     Run a plain SQL SELECT against a data file.
@@ -66,6 +70,8 @@ def _command_coordinate(arguments: argparse.Namespace) -> int:
     if not queries:
         print("workload is empty", file=sys.stderr)
         return 1
+    if arguments.wal_dir:
+        return _coordinate_durable(database, queries, arguments)
     if arguments.shards:
         return _coordinate_sharded(database, queries, arguments)
     result = coordinate(queries, database,
@@ -125,6 +131,74 @@ def _coordinate_sharded(database, queries, arguments) -> int:
         coordinator.close()
 
 
+def _coordinate_durable(database, queries, arguments) -> int:
+    """Coordinate under a write-ahead log (one durable round).
+
+    The first run against ``--wal-dir`` starts fresh from the data
+    file; later runs recover the journalled state (database, pending
+    queries, burned ids) and the data file argument is ignored in
+    favour of the recovered database.  Safety checking is off, as on
+    ``--shards``.
+    """
+    from .durability import DurableCoordinator, DurableEngine
+    from .engine.futures import TicketState
+    if not arguments.no_safety:
+        print("note: --wal-dir implies --no-safety (durable services "
+              "run without the admission check)", file=sys.stderr)
+    kwargs = dict(snapshot_every=arguments.snapshot_every,
+                  mode="batch", ucs_fallback=arguments.ucs_fallback)
+    if arguments.shards:
+        cls = DurableCoordinator
+        kwargs.update(num_shards=arguments.shards,
+                      backend=arguments.shard_backend)
+    else:
+        cls = DurableEngine
+    if cls.has_state(arguments.wal_dir):
+        service = cls.recover(arguments.wal_dir, **kwargs)
+        print(f"recovered {arguments.wal_dir}: generation "
+              f"{service.generation}, {service.commands_applied} "
+              f"commands journalled, {len(service.restored_tickets)} "
+              f"queries still pending, "
+              f"db_version {service.database.db_version}",
+              file=sys.stderr)
+        # Workload files number their queries from 0 on every run;
+        # shift this run's ids past everything the journal has seen
+        # (pending or settled ids are all below the arrival counter),
+        # so re-running a workload extends the history instead of
+        # colliding with it.
+        from .core.query import EntangledQuery
+        offset = service.next_arrival_seq
+        queries = [EntangledQuery(query_id=offset + index,
+                                  head=query.head,
+                                  postconditions=query.postconditions,
+                                  body=query.body, choose=query.choose,
+                                  owner=query.owner)
+                   for index, query in enumerate(queries)]
+    else:
+        service = cls(arguments.wal_dir, database, **kwargs)
+    try:
+        tickets = service.submit_many(queries)
+        service.run_batch()
+        answered = 0
+        for ticket in sorted(tickets, key=lambda t: repr(t.query_id)):
+            if ticket.state is TicketState.ANSWERED:
+                print(f"answered  {ticket.query_id}: "
+                      f"{ticket.answer.rows}")
+                answered += 1
+            elif ticket.state is TicketState.FAILED:
+                print(f"failed    {ticket.query_id}: "
+                      f"{ticket.failure_reason.value}")
+            else:
+                print(f"pending   {ticket.query_id}")
+        print(f"-- wal {arguments.wal_dir}  "
+              f"generation {service.generation}  "
+              f"commands {service.commands_applied}  "
+              f"pending {service.pending_count}")
+        return 0 if answered else 2
+    finally:
+        service.close()
+
+
 def _command_sql(arguments: argparse.Namespace) -> int:
     database = load_database(arguments.data)
     for row in run_sql(database, arguments.query):
@@ -181,6 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    default="inprocess",
                                    help="shard worker backend for "
                                         "--shards (default: inprocess)")
+    coordinate_parser.add_argument("--wal-dir", metavar="DIR",
+                                   help="journal commands to a write-"
+                                        "ahead log in DIR; a DIR that "
+                                        "already holds state is "
+                                        "recovered (crash-safe) and "
+                                        "the data file is ignored")
+    coordinate_parser.add_argument("--snapshot-every", type=int,
+                                   default=64, metavar="N",
+                                   help="with --wal-dir: write a "
+                                        "snapshot generation every N "
+                                        "journalled commands "
+                                        "(default: 64)")
     coordinate_parser.set_defaults(handler=_command_coordinate)
 
     sql = subparsers.add_parser(

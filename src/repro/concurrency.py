@@ -60,6 +60,38 @@ def default_worker_count() -> int:
     return value
 
 
+#: Default grace period (seconds) each step of worker-process shutdown
+#: escalation waits before moving to a harsher signal.
+DEFAULT_SHUTDOWN_GRACE = 5.0
+
+
+def shutdown_grace_seconds() -> float:
+    """Grace period per step of shard-worker shutdown escalation.
+
+    The ``REPRO_SHUTDOWN_TIMEOUT`` environment variable overrides the
+    default (:data:`DEFAULT_SHUTDOWN_GRACE` seconds); deployments with
+    slow container teardown raise it, test batteries that churn many
+    fleets lower it.  An unusable value (empty, non-numeric, zero, or
+    negative) falls back to the default with a :class:`RuntimeWarning`
+    — the same degrade-don't-crash contract as ``REPRO_WORKERS``.
+    """
+    override = os.environ.get("REPRO_SHUTDOWN_TIMEOUT")
+    if override is None:
+        return DEFAULT_SHUTDOWN_GRACE
+    try:
+        value = float(override.strip())
+    except ValueError:
+        value = None
+    if value is None or value <= 0:
+        warnings.warn(
+            f"ignoring REPRO_SHUTDOWN_TIMEOUT={override!r}: expected a "
+            f"positive number of seconds; using the default "
+            f"({DEFAULT_SHUTDOWN_GRACE})",
+            RuntimeWarning, stacklevel=2)
+        return DEFAULT_SHUTDOWN_GRACE
+    return value
+
+
 def process_parallelism_available() -> bool:
     """True when worker *processes* can deliver real CPU parallelism.
 

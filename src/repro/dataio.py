@@ -35,8 +35,11 @@ the round trip is exact: ``from_payload(to_payload(x)) == x``.
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from .core.evaluate import Answer
 from .core.query import EntangledQuery
@@ -82,22 +85,41 @@ def load_database(source: Union[str, Path]) -> Database:
     return database
 
 
-def dump_database(database: Database) -> str:
+def dump_database(database: Database, *,
+                  cache: Optional[dict] = None) -> str:
     """Render *database* back into the data-file format.
 
     ``load_database(dump_database(db))`` reproduces all tables and rows
     (order of rows within a table is preserved).
+
+    *cache*, if given, is a caller-owned dict reused across calls: each
+    table's rendered block is kept keyed by name and revalidated
+    against the table object's identity and mutation ``version``, so a
+    repeat dump re-renders only the tables that changed.  Periodic
+    snapshots of a large, mostly-static database (the durability
+    layer) pay for the churned tables, not the whole dataset.
     """
-    lines: list[str] = []
+    blocks: list[str] = []
     for name in database.table_names():
         table = database.table(name)
-        columns = " ".join(f"{column.name}:{column.type.value}"
-                           for column in table.schema.columns)
-        lines.append(f"table {name} {columns}")
+        if cache is not None:
+            entry = cache.get(name)
+            if (entry is not None and entry[0] is table
+                    and entry[1] == table.version):
+                blocks.append(entry[2])
+                continue
+        lines = [" ".join(
+            [f"table {name}"]
+            + [f"{column.name}:{column.type.value}"
+               for column in table.schema.columns])]
         for row in table.rows():
             rendered = " ".join(_render_value(value) for value in row)
             lines.append(f"row {name} {rendered}")
-    return "\n".join(lines) + ("\n" if lines else "")
+        block = "\n".join(lines)
+        if cache is not None:
+            cache[name] = (table, table.version, block)
+        blocks.append(block)
+    return "\n".join(blocks) + ("\n" if blocks else "")
 
 
 def _read(source: Union[str, Path]) -> str:
@@ -198,8 +220,19 @@ def _term_from_payload(item) -> Term:
 
 
 def _atoms_to_payload(atoms: Iterable[Atom]) -> list:
-    return [[atom.relation, [_term_to_payload(term) for term in atom.args]]
-            for atom in atoms]
+    # _term_to_payload, unrolled: this renders every term of every
+    # journalled/wire-shipped query, so the per-term function call and
+    # double isinstance were measurable on ingestion-heavy payloads.
+    out = []
+    for atom in atoms:
+        terms = []
+        for term in atom.args:
+            if type(term) is Variable:
+                terms.append(["v", term.name])
+            else:
+                terms.append(_term_to_payload(term))
+        out.append([atom.relation, terms])
+    return out
 
 
 def _atoms_from_payload(items) -> tuple[Atom, ...]:
@@ -356,6 +389,74 @@ def db_delta_from_payload(payload: dict) -> tuple:
             f"carries {len(deltas)} deltas but declares "
             f"{payload['count']}")
     return payload["from"], payload["version"], deltas
+
+
+# ----------------------------------------------------------------------
+# durable record framing (the write-ahead log's on-disk format)
+# ----------------------------------------------------------------------
+
+#: Per-record header of the durable log: little-endian payload length
+#: and CRC32 of the payload bytes.  The payload is the UTF-8 JSON text
+#: of a wire payload dict, so the log is the shard wire format plus an
+#: 8-byte integrity envelope.
+_FRAME_HEADER = struct.Struct("<II")
+
+
+def frame_record(payload: dict) -> bytes:
+    """Encode one payload as a durable log record.
+
+    The record is self-checking: ``<length, crc32>`` header followed by
+    the JSON body.  A torn write (machine crash mid-flush) fails the
+    length or CRC check and is treated as end-of-log by
+    :func:`unframe_records`; a bit flip inside a record fails the CRC
+    the same way, so a reader never acts on corrupt bytes.
+    """
+    return frame_body(json.dumps(payload, separators=(",", ":"),
+                                 ensure_ascii=False).encode("utf-8"))
+
+
+def frame_body(body: bytes) -> bytes:
+    """Wrap already-serialized JSON body bytes in the record framing.
+
+    The journal serializes large command frames exactly once (the
+    pre-execution dry run produces the body; events are spliced in
+    after) and frames the bytes here instead of paying a second
+    :func:`json.dumps` through :func:`frame_record`.
+    """
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def unframe_records(data: bytes) -> tuple[list[dict], int]:
+    """Decode durable log records from *data*; tolerate a torn tail.
+
+    Returns ``(payloads, clean_length)`` where *clean_length* is the
+    byte offset of the first record that is incomplete or fails its
+    CRC (== ``len(data)`` when the whole buffer parses).  Everything
+    before the torn point is intact — the crash-recovery contract is
+    that a torn final record means "that command never happened", so
+    decoding stops there instead of raising.
+    """
+    payloads: list[dict] = []
+    offset = 0
+    total = len(data)
+    while total - offset >= _FRAME_HEADER.size:
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > total:
+            break
+        body = data[start:end]
+        if zlib.crc32(body) != crc:
+            break
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            break
+        if not isinstance(payload, dict):
+            break
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
 
 
 def manifest_to_payload(manifest_id: str, records) -> dict:

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.terms import Variable
-from ..errors import SchemaError
+from ..errors import RecoveryError, SchemaError
 from .executor import Executor, Valuation
 from .expression import ConjunctiveQuery
 from .schema import Catalog, TableSchema, schema as make_schema
@@ -188,7 +188,24 @@ class Database:
         re-runs every insert, so its counter disagrees with the
         primary's; the shard worker pins it to the primary's value
         after the rebuild so replicated ``db_delta`` frames line up.
+
+        Raises :class:`~repro.errors.RecoveryError` once any mutation
+        listener is registered: listeners mean an engine (or a
+        durability journal) is already tracking this database's
+        history, and re-pinning the counter under it would silently
+        desynchronize every versioned protocol built on it.  Pin the
+        version *before* wiring engines — both the shard worker and
+        crash recovery do.
         """
+        live = [reference for reference in self._listeners
+                if reference() is not None]
+        self._listeners = live
+        if live:
+            raise RecoveryError(
+                f"cannot reset db_version to {version}: "
+                f"{len(live)} mutation listener(s) are registered "
+                f"(reset is a replica-bootstrap step; it must happen "
+                f"before engines attach)")
         self._db_version = version
 
     def add_mutation_listener(self, listener: MutationListener) -> None:
@@ -212,8 +229,18 @@ class Database:
         byte-identical (and its ``db_version`` advances in lockstep —
         both sides bump once per delta).  Raises :class:`SchemaError`
         if a deletion targets rows this replica does not hold (the
-        replicas have diverged; silently skipping would entrench it).
+        replicas have diverged; silently skipping would entrench it),
+        and :class:`~repro.errors.RecoveryError` when the delta is out
+        of sequence — re-applying an already-applied delta or skipping
+        ahead over a gap would also diverge, just more quietly.
         """
+        if delta.version != self._db_version + 1:
+            raise RecoveryError(
+                f"delta out of sequence: replica at db_version "
+                f"{self._db_version}, delta carries version "
+                f"{delta.version} (expected {self._db_version + 1}; "
+                f"replaying out of order or over live state would "
+                f"silently diverge)")
         table = self.table(delta.table)
         inserted = tuple(table.schema.check_row(row)
                          for row in delta.inserted)

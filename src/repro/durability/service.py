@@ -1,0 +1,903 @@
+"""Durable journaling wrappers: crash-recoverable engine + coordinator.
+
+:class:`DurableEngine` and :class:`DurableCoordinator` wrap the
+in-memory :class:`~repro.engine.engine.D3CEngine` and
+:class:`~repro.shard.coordinator.ShardedCoordinator` with a write-ahead
+command journal (:mod:`repro.durability.wal`) under a generation-
+numbered snapshot layout (:mod:`repro.durability.snapshots`).  The
+journal is *logical* and written **after** each command executes:
+
+* ``wal_cmd`` — one frame per serving command (``submit``, ``mutate``,
+  ``run_batch``, ``expire``) carrying the command's inputs, its pinned
+  clock reading, the arrival sequence numbers it assigned, and every
+  settlement event (answer payloads / failure reasons) it produced.
+* ``wal_delta`` — one frame per :class:`~repro.db.database.TableDelta`
+  committed *outside* a journalled mutate command (applications may
+  mutate the shared database directly; a listener captures it).
+* ``wal_settle`` — settlement events salvaged when a command raises
+  after settling some tickets; the command itself is not counted.
+
+Because frames land after execution, a crash between execute and
+append makes the in-flight command *never happened* — exactly the
+contract a torn final record gets — so recovery is uniform: rebuild
+from the newest valid snapshot, then fold the log suffix into plain
+state (no coordination is re-executed; answers were recorded when they
+were produced).  Recovery ends by re-importing the pending set into a
+freshly built engine/fleet and writing a new snapshot generation, so
+every boot starts with a short log.
+
+Clock discipline: the wrapper owns the inner engine's clock and *pins*
+it once per command to the caller-supplied source clock's reading.
+The pinned value rides in the command frame, so submission instants in
+later snapshots agree byte-for-byte with the journal.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..core.evaluate import FailureReason
+from ..dataio import (WIRE_VERSION, delta_from_payload, delta_to_payload,
+                      dump_database, load_database, record_from_payload,
+                      record_to_payload, to_payload)
+from ..engine.engine import D3CEngine
+from ..engine.futures import CoordinationTicket, TicketCallback, \
+    TicketState
+from ..engine.staleness import Clock, SystemClock
+from ..errors import RecoveryError, ValidationError
+from ..shard.coordinator import ShardedCoordinator
+from .snapshots import SnapshotStore
+
+
+class _PinnedClock(Clock):
+    """The inner engine's clock: frozen between commands, advanced to
+    the source clock's reading at each command boundary (never moves
+    backwards — mirrors the shard workers' clock discipline)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def set(self, now: float) -> None:
+        if now > self._now:
+            self._now = now
+
+
+def _pairs(mapping: dict) -> list:
+    """A JSON-safe, deterministic rendering of a scalar-keyed map.
+
+    Query ids need not be strings, and JSON object keys must be — so
+    maps keyed by query id always travel as sorted ``[key, value]``
+    pairs, never as JSON objects.
+    """
+    return [[key, mapping[key]] for key in sorted(mapping, key=repr)]
+
+
+class _RecoveredState:
+    """What replaying snapshot + log suffix yields: plain state, ready
+    to seed a fresh engine or coordinator."""
+
+    __slots__ = ("database", "next_seq", "pending", "tombstones",
+                 "used_ids", "answers", "failures", "submitted",
+                 "answered", "failed", "commands", "generation",
+                 "log_clean")
+
+    def pending_records(self) -> list:
+        """The pending set as :class:`~repro.engine.engine.
+        PendingRecord`\\ s, in arrival order."""
+        ordered = sorted(self.pending.values(),
+                         key=lambda payload: payload["seq"])
+        records = []
+        for payload in ordered:
+            record = record_from_payload(payload)
+            # Submit frames journal the query exactly as the caller
+            # handed it over; the engine renames apart on admission
+            # with a deterministic suffix (the query id).  Renaming
+            # here converges both sources — snapshot-sourced records
+            # are already renamed (no-op), log-sourced ones become
+            # the exact working copies the crashed engine held.
+            working = record.query.rename_apart()
+            if working is not record.query:
+                record = replace(record, query=working)
+            records.append(record)
+        return records
+
+    def failed_counter(self) -> Counter:
+        return Counter({FailureReason(value): count
+                        for value, count in self.failed.items()})
+
+
+def _replay_store(store: SnapshotStore) -> _RecoveredState:
+    """Rebuild pre-crash state from the newest valid generation.
+
+    State-based replay: no coordination re-runs.  Submit frames
+    reinstate pending records and burn ids; settlement events (recorded
+    when they originally happened) pop them into the answers/failures
+    maps; mutate and delta frames re-apply database changes in commit
+    order, reproducing the exact ``db_version``.  A torn final record
+    was already dropped by the log reader — by the log-after-execute
+    contract, its command never happened.
+    """
+    generation, snapshot, frames, log_clean = store.load_newest()
+    state = snapshot["state"]
+
+    recovered = _RecoveredState()
+    recovered.generation = generation
+    recovered.log_clean = log_clean
+    recovered.database = load_database(state["database"])
+    recovered.database.reset_db_version(state["db_version"])
+    recovered.next_seq = state["next_seq"]
+    recovered.pending = {payload["query"]["id"]: payload
+                         for payload in state["pending"]}
+    recovered.tombstones = {query_id: seq
+                            for query_id, seq in state["tombstones"]}
+    recovered.used_ids = set(state["used_ids"])
+    recovered.answers = {query_id: payload
+                         for query_id, payload in state["answers"]}
+    recovered.failures = {query_id: value
+                          for query_id, value in state["failures"]}
+    counters = state["counters"]
+    recovered.submitted = counters["submitted"]
+    recovered.answered = counters["answered"]
+    recovered.failed = dict(counters["failed"])
+    recovered.commands = snapshot["commands"]
+
+    for frame in frames:
+        if frame.get("wire") != WIRE_VERSION:
+            raise RecoveryError(
+                f"log record carries wire version "
+                f"{frame.get('wire')!r} != {WIRE_VERSION}")
+        kind = frame.get("kind")
+        if kind == "wal_cmd":
+            _replay_command(recovered, frame)
+            recovered.commands += 1
+        elif kind == "wal_settle":
+            _replay_events(recovered, frame["events"])
+        elif kind == "wal_delta":
+            recovered.database.apply_delta(
+                delta_from_payload(frame["delta"]))
+        else:
+            raise RecoveryError(f"unknown log record kind {kind!r}")
+    return recovered
+
+
+def _replay_command(recovered: _RecoveredState, frame: dict) -> None:
+    op = frame["op"]
+    if op == "submit":
+        for payload, seq in zip(frame["queries"], frame["seqs"]):
+            query_id = payload["id"]
+            recovered.pending[query_id] = {
+                "query": payload, "seq": seq, "at": frame["at"]}
+            recovered.tombstones[query_id] = seq
+            recovered.used_ids.add(query_id)
+            recovered.next_seq = max(recovered.next_seq, seq + 1)
+            recovered.submitted += 1
+    elif op == "mutate":
+        for kind, table, rows in frame["ops"]:
+            rows = [tuple(row) for row in rows]
+            if kind == "insert":
+                recovered.database.insert(table, rows)
+            else:
+                recovered.database.delete_rows(table, rows)
+    elif op not in ("run_batch", "expire"):
+        raise RecoveryError(f"unknown journalled command {op!r}")
+    _replay_events(recovered, frame.get("events", ()))
+
+
+def _replay_events(recovered: _RecoveredState, events) -> None:
+    for kind, query_id, payload in events:
+        record = recovered.pending.pop(query_id, None)
+        if record is not None:
+            # Settling burns the id.  The id's submit frame usually
+            # already recorded that, but when the submit predates the
+            # snapshot this record arrived via the snapshot's pending
+            # set — the settlement is the only replay step that knows
+            # the id must stay tombstoned.
+            recovered.tombstones[query_id] = record["seq"]
+            recovered.used_ids.add(query_id)
+        if kind == "answered":
+            recovered.answers[query_id] = payload
+            recovered.answered += 1
+        elif kind == "failed":
+            recovered.failures[query_id] = payload
+            recovered.failed[payload] = \
+                recovered.failed.get(payload, 0) + 1
+            if payload == FailureReason.STALE.value:
+                # Expired ids are retryable: the engine releases them.
+                recovered.used_ids.discard(query_id)
+                recovered.tombstones.pop(query_id, None)
+        else:
+            raise RecoveryError(f"unknown settlement event {kind!r}")
+
+
+class _DurableService:
+    """Shared journaling machinery of the two wrappers."""
+
+    #: Default command count between automatic snapshots.
+    DEFAULT_SNAPSHOT_EVERY = 64
+
+    def _init_journal(self, store: SnapshotStore, clock: Clock | None,
+                      snapshot_every: int | None,
+                      sync_every: int | None,
+                      snapshot_log_bytes: int | None = None) -> None:
+        self._store = store
+        self._clock = clock or SystemClock()
+        self._pinned = _PinnedClock()
+        self._snapshot_every = snapshot_every or 0
+        self._snapshot_log_bytes = snapshot_log_bytes or 0
+        self._sync_every = sync_every
+        self._log = None
+        self._generation = -1
+        self._since_snapshot = 0
+        self._suppress_deltas = False
+        self._closed = False
+        self._events: list = []
+        #: Per-table rendered-text cache for snapshot dumps (see
+        #: :func:`repro.dataio.dump_database` — repeat snapshots
+        #: re-render only the tables that mutated since the last one).
+        self._dump_cache: dict = {}
+        #: Journalled commands applied over this service's lifetime
+        #: (snapshots record it; the crash battery uses it as its
+        #: resume cursor).
+        self.commands_applied = 0
+        self.snapshots_taken = 0
+        #: query_id -> answer payload / failure-reason value, for every
+        #: settlement this service ever produced (recovery rebuilds
+        #: both maps exactly — they are the oracle-equivalence surface).
+        self.answers: dict = {}
+        self.failures: dict = {}
+        #: query_id -> fresh ticket for queries that were pending at
+        #: recovery (empty on a fresh start).
+        self.restored_tickets: dict = {}
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def wal_dir(self) -> Path:
+        return self._store.root
+
+    @property
+    def generation(self) -> int:
+        """The snapshot generation currently being journalled."""
+        return self._generation
+
+    @property
+    def wal_bytes(self) -> int:
+        """Bytes in the current generation's log segment."""
+        if self._log is None or not self._log.path.exists():
+            return 0
+        return self._log.path.stat().st_size
+
+    # -- journaling core -----------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ValidationError("this durable service is closed")
+
+    def _pin(self) -> float:
+        self._pinned.set(self._clock.now())
+        return self._pinned.now()
+
+    def _command(self, op: str, fields: dict,
+                 execute: Callable[[], object]):
+        """Run one serving command under the journal.
+
+        The frame (sans events) is JSON-rendered *before* execution, so
+        an unserializable input fails cleanly with no side effects;
+        the append happens *after*, so a crash anywhere in between
+        leaves a journal in which the command never happened.  Events
+        settled while the command ran ride inside its frame; if the
+        command raises after settling tickets, the events are salvaged
+        into a ``wal_settle`` frame (the settlements are real — their
+        tickets fired) and the exception propagates.
+        """
+        self._ensure_open()
+        frame = {"wire": WIRE_VERSION, "kind": "wal_cmd", "op": op,
+                 "at": self._pin(), **fields}
+        # The one serialization of the frame (sans events, which do
+        # not exist yet): failing here is the clean no-side-effects
+        # rejection, and the rendered body is reused verbatim for the
+        # post-execution append with the events spliced in.
+        body = json.dumps(frame, separators=(",", ":"),
+                          ensure_ascii=False)
+        del self._events[:]
+        try:
+            result = execute()
+        except BaseException:
+            if self._events:
+                self._log.append({"wire": WIRE_VERSION,
+                                  "kind": "wal_settle",
+                                  "events": list(self._events)})
+                del self._events[:]
+            raise
+        events = json.dumps(self._events, separators=(",", ":"),
+                            ensure_ascii=False)
+        del self._events[:]
+        self._log.append_body(
+            (body[:-1] + ',"events":' + events + "}").encode("utf-8"))
+        self.commands_applied += 1
+        self._since_snapshot += 1
+        if (self._snapshot_every
+                and self._since_snapshot >= self._snapshot_every):
+            self.snapshot()
+        elif (self._snapshot_log_bytes
+                and self._log.bytes_appended >= self._snapshot_log_bytes):
+            # Size-based cadence: snapshot once the segment has grown
+            # to the threshold, bounding both replay length and write
+            # amplification (a command-count cadence re-writes the
+            # whole state however little the log grew — ruinous when
+            # the state dwarfs a command frame).
+            self.snapshot()
+        return result
+
+    def _track(self, ticket: CoordinationTicket) -> None:
+        ticket.add_callback(self._on_settle)
+
+    def _on_settle(self, ticket: CoordinationTicket) -> None:
+        query_id = ticket.query_id
+        if ticket.state is TicketState.ANSWERED:
+            payload = to_payload(ticket.answer)
+            self._events.append(["answered", query_id, payload])
+            self.answers[query_id] = payload
+        else:
+            value = ticket.failure_reason.value
+            self._events.append(["failed", query_id, value])
+            self.failures[query_id] = value
+
+    def _on_delta(self, delta) -> None:
+        """Database mutation listener: journal out-of-band mutations.
+
+        Mutations routed through a journalled ``mutate`` command are
+        suppressed (the command frame already reconstructs them);
+        everything else — an application writing the shared database
+        directly — lands here as one ``wal_delta`` frame per committed
+        :class:`~repro.db.database.TableDelta`, in commit order.
+        """
+        if self._suppress_deltas or self._closed:
+            return
+        self._log.append({"wire": WIRE_VERSION, "kind": "wal_delta",
+                          "delta": delta_to_payload(delta)})
+
+    # -- snapshots and lifecycle ---------------------------------------
+
+    def snapshot(self) -> int:
+        """Write a new snapshot generation and truncate the log.
+
+        Publication order is what makes this crash-safe at every step:
+        the new snapshot is durable (temp + fsync + rename) *before*
+        the new log segment opens, and older generations are pruned
+        only after that — a crash anywhere leaves at least one
+        complete generation on disk.  Returns the new generation.
+        """
+        self._ensure_open()
+        generation = self._generation + 1
+        self._store.write_snapshot(generation, self.commands_applied,
+                                   self._state_payload())
+        if self._log is not None:
+            self._log.close()
+        self._log = self._store.open_log(generation, self._sync_every)
+        self._store.prune_before(generation)
+        self._generation = generation
+        self._since_snapshot = 0
+        self.snapshots_taken += 1
+        return generation
+
+    def sync(self) -> None:
+        """Force the journal to stable storage (fsync now)."""
+        self._ensure_open()
+        self._log.sync()
+
+    def close(self) -> None:
+        """Snapshot, sync, and release resources (idempotent).
+
+        A cleanly closed service reopens from its final snapshot with
+        an empty log — recovery is instant.
+        """
+        if self._closed:
+            return
+        try:
+            self.snapshot()
+        finally:
+            self._closed = True
+            if self._log is not None:
+                self._log.close()
+            self._close_inner()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shared state payload pieces -----------------------------------
+
+    def _journal_state(self) -> dict:
+        return {"answers": _pairs(self.answers),
+                "failures": _pairs(self.failures)}
+
+    @staticmethod
+    def has_state(wal_dir: str | Path) -> bool:
+        """True when *wal_dir* holds recoverable state (use
+        ``recover``; a fresh construction would refuse it)."""
+        return SnapshotStore(wal_dir).has_state()
+
+    def _state_payload(self) -> dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _close_inner(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class DurableEngine(_DurableService):
+    """A :class:`~repro.engine.engine.D3CEngine` that survives its
+    process.
+
+    Construction starts *fresh*: builds the engine over *database*,
+    writes generation 0, and refuses a directory that already holds
+    state (that history belongs to :meth:`recover`, never to silent
+    overwrite).  Engine keyword arguments pass through unchanged,
+    except ``clock`` (the wrapper owns the inner clock — pass the
+    source clock here) and ``rng`` (refused: recovery must be
+    deterministic, matching the sharded coordinator's rule).
+
+    Restrictions: queries must be wire-serializable (aggregate
+    constraints are rejected at submission, exactly as on the sharded
+    service's wire format).
+    """
+
+    def __init__(self, wal_dir: str | Path, database=None, *,
+                 clock: Clock | None = None,
+                 snapshot_every: int | None =
+                 _DurableService.DEFAULT_SNAPSHOT_EVERY,
+                 sync_every: int | None = 8,
+                 snapshot_log_bytes: int | None = None,
+                 **engine_kwargs):
+        if engine_kwargs.get("rng") is not None:
+            raise ValidationError(
+                "the durable engine is deterministic-only: sampled "
+                "CHOOSE draws cannot be reproduced by recovery (submit "
+                "with rng=None)")
+        store = SnapshotStore(wal_dir)
+        if store.has_state():
+            raise RecoveryError(
+                f"{store.root} already holds durable state; use "
+                f"DurableEngine.recover() (a fresh start would orphan "
+                f"that history)")
+        if database is None:
+            raise ValidationError(
+                "a database is required to start a fresh durable "
+                "engine")
+        self._init_journal(store, clock, snapshot_every, sync_every,
+                           snapshot_log_bytes)
+        self.engine = D3CEngine(database, clock=self._pinned,
+                                **engine_kwargs)
+        self._next_seq = 0
+        database.add_mutation_listener(self._on_delta)
+        self.snapshot()
+
+    @classmethod
+    def recover(cls, wal_dir: str | Path, *,
+                clock: Clock | None = None,
+                snapshot_every: int | None =
+                _DurableService.DEFAULT_SNAPSHOT_EVERY,
+                sync_every: int | None = 8,
+                snapshot_log_bytes: int | None = None,
+                **engine_kwargs) -> "DurableEngine":
+        """Rebuild the engine a crashed (or closed) service left in
+        *wal_dir*.
+
+        Engine configuration (mode, staleness policy, worker counts…)
+        is the caller's to supply and must match the original run —
+        the journal records *state*, not configuration.  The recovered
+        engine is at the exact pre-crash ``db_version`` and arrival
+        sequence; still-pending queries get fresh tickets in
+        :attr:`restored_tickets`, and a new snapshot generation is
+        written before this returns, so the next boot replays nothing.
+        """
+        if engine_kwargs.get("rng") is not None:
+            raise ValidationError(
+                "the durable engine is deterministic-only (recover "
+                "with rng=None)")
+        store = SnapshotStore(wal_dir)
+        recovered = _replay_store(store)
+
+        self = cls.__new__(cls)
+        self._init_journal(store, clock, snapshot_every, sync_every,
+                           snapshot_log_bytes)
+        self.engine = D3CEngine(recovered.database, clock=self._pinned,
+                                **engine_kwargs)
+        self.engine.restore_tombstones(
+            {query_id: seq
+             for query_id, seq in recovered.tombstones.items()
+             if query_id not in recovered.pending},
+            next_seq=recovered.next_seq)
+        tickets = self.engine.import_pending(
+            recovered.pending_records())
+        for ticket in tickets.values():
+            self._track(ticket)
+        stats = self.engine.stats
+        stats.submitted = recovered.submitted
+        stats.answered = recovered.answered
+        stats.failed = recovered.failed_counter()
+
+        self._next_seq = recovered.next_seq
+        self.answers = recovered.answers
+        self.failures = recovered.failures
+        self.restored_tickets = tickets
+        self.commands_applied = recovered.commands
+        self._generation = recovered.generation
+        recovered.database.add_mutation_listener(self._on_delta)
+        self.snapshot()
+        return self
+
+    # -- serving surface -----------------------------------------------
+
+    @property
+    def database(self):
+        return self.engine.database
+
+    def submit(self, query, callback: TicketCallback | None = None
+               ) -> CoordinationTicket:
+        """Submit one query durably (journalled; see the module doc)."""
+        seq = self._next_seq
+
+        def execute():
+            # The engine validates on admission, before any state is
+            # touched — a rejected query raises out of execute() and
+            # the prepared frame is discarded unappended.
+            ticket = self.engine.submit(query, arrival_seq=seq)
+            self._next_seq = seq + 1
+            self._track(ticket)
+            if callback is not None:
+                ticket.add_callback(callback)
+            return ticket
+
+        # The frame carries the query as submitted; the engine renames
+        # it apart deterministically (suffix = query id), so replay
+        # re-renames to the same working copy without this path paying
+        # for a second rename per query.
+        return self._command(
+            "submit", {"queries": [to_payload(query)], "seqs": [seq]},
+            execute)
+
+    def submit_all(self, queries: Iterable) -> list[CoordinationTicket]:
+        """Submit many queries in order (one journal frame each)."""
+        return [self.submit(query) for query in queries]
+
+    def submit_many(self, queries: Iterable) -> list[CoordinationTicket]:
+        """Submit a block through the batched pipeline (one frame)."""
+        queries = list(queries)
+        seqs = list(range(self._next_seq,
+                          self._next_seq + len(queries)))
+
+        def execute():
+            # submit_many validates the whole block before admitting
+            # any query, so a bad block raises here with no state
+            # touched and no frame appended.
+            tickets = self.engine.submit_many(queries,
+                                              arrival_seqs=seqs)
+            self._next_seq = seqs[-1] + 1 if seqs else self._next_seq
+            for ticket in tickets:
+                self._track(ticket)
+            return tickets
+
+        # As in submit(): journal the queries as handed over, let the
+        # engine do the one deterministic rename.
+        return self._command(
+            "submit",
+            {"queries": [to_payload(query) for query in queries],
+             "seqs": seqs},
+            execute)
+
+    def run_batch(self) -> int:
+        """One journalled set-at-a-time round; returns answered count."""
+        return self._command("run_batch", {}, self.engine.run_batch)
+
+    def expire_stale(self) -> int:
+        """One journalled expiry sweep; returns the expired count."""
+        return self._command("expire", {}, self.engine.expire_stale)
+
+    def apply_mutations(self, operations: Sequence[tuple]) -> list[int]:
+        """Apply a batch of DML operations under ONE journal frame.
+
+        Direct mutations of the engine's database are journalled too
+        — the delta listener writes one ``wal_delta`` frame per
+        committed :class:`~repro.db.database.TableDelta` — but a
+        mutation-heavy round pays per-frame append cost for every
+        delta.  Batching through here costs one ``mutate`` command
+        frame for the whole block, mirroring
+        :meth:`DurableCoordinator.apply_mutations`.
+        """
+        ops = [[kind, table, [list(row) for row in rows]]
+               for kind, table, rows in operations]
+
+        def execute():
+            # Validate the whole batch — kinds, table names, every
+            # row — before applying any operation: a bad op mid-batch
+            # must not leave earlier ops committed with no journal
+            # frame to reproduce them on recovery.
+            database = self.engine.database
+            checked: list[tuple] = []
+            for kind, table, rows in ops:
+                if kind not in ("insert", "delete"):
+                    raise ValidationError(
+                        f"unknown mutation op {kind!r}; expected "
+                        f"'insert' or 'delete'")
+                schema = database.table(table).schema
+                checked.append(
+                    (kind, table,
+                     [schema.check_row(row) for row in rows]))
+            counts: list[int] = []
+            self._suppress_deltas = True
+            try:
+                for kind, table, rows in checked:
+                    if kind == "insert":
+                        counts.append(database.insert(table, rows))
+                    else:
+                        counts.append(database.delete_rows(table, rows))
+            finally:
+                self._suppress_deltas = False
+            return counts
+
+        return self._command("mutate", {"ops": ops}, execute)
+
+    def insert(self, table: str, rows) -> int:
+        """Insert rows (one journalled mutation block)."""
+        return self.apply_mutations([("insert", table, rows)])[0]
+
+    def delete_rows(self, table: str, rows) -> int:
+        """Delete rows (one journalled mutation block)."""
+        return self.apply_mutations([("delete", table, rows)])[0]
+
+    def invalidate_cache(self) -> None:
+        self.engine.invalidate_cache()
+
+    @property
+    def next_arrival_seq(self) -> int:
+        return self.engine.next_arrival_seq
+
+    @property
+    def pending_count(self) -> int:
+        return self.engine.pending_count
+
+    def pending_ids(self) -> list:
+        return self.engine.pending_ids()
+
+    def partition_sizes(self) -> list[int]:
+        return self.engine.partition_sizes()
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    # -- durability internals ------------------------------------------
+
+    def _state_payload(self) -> dict:
+        engine = self.engine
+        state = {
+            "database": dump_database(engine.database,
+                                      cache=self._dump_cache),
+            "db_version": engine.database.db_version,
+            "next_seq": engine.next_arrival_seq,
+            "pending": [record_to_payload(record)
+                        for record in engine.snapshot_pending()],
+            "tombstones": _pairs(engine.arrival_tombstones()),
+            "used_ids": [],
+            "counters": {
+                "submitted": engine.stats.submitted,
+                "answered": engine.stats.answered,
+                "failed": {reason.value: count
+                           for reason, count in sorted(
+                               engine.stats.failed.items(),
+                               key=lambda item: item[0].value)},
+            },
+        }
+        state.update(self._journal_state())
+        return state
+
+    def _close_inner(self) -> None:
+        pass
+
+
+class DurableCoordinator(_DurableService):
+    """A :class:`~repro.shard.coordinator.ShardedCoordinator` that
+    survives its process.
+
+    Same contract as :class:`DurableEngine` — fresh construction
+    refuses a directory holding state; :meth:`recover` rebuilds the
+    fleet (of whatever shape the caller asks for: shard count and
+    backend may differ from the crashed run — restore re-routes the
+    pending set, exactly as dead-shard re-homing does) at the exact
+    pre-crash database version and arrival sequence.  Coordinator
+    keyword arguments (``num_shards``, ``backend``, ``staleness``,
+    ``warm_indexes``…) pass through unchanged except ``clock``.
+    """
+
+    def __init__(self, wal_dir: str | Path, database=None, *,
+                 clock: Clock | None = None,
+                 snapshot_every: int | None =
+                 _DurableService.DEFAULT_SNAPSHOT_EVERY,
+                 sync_every: int | None = 8,
+                 snapshot_log_bytes: int | None = None,
+                 **coordinator_kwargs):
+        store = SnapshotStore(wal_dir)
+        if store.has_state():
+            raise RecoveryError(
+                f"{store.root} already holds durable state; use "
+                f"DurableCoordinator.recover() (a fresh start would "
+                f"orphan that history)")
+        if database is None:
+            raise ValidationError(
+                "a database is required to start a fresh durable "
+                "coordinator")
+        self._init_journal(store, clock, snapshot_every, sync_every,
+                           snapshot_log_bytes)
+        self.coordinator = ShardedCoordinator(database,
+                                              clock=self._pinned,
+                                              **coordinator_kwargs)
+        database.add_mutation_listener(self._on_delta)
+        self.snapshot()
+
+    @classmethod
+    def recover(cls, wal_dir: str | Path, *,
+                clock: Clock | None = None,
+                snapshot_every: int | None =
+                _DurableService.DEFAULT_SNAPSHOT_EVERY,
+                sync_every: int | None = 8,
+                snapshot_log_bytes: int | None = None,
+                **coordinator_kwargs) -> "DurableCoordinator":
+        """Rebuild the fleet a crashed (or closed) service left in
+        *wal_dir* (see :meth:`DurableEngine.recover`; configuration is
+        caller-supplied, state is replayed)."""
+        store = SnapshotStore(wal_dir)
+        recovered = _replay_store(store)
+
+        self = cls.__new__(cls)
+        self._init_journal(store, clock, snapshot_every, sync_every,
+                           snapshot_log_bytes)
+        self.coordinator = ShardedCoordinator(recovered.database,
+                                              clock=self._pinned,
+                                              **coordinator_kwargs)
+        tickets = self.coordinator.restore_state(
+            next_seq=recovered.next_seq,
+            used_ids=recovered.used_ids,
+            records=recovered.pending_records(),
+            submitted=recovered.submitted,
+            answered=recovered.answered,
+            failed=recovered.failed_counter())
+        for ticket in tickets.values():
+            self._track(ticket)
+
+        self.answers = recovered.answers
+        self.failures = recovered.failures
+        self.restored_tickets = tickets
+        self.commands_applied = recovered.commands
+        self._generation = recovered.generation
+        recovered.database.add_mutation_listener(self._on_delta)
+        self.snapshot()
+        return self
+
+    # -- serving surface -----------------------------------------------
+
+    @property
+    def database(self):
+        return self.coordinator.database
+
+    def submit(self, query, callback: TicketCallback | None = None
+               ) -> CoordinationTicket:
+        """Submit one query durably (journalled; see the module doc)."""
+        query.validate()
+        seq = self.coordinator.next_arrival_seq
+
+        def execute():
+            ticket = self.coordinator.submit(query)
+            self._track(ticket)
+            if callback is not None:
+                ticket.add_callback(callback)
+            return ticket
+
+        # Journal the query as submitted; the shard engine renames it
+        # apart deterministically on admission (see DurableEngine).
+        return self._command(
+            "submit", {"queries": [to_payload(query)], "seqs": [seq]},
+            execute)
+
+    def submit_all(self, queries: Iterable) -> list[CoordinationTicket]:
+        """Submit many queries in order (one journal frame each)."""
+        return [self.submit(query) for query in queries]
+
+    def submit_many(self, queries: Iterable) -> list[CoordinationTicket]:
+        """Submit a block through the sharded pipeline (one frame)."""
+        queries = list(queries)
+        for query in queries:
+            query.validate()
+        start = self.coordinator.next_arrival_seq
+        seqs = list(range(start, start + len(queries)))
+
+        def execute():
+            tickets = self.coordinator.submit_many(queries)
+            for ticket in tickets:
+                self._track(ticket)
+            return tickets
+
+        return self._command(
+            "submit",
+            {"queries": [to_payload(query) for query in queries],
+             "seqs": seqs},
+            execute)
+
+    def run_batch(self) -> int:
+        """One journalled fleet-wide round; returns answered count."""
+        return self._command("run_batch", {},
+                             self.coordinator.run_batch)
+
+    def expire_stale(self) -> int:
+        """One journalled fleet-wide expiry sweep; returns the count."""
+        return self._command("expire", {}, self.coordinator.expire_stale)
+
+    def apply_mutations(self, operations: Sequence[tuple]) -> list[int]:
+        """Apply and journal a batch of DML operations fleet-wide."""
+        ops = [[kind, table, [list(row) for row in rows]]
+               for kind, table, rows in operations]
+
+        def execute():
+            checked = [(kind, table, [tuple(row) for row in rows])
+                       for kind, table, rows in ops]
+            self._suppress_deltas = True
+            try:
+                return self.coordinator.apply_mutations(checked)
+            finally:
+                self._suppress_deltas = False
+
+        return self._command("mutate", {"ops": ops}, execute)
+
+    def insert(self, table: str, rows) -> int:
+        """Insert rows fleet-wide (one journalled mutation block)."""
+        return self.apply_mutations([("insert", table, rows)])[0]
+
+    def delete_rows(self, table: str, rows) -> int:
+        """Delete rows fleet-wide (one journalled mutation block)."""
+        return self.apply_mutations([("delete", table, rows)])[0]
+
+    def invalidate_cache(self) -> None:
+        self.coordinator.invalidate_cache()
+
+    @property
+    def next_arrival_seq(self) -> int:
+        return self.coordinator.next_arrival_seq
+
+    @property
+    def pending_count(self) -> int:
+        return self.coordinator.pending_count
+
+    def pending_ids(self) -> list:
+        return self.coordinator.pending_ids()
+
+    def partition_sizes(self) -> list[int]:
+        return self.coordinator.partition_sizes()
+
+    @property
+    def stats(self):
+        return self.coordinator.stats
+
+    @property
+    def db_version(self) -> int:
+        return self.coordinator.db_version
+
+    # -- durability internals ------------------------------------------
+
+    def _state_payload(self) -> dict:
+        state = self.coordinator.snapshot_state(
+            dump_cache=self._dump_cache)
+        state["tombstones"] = []
+        state.update(self._journal_state())
+        return state
+
+    def _close_inner(self) -> None:
+        self.coordinator.close()

@@ -48,7 +48,7 @@ from ..core.evaluate import FailureReason
 from ..core.query import EntangledQuery
 from ..core.safety import SafetyChecker
 from ..db.database import Database
-from ..errors import ValidationError
+from ..errors import RecoveryError, ValidationError
 from .futures import CoordinationTicket, TicketCallback
 from .runtime import CoordinationScheduler
 from .staleness import Clock, NeverStale, StalenessPolicy, SystemClock
@@ -561,6 +561,71 @@ class D3CEngine:
                 self._arrival.pop(query_id, None)
             else:
                 self._arrival[query_id] = prior
+
+    # ------------------------------------------------------------------
+    # durability hooks (see repro.durability.service)
+    # ------------------------------------------------------------------
+
+    def snapshot_pending(self) -> list[PendingRecord]:
+        """A non-destructive view of the pending set, in arrival order.
+
+        The same records :meth:`export_component` would produce, but
+        nothing leaves the engine — the durability layer snapshots a
+        *live* engine with these and keeps serving from it.
+        """
+        with self._lock:
+            records = [PendingRecord(working, self._arrival[query_id],
+                                     submitted_at)
+                       for query_id, (working, _, submitted_at)
+                       in self._pending.items()]
+            records.sort(key=lambda record: record.arrival_seq)
+            return records
+
+    def arrival_tombstones(self) -> dict:
+        """Arrival entries of *settled* queries: ``{query_id: seq}``.
+
+        Answered and safety-rejected ids stay burned for the engine's
+        lifetime (only expiry releases an id for retry); a recovered
+        engine must reinstate these entries or it would accept
+        re-submissions the crashed engine would have refused.
+        """
+        with self._lock:
+            return {query_id: seq
+                    for query_id, seq in self._arrival.items()
+                    if query_id not in self._pending}
+
+    def restore_tombstones(self, entries: dict,
+                           next_seq: int | None = None) -> None:
+        """Reinstate settled arrival entries on a freshly built engine.
+
+        *entries* maps burned query ids to their arrival sequence
+        numbers (the :meth:`arrival_tombstones` of the engine being
+        recovered); *next_seq* pins the arrival counter so post-recovery
+        submissions continue the pre-crash sequence even when the
+        highest sequences belonged to since-expired queries.  Raises
+        :class:`~repro.errors.RecoveryError` over live state — restoring
+        onto an engine that already admitted queries would silently
+        merge two histories.
+        """
+        with self._lock:
+            if (self._pending or self._arrival or self._next_seq
+                    or not self._runtime.pristine):
+                raise RecoveryError(
+                    "cannot restore tombstones over live engine state "
+                    f"({len(self._pending)} pending, "
+                    f"{len(self._arrival)} arrival entries, "
+                    f"next_seq={self._next_seq})")
+            for query_id, seq in entries.items():
+                self._arrival[query_id] = seq
+                self._next_seq = max(self._next_seq, seq + 1)
+            if next_seq is not None:
+                self._next_seq = max(self._next_seq, next_seq)
+
+    @property
+    def next_arrival_seq(self) -> int:
+        """The sequence number the next submission will be assigned."""
+        with self._lock:
+            return self._next_seq
 
     # ------------------------------------------------------------------
     # batch (set-at-a-time) mode

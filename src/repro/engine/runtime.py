@@ -197,6 +197,19 @@ class CoordinationScheduler:
         for representative in self.partitions.remove_queries(removed):
             self._dirty[representative] = None
 
+    @property
+    def pristine(self) -> bool:
+        """True while the scheduler holds no coordination state at all.
+
+        Recovery restore paths (:mod:`repro.durability.service`) use
+        this as a guard: tombstones and pending imports may only be
+        replayed onto a scheduler that has never ingested a query, so
+        the recovered history is the *only* history.
+        """
+        return (len(self.graph) == 0 and not self._dirty
+                and not self._failed_groups
+                and not self.partitions.partition_sizes())
+
     def mark_all_dirty(self) -> None:
         """Queue every live component for the next drain (used after
         database mutations, when previous failures may now succeed)."""

@@ -74,6 +74,19 @@ class StaleQueryError(CoordinationError):
     """
 
 
+class RecoveryError(ReproError):
+    """Raised when durability state cannot be restored safely.
+
+    Covers both sides of the crash-recovery contract: a corrupt or
+    missing snapshot/log that cannot seed a coordinator, and a restore
+    attempted over *live* state (replaying a delta out of sequence,
+    pinning ``db_version`` under registered listeners, importing a
+    snapshot into an engine that already holds pending queries).  The
+    rule is uniform: recovery either reproduces the pre-crash state
+    exactly or raises — it never silently diverges.
+    """
+
+
 class SchemaError(ReproError):
     """Raised for catalog problems in the database substrate.
 

@@ -45,7 +45,7 @@ from ..engine.futures import CoordinationTicket, TicketCallback
 from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
     SystemClock
 from ..engine.stats import EngineStats
-from ..errors import ValidationError
+from ..errors import RecoveryError, ValidationError
 from .backend import InProcessBackend, ShardBackend
 from .router import ShardRouter
 
@@ -974,6 +974,105 @@ class ShardedCoordinator:
                     # a re-submission is a fresh incarnation.
                     self._used_ids.discard(query_id)
                 ticket.fail(payload)
+
+    # ------------------------------------------------------------------
+    # durability hooks (see repro.durability.service)
+    # ------------------------------------------------------------------
+
+    @property
+    def next_arrival_seq(self) -> int:
+        """The sequence number the next submission will be assigned."""
+        return self._next_seq
+
+    def snapshot_state(self, *, dump_cache: dict | None = None) -> dict:
+        """The coordinator's durable state as a wire-safe payload.
+
+        Everything a fresh coordinator needs to continue this one's
+        history: the primary database (text dump plus its version), the
+        global arrival counter, the used-id set, the full pending set
+        as migration-record payloads (the coordinator's ``_pending_meta``
+        copy — workers are not consulted), and the lifecycle counters.
+        Shard placement is deliberately *not* captured: restore re-routes
+        the pending set onto whatever fleet shape the recovering caller
+        builds, which is also what re-homing after a worker death does.
+        """
+        from ..dataio import dump_database, record_to_payload
+        from ..engine.engine import PendingRecord
+        records = [PendingRecord(working, seq, submitted_at)
+                   for working, seq, submitted_at
+                   in self._pending_meta.values()]
+        records.sort(key=lambda record: record.arrival_seq)
+        return {
+            "database": dump_database(self.database, cache=dump_cache),
+            "db_version": self.database.db_version,
+            "next_seq": self._next_seq,
+            "used_ids": sorted(self._used_ids, key=repr),
+            "pending": [record_to_payload(record) for record in records],
+            "counters": {
+                "submitted": self._submitted,
+                "answered": self._answered,
+                "failed": {reason.value: count
+                           for reason, count in sorted(
+                               self._failed.items(),
+                               key=lambda item: item[0].value)},
+            },
+        }
+
+    def restore_state(self, *, next_seq: int, used_ids: Iterable,
+                      records: Sequence, submitted: int = 0,
+                      answered: int = 0,
+                      failed: Counter | None = None) -> dict:
+        """Reinstate a recovered coordinator history onto fresh shards.
+
+        *records* are :class:`~repro.engine.engine.PendingRecord`\\ s of
+        every pending query (the whole fleet's, in any order); they are
+        routed as one block — every coordination partner is in the
+        block, so routing is purely logical and no cross-shard
+        migrations run — and imported shard by shard with their
+        original sequence numbers and submission instants, exactly as
+        re-homing a dead shard's components does.  Returns
+        ``{query_id: ticket}`` with fresh unsettled tickets.
+
+        Raises :class:`~repro.errors.RecoveryError` over live state:
+        the coordinator must have been constructed (over the recovered
+        database) and never used.
+        """
+        if self._pending_meta or self._used_ids or self._next_seq:
+            raise RecoveryError(
+                "cannot restore over live coordinator state "
+                f"({len(self._pending_meta)} pending, "
+                f"{len(self._used_ids)} used ids, "
+                f"next_seq={self._next_seq})")
+        self._used_ids = set(used_ids)
+        self._next_seq = next_seq
+        self._submitted = submitted
+        self._answered = answered
+        self._failed = Counter(failed or ())
+        ordered = sorted(records, key=lambda record: record.arrival_seq)
+        tickets: dict = {}
+        for record in ordered:
+            query_id = record.query.query_id
+            ticket = CoordinationTicket(query_id)
+            self._used_ids.add(query_id)
+            self._pending_meta[query_id] = (record.query,
+                                            record.arrival_seq,
+                                            record.submitted_at)
+            self._tickets[query_id] = ticket
+            tickets[query_id] = ticket
+        workings = [record.query for record in ordered]
+        targets = self._route_block(workings)
+        groups: dict[int, list] = {}
+        for record, target in zip(ordered, targets):
+            groups.setdefault(target, []).append(record)
+        for shard in sorted(groups):
+            group = groups[shard]
+            if self.backend_kind == "process":
+                from ..dataio import manifest_to_payload
+                payload = manifest_to_payload(f"restore-{shard}", group)
+                self._backends[shard].import_records(payload)
+            else:
+                self._backends[shard].import_records(group)
+        return tickets
 
     # ------------------------------------------------------------------
     # introspection

@@ -53,6 +53,7 @@ import traceback
 from collections import deque
 from typing import Sequence
 
+from ..concurrency import shutdown_grace_seconds
 from ..core.evaluate import FailureReason
 from ..engine.engine import D3CEngine, PendingRecord
 from ..engine.futures import CoordinationTicket, TicketState
@@ -97,6 +98,26 @@ class _SettableClock(Clock):
         # caller mixing clock sources should not unexpire anything.
         if now > self._now:
             self._now = now
+
+
+def _reap(process, grace: float) -> None:
+    """Deterministic worker shutdown escalation.
+
+    ``join`` (the cooperative stop already happened or the pipe
+    closed), then ``terminate`` (SIGTERM), then ``kill`` (SIGKILL) —
+    each step waits the same *grace* period (see
+    :func:`repro.concurrency.shutdown_grace_seconds`) before
+    escalating, so ``close()`` is bounded at three grace periods even
+    against a worker wedged in uninterruptible state, and an orphaned
+    worker can never outlive the backend that owns it.
+    """
+    process.join(timeout=grace)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=grace)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=grace)
 
 
 def staleness_to_spec(policy: StalenessPolicy) -> tuple:
@@ -553,7 +574,4 @@ class ProcessBackend:
         except (BrokenPipeError, EOFError, OSError):
             pass
         self._connection.close()
-        self._process.join(timeout=5)
-        if self._process.is_alive():
-            self._process.terminate()
-            self._process.join(timeout=5)
+        _reap(self._process, shutdown_grace_seconds())

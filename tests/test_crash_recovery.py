@@ -1,0 +1,238 @@
+"""The kill-9 crash-recovery battery (see :mod:`tests.crashkit`).
+
+Each trial launches a child process that drives a durable service
+partway through the deterministic dynamic-database scenario and
+SIGKILLs itself at a chosen step — after the step's journal frame
+landed (``post``) or inside the append itself (``pre_append``, the
+log-after-execute contract's hard case).  The parent recovers from the
+WAL directory the corpse left behind, resumes the remaining steps, and
+requires the full durable state — database text, db_version, arrival
+sequence, pending records, tombstones, lifecycle counters, and the
+answers/failures maps — to be *byte-identical* to an uncrashed oracle
+run of the same scenario.
+
+22 randomized crash points across the single-engine service and both
+shard backends, plus the torn-final-record, stale-snapshot-long-tail,
+and clean-shutdown controls.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+import crashkit
+from repro.durability import SnapshotStore
+from repro.engine.staleness import ManualClock
+
+CRASHKIT = os.path.join(os.path.dirname(__file__), "crashkit.py")
+SNAP_EVERY = 5
+
+_rng = random.Random(2011)
+ENGINE_POST = sorted(_rng.sample(range(crashkit.TOTAL_STEPS), 9))
+ENGINE_PRE = sorted(_rng.sample(range(crashkit.TOTAL_STEPS), 3))
+COORD_POST = sorted(_rng.sample(range(crashkit.TOTAL_STEPS), 5))
+COORD_PRE = sorted(_rng.sample(range(crashkit.TOTAL_STEPS), 2))
+PROC_POST = sorted(_rng.sample(range(crashkit.TOTAL_STEPS), 3))
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """``(base_text, rounds, serialized_path)`` — derived once here
+    and shipped to every child as a file (see crashkit.build_workload
+    on why children must not re-derive it)."""
+    base_text, rounds = crashkit.build_workload()
+    path = tmp_path_factory.mktemp("workload") / "workload.json"
+    crashkit.write_workload(path, base_text, rounds)
+    return base_text, rounds, path
+
+
+@pytest.fixture(scope="module")
+def oracle(workload, tmp_path_factory):
+    """Uncrashed full-run fingerprint per service configuration."""
+    base_text, rounds, _ = workload
+    cache = {}
+
+    def fingerprint_for(config: str) -> str:
+        if config not in cache:
+            cls, _ = crashkit.CONFIGS[config]
+            wal_dir = tmp_path_factory.mktemp(f"oracle-{config}")
+            clock = ManualClock()
+            service = cls(wal_dir / "wal",
+                          crashkit.fresh_database(base_text),
+                          clock=clock,
+                          **crashkit.service_kwargs(config, SNAP_EVERY))
+            try:
+                crashkit.drive(service, clock, rounds, 0,
+                               crashkit.TOTAL_STEPS)
+                assert service.answers, "oracle answered nothing"
+                cache[config] = crashkit.fingerprint(service)
+            finally:
+                service.close()
+        return cache[config]
+
+    return fingerprint_for
+
+
+def _crash_child(config, wal_dir, workload, crash_step, mode,
+                 snap_every=SNAP_EVERY):
+    """Run the scenario in a child until it kills itself (or, in
+    ``clean`` mode, exits zero)."""
+    _, _, workload_path = workload
+    completed = subprocess.run(
+        [sys.executable, CRASHKIT, config, str(wal_dir),
+         str(workload_path), str(crash_step), mode,
+         "none" if snap_every is None else str(snap_every)],
+        capture_output=True, text=True, timeout=180,
+        env={**os.environ, "REPRO_SHUTDOWN_TIMEOUT": "5"})
+    expected = 0 if mode == "clean" else -9
+    assert completed.returncode == expected, completed.stderr
+    return completed
+
+
+def _recover_and_resume(config, wal_dir, resume_step, workload,
+                        snap_every=SNAP_EVERY):
+    """Recover the corpse's WAL directory, finish the scenario, and
+    return the final-state fingerprint."""
+    _, rounds, _ = workload
+    cls, _ = crashkit.CONFIGS[config]
+    clock = ManualClock()
+    service = cls.recover(wal_dir, clock=clock,
+                          **crashkit.service_kwargs(config, snap_every))
+    try:
+        assert service.commands_applied == \
+            crashkit.commands_through(config, resume_step)
+        crashkit.drive(service, clock, rounds, resume_step,
+                       crashkit.TOTAL_STEPS)
+        return crashkit.fingerprint(service)
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("crash_step", ENGINE_POST)
+def test_engine_recovers_after_kill9(tmp_path, workload, oracle,
+                                     crash_step):
+    wal_dir = tmp_path / "wal"
+    _crash_child("engine", wal_dir, workload, crash_step, "post")
+    got = _recover_and_resume("engine", wal_dir, crash_step + 1,
+                              workload)
+    assert got == oracle("engine")
+
+
+@pytest.mark.parametrize("crash_step", ENGINE_PRE)
+def test_engine_recovers_from_crash_inside_append(tmp_path, workload,
+                                                  oracle, crash_step):
+    """The command executed in the doomed process but its frame never
+    landed — recovery must treat it as never having happened and
+    re-run it."""
+    wal_dir = tmp_path / "wal"
+    _crash_child("engine", wal_dir, workload, crash_step,
+                 "pre_append")
+    got = _recover_and_resume("engine", wal_dir, crash_step, workload)
+    assert got == oracle("engine")
+
+
+@pytest.mark.parametrize("crash_step", COORD_POST)
+def test_sharded_inprocess_recovers_after_kill9(tmp_path, workload,
+                                                oracle, crash_step):
+    wal_dir = tmp_path / "wal"
+    _crash_child("coord-inprocess", wal_dir, workload, crash_step,
+                 "post")
+    got = _recover_and_resume("coord-inprocess", wal_dir,
+                              crash_step + 1, workload)
+    assert got == oracle("coord-inprocess")
+
+
+@pytest.mark.parametrize("crash_step", COORD_PRE)
+def test_sharded_inprocess_recovers_from_crash_inside_append(
+        tmp_path, workload, oracle, crash_step):
+    wal_dir = tmp_path / "wal"
+    _crash_child("coord-inprocess", wal_dir, workload, crash_step,
+                 "pre_append")
+    got = _recover_and_resume("coord-inprocess", wal_dir, crash_step,
+                              workload)
+    assert got == oracle("coord-inprocess")
+
+
+@pytest.mark.parametrize("crash_step", PROC_POST)
+def test_sharded_process_backend_recovers_after_kill9(tmp_path,
+                                                      workload, oracle,
+                                                      crash_step):
+    """Multiprocessing fleet: the SIGKILLed parent's workers exit on
+    pipe EOF, and recovery re-homes the pending set onto a freshly
+    spawned fleet."""
+    wal_dir = tmp_path / "wal"
+    _crash_child("coord-process", wal_dir, workload, crash_step,
+                 "post")
+    got = _recover_and_resume("coord-process", wal_dir, crash_step + 1,
+                              workload)
+    assert got == oracle("coord-process")
+
+
+def test_recovery_reshapes_the_fleet(tmp_path, workload, oracle):
+    """Recovering onto a different shard count re-routes the pending
+    set (the snapshot carries state, not fleet shape) and coordinates
+    to the same answers."""
+    _, rounds, _ = workload
+    wal_dir = tmp_path / "wal"
+    _crash_child("coord-inprocess", wal_dir, workload, 13, "post")
+    clock = ManualClock()
+    kwargs = crashkit.service_kwargs("coord-inprocess", SNAP_EVERY)
+    kwargs["num_shards"] = 3
+    service = crashkit.DurableCoordinator.recover(wal_dir, clock=clock,
+                                                  **kwargs)
+    try:
+        assert service.coordinator.num_shards == 3
+        crashkit.drive(service, clock, rounds, 14,
+                       crashkit.TOTAL_STEPS)
+        assert crashkit.fingerprint(service) == \
+            oracle("coord-inprocess")
+    finally:
+        service.close()
+
+
+def test_torn_final_record_drops_exactly_one_command(tmp_path,
+                                                     workload, oracle):
+    """Tear the last journalled frame (a machine-crash artifact); the
+    torn command never happened, everything before it survives, and
+    resuming from the previous step reaches the oracle state."""
+    wal_dir = tmp_path / "wal"
+    crash_step = 18    # a submit step; its frame is the segment's tail
+    _crash_child("engine", wal_dir, workload, crash_step, "post")
+    store = SnapshotStore(wal_dir)
+    log_path = store.log_path(store.generations()[-1])
+    data = log_path.read_bytes()
+    assert len(data) > 4
+    log_path.write_bytes(data[:-4])
+    got = _recover_and_resume("engine", wal_dir, crash_step, workload)
+    assert got == oracle("engine")
+
+
+def test_stale_snapshot_with_long_tail(tmp_path, workload, oracle):
+    """Automatic snapshots disabled: recovery replays the entire run
+    from generation 0's snapshot plus a 6-round log suffix."""
+    wal_dir = tmp_path / "wal"
+    _crash_child("engine", wal_dir, workload,
+                 crashkit.TOTAL_STEPS - 1, "post", snap_every=None)
+    store = SnapshotStore(wal_dir)
+    assert store.generations() == [0]
+    got = _recover_and_resume("engine", wal_dir, crashkit.TOTAL_STEPS,
+                              workload, snap_every=None)
+    assert got == oracle("engine")
+
+
+def test_clean_shutdown_recovers_instantly(tmp_path, workload, oracle):
+    """The no-crash control: a closed service reopens from its final
+    snapshot with nothing to replay."""
+    wal_dir = tmp_path / "wal"
+    _crash_child("engine", wal_dir, workload, 0, "clean")
+    store = SnapshotStore(wal_dir)
+    _, _, records, clean = store.load_newest()
+    assert records == [] and clean
+    got = _recover_and_resume("engine", wal_dir, crashkit.TOTAL_STEPS,
+                              workload)
+    assert got == oracle("engine")
