@@ -8,20 +8,23 @@ Run everything standalone::
 or through pytest-benchmark (one file per figure in ``benchmarks/``).
 """
 
-from .harness import (Series, SeriesRow, bench_database, bench_network,
-                      bench_scale, run_batch, run_churn, run_incremental,
-                      run_sharded, scaled, stopwatch)
+from .harness import (HARNESS_REVISION, Series, SeriesRow,
+                      bench_database, bench_network, bench_scale,
+                      run_batch, run_churn, run_incremental,
+                      run_range_scan, run_range_sweep, run_sharded,
+                      scaled, schedule_database, stopwatch)
 from .figures import (churn, figure6, figure7, figure8, figure9,
-                      migration_heavy, run_all, sharded)
+                      migration_heavy, range_sweep, run_all, sharded)
 
 # NB: repro.bench.regression is intentionally not imported here — it is
 # an entry point (`python -m repro.bench.regression`), and importing it
 # from the package would trigger the double-import RuntimeWarning.
 
 __all__ = [
-    "Series", "SeriesRow", "bench_database", "bench_network",
-    "bench_scale", "run_batch", "run_churn", "run_incremental",
-    "run_sharded", "scaled", "stopwatch",
+    "HARNESS_REVISION", "Series", "SeriesRow", "bench_database",
+    "bench_network", "bench_scale", "run_batch", "run_churn",
+    "run_incremental", "run_range_scan", "run_range_sweep",
+    "run_sharded", "scaled", "schedule_database", "stopwatch",
     "churn", "figure6", "figure7", "figure8", "figure9",
-    "migration_heavy", "run_all", "sharded",
+    "migration_heavy", "range_sweep", "run_all", "sharded",
 ]

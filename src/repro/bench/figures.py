@@ -37,11 +37,13 @@ from ..workloads.generators import (big_cluster_queries, chain_queries,
                                     migration_heavy_rounds,
                                     multi_tenant_rounds,
                                     non_unifying_queries,
+                                    range_sweep_pairs,
                                     safety_stress_workload,
                                     three_way_triangles, two_way_pairs)
 from .harness import (Series, bench_database, bench_network, run_batch,
                       run_churn, run_dynamic, run_incremental,
-                      run_sharded, scaled, stopwatch)
+                      run_range_sweep, run_sharded, schedule_database,
+                      scaled, stopwatch)
 
 #: Default query-set sizes for the Figure 6 sweep (paper: 5 … 100,000).
 FIG6_SIZES = (6, 60, 600, 3_000, 12_000)
@@ -385,11 +387,53 @@ def dynamic_db(round_counts: Sequence[int] | None = None,
     return [series]
 
 
+def range_sweep(sizes: Sequence[int] | None = None,
+                network=None) -> list[Series]:
+    """Beyond the paper: slot-window coordination over ordered indexes.
+
+    Drives :func:`repro.workloads.generators.range_sweep_pairs` — friend
+    pairs whose bodies carry inequality slot windows — through
+    :func:`repro.bench.harness.run_range_sweep` twice per point: once
+    with ordered-index pushdown disabled (every body evaluation scans
+    the schedule table and filters) and once with the default compiled
+    range probes.  Both legs answer identically (enforced); the
+    ``speedup`` column plus the probe/pruned-row counters show the
+    pushdown win at the engine level.  The *wall-clock* gap here is
+    diluted by per-query coordination overhead — the undiluted
+    database-level figure is the ``range_scan`` regression probe.
+    """
+    if network is None:
+        network = bench_network()
+    database = schedule_database(network)
+    if sizes is None:
+        sizes = [scaled(size, 2) for size in (200, 800, 2_400)]
+
+    series = Series("Range sweep: slot-window pairs, ordered-index "
+                    "pushdown vs scan-and-filter", "queries")
+    for size in sizes:
+        queries = range_sweep_pairs(network, size, seed=size)
+        baseline = run_range_sweep(database, queries, pushdown=False)
+        pushed = run_range_sweep(database, queries, pushdown=True)
+        if pushed["answered"] != baseline["answered"]:
+            raise RuntimeError(
+                f"range_sweep diverged: pushdown answered "
+                f"{pushed['answered']} vs baseline "
+                f"{baseline['answered']}")
+        series.add(size, seconds=pushed["seconds"],
+                   baseline_seconds=baseline["seconds"],
+                   speedup=(baseline["seconds"] / pushed["seconds"]
+                            if pushed["seconds"] > 0 else 0.0),
+                   answered=pushed["answered"],
+                   range_probes=pushed["range_probes"],
+                   range_pruned=pushed["range_pruned"])
+    return [series]
+
+
 def run_all() -> list[Series]:
     """Run every figure and return all series (also printed)."""
     all_series: list[Series] = []
     for runner in (figure6, figure7, figure8, figure9, churn, sharded,
-                   migration_heavy, dynamic_db):
+                   migration_heavy, dynamic_db, range_sweep):
         start = time.perf_counter()
         produced = runner()
         elapsed = time.perf_counter() - start

@@ -26,6 +26,14 @@ from ..workloads.socialnet import SocialNetwork, generate_social_network
 #: uses the 82,168-user Slashdot graph; scale with REPRO_BENCH_SCALE).
 DEFAULT_BENCH_USERS = 8_000
 
+#: Revision of the timed harness code paths.  Bump whenever a change
+#: alters what any runner measures inside its stopwatch (new work in
+#: the timed region, different warm-up, changed substrate sizing), so
+#: a committed BENCH_*.json baseline can be told apart from reports
+#: produced by an incompatible harness.  Recorded in every regression
+#: report as ``harness_revision``.
+HARNESS_REVISION = 1
+
 
 def bench_scale() -> float:
     """The ``REPRO_BENCH_SCALE`` multiplier (default 1.0)."""
@@ -146,6 +154,36 @@ def bench_database(network: SocialNetwork) -> Database:
             table.index_on((1,))
         _DATABASE_CACHE[key] = database
     return _DATABASE_CACHE[key]
+
+
+_SCHEDULE_CACHE: dict = {}
+
+
+def schedule_database(network: SocialNetwork) -> Database:
+    """A cached standalone schedule database for the range benchmarks.
+
+    Holds only the slot-schedule table ``S(user, slot)`` (see
+    :func:`repro.workloads.generators.install_schedule_table`) — the
+    range workloads' bodies read nothing else, and keeping the flight
+    tables out makes the substrate cheap to build at any scale.  Both
+    the hash index on the user column and the ordered indexes the
+    pushdown path probes (bare slot order, and user-prefixed slot
+    order) are warmed here so lazy index construction never lands
+    inside a measured leg — crucially not inside the *first* pushdown
+    leg of an A/B pair, which would bias the comparison.
+    """
+    key = id(network)
+    if key not in _SCHEDULE_CACHE:
+        from ..workloads.generators import (SCHEDULE_TABLE,
+                                            install_schedule_table)
+        database = Database()
+        install_schedule_table(database, network)
+        table = database.table(SCHEDULE_TABLE)
+        table.index_on((0,))
+        table.ordered_index_on((), 1)
+        table.ordered_index_on((0,), 1)
+        _SCHEDULE_CACHE[key] = database
+    return _SCHEDULE_CACHE[key]
 
 
 @contextmanager
@@ -362,6 +400,89 @@ def run_sharded(database: Database, rounds, num_shards: int,
         return metrics
     finally:
         coordinator.close()
+
+
+def run_range_sweep(database: Database, queries,
+                    pushdown: bool = True, **engine_kwargs) -> dict:
+    """Run the slot-window pair workload; return metrics.
+
+    Batch-mode engine run over the ``range_sweep`` queries (see
+    :func:`repro.workloads.generators.range_sweep_pairs`), with
+    ordered-index pushdown toggled for the duration of the run and
+    restored to its default afterwards — ``pushdown=False`` is the
+    scan-and-filter baseline leg.  Metrics additionally report the
+    run's *delta* of the database's ordered-index counters, so a
+    figure row shows how many probes/pruned rows its own queries cost
+    rather than a lifetime total of the shared substrate.
+    """
+    before = database.range_stats()
+    database.set_range_pushdown(pushdown)
+    try:
+        engine = D3CEngine(database, mode="batch", **engine_kwargs)
+        with frozen_dataset():
+            with stopwatch() as elapsed:
+                engine.submit_all(queries)
+                engine.run_batch()
+            total = elapsed()
+    finally:
+        database.set_range_pushdown(True)
+    after = database.range_stats()
+    metrics = _metrics(engine, len(queries), total)
+    for key in ("range_probes", "range_rows", "range_pruned",
+                "empty_prunes"):
+        metrics[key] = after[key] - before[key]
+    return metrics
+
+
+def run_range_scan(database: Database, queries,
+                   pushdown: bool = True) -> dict:
+    """Evaluate conjunctive *queries* directly; no engine in the loop.
+
+    The measured region is pure :meth:`repro.db.Database.evaluate`
+    work — per-query coordination overhead (ingest, matching, outcome
+    bookkeeping) would otherwise dilute the index-vs-scan gap this
+    probe exists to track.  Beyond the usual timing metrics, returns:
+
+    * ``answered`` — total result rows across all queries;
+    * ``digests`` — one ``(row_count, hash)`` pair per query, computed
+      from the sorted projection on the query's output variables.  The
+      A/B probe compares digests across legs, enforcing that pushdown
+      never changes an answer (hashes are only comparable within one
+      process — never persist them);
+    * deltas of the ordered-index counters, as in
+      :func:`run_range_sweep`.
+    """
+    before = database.range_stats()
+    database.set_range_pushdown(pushdown)
+    try:
+        with frozen_dataset():
+            with stopwatch() as elapsed:
+                results = [list(database.evaluate(query))
+                           for query in queries]
+            total = elapsed()
+    finally:
+        database.set_range_pushdown(True)
+    after = database.range_stats()
+    digests: list[tuple[int, int]] = []
+    rows_total = 0
+    for query, valuations in zip(queries, results):
+        variables = query.output_variables or tuple(
+            sorted(query.variables(), key=lambda var: var.name))
+        rows = sorted(tuple(valuation[var] for var in variables)
+                      for valuation in valuations)
+        rows_total += len(rows)
+        digests.append((len(rows), hash(tuple(rows))))
+    metrics = {
+        "queries": len(queries),
+        "seconds": total,
+        "throughput_qps": len(queries) / total if total > 0 else 0.0,
+        "answered": rows_total,
+        "digests": digests,
+    }
+    for key in ("range_probes", "range_rows", "range_pruned",
+                "empty_prunes"):
+        metrics[key] = after[key] - before[key]
+    return metrics
 
 
 def _metrics(engine: D3CEngine, num_queries: int, total: float) -> dict:

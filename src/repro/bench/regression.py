@@ -20,7 +20,10 @@ Usage::
     python -m repro.bench.regression --scale 0.01 --out /tmp/smoke.json
 
 The probe sizes are fixed (``--scale`` multiplies them), so reports are
-comparable run-to-run on the same machine.
+comparable run-to-run on the same machine.  Every report also records
+``harness_revision`` (see :data:`repro.bench.harness.HARNESS_REVISION`)
+so a baseline captured by an older harness — different timed regions —
+is flagged instead of silently compared.
 """
 
 from __future__ import annotations
@@ -34,11 +37,12 @@ from typing import Optional, Sequence
 from ..workloads import (big_cluster_queries, chain_queries,
                          churn_rounds, dynamic_db_rounds,
                          migration_heavy_rounds, multi_tenant_rounds,
-                         non_unifying_queries, three_way_triangles,
-                         two_way_pairs)
-from .harness import (DEFAULT_BENCH_USERS, bench_database, bench_network,
-                      run_batch, run_churn, run_dynamic,
-                      run_incremental, run_sharded)
+                         non_unifying_queries, range_scan_queries,
+                         three_way_triangles, two_way_pairs)
+from .harness import (DEFAULT_BENCH_USERS, HARNESS_REVISION,
+                      bench_database, bench_network, run_batch,
+                      run_churn, run_dynamic, run_incremental,
+                      run_range_scan, run_sharded, schedule_database)
 
 #: Largest Figure 6 configuration (per series) at scale 1.
 FIG6_SIZE = 12_000
@@ -78,6 +82,12 @@ WAL_SNAPSHOT_LOG_BYTES = 4 * 1024 * 1024
 #: legs; each leg keeps its minimum wall-clock (see the probe's
 #: docstring for why pairing beats repeating one leg at a time).
 _WAL_PROBE_REPS = 5
+#: Range-scan probe: direct-evaluation slot-window queries, ordered
+#: indexes paired against the scan-and-filter baseline leg.  The query
+#: count is modest because the baseline leg full-scans the schedule
+#: table per sweep query — the whole point of the probe.
+RANGE_SCAN_QUERIES = 16
+_RANGE_PROBE_REPS = 3
 
 #: The fixed probe set, in execution order.  ``--list`` prints these
 #: without building any workload, so CI and scripts can enumerate them.
@@ -94,6 +104,7 @@ PROBE_NAMES = (
     "migration_heavy",
     "dynamic_db",
     "wal_overhead",
+    "range_scan",
 )
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
@@ -148,6 +159,7 @@ def collect_series(scale: float = 1.0) -> dict:
                                                  scale)),
         ("wal_overhead", lambda: _wal_overhead_probe(network, database,
                                                      scale)),
+        ("range_scan", lambda: _range_scan_probe(network, scale)),
     )
     if tuple(name for name, _ in probes) != PROBE_NAMES:
         # A real error, not an assert: --list must never drift from
@@ -172,7 +184,10 @@ def collect_series(scale: float = 1.0) -> dict:
                       "match_seconds_targeted",
                       "match_seconds_full_recompute",
                       "plain_seconds", "wal_overhead_pct", "wal_bytes",
-                      "wal_commands", "wal_snapshots", "note"):
+                      "wal_commands", "wal_snapshots",
+                      "baseline_seconds", "range_speedup",
+                      "range_probes", "range_rows", "range_pruned",
+                      "empty_prunes", "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
@@ -332,6 +347,49 @@ def _wal_overhead_probe(network, database, scale: float) -> dict:
     return metrics
 
 
+def _range_scan_probe(network, scale: float) -> dict:
+    """Direct-evaluation slot-window queries, ordered-index pushdown
+    paired against the scan-and-filter baseline leg.
+
+    No engine in the measured region (see :func:`repro.bench.harness.
+    run_range_scan`): per-query coordination overhead is flat across
+    the two legs and would dilute the index-vs-scan gap into noise.
+    Both legs must produce identical answers — the per-query digests
+    are compared on every repetition — and, like ``wal_overhead``, the
+    pair is run interleaved ``_RANGE_PROBE_REPS`` times with each leg
+    keeping its minimum wall-clock.  The report records
+    ``baseline_seconds``, the headline ``range_speedup`` ratio
+    (acceptance gate: >= 1.5), and the pushdown leg's ordered-index
+    counter deltas.
+    """
+    database = schedule_database(network)
+    queries = range_scan_queries(network,
+                                 _sized(RANGE_SCAN_QUERIES, scale),
+                                 seed=RANGE_SCAN_QUERIES)
+    baseline = None
+    metrics = None
+    for _ in range(_RANGE_PROBE_REPS):
+        baseline_run = run_range_scan(database, queries, pushdown=False)
+        pushed_run = run_range_scan(database, queries, pushdown=True)
+        if pushed_run["digests"] != baseline_run["digests"]:
+            raise RuntimeError(
+                "range_scan probe diverged: pushdown answers differ "
+                "from the scan-and-filter baseline")
+        if (baseline is None
+                or baseline_run["seconds"] < baseline["seconds"]):
+            baseline = baseline_run
+        if metrics is None or pushed_run["seconds"] < metrics["seconds"]:
+            metrics = pushed_run
+    metrics = dict(metrics)
+    # Hashes are process-local; they must never reach the report.
+    del metrics["digests"]
+    metrics["baseline_seconds"] = round(baseline["seconds"], 4)
+    if metrics["seconds"] > 0:
+        metrics["range_speedup"] = round(
+            baseline["seconds"] / metrics["seconds"], 2)
+    return metrics
+
+
 def build_report(after: dict, before: Optional[dict] = None,
                  scale: float = 1.0) -> dict:
     """Assemble the report payload, computing per-series speedups."""
@@ -348,6 +406,7 @@ def build_report(after: dict, before: Optional[dict] = None,
     report = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "python -m repro.bench.regression",
+        "harness_revision": HARNESS_REVISION,
         "python": platform.python_version(),
         "scale": scale,
         "headline_series": HEADLINE_SERIES,
@@ -363,6 +422,10 @@ def validate_report(payload: dict) -> None:
     """Raise ValueError if *payload* is not a well-formed report."""
     if payload.get("schema_version") != SCHEMA_VERSION:
         raise ValueError("missing or unknown schema_version")
+    # Optional: reports before the field existed stay valid.
+    revision = payload.get("harness_revision")
+    if revision is not None and not isinstance(revision, int):
+        raise ValueError("harness_revision must be an integer")
     series = payload.get("series")
     if not isinstance(series, dict) or not series:
         raise ValueError("report has no series")
@@ -399,6 +462,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         with open(args.baseline) as fh:
             payload = json.load(fh)
         before = payload.get("series", payload)
+        baseline_revision = payload.get("harness_revision")
+        if (baseline_revision is not None
+                and baseline_revision != HARNESS_REVISION):
+            print(f"warning: baseline harness_revision "
+                  f"{baseline_revision} != current {HARNESS_REVISION}; "
+                  f"speedup columns compare different timed regions")
 
     after = collect_series(scale=args.scale)
     report = build_report(after, before=before, scale=args.scale)

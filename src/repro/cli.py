@@ -28,7 +28,9 @@ Commands:
     ``migration_heavy`` rendezvous scenario comparing the batched
     manifest transport against per-decision exchanges, and the
     ``dynamic_db`` live-mutation scenario comparing targeted
-    invalidation against full recompute.
+    invalidation against full recompute, and the ``range_sweep``
+    slot-window scenario comparing ordered-index pushdown against
+    scan-and-filter bodies.
 """
 
 from __future__ import annotations
@@ -209,11 +211,11 @@ def _command_sql(arguments: argparse.Namespace) -> int:
 def _command_bench(arguments: argparse.Namespace) -> int:
     from .bench.figures import (churn, dynamic_db, figure6, figure7,
                                 figure8, figure9, migration_heavy,
-                                run_all, sharded)
+                                range_sweep, run_all, sharded)
     figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
                "churn": churn, "sharded": sharded,
                "migration_heavy": migration_heavy,
-               "dynamic_db": dynamic_db}
+               "dynamic_db": dynamic_db, "range_sweep": range_sweep}
     if not arguments.figures:
         run_all()
         return 0
@@ -280,7 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
                       "paper scenarios")
     bench.add_argument("figures", nargs="*",
                        choices=["6", "7", "8", "9", "churn", "sharded",
-                                "migration_heavy", "dynamic_db", []],
+                                "migration_heavy", "dynamic_db",
+                                "range_sweep", []],
                        help="figure numbers or scenario names "
                             "(default: all)")
     bench.set_defaults(handler=_command_bench)

@@ -103,21 +103,30 @@ def build_combined_query(
         raise CoordinationError("no surviving queries to combine")
 
     body_atoms: list[Atom] = []
+    body_comparisons: list[Comparison] = []
     for query_id in members:
         body_atoms.extend(queries[query_id].body)
+        body_comparisons.extend(queries[query_id].body_comparisons)
 
-    # Raw form: original atoms plus φ_U as explicit equality comparisons.
+    # Raw form: original atoms plus φ_U as explicit equality comparisons
+    # (member body comparisons ride along untouched).
     phi = tuple(Comparison(left, "=", right)
                 for left, right in unifier.equality_pairs())
-    raw_query = ConjunctiveQuery(tuple(body_atoms), phi)
+    raw_query = ConjunctiveQuery(tuple(body_atoms),
+                                 tuple(body_comparisons) + phi)
 
     # Simplified form: substitute class representatives everywhere, which
     # realises φ_U structurally (equated variables collapse; variables
-    # equated with constants become those constants).
+    # equated with constants become those constants).  Body comparisons
+    # keep their shape — substituted, they become sargable bounds the
+    # executor pushes into ordered-index windows.
     substitution = unifier.substitution()
     simplified_atoms = tuple(atom.substitute(substitution)
                              for atom in body_atoms)
-    simplified = ConjunctiveQuery(simplified_atoms)
+    simplified = ConjunctiveQuery(
+        simplified_atoms,
+        tuple(comparison.substitute(substitution)
+              for comparison in body_comparisons))
 
     heads = {
         query_id: tuple(atom.substitute(substitution)

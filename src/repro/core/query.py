@@ -42,6 +42,13 @@ class EntangledQuery:
             (:class:`repro.core.extensions.AggregateConstraint`);
             ignored by the core algorithm, enforced by
             :func:`repro.core.extensions.coordinate_with_aggregates`.
+        body_comparisons: comparison predicates
+            (:class:`repro.db.expression.Comparison`) over body
+            variables — deadline sweeps, tenant ranges, and other
+            inequality constraints.  They ride into the combined
+            query's comparisons, where the ordered-index pushdown
+            serves them; matching and safety ignore them (they only
+            filter data, never change unifiability).
     """
 
     query_id: object
@@ -51,9 +58,11 @@ class EntangledQuery:
     choose: int = 1
     owner: object = None
     aggregates: tuple = ()
+    body_comparisons: tuple = ()
 
     def __post_init__(self) -> None:
-        for name in ("head", "postconditions", "body"):
+        for name in ("head", "postconditions", "body",
+                     "body_comparisons"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -121,6 +130,14 @@ class EntangledQuery:
             raise ValidationError(
                 f"query {self.query_id!r} uses relation(s) {{{names}}} "
                 f"both as ANSWER and as database relations")
+        for comparison in self.body_comparisons:
+            loose = comparison.variables() - body_vars
+            if loose:
+                names = ", ".join(sorted(v.name for v in loose))
+                raise ValidationError(
+                    f"query {self.query_id!r}: body comparison "
+                    f"{comparison} references variables {{{names}}} "
+                    f"not bound by any body atom")
 
     # ------------------------------------------------------------------
     # renaming apart
@@ -150,6 +167,8 @@ class EntangledQuery:
             body=tuple(item.rename(suffix, memo) for item in self.body),
             aggregates=tuple(constraint.rename(suffix)
                              for constraint in self.aggregates),
+            body_comparisons=tuple(item.rename(suffix, memo)
+                                   for item in self.body_comparisons),
         )
 
     # ------------------------------------------------------------------
@@ -183,8 +202,10 @@ class EntangledQuery:
             parts.append("{}")
         parts.append(" ∧ ".join(str(item) for item in self.head))
         rendered = f"{parts[0]} {parts[1]}"
-        if self.body:
-            rendered += " <- " + " ∧ ".join(str(item) for item in self.body)
+        if self.body or self.body_comparisons:
+            conjuncts = [str(item) for item in self.body]
+            conjuncts.extend(str(item) for item in self.body_comparisons)
+            rendered += " <- " + " ∧ ".join(conjuncts)
         return rendered
 
 

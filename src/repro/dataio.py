@@ -45,6 +45,7 @@ from .core.evaluate import Answer
 from .core.query import EntangledQuery
 from .core.terms import Atom, Constant, Term, Variable
 from .db.database import Database
+from .db.expression import Comparison
 from .db.types import column_type_of
 from .errors import ParseError, SchemaError, ValidationError
 from .lang.tokenizer import TokenStream, TokenType  # leaf module; no cycle
@@ -255,7 +256,7 @@ def to_payload(obj: Union[EntangledQuery, Answer]) -> dict:
             raise ValidationError(
                 f"query {obj.query_id!r} carries aggregate constraints, "
                 f"which the wire format does not support")
-        return {
+        payload = {
             "wire": WIRE_VERSION,
             "kind": "query",
             "id": _wire_scalar(obj.query_id, "query id"),
@@ -265,6 +266,15 @@ def to_payload(obj: Union[EntangledQuery, Answer]) -> dict:
             "choose": obj.choose,
             "owner": _wire_scalar(obj.owner, "query owner"),
         }
+        if obj.body_comparisons:
+            # Optional key: absent for comparison-free queries, so
+            # payloads (and their journal bytes) are unchanged for the
+            # workloads that predate range predicates.
+            payload["cmp"] = [
+                [_term_to_payload(comparison.left), comparison.op,
+                 _term_to_payload(comparison.right)]
+                for comparison in obj.body_comparisons]
+        return payload
     if isinstance(obj, Answer):
         return {
             "wire": WIRE_VERSION,
@@ -294,7 +304,11 @@ def from_payload(payload: dict) -> Union[EntangledQuery, Answer]:
             postconditions=_atoms_from_payload(payload["post"]),
             body=_atoms_from_payload(payload["body"]),
             choose=payload["choose"],
-            owner=payload["owner"])
+            owner=payload["owner"],
+            body_comparisons=tuple(
+                Comparison(_term_from_payload(left), op,
+                           _term_from_payload(right))
+                for left, op, right in payload.get("cmp", ())))
     if kind == "answer":
         return Answer(
             query_id=payload["id"],

@@ -276,6 +276,35 @@ class Database:
     # query evaluation
     # ------------------------------------------------------------------
 
+    def set_range_pushdown(self, enabled: bool) -> None:
+        """Toggle ordered-index pushdown engine-wide.
+
+        Exists for the range benchmarks' scan-and-filter baseline leg;
+        answers are identical either way (the A/B probes enforce it).
+        """
+        self._executor.set_range_pushdown(enabled)
+
+    def range_stats(self) -> dict:
+        """Aggregated ordered-index activity across all tables.
+
+        Stable plain-value keys (ints only), so the dict can ride the
+        shard wire protocol and be merged by summation.
+        """
+        probes = rows = pruned = indexes = 0
+        for table in self._tables.values():
+            stats = table.index_stats()
+            probes += stats["range_probes"]
+            rows += stats["range_rows"]
+            pruned += stats["range_pruned"]
+            indexes += len(stats["ordered"])
+        return {
+            "range_probes": probes,
+            "range_rows": rows,
+            "range_pruned": pruned,
+            "ordered_indexes": indexes,
+            "empty_prunes": self._executor.empty_prunes,
+        }
+
     def evaluate(self, query: ConjunctiveQuery,
                  limit: int | None = None,
                  reusable: bool = True) -> Iterator[Valuation]:

@@ -29,7 +29,8 @@ from typing import Iterator, Optional, Sequence
 
 from ..core.terms import Atom, Constant, Variable
 from ..errors import QueryEvaluationError
-from .expression import Comparison, ConjunctiveQuery
+from .expression import (Comparison, ConjunctiveQuery, RangePlan,
+                         plan_step_ranges)
 from .planner import Planner
 
 #: A valuation binds variables to plain Python values (not Constants).
@@ -55,16 +56,23 @@ class CompiledStep:
     * ``scan`` — no bound positions: full-table scan via ``table.rows``;
     * ``probe``/``row_map`` — a hash-index probe whose key mixes the
       step's constants (pre-filled in ``key_template``) with join
-      variables bound by earlier steps (``var_slots``).
+      variables bound by earlier steps (``var_slots``);
+    * ``range_probe`` — an ordered-index probe: equality prefix plus a
+      bisected window on the range column (sargable comparisons are
+      consumed by the window; only ``comparisons`` stay per-row).
+
+    ``is_empty`` marks a step whose comparisons were proven
+    contradictory at compile time; the whole plan collapses to it.
     """
 
     __slots__ = ("comparisons", "free_positions", "const_rows", "scan",
                  "probe", "row_map", "key_template", "var_slots",
-                 "single_var")
+                 "single_var", "range_probe", "is_empty")
 
     def __init__(self, comparisons, free_positions, const_rows=None,
                  scan=None, probe=None, row_map=None, key_template=(),
-                 var_slots=(), single_var=None):
+                 var_slots=(), single_var=None, range_probe=None,
+                 is_empty=False):
         self.comparisons = comparisons
         self.free_positions = free_positions
         self.const_rows = const_rows
@@ -75,10 +83,19 @@ class CompiledStep:
         self.var_slots = var_slots
         # Fast path: a one-slot key fed by one variable.
         self.single_var = single_var
+        self.range_probe = range_probe
+        self.is_empty = is_empty
 
 
-def _compile_step(table, atom, comparisons, bound) -> CompiledStep:
+def _compile_step(table, atom, comparisons, bound,
+                  pushdown: bool = True) -> CompiledStep:
     """Compile one (table, atom) pair given the statically bound set."""
+    if pushdown and comparisons:
+        # Classification needs the *pre-step* bound set: a variable
+        # bound by this very atom cannot feed its own probe window.
+        range_plan = plan_step_ranges(atom, comparisons, bound)
+    else:
+        range_plan = RangePlan(residual=comparisons)
     const_or_bound: list[tuple[int, bool, object]] = []
     free_positions: list[tuple[int, Variable]] = []
     for position, term in enumerate(atom.args):
@@ -91,6 +108,11 @@ def _compile_step(table, atom, comparisons, bound) -> CompiledStep:
     bound.update(atom.variables())
     free = tuple(free_positions)
 
+    if range_plan.empty:
+        return CompiledStep((), free, const_rows=(), is_empty=True)
+    if range_plan.range_position is not None:
+        return _compile_range_step(table, const_or_bound, free,
+                                   range_plan)
     if not const_or_bound:
         return CompiledStep(comparisons, free, scan=table.rows)
     # index_on canonicalizes to sorted positions; key slots must
@@ -116,6 +138,85 @@ def _compile_step(table, atom, comparisons, bound) -> CompiledStep:
         single_var=single_var)
 
 
+def _bound_spec(spec):
+    """Split a RangePlan bound into (constant pair, variable pair)."""
+    if spec is None:
+        return None, None
+    term, inclusive = spec
+    if isinstance(term, Constant):
+        return (term.value, inclusive), None
+    return None, (term, inclusive)
+
+
+def _compile_range_step(table, const_or_bound, free,
+                        range_plan) -> CompiledStep:
+    """Compile an ordered-index probe step.
+
+    The equality prefix reuses the hash path's key machinery (sorted
+    positions, constants pre-filled, variable slots patched per row);
+    the range column is bisected with bounds resolved from constants
+    at compile time or from the valuation at probe time.
+    """
+    const_or_bound.sort()
+    prefix_positions = tuple(position for position, _, _ in const_or_bound)
+    index = table.ordered_index_on(prefix_positions,
+                                   range_plan.range_position)
+    lower_const, lower_var = _bound_spec(range_plan.lower)
+    upper_const, upper_var = _bound_spec(range_plan.upper)
+    all_const_prefix = all(is_const for _, is_const, _ in const_or_bound)
+
+    if all_const_prefix and lower_var is None and upper_var is None:
+        # Fully static window: materialize at compile time, like the
+        # all-constant hash path.
+        prefix_key = tuple(payload for _, _, payload in const_or_bound)
+        start, end = index.range_window(prefix_key, lower_const,
+                                        upper_const)
+        returned = end - start
+        table.note_range_probe(
+            returned, index.prefix_size(prefix_key) - returned)
+        return CompiledStep(
+            range_plan.residual, free,
+            const_rows=table.fetch_rows(index.row_ids_window(start, end)))
+
+    key_template = tuple(payload if is_const else None
+                         for _, is_const, payload in const_or_bound)
+    var_slots = tuple((slot, payload)
+                      for slot, (_, is_const, payload)
+                      in enumerate(const_or_bound) if not is_const)
+    range_window = index.range_window
+    row_ids_window = index.row_ids_window
+    prefix_size = index.prefix_size
+    total_entries = index.__len__
+    row_map = table.row_map
+    note = table.note_range_probe
+
+    def probe(valuation):
+        if var_slots:
+            slots = list(key_template)
+            for slot, variable in var_slots:
+                slots[slot] = valuation[variable]
+            prefix_key = tuple(slots)
+        else:
+            prefix_key = key_template
+        lower = lower_const
+        if lower_var is not None:
+            lower = (valuation[lower_var[0]], lower_var[1])
+        upper = upper_const
+        if upper_var is not None:
+            upper = (valuation[upper_var[0]], upper_var[1])
+        start, end = range_window(prefix_key, lower, upper)
+        returned = end - start
+        candidates = (total_entries() if not prefix_key
+                      else prefix_size(prefix_key))
+        note(returned, candidates - returned)
+        if not returned:
+            return iter(())
+        return iter([row_map[row_id]
+                     for row_id in row_ids_window(start, end)])
+
+    return CompiledStep(range_plan.residual, free, range_probe=probe)
+
+
 class Executor:
     """Evaluates conjunctive queries against a database instance."""
 
@@ -134,6 +235,12 @@ class Executor:
         # Diagnostics (read by benchmarks and tests).
         self.compile_hits = 0
         self.compile_misses = 0
+        # Ordered-index pushdown: compiled plans serve sargable
+        # comparisons from bisected windows.  Disabled only for the
+        # scan-and-filter baseline legs of the range benchmarks.
+        self.range_pushdown = True
+        # Compile-time contradictions collapsed to an empty plan.
+        self.empty_prunes = 0
 
     @property
     def planner(self) -> Planner:
@@ -241,6 +348,21 @@ class Executor:
         with self._compiled_lock:
             return len(self._compiled)
 
+    def set_range_pushdown(self, enabled: bool) -> None:
+        """Toggle ordered-index pushdown (benchmark baselines only).
+
+        Compiled templates and cached plan orders embed the decision,
+        so both caches are dropped; the planner's selectivity term is
+        toggled in lockstep to keep the baseline leg's plans identical
+        to the pre-ordered-index planner.
+        """
+        self.range_pushdown = enabled
+        self._planner.range_selectivity = enabled
+        self._planner.clear_cache()
+        with self._compiled_lock:
+            self._compiled.clear()
+            self._compiled_by_table.clear()
+
     def _compile_fresh(self, query: ConjunctiveQuery,
                        with_tables: bool = False) -> tuple:
         # The planner resolves every table up front, so unknown relations
@@ -250,13 +372,24 @@ class Executor:
         order, tables = self._planner.plan_order(query)
         atoms = query.atoms
         comparisons = query.comparisons
+        pushdown = self.range_pushdown
         bound: set[Variable] = set()
-        compiled = tuple(
-            _compile_step(tables[atom_index], atoms[atom_index],
-                          tuple(comparisons[index] for index in scheduled),
-                          bound)
-            for atom_index, scheduled
-            in zip(order.atom_order, order.step_comparisons))
+        steps = []
+        for atom_index, scheduled in zip(order.atom_order,
+                                         order.step_comparisons):
+            step = _compile_step(
+                tables[atom_index], atoms[atom_index],
+                tuple(comparisons[index] for index in scheduled),
+                bound, pushdown)
+            if step.is_empty:
+                # A contradictory interval empties the whole
+                # conjunction: collapse the plan to the one step that
+                # yields nothing instead of scanning and filtering.
+                self.empty_prunes += 1
+                steps = [step]
+                break
+            steps.append(step)
+        compiled = tuple(steps)
         pre = tuple(comparisons[index] for index in order.pre_comparisons)
         if with_tables:
             involved = tuple(tables[index] for index in order.atom_order)
@@ -293,6 +426,8 @@ class Executor:
             return iter(step.const_rows)
         if step.scan is not None:
             return step.scan()
+        if step.range_probe is not None:
+            return step.range_probe(valuation)
         if step.single_var is not None:
             key = (valuation[step.single_var],)
         else:

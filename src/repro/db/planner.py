@@ -37,7 +37,12 @@ from typing import Iterable
 
 from ..core.terms import Atom, Constant, TermNumbering, Variable
 from ..errors import QueryEvaluationError
-from .expression import Comparison, ConjunctiveQuery
+from .expression import (Comparison, ConjunctiveQuery, Interval,
+                         constant_intervals)
+
+#: Assumed fraction of rows surviving a range interval when the exact
+#: window cannot be measured (cross-type bounds, empty tables).
+DEFAULT_RANGE_SELECTIVITY = 0.3
 
 #: Cache entries are dropped wholesale past this size (simple and
 #: sufficient: coordination workloads produce a handful of shapes).
@@ -143,6 +148,10 @@ class Planner:
         # Diagnostics (read by benchmarks and tests).
         self.cache_hits = 0
         self.cache_misses = 0
+        # Fold constant-interval selectivity into the greedy cost so
+        # sargable atoms are ordered to exploit the ordered indexes.
+        # Toggled off together with executor pushdown for baselines.
+        self.range_selectivity = True
 
     def plan(self, query: ConjunctiveQuery) -> Plan:
         """Produce an execution order for *query*."""
@@ -273,6 +282,9 @@ class Planner:
         has_constants = [any(isinstance(term, Constant)
                              for term in atom.args) for atom in atoms]
         costs: list[float | None] = [None] * len(atoms)
+        intervals = (constant_intervals(query.comparisons)
+                     if self.range_selectivity and query.comparisons
+                     else {})
 
         pending = [index for index, comparison
                    in enumerate(query.comparisons)
@@ -291,7 +303,8 @@ class Planner:
             for atom_index in remaining:
                 cost = costs[atom_index]
                 if cost is None:
-                    cost = self._estimated_cost(atoms[atom_index], bound)
+                    cost = self._estimated_cost(atoms[atom_index], bound,
+                                                intervals)
                     costs[atom_index] = cost
                 connected = not bound or not bound.isdisjoint(
                     atom_vars[atom_index])
@@ -328,8 +341,16 @@ class Planner:
 
     # ------------------------------------------------------------------
 
-    def _estimated_cost(self, atom: Atom, bound: set[Variable]) -> float:
-        """Estimated number of rows a probe of *atom* would return."""
+    def _estimated_cost(self, atom: Atom, bound: set[Variable],
+                        intervals: dict[Variable, Interval] = {}) -> float:
+        """Estimated number of rows a probe of *atom* would return.
+
+        When a free variable of the atom carries a normalized constant
+        interval, the estimate is scaled by the fraction of the column
+        inside the interval (measured exactly with a single-column
+        ordered-index window), so range-selective atoms are ordered
+        ahead of their unselective join partners.
+        """
         table = self._database.table(atom.relation)
         bindings: dict[int, object] = {}
         sample_complete = True
@@ -341,12 +362,52 @@ class Planner:
                 # average bucket size of the index on all bound positions.
                 sample_complete = False
         if sample_complete and bindings:
-            return float(table.count_probe(bindings))
-        positions = set(bindings)
-        positions.update(position
-                         for position, term in enumerate(atom.args)
-                         if isinstance(term, Variable) and term in bound)
-        if not positions:
-            return float(len(table))
-        index = table.index_on(tuple(sorted(positions)))
-        return max(index.estimate_bucket_size(len(table)), 0.001)
+            estimate = float(table.count_probe(bindings))
+        else:
+            positions = set(bindings)
+            positions.update(position
+                             for position, term in enumerate(atom.args)
+                             if isinstance(term, Variable) and term in bound)
+            if not positions:
+                estimate = float(len(table))
+            else:
+                index = table.index_on(tuple(sorted(positions)))
+                estimate = max(index.estimate_bucket_size(len(table)),
+                               0.001)
+        if intervals and estimate > 0:
+            estimate *= self._range_selectivity_factor(
+                table, atom, bound, intervals)
+        return estimate
+
+    @staticmethod
+    def _range_selectivity_factor(table, atom: Atom, bound: set[Variable],
+                                  intervals: dict[Variable, Interval]
+                                  ) -> float:
+        """Fraction of rows surviving the intervals on free variables."""
+        factor = 1.0
+        total = len(table)
+        seen: set[Variable] = set()
+        for position, term in enumerate(atom.args):
+            if (not isinstance(term, Variable) or term in bound
+                    or term in seen):
+                continue
+            interval = intervals.get(term)
+            if interval is None:
+                continue
+            seen.add(term)
+            if interval.empty:
+                return 0.0005
+            if total == 0:
+                continue
+            index = table.ordered_index_on((), position)
+            lower = (None if interval.lower is None
+                     else (interval.lower, interval.lower_inclusive))
+            upper = (None if interval.upper is None
+                     else (interval.upper, interval.upper_inclusive))
+            try:
+                inside = index.count_range((), lower, upper)
+            except TypeError:
+                factor *= DEFAULT_RANGE_SELECTIVITY
+                continue
+            factor *= max(inside / total, 0.0005)
+        return factor

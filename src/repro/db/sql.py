@@ -14,9 +14,13 @@ compiles it to a :class:`repro.db.expression.ConjunctiveQuery`:
 
 Supported: column/`*` select lists, multi-table FROM with aliases,
 conjunctions of comparison predicates (`=`, `!=`, `<`, `<=`, `>`, `>=`)
-between columns and literals, `DISTINCT`, and `LIMIT`.  Joins are
-expressed through equality predicates (implicit-join style, matching
-the combined queries the paper generates for MySQL 4.1).
+between columns and literals, `BETWEEN ... AND ...`, chained
+inequalities (`0 < F.fno < 100` lowers to the two comparisons),
+`DISTINCT`, and `LIMIT`.  Joins are expressed through equality
+predicates (implicit-join style, matching the combined queries the
+paper generates for MySQL 4.1).  Inequality predicates compile to
+:class:`~repro.db.expression.Comparison` objects the executor can push
+into ordered-index windows.
 """
 
 from __future__ import annotations
@@ -80,9 +84,9 @@ def parse_select(text: str) -> SelectStatement:
 
     predicates: list[tuple[object, str, object]] = []
     if stream.accept_keyword("WHERE"):
-        predicates.append(_parse_predicate(stream))
+        predicates.extend(_parse_predicate(stream))
         while stream.accept_keyword("AND"):
-            predicates.append(_parse_predicate(stream))
+            predicates.extend(_parse_predicate(stream))
 
     limit = None
     token = stream.peek()
@@ -131,16 +135,33 @@ def _parse_operand(stream: TokenStream) -> object:
     return _parse_column(stream)
 
 
-def _parse_predicate(stream: TokenStream) -> tuple[object, str, object]:
+def _parse_predicate(stream: TokenStream) -> list[tuple[object, str, object]]:
+    """Parse one WHERE conjunct into comparison triples.
+
+    ``x BETWEEN a AND b`` lowers to ``x >= a`` and ``x <= b`` (the
+    inner AND belongs to BETWEEN, not the conjunction), and a chained
+    inequality ``a < x <= b`` lowers pairwise left to right.
+    """
     left = _parse_operand(stream)
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_operand(stream)
+        stream.expect_keyword("AND")
+        high = _parse_operand(stream)
+        return [(left, ">=", low), (left, "<=", high)]
     token = stream.peek()
     if not (token.type is TokenType.PUNCT
             and token.value in _COMPARISON_OPS):
         raise ParseError(f"expected comparison operator, found {token}",
                          token.line, token.column)
-    stream.next()
-    right = _parse_operand(stream)
-    return left, token.value, right
+    triples: list[tuple[object, str, object]] = []
+    while (token.type is TokenType.PUNCT
+           and token.value in _COMPARISON_OPS):
+        stream.next()
+        right = _parse_operand(stream)
+        triples.append((left, token.value, right))
+        left = right
+        token = stream.peek()
+    return triples
 
 
 class SqlFrontend:

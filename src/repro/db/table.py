@@ -6,7 +6,7 @@ import threading
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..errors import SchemaError
-from .index import HashIndex
+from .index import HashIndex, OrderedIndex
 from .schema import TableSchema
 
 
@@ -24,6 +24,14 @@ class Table:
         self._rows: dict[int, tuple] = {}
         self._next_row_id = 0
         self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        # Ordered (bisect) indexes, keyed by their position tuple in
+        # key order: equality prefix first, range column last.
+        self._ordered: dict[tuple[int, ...], OrderedIndex] = {}
+        # Range-probe counters (surfaced through index_stats and the
+        # engine/shard stats snapshots).
+        self.range_probes = 0
+        self.range_rows = 0
+        self.range_pruned = 0
         # Guards lazy index construction: the engine may evaluate
         # independent partitions on worker threads concurrently.
         self._index_lock = threading.Lock()
@@ -56,6 +64,8 @@ class Table:
         self._rows[row_id] = stored
         self._version += 1
         for index in self._indexes.values():
+            index.add(row_id, stored)
+        for index in self._ordered.values():
             index.add(row_id, stored)
         return row_id
 
@@ -90,6 +100,8 @@ class Table:
             self._version += 1
             for other in self._indexes.values():
                 other.remove(row_id, actual)
+            for other in self._ordered.values():
+                other.remove(row_id, actual)
             removed.append(actual)
         return removed
 
@@ -111,6 +123,8 @@ class Table:
             del self._rows[row_id]
             self._version += 1
             for index in self._indexes.values():
+                index.remove(row_id, row)
+            for index in self._ordered.values():
                 index.remove(row_id, row)
         return [row for _, row in doomed]
 
@@ -166,6 +180,46 @@ class Table:
                     self._indexes[key] = index
         return index
 
+    def ordered_index_on(self, prefix_positions: Sequence[int],
+                         range_position: int) -> OrderedIndex:
+        """Return (building if necessary) the ordered index whose
+        equality prefix is *prefix_positions* (canonicalized to sorted
+        order, like :meth:`index_on`) and whose range column is
+        *range_position*.
+
+        The range column may not repeat a prefix position — the prefix
+        already pins it to one value, so a range on it is either
+        vacuous or empty and should be resolved before probing.
+        """
+        prefix = tuple(sorted(set(prefix_positions)))
+        for position in prefix + (range_position,):
+            if not 0 <= position < self.schema.arity:
+                raise SchemaError(
+                    f"table {self.schema.name!r} has no column position "
+                    f"{position}")
+        if range_position in prefix:
+            raise SchemaError(
+                f"table {self.schema.name!r}: range column "
+                f"{range_position} is already in the equality prefix "
+                f"{prefix}")
+        key = prefix + (range_position,)
+        index = self._ordered.get(key)
+        if index is None:
+            with self._index_lock:
+                index = self._ordered.get(key)
+                if index is None:
+                    index = OrderedIndex(key)
+                    for row_id, row in self._rows.items():
+                        index.add(row_id, row)
+                    self._ordered[key] = index
+        return index
+
+    def note_range_probe(self, returned: int, pruned: int) -> None:
+        """Record one ordered-index probe (executor counter hook)."""
+        self.range_probes += 1
+        self.range_rows += returned
+        self.range_pruned += pruned
+
     @property
     def row_map(self) -> dict[int, tuple]:
         """The live row-id -> row mapping (treat as read-only).
@@ -210,7 +264,20 @@ class Table:
         key = tuple(bindings[position] for position in positions)
         return len(index.probe(key))
 
-    def index_stats(self) -> dict[tuple[int, ...], int]:
-        """Map of built index positions to their distinct-key counts."""
-        return {positions: index.bucket_count()
-                for positions, index in self._indexes.items()}
+    def index_stats(self) -> dict:
+        """Built indexes plus range-probe counters.
+
+        ``hash`` maps index positions to distinct-key counts,
+        ``ordered`` maps ordered-index positions (prefix order, range
+        column last) to entry counts; the counters mirror
+        :meth:`note_range_probe`.
+        """
+        return {
+            "hash": {positions: index.bucket_count()
+                     for positions, index in self._indexes.items()},
+            "ordered": {positions: len(index)
+                        for positions, index in self._ordered.items()},
+            "range_probes": self.range_probes,
+            "range_rows": self.range_rows,
+            "range_pruned": self.range_pruned,
+        }

@@ -224,6 +224,20 @@ class D3CEngine:
         return self._runtime._failed_groups
 
     # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Counters as a plain dict, with fresh range-index figures.
+
+        Refreshes ``stats.range_index`` from the database's ordered-index
+        counters before snapshotting; kept out of the ``stats`` attribute
+        accessor so hot-path counter bumps stay attribute stores.
+        """
+        self.stats.range_index = self.database.range_stats()
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
 

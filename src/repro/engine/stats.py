@@ -28,6 +28,9 @@ class EngineStats:
     match_seconds: float = 0.0
     db_seconds: float = 0.0
     safety_seconds: float = 0.0
+    #: Ordered-index pushdown counters, refreshed from the database by
+    #: :meth:`repro.engine.Engine.stats_snapshot` (empty until then).
+    range_index: dict = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -60,6 +63,7 @@ class EngineStats:
             "match_seconds": self.match_seconds,
             "db_seconds": self.db_seconds,
             "safety_seconds": self.safety_seconds,
+            "range_index": dict(self.range_index),
         }
 
     def __str__(self) -> str:

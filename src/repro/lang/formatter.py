@@ -56,9 +56,13 @@ def to_ir_text(query: EntangledQuery) -> str:
                                for atom in query.postconditions)
     head = ", ".join(_format_atom_ir(atom) for atom in query.head)
     text = f"{{{postconditions}}} {head}"
-    if query.body:
-        body = ", ".join(_format_atom_ir(atom) for atom in query.body)
-        text += f" <- {body}"
+    if query.body or query.body_comparisons:
+        conjuncts = [_format_atom_ir(atom) for atom in query.body]
+        conjuncts.extend(
+            f"{_format_term_ir(comparison.left)} {comparison.op} "
+            f"{_format_term_ir(comparison.right)}"
+            for comparison in query.body_comparisons)
+        text += " <- " + ", ".join(conjuncts)
     if query.choose != 1:
         text += f" CHOOSE {query.choose}"
     return text
@@ -113,6 +117,10 @@ def to_sql_text(query: EntangledQuery) -> str:
     for atom in query.body:
         inner = ", ".join(_format_term_sql(term) for term in atom.args)
         conditions.append(f"({inner}) IN TABLE {atom.relation}")
+    for comparison in query.body_comparisons:
+        conditions.append(
+            f"{_format_term_sql(comparison.left)} {comparison.op} "
+            f"{_format_term_sql(comparison.right)}")
     for atom in query.postconditions:
         inner = ", ".join(_format_term_sql(term) for term in atom.args)
         conditions.append(f"({inner}) IN ANSWER {atom.relation}")

@@ -16,6 +16,9 @@ Conventions (matching the paper's figures):
 * conjunction within a part is ``,``, ``AND``, ``&`` or ``∧``;
 * the postcondition braces are mandatory (``{}`` when empty); the body
   after ``<-`` (or ``:-``) may be omitted for body-free queries;
+* a body conjunct is either an atom ``R(args)`` or a comparison
+  ``term op term`` (``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``) —
+  comparisons become :attr:`EntangledQuery.body_comparisons`;
 * an optional trailing ``CHOOSE k``.
 """
 
@@ -23,8 +26,11 @@ from __future__ import annotations
 
 from ..core.query import EntangledQuery
 from ..core.terms import Atom, Constant, Term, Variable
+from ..db.expression import Comparison
 from ..errors import ParseError
 from .tokenizer import Token, TokenStream, TokenType
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
 
 
 def parse_ir(text: str, query_id: object = None,
@@ -67,12 +73,14 @@ def _parse_ir_query(stream: TokenStream, query_id: object,
     head = _parse_atoms(stream)
 
     body: list[Atom] = []
+    comparisons: list[Comparison] = []
     token = stream.peek()
     if token.type is TokenType.ARROW:
         stream.next()
-        if (stream.peek().type is TokenType.IDENT
+        if (stream.peek().type in (TokenType.IDENT, TokenType.NUMBER,
+                                   TokenType.STRING)
                 and not stream.peek().is_keyword("CHOOSE")):
-            body = _parse_atoms(stream)
+            body, comparisons = _parse_body(stream)
 
     choose = 1
     if stream.accept_keyword("CHOOSE"):
@@ -86,7 +94,8 @@ def _parse_ir_query(stream: TokenStream, query_id: object,
 
     return EntangledQuery(query_id=query_id, head=tuple(head),
                           postconditions=tuple(postconditions),
-                          body=tuple(body), choose=choose, owner=owner)
+                          body=tuple(body), choose=choose, owner=owner,
+                          body_comparisons=tuple(comparisons))
 
 
 def _parse_atoms(stream: TokenStream) -> list[Atom]:
@@ -97,6 +106,34 @@ def _parse_atoms(stream: TokenStream) -> list[Atom]:
         else:
             break
     return atoms
+
+
+def _parse_body(stream: TokenStream
+                ) -> tuple[list[Atom], list[Comparison]]:
+    """Parse body conjuncts: atoms interleaved with comparisons."""
+    atoms: list[Atom] = []
+    comparisons: list[Comparison] = []
+    while True:
+        if (stream.peek().type is TokenType.IDENT
+                and stream.peek(1).is_punct("(")):
+            atoms.append(_parse_atom(stream))
+        else:
+            comparisons.append(_parse_comparison(stream))
+        if not (stream.accept_punct(",") or stream.accept_keyword("AND")):
+            break
+    return atoms, comparisons
+
+
+def _parse_comparison(stream: TokenStream) -> Comparison:
+    left = _parse_term(stream)
+    token = stream.peek()
+    if not (token.type is TokenType.PUNCT
+            and token.value in _COMPARISON_OPS):
+        raise ParseError(f"expected comparison operator, found {token}",
+                         token.line, token.column)
+    stream.next()
+    right = _parse_term(stream)
+    return Comparison(left, token.value, right)  # type: ignore[arg-type]
 
 
 def _parse_atom(stream: TokenStream) -> Atom:

@@ -14,7 +14,11 @@ Lowering steps:
    linkage are folded with a union-find (the same
    :class:`repro.core.unify.Unifier` the matcher uses), choosing
    constants over outer variables over slots as representatives;
-3. top-level equality conditions are folded the same way;
+3. top-level equality conditions are folded the same way; inequality
+   conditions (and the comparisons of plain subqueries) lower to
+   :class:`repro.db.expression.Comparison` objects in
+   ``EntangledQuery.body_comparisons``, where the executor's
+   ordered-index pushdown serves them;
 4. aggregate subqueries lower to
    :class:`repro.core.extensions.AggregateConstraint`;
 5. the result is validated (range restriction etc.).
@@ -28,11 +32,13 @@ from ..core.extensions import AggregateConstraint
 from ..core.query import EntangledQuery
 from ..core.terms import Atom, Constant, Term, Variable
 from ..core.unify import Unifier
+from ..db.expression import Comparison
 from ..errors import ParseError, ValidationError
 from .sql_ast import (AggregateCondition, AnswerMembership, ColumnRef,
-                      EntangledSelect, EqualityCondition, Expr, FromItem,
-                      Ident, Literal, Subquery, SubqueryEquality,
-                      SubqueryMembership, TableMembership)
+                      ComparisonCondition, EntangledSelect,
+                      EqualityCondition, Expr, FromItem, Ident, Literal,
+                      Subquery, SubqueryEquality, SubqueryMembership,
+                      TableMembership)
 from .sql_parser import parse_entangled_sql
 
 #: Maps a table name to its ordered column names.
@@ -70,6 +76,7 @@ class _Lowerer:
         self._unifier = Unifier()
         self._subquery_counter = 0
         self._body_atoms: list[Atom] = []
+        self._body_comparisons: list[Comparison] = []
         self._aggregates: list[AggregateConstraint] = []
 
     # ------------------------------------------------------------------
@@ -172,6 +179,11 @@ class _Lowerer:
                 f"subquery {node} contradicts earlier conditions in "
                 f"query {self._query_id!r}")
         self._body_atoms.extend(atoms)
+        for comparison in subquery.comparisons:
+            self._body_comparisons.append(Comparison(
+                self._operand_term(comparison.left, slots_by_binding),
+                comparison.op,
+                self._operand_term(comparison.right, slots_by_binding)))
 
     def _lower_aggregate(self, node: AggregateCondition) -> None:
         subquery = node.subquery
@@ -218,6 +230,10 @@ class _Lowerer:
                     raise ValidationError(
                         f"contradictory equality {condition} in query "
                         f"{self._query_id!r}")
+            elif isinstance(condition, ComparisonCondition):
+                self._body_comparisons.append(Comparison(
+                    self._expr_term(condition.left), condition.op,
+                    self._expr_term(condition.right)))
             elif isinstance(condition, AggregateCondition):
                 self._lower_aggregate(condition)
             else:  # pragma: no cover - parser produces no other nodes
@@ -242,6 +258,9 @@ class _Lowerer:
                     constraint.answer_relations, constraint.op,
                     constraint.threshold)
                 for constraint in self._aggregates),
+            body_comparisons=tuple(
+                comparison.substitute(substitution)
+                for comparison in self._body_comparisons),
         )
         query.validate()
         return query

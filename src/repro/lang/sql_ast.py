@@ -14,8 +14,14 @@ with conditions::
     (expr [, expr]...) IN TABLE name           -- positional body atom
     ident IN (SELECT col FROM ... WHERE ...)   -- flattened subquery
     operand = operand                          -- equality constraint
+    operand cmp operand                        -- inequality constraint
+    operand BETWEEN low AND high               -- sugar for >= and <=
     (SELECT COUNT(*) FROM ANSWER name [, tbl]...
         WHERE ...) cmp number                  -- aggregate extension
+
+``BETWEEN`` and chained inequalities (``a < x <= b``) are desugared by
+the parser into plain comparison conditions, so the AST only ever
+carries binary comparisons.
 
 Expressions are literals or bare identifiers; identifiers denote
 variables shared across the whole query.  Subquery column references may
@@ -108,19 +114,39 @@ class SubqueryEquality:
 
 
 @dataclass(frozen=True, slots=True)
+class SubqueryComparison:
+    """A non-equality comparison inside a subquery WHERE clause.
+
+    Operands resolve like :class:`SubqueryEquality` operands; lowering
+    turns these into body comparisons the executor pushes into
+    ordered-index range windows.
+    """
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
 class Subquery:
-    """``SELECT column FROM items WHERE equalities`` — one output column."""
+    """``SELECT column FROM items WHERE conditions`` — one output column."""
 
     select: ColumnRef
     from_items: tuple[FromItem, ...]
     equalities: tuple[SubqueryEquality, ...]
+    comparisons: tuple[SubqueryComparison, ...] = ()
 
     def __str__(self) -> str:
         text = f"SELECT {self.select} FROM " + ", ".join(
             str(item) for item in self.from_items)
-        if self.equalities:
-            text += " WHERE " + " AND ".join(str(equality) for equality
-                                             in self.equalities)
+        conditions = [str(equality) for equality in self.equalities]
+        conditions.extend(str(comparison) for comparison
+                          in self.comparisons)
+        if conditions:
+            text += " WHERE " + " AND ".join(conditions)
         return text
 
 
@@ -176,6 +202,23 @@ class EqualityCondition:
 
 
 @dataclass(frozen=True, slots=True)
+class ComparisonCondition:
+    """Top-level ``operand cmp operand`` with a non-equality operator.
+
+    Produced directly for ``<``, ``<=``, ``>``, ``>=``, ``!=`` and by
+    desugaring ``BETWEEN`` / chained inequalities.  Lowered into the
+    query's body comparisons.
+    """
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
 class AggregateSubquery:
     """``SELECT COUNT(*) FROM ANSWER name [, table]... WHERE ...``."""
 
@@ -204,7 +247,8 @@ class AggregateCondition:
 
 
 Condition = Union[AnswerMembership, TableMembership, SubqueryMembership,
-                  EqualityCondition, AggregateCondition]
+                  EqualityCondition, ComparisonCondition,
+                  AggregateCondition]
 
 
 @dataclass(frozen=True, slots=True)

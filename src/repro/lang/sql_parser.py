@@ -10,17 +10,27 @@ Grammar (informal; ``[...]`` optional, ``{...}`` repetition)::
     condition  := '(' expr {, expr} ')' IN (ANSWER|TABLE) ident
                 | '(' aggregate ')' cmp number
                 | ident IN '(' subquery ')'
-                | expr '=' expr
+                | expr cmp expr {cmp expr}
+                | expr BETWEEN expr AND expr
     subquery   := SELECT columnref FROM fromitem {, fromitem}
-                  [WHERE sub_eq {AND sub_eq}]
+                  [WHERE sub_cond {AND sub_cond}]
     aggregate  := SELECT COUNT '(' '*' ')' FROM fromitem {, fromitem}
                   [WHERE sub_eq {AND sub_eq}]
     fromitem   := [ANSWER] ident [[AS] ident]
+    sub_cond   := operand cmp operand {cmp operand}
+                | operand BETWEEN operand AND operand
     sub_eq     := operand '=' operand
     columnref  := ident ['.' ident]
     operand    := literal | columnref
     expr       := literal | ident
     cmp        := '>' | '>=' | '<' | '<=' | '=' | '!='
+
+``BETWEEN low AND high`` desugars to ``>= low`` plus ``<= high`` (the
+inner AND belongs to BETWEEN, not the conjunction) and a chained
+inequality ``a < x <= b`` desugars pairwise, so both produce plain
+comparison conditions.  Aggregate subqueries stay equality-only: the
+count ranges over coordination outcomes, where inequality pushdown has
+no meaning.
 
 See :mod:`repro.lang.sql_ast` for the produced tree and
 :mod:`repro.lang.lowering` for conversion to the IR.
@@ -30,11 +40,11 @@ from __future__ import annotations
 
 from ..errors import ParseError
 from .sql_ast import (AggregateCondition, AggregateSubquery,
-                      AnswerMembership, ColumnRef, Condition,
-                      EntangledSelect, EqualityCondition, Expr, FromItem,
-                      Ident, Literal, Operand, Subquery,
-                      SubqueryEquality, SubqueryMembership,
-                      TableMembership)
+                      AnswerMembership, ColumnRef, ComparisonCondition,
+                      Condition, EntangledSelect, EqualityCondition,
+                      Expr, FromItem, Ident, Literal, Operand, Subquery,
+                      SubqueryComparison, SubqueryEquality,
+                      SubqueryMembership, TableMembership)
 from .tokenizer import Token, TokenStream, TokenType
 
 _COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
@@ -65,9 +75,9 @@ def _parse_query(stream: TokenStream) -> EntangledSelect:
 
     conditions: list[Condition] = []
     if stream.accept_keyword("WHERE"):
-        conditions.append(_parse_condition(stream))
+        conditions.extend(_parse_condition(stream))
         while stream.accept_keyword("AND"):
-            conditions.append(_parse_condition(stream))
+            conditions.extend(_parse_condition(stream))
 
     stream.expect_keyword("CHOOSE")
     token = stream.peek()
@@ -96,14 +106,14 @@ def _parse_expr(stream: TokenStream) -> Expr:
                      token.line, token.column)
 
 
-def _parse_condition(stream: TokenStream) -> Condition:
+def _parse_condition(stream: TokenStream) -> list[Condition]:
     token = stream.peek()
     if token.is_punct("("):
         # Tuple membership or aggregate comparison.
         if stream.peek(1).is_keyword("SELECT"):
-            return _parse_aggregate_condition(stream)
-        return _parse_membership(stream)
-    # ident IN (...) or expr = expr
+            return [_parse_aggregate_condition(stream)]
+        return [_parse_membership(stream)]
+    # ident IN (...), expr cmp expr, or expr BETWEEN low AND high
     left = _parse_expr(stream)
     if stream.accept_keyword("IN"):
         if not isinstance(left, Ident):
@@ -114,10 +124,30 @@ def _parse_condition(stream: TokenStream) -> Condition:
         stream.expect_punct("(")
         subquery = _parse_subquery(stream)
         stream.expect_punct(")")
-        return SubqueryMembership(left, subquery)
-    stream.expect_punct("=")
-    right = _parse_expr(stream)
-    return EqualityCondition(left, right)
+        return [SubqueryMembership(left, subquery)]
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_expr(stream)
+        stream.expect_keyword("AND")
+        high = _parse_expr(stream)
+        return [ComparisonCondition(left, ">=", low),
+                ComparisonCondition(left, "<=", high)]
+    token = stream.peek()
+    if not (token.type is TokenType.PUNCT and token.value in _COMPARISONS):
+        raise ParseError(
+            f"expected comparison operator, IN, or BETWEEN, "
+            f"found {token}", token.line, token.column)
+    conditions: list[Condition] = []
+    while token.type is TokenType.PUNCT and token.value in _COMPARISONS:
+        stream.next()
+        right = _parse_expr(stream)
+        if token.value == "=":
+            conditions.append(EqualityCondition(left, right))
+        else:
+            conditions.append(ComparisonCondition(left, token.value,
+                                                  right))
+        left = right
+        token = stream.peek()
+    return conditions
 
 
 def _parse_membership(stream: TokenStream) -> Condition:
@@ -168,17 +198,58 @@ def _parse_from_item(stream: TokenStream) -> FromItem:
     return FromItem(table, alias, is_answer)  # type: ignore[arg-type]
 
 
-def _parse_sub_equalities(stream: TokenStream) -> list[SubqueryEquality]:
+def _parse_sub_conditions(
+        stream: TokenStream, allow_comparisons: bool = True
+) -> tuple[list[SubqueryEquality], list[SubqueryComparison]]:
+    """Parse a subquery WHERE clause into equalities and comparisons.
+
+    ``BETWEEN`` and chained inequalities desugar exactly as at the top
+    level.  With *allow_comparisons* false (aggregate subqueries), any
+    non-equality operator is a parse error.
+    """
     equalities: list[SubqueryEquality] = []
+    comparisons: list[SubqueryComparison] = []
+
+    def reject_if_disallowed(token: Token) -> None:
+        if not allow_comparisons:
+            raise ParseError(
+                "aggregate subqueries support only equality predicates "
+                "(the count ranges over coordination outcomes)",
+                token.line, token.column)
+
     if stream.accept_keyword("WHERE"):
         while True:
             left = _parse_operand(stream)
-            stream.expect_punct("=")
-            right = _parse_operand(stream)
-            equalities.append(SubqueryEquality(left, right))
+            token = stream.peek()
+            if token.is_keyword("BETWEEN"):
+                reject_if_disallowed(token)
+                stream.next()
+                low = _parse_operand(stream)
+                stream.expect_keyword("AND")
+                high = _parse_operand(stream)
+                comparisons.append(SubqueryComparison(left, ">=", low))
+                comparisons.append(SubqueryComparison(left, "<=", high))
+            else:
+                if not (token.type is TokenType.PUNCT
+                        and token.value in _COMPARISONS):
+                    raise ParseError(
+                        f"expected comparison operator or BETWEEN, "
+                        f"found {token}", token.line, token.column)
+                while (token.type is TokenType.PUNCT
+                       and token.value in _COMPARISONS):
+                    stream.next()
+                    right = _parse_operand(stream)
+                    if token.value == "=":
+                        equalities.append(SubqueryEquality(left, right))
+                    else:
+                        reject_if_disallowed(token)
+                        comparisons.append(SubqueryComparison(
+                            left, token.value, right))
+                    left = right
+                    token = stream.peek()
             if not stream.accept_keyword("AND"):
                 break
-    return equalities
+    return equalities, comparisons
 
 
 def _parse_subquery(stream: TokenStream) -> Subquery:
@@ -186,7 +257,7 @@ def _parse_subquery(stream: TokenStream) -> Subquery:
     select = _parse_column_ref(stream)
     stream.expect_keyword("FROM")
     from_items = _parse_from_items(stream)
-    equalities = _parse_sub_equalities(stream)
+    equalities, comparisons = _parse_sub_conditions(stream)
     for item in from_items:
         if item.is_answer:
             token = stream.peek()
@@ -194,7 +265,8 @@ def _parse_subquery(stream: TokenStream) -> Subquery:
                 "ANSWER relations may only appear in aggregate "
                 "subqueries (COUNT over coordination outcomes)",
                 token.line, token.column)
-    return Subquery(select, tuple(from_items), tuple(equalities))
+    return Subquery(select, tuple(from_items), tuple(equalities),
+                    tuple(comparisons))
 
 
 def _parse_aggregate_condition(stream: TokenStream) -> AggregateCondition:
@@ -206,7 +278,8 @@ def _parse_aggregate_condition(stream: TokenStream) -> AggregateCondition:
     stream.expect_punct(")")
     stream.expect_keyword("FROM")
     from_items = _parse_from_items(stream)
-    equalities = _parse_sub_equalities(stream)
+    equalities, _ = _parse_sub_conditions(stream,
+                                          allow_comparisons=False)
     stream.expect_punct(")")
     token = stream.peek()
     if not (token.type is TokenType.PUNCT and token.value in _COMPARISONS):

@@ -16,7 +16,7 @@ from ..errors import ParseError
 #: Keywords of the SQL dialect (matched case-insensitively).
 KEYWORDS = frozenset({
     "SELECT", "INTO", "ANSWER", "WHERE", "CHOOSE", "IN", "AND", "FROM",
-    "COUNT", "AS", "TABLE",
+    "COUNT", "AS", "TABLE", "BETWEEN",
 })
 
 

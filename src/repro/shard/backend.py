@@ -365,7 +365,7 @@ class InProcessBackend:
 
     def stats_snapshot(self) -> dict:
         self.wire_requests += 1
-        return self.engine.stats.snapshot()
+        return self.engine.stats_snapshot()
 
     def invalidate_cache(self) -> None:
         self.wire_requests += 1

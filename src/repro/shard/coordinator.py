@@ -1145,6 +1145,9 @@ class ShardedCoordinator:
             merged.match_seconds += snapshot["match_seconds"]
             merged.db_seconds += snapshot["db_seconds"]
             merged.safety_seconds += snapshot["safety_seconds"]
+            for key, value in snapshot.get("range_index", {}).items():
+                merged.range_index[key] = (
+                    merged.range_index.get(key, 0) + value)
         return merged
 
     # ------------------------------------------------------------------

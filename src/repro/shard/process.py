@@ -253,7 +253,7 @@ class _Worker:
         if op == "sizes":
             return self.engine.partition_sizes()
         if op == "stats":
-            return self.engine.stats.snapshot()
+            return self.engine.stats_snapshot()
         if op == "invalidate":
             self.engine.invalidate_cache()
             return None

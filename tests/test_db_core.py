@@ -209,4 +209,16 @@ class TestTable:
         table = self.make_table()
         table.index_on((1,))
         stats = table.index_stats()
-        assert stats[(1,)] == 2  # ITH and JFK
+        assert stats["hash"][(1,)] == 2  # ITH and JFK
+        assert stats["ordered"] == {}
+        assert stats["range_probes"] == 0
+
+    def test_index_stats_ordered(self):
+        table = self.make_table()
+        table.ordered_index_on((0,), 1)
+        table.note_range_probe(3, 7)
+        stats = table.index_stats()
+        assert stats["ordered"][(0, 1)] == len(table)
+        assert stats["range_probes"] == 1
+        assert stats["range_rows"] == 3
+        assert stats["range_pruned"] == 7
