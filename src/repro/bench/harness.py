@@ -32,7 +32,12 @@ DEFAULT_BENCH_USERS = 8_000
 #: a committed BENCH_*.json baseline can be told apart from reports
 #: produced by an incompatible harness.  Recorded in every regression
 #: report as ``harness_revision``.
-HARNESS_REVISION = 1
+#:
+#: Revision 2: observability instrumentation landed inside the timed
+#: regions (per-site ``TRACER.enabled`` checks on the query lifecycle
+#: and engine hot paths — measured at noise level when disabled by the
+#: ``obs_overhead`` probe, but a different timed region nonetheless).
+HARNESS_REVISION = 2
 
 
 def bench_scale() -> float:
@@ -487,8 +492,9 @@ def run_range_scan(database: Database, queries,
 
 def _metrics(engine: D3CEngine, num_queries: int, total: float) -> dict:
     from ..core.evaluate import FailureReason
+    from ..obs import TRACER, absorb_snapshot
     stats = engine.stats
-    return {
+    metrics = {
         "queries": num_queries,
         "seconds": total,
         "throughput_qps": num_queries / total if total > 0 else 0.0,
@@ -500,3 +506,35 @@ def _metrics(engine: D3CEngine, num_queries: int, total: float) -> dict:
         "db_seconds": stats.db_seconds,
         "safety_seconds": stats.safety_seconds,
     }
+    # Outside the stopwatch: fold this run's registry snapshot into
+    # the process-global aggregate (``bench --metrics-json`` reads it)
+    # and, when tracing is on, add per-phase latency quantiles from
+    # the ring buffer's spans.
+    snapshot_of = getattr(engine, "metrics_snapshot", None)
+    if snapshot_of is not None:
+        absorb_snapshot(snapshot_of())
+    if TRACER.enabled:
+        metrics.update(phase_latencies())
+    return metrics
+
+
+def phase_latencies() -> dict:
+    """p50/p95/p99 per query-lifecycle phase from the tracer's spans.
+
+    Latencies are bucketed power-of-two microseconds (the registry's
+    mergeable histogram shape), so the quantiles are conservative
+    upper bounds — comparable across runs, not nanosecond-exact.
+    Returns an empty dict when no lifecycle spans are buffered.
+    """
+    from ..obs import MetricsRegistry, TRACER, quantiles
+    registry = MetricsRegistry()
+    for span in TRACER.spans():
+        if span.name.startswith("query.") and span.duration_ns:
+            registry.observe(f"latency.{span.name}",
+                             span.duration_ns / 1000.0)
+    latencies: dict = {}
+    for name, histogram in registry.snapshot()["histograms"].items():
+        phase = name[len("latency.query."):]
+        for quantile_name, value in quantiles(histogram).items():
+            latencies[f"{phase}_{quantile_name}_us"] = value
+    return latencies

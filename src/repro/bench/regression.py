@@ -88,6 +88,13 @@ _WAL_PROBE_REPS = 5
 #: table per sweep query — the whole point of the probe.
 RANGE_SCAN_QUERIES = 16
 _RANGE_PROBE_REPS = 3
+#: Paired interleaved repetitions of the obs_overhead probe's
+#: tracing-enabled / tracing-disabled legs (same pairing rationale as
+#: ``_WAL_PROBE_REPS``, two extra reps because the churn legs are
+#: short enough that per-rep scheduling noise rivals the measured
+#: overhead).  The acceptance budget for the enabled legs is <= 5%
+#: wall-clock over the disabled legs.
+_OBS_PROBE_REPS = 7
 
 #: The fixed probe set, in execution order.  ``--list`` prints these
 #: without building any workload, so CI and scripts can enumerate them.
@@ -105,6 +112,7 @@ PROBE_NAMES = (
     "dynamic_db",
     "wal_overhead",
     "range_scan",
+    "obs_overhead",
 )
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
@@ -160,6 +168,8 @@ def collect_series(scale: float = 1.0) -> dict:
         ("wal_overhead", lambda: _wal_overhead_probe(network, database,
                                                      scale)),
         ("range_scan", lambda: _range_scan_probe(network, scale)),
+        ("obs_overhead", lambda: _obs_overhead_probe(network, database,
+                                                     scale)),
     )
     if tuple(name for name, _ in probes) != PROBE_NAMES:
         # A real error, not an assert: --list must never drift from
@@ -187,7 +197,13 @@ def collect_series(scale: float = 1.0) -> dict:
                       "wal_commands", "wal_snapshots",
                       "baseline_seconds", "range_speedup",
                       "range_probes", "range_rows", "range_pruned",
-                      "empty_prunes", "note"):
+                      "empty_prunes",
+                      "churn_enabled_seconds", "churn_disabled_seconds",
+                      "churn_overhead_pct",
+                      "dynamic_enabled_seconds",
+                      "dynamic_disabled_seconds",
+                      "dynamic_overhead_pct", "obs_overhead_pct",
+                      "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
         print(f"{name}: {series[name]}", flush=True)
@@ -387,6 +403,81 @@ def _range_scan_probe(network, scale: float) -> dict:
     if metrics["seconds"] > 0:
         metrics["range_speedup"] = round(
             baseline["seconds"] / metrics["seconds"], 2)
+    return metrics
+
+
+def _obs_overhead_probe(network, database, scale: float) -> dict:
+    """The ``churn`` and ``dynamic_db`` rounds with lifecycle tracing
+    enabled and disabled, paired back to back in one process.
+
+    The zero-cost-when-off claim, measured: the disabled legs carry
+    only the per-site ``TRACER.enabled`` checks (noise level), and the
+    enabled legs pay for real span capture into the ring buffer
+    (acceptance budget: <= 5% wall-clock over the disabled legs, per
+    scenario).  Both legs of each pair must answer/expire identically
+    — tracing observes coordination, never steers it.  Like
+    ``wal_overhead``, every (disabled, enabled) pair runs interleaved
+    ``_OBS_PROBE_REPS`` times and each leg keeps its minimum
+    wall-clock.  The carrier metrics are the disabled ``dynamic_db``
+    leg's (ordinary operation); the paired figures ride as
+    ``{churn,dynamic}_{enabled,disabled}_seconds`` /
+    ``*_overhead_pct`` with the headline ``obs_overhead_pct`` being
+    the worse scenario's overhead.
+    """
+    from ..obs import TRACER, set_tracing
+    churn_blocks = churn_rounds(network, CHURN_ROUNDS,
+                                _sized(CHURN_PER_ROUND, scale),
+                                answerable_fraction=0.4,
+                                seed=CHURN_PER_ROUND)
+    dynamic = dynamic_db_rounds(network, DYNAMIC_ROUNDS,
+                                _sized(DYNAMIC_PER_ROUND, scale),
+                                seed=DYNAMIC_PER_ROUND)
+    scenarios = (
+        ("churn", lambda: run_churn(database, churn_blocks,
+                                    ttl_rounds=6)),
+        ("dynamic", lambda: run_dynamic(database, dynamic,
+                                        ttl_rounds=10)),
+    )
+    legs: dict = {}
+    try:
+        for _ in range(_OBS_PROBE_REPS):
+            for scenario, runner in scenarios:
+                pair: dict = {}
+                for mode in ("disabled", "enabled"):
+                    set_tracing(mode == "enabled")
+                    TRACER.clear()
+                    try:
+                        pair[mode] = runner()
+                    finally:
+                        set_tracing(False)
+                for field in ("answered", "failed_stale", "pending"):
+                    if pair["enabled"][field] != pair["disabled"][field]:
+                        raise RuntimeError(
+                            f"obs_overhead probe diverged: traced "
+                            f"{scenario} {field} "
+                            f"{pair['enabled'][field]} vs untraced "
+                            f"{pair['disabled'][field]}")
+                for mode in ("disabled", "enabled"):
+                    key = f"{scenario}_{mode}"
+                    best = legs.get(key)
+                    if (best is None
+                            or pair[mode]["seconds"] < best["seconds"]):
+                        legs[key] = pair[mode]
+    finally:
+        set_tracing(False)
+        TRACER.clear()
+    metrics = dict(legs["dynamic_disabled"])
+    overheads = []
+    for scenario, _ in scenarios:
+        enabled = legs[f"{scenario}_enabled"]["seconds"]
+        disabled = legs[f"{scenario}_disabled"]["seconds"]
+        metrics[f"{scenario}_enabled_seconds"] = round(enabled, 4)
+        metrics[f"{scenario}_disabled_seconds"] = round(disabled, 4)
+        overhead = (100.0 * (enabled - disabled) / disabled
+                    if disabled > 0 else 0.0)
+        metrics[f"{scenario}_overhead_pct"] = round(overhead, 1)
+        overheads.append(overhead)
+    metrics["obs_overhead_pct"] = round(max(overheads), 1)
     return metrics
 
 

@@ -20,6 +20,15 @@ Commands:
 ``sql DATA "SELECT ..."``
     Run a plain SQL SELECT against a data file.
 
+``trace [DATA WORKLOAD]``
+    Coordinate a workload (or the introduction example when no files
+    are given) with per-query lifecycle tracing enabled and print the
+    stitched traces — one block per query showing
+    ``submit → rename_apart → route → match_attempt → settle`` with
+    per-phase latencies, plus the engine-level spans (batch drains,
+    DB evaluations, migrations).  ``--jsonl PATH`` additionally
+    exports the raw spans as JSON lines.
+
 ``bench [FIGURE ...]``
     Regenerate the paper's figures (same as ``python -m repro.bench``);
     figure names include the beyond-paper ``churn`` arrival/expiry
@@ -36,6 +45,8 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
@@ -46,15 +57,47 @@ from .lang import parse_ir_workload
 from .workloads import build_intro_database
 
 
-def _command_demo(arguments: argparse.Namespace) -> int:
+def _output_path_error(path: str, flag: str) -> str | None:
+    """Up-front writability check for an output path.
+
+    Returns an error message (or None) *before* any work runs, so a
+    long coordination or bench run never completes only to fail on
+    the final write.
+    """
+    target = os.path.abspath(path)
+    if os.path.exists(target):
+        if os.path.isdir(target):
+            return f"{flag}: {path!r} is a directory"
+        if not os.access(target, os.W_OK):
+            return f"{flag}: {path!r} is not writable"
+        return None
+    parent = os.path.dirname(target)
+    if not os.path.isdir(parent):
+        return f"{flag}: directory {parent!r} does not exist"
+    if not os.access(parent, os.W_OK):
+        return f"{flag}: directory {parent!r} is not writable"
+    return None
+
+
+def _write_metrics_json(path: str, snapshot: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _intro_queries():
     from .lang import parse_ir
-    database = build_intro_database()
-    queries = [
+    return [
         parse_ir("{Reservation(Jerry, x)} Reservation(Kramer, x) "
                  "<- Flights(x, Paris)", "kramer"),
         parse_ir("{Reservation(Kramer, y)} Reservation(Jerry, y) "
                  "<- Flights(y, Paris), Airlines(y, United)", "jerry"),
     ]
+
+
+def _command_demo(arguments: argparse.Namespace) -> int:
+    database = build_intro_database()
+    queries = _intro_queries()
     print("Entangled queries (paper Figure 2a):")
     for query in queries:
         print(f"  {query}")
@@ -66,6 +109,12 @@ def _command_demo(arguments: argparse.Namespace) -> int:
 
 
 def _command_coordinate(arguments: argparse.Namespace) -> int:
+    if arguments.metrics_json:
+        error = _output_path_error(arguments.metrics_json,
+                                   "--metrics-json")
+        if error:
+            print(error, file=sys.stderr)
+            return 1
     database = load_database(arguments.data)
     with open(arguments.workload) as handle:
         queries = parse_ir_workload(handle.read())
@@ -88,7 +137,31 @@ def _command_coordinate(arguments: argparse.Namespace) -> int:
     print(f"-- graph {timings.graph_seconds:.3f}s  "
           f"match {timings.match_seconds:.3f}s  "
           f"db {timings.db_seconds:.3f}s")
+    if arguments.metrics_json:
+        _write_metrics_json(arguments.metrics_json,
+                            _plain_metrics(queries, result, database))
     return 0 if result.answers else 2
+
+
+def _plain_metrics(queries, result, database) -> dict:
+    """A registry snapshot for the one-shot ``coordinate()`` path,
+    in the same vocabulary as the engine's ``metrics_snapshot()``."""
+    from collections import Counter
+    from .obs import MetricsRegistry
+    registry = MetricsRegistry()
+    registry.inc("submitted", len(queries))
+    registry.inc("answered", len(result.answers))
+    for reason, count in Counter(result.failures.values()).items():
+        registry.inc(f"failed.{reason.value}", count)
+    timings = result.timings
+    registry.gauge("graph_seconds", timings.graph_seconds)
+    registry.gauge("match_seconds", timings.match_seconds)
+    registry.gauge("db_seconds", timings.db_seconds)
+    for key, value in database.range_stats().items():
+        registry.inc(f"range_index.{key}", value)
+    for key, value in database.cache_stats().items():
+        registry.inc(f"db.{key}", value)
+    return registry.snapshot()
 
 
 def _coordinate_sharded(database, queries, arguments) -> int:
@@ -128,6 +201,9 @@ def _coordinate_sharded(database, queries, arguments) -> int:
               f"graph {stats.graph_seconds:.3f}s  "
               f"match {stats.match_seconds:.3f}s  "
               f"db {stats.db_seconds:.3f}s")
+        if arguments.metrics_json:
+            _write_metrics_json(arguments.metrics_json,
+                                coordinator.metrics_snapshot())
         return 0 if answered else 2
     finally:
         coordinator.close()
@@ -196,6 +272,9 @@ def _coordinate_durable(database, queries, arguments) -> int:
               f"generation {service.generation}  "
               f"commands {service.commands_applied}  "
               f"pending {service.pending_count}")
+        if arguments.metrics_json:
+            _write_metrics_json(arguments.metrics_json,
+                                service.metrics_snapshot())
         return 0 if answered else 2
     finally:
         service.close()
@@ -212,16 +291,77 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     from .bench.figures import (churn, dynamic_db, figure6, figure7,
                                 figure8, figure9, migration_heavy,
                                 range_sweep, run_all, sharded)
+    from .obs import global_snapshot, reset_global_metrics
+    if arguments.metrics_json:
+        error = _output_path_error(arguments.metrics_json,
+                                   "--metrics-json")
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+        reset_global_metrics()
     figures = {"6": figure6, "7": figure7, "8": figure8, "9": figure9,
                "churn": churn, "sharded": sharded,
                "migration_heavy": migration_heavy,
                "dynamic_db": dynamic_db, "range_sweep": range_sweep}
     if not arguments.figures:
         run_all()
-        return 0
-    for number in arguments.figures:
-        for series in figures[number]():
-            series.print()
+    else:
+        for number in arguments.figures:
+            for series in figures[number]():
+                series.print()
+    if arguments.metrics_json:
+        # The harness absorbs every engine's metrics snapshot into the
+        # process-global registry; this is the run's aggregate.
+        _write_metrics_json(arguments.metrics_json, global_snapshot())
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    from .obs import TRACER, format_traces, set_tracing
+    if arguments.jsonl:
+        error = _output_path_error(arguments.jsonl, "--jsonl")
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+    if bool(arguments.data) != bool(arguments.workload):
+        print("trace: DATA and WORKLOAD must be given together",
+              file=sys.stderr)
+        return 1
+    if arguments.data:
+        database = load_database(arguments.data)
+        with open(arguments.workload) as handle:
+            queries = parse_ir_workload(handle.read())
+        if not queries:
+            print("workload is empty", file=sys.stderr)
+            return 1
+    else:
+        database = build_intro_database()
+        queries = _intro_queries()
+    # Enable BEFORE building any engine or fleet: process-backend
+    # workers read the flag at spawn time.
+    set_tracing(True)
+    TRACER.clear()
+    try:
+        if arguments.shards:
+            from .shard import ShardedCoordinator
+            with ShardedCoordinator(
+                    database, num_shards=arguments.shards,
+                    backend=arguments.shard_backend,
+                    mode="batch") as coordinator:
+                coordinator.submit_many(queries)
+                coordinator.run_batch()
+        else:
+            from .engine.engine import D3CEngine
+            engine = D3CEngine(database, mode="batch", safety="off")
+            engine.submit_many(queries)
+            engine.run_batch()
+        print(format_traces(TRACER.spans()))
+        if arguments.jsonl:
+            TRACER.export_jsonl(arguments.jsonl)
+            print(f"-- {len(TRACER)} spans exported to "
+                  f"{arguments.jsonl}", file=sys.stderr)
+    finally:
+        set_tracing(False)
     return 0
 
 
@@ -269,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
                                         "snapshot generation every N "
                                         "journalled commands "
                                         "(default: 64)")
+    coordinate_parser.add_argument("--metrics-json", metavar="PATH",
+                                   help="write the run's metrics-"
+                                        "registry snapshot to PATH as "
+                                        "JSON (validated up front)")
     coordinate_parser.set_defaults(handler=_command_coordinate)
 
     sql = subparsers.add_parser(
@@ -286,7 +430,33 @@ def build_parser() -> argparse.ArgumentParser:
                                 "range_sweep", []],
                        help="figure numbers or scenario names "
                             "(default: all)")
+    bench.add_argument("--metrics-json", metavar="PATH",
+                       help="write the aggregated metrics-registry "
+                            "snapshot of every engine the run built "
+                            "to PATH as JSON (validated up front)")
     bench.set_defaults(handler=_command_bench)
+
+    trace = subparsers.add_parser(
+        "trace", help="coordinate with lifecycle tracing on and print "
+                      "the stitched per-query traces")
+    trace.add_argument("data", nargs="?",
+                       help="data file (repro.dataio format); omit "
+                            "with WORKLOAD to trace the introduction "
+                            "example")
+    trace.add_argument("workload", nargs="?",
+                       help="one IR query per line")
+    trace.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="trace through the sharded service with N "
+                            "shard workers")
+    trace.add_argument("--shard-backend",
+                       choices=["inprocess", "process"],
+                       default="inprocess",
+                       help="shard worker backend for --shards "
+                            "(default: inprocess)")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="also export the raw spans as JSON lines "
+                            "to PATH (validated up front)")
+    trace.set_defaults(handler=_command_trace)
     return parser
 
 

@@ -329,11 +329,17 @@ def record_to_payload(record) -> dict:
     The record's working query rides as a regular query payload; the
     arrival sequence number and submission instant ride beside it, so
     the importing engine reproduces matching order and staleness as if
-    the query had been submitted there originally.
+    the query had been submitted there originally.  The originating
+    trace id, when tracing stamped one, rides as an optional ``trace``
+    key — optional keys extend the record format without a wire-version
+    bump: old readers ignore them, old payloads simply lack them.
     """
-    return {"query": to_payload(record.query),
-            "seq": record.arrival_seq,
-            "at": record.submitted_at}
+    payload = {"query": to_payload(record.query),
+               "seq": record.arrival_seq,
+               "at": record.submitted_at}
+    if record.trace_id is not None:
+        payload["trace"] = record.trace_id
+    return payload
 
 
 def record_from_payload(payload: dict):
@@ -341,7 +347,8 @@ def record_from_payload(payload: dict):
     payload stands for (exact inverse of :func:`record_to_payload`)."""
     from .engine.engine import PendingRecord  # avoid an import cycle
     return PendingRecord(from_payload(payload["query"]),
-                         payload["seq"], payload["at"])
+                         payload["seq"], payload["at"],
+                         payload.get("trace"))
 
 
 def delta_to_payload(delta) -> dict:

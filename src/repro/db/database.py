@@ -305,6 +305,23 @@ class Database:
             "empty_prunes": self._executor.empty_prunes,
         }
 
+    def cache_stats(self) -> dict:
+        """Plan- and compile-cache activity for this database.
+
+        Stable plain-int keys like :meth:`range_stats`, so the dict
+        merges by summation across a shard fleet (the metrics registry
+        surfaces these as ``db.<key>`` counters).
+        """
+        planner = self._executor.planner
+        return {
+            "plan_cache_hits": planner.cache_hits,
+            "plan_cache_misses": planner.cache_misses,
+            "cached_plans": planner.cached_plan_count(),
+            "compile_hits": self._executor.compile_hits,
+            "compile_misses": self._executor.compile_misses,
+            "compiled_plans": self._executor.compiled_plan_count(),
+        }
+
     def evaluate(self, query: ConjunctiveQuery,
                  limit: int | None = None,
                  reusable: bool = True) -> Iterator[Valuation]:

@@ -35,6 +35,7 @@ later snapshots agree byte-for-byte with the journal.
 from __future__ import annotations
 
 import json
+import time
 from collections import Counter
 from dataclasses import replace
 from pathlib import Path
@@ -49,6 +50,7 @@ from ..engine.futures import CoordinationTicket, TicketCallback, \
     TicketState
 from ..engine.staleness import Clock, SystemClock
 from ..errors import RecoveryError, ValidationError
+from ..obs import TRACER
 from ..shard.coordinator import ShardedCoordinator
 from .snapshots import SnapshotStore
 
@@ -247,6 +249,12 @@ class _DurableService:
         #: resume cursor).
         self.commands_applied = 0
         self.snapshots_taken = 0
+        # Lifetime WAL totals: each snapshot generation opens a fresh
+        # segment whose counters start at zero, so the closed
+        # segments' figures accumulate here (see _absorb_log_counters).
+        self._wal_records = 0
+        self._wal_sync_batches = 0
+        self._wal_bytes_total = 0
         #: query_id -> answer payload / failure-reason value, for every
         #: settlement this service ever produced (recovery rebuilds
         #: both maps exactly — they are the oracle-equivalence surface).
@@ -319,8 +327,15 @@ class _DurableService:
         events = json.dumps(self._events, separators=(",", ":"),
                             ensure_ascii=False)
         del self._events[:]
-        self._log.append_body(
-            (body[:-1] + ',"events":' + events + "}").encode("utf-8"))
+        framed = (body[:-1] + ',"events":' + events + "}").encode("utf-8")
+        tracer = TRACER
+        if tracer.enabled:
+            start_ns = time.perf_counter_ns()
+            self._log.append_body(framed)
+            tracer.record("wal.append", start_ns, None, op=op,
+                          bytes=len(framed))
+        else:
+            self._log.append_body(framed)
         self.commands_applied += 1
         self._since_snapshot += 1
         if (self._snapshot_every
@@ -376,9 +391,12 @@ class _DurableService:
         complete generation on disk.  Returns the new generation.
         """
         self._ensure_open()
+        tracer = TRACER
+        start_ns = time.perf_counter_ns() if tracer.enabled else 0
         generation = self._generation + 1
         self._store.write_snapshot(generation, self.commands_applied,
                                    self._state_payload())
+        self._absorb_log_counters()
         if self._log is not None:
             self._log.close()
         self._log = self._store.open_log(generation, self._sync_every)
@@ -386,7 +404,39 @@ class _DurableService:
         self._generation = generation
         self._since_snapshot = 0
         self.snapshots_taken += 1
+        if tracer.enabled:
+            tracer.record("wal.snapshot", start_ns, None,
+                          generation=generation)
         return generation
+
+    def _absorb_log_counters(self) -> None:
+        """Fold the closing segment's counters into lifetime totals."""
+        log = self._log
+        if log is None:
+            return
+        self._wal_records += log.records_appended
+        self._wal_sync_batches += log.syncs
+        self._wal_bytes_total += log.bytes_appended
+
+    def durability_stats(self) -> dict:
+        """Journal activity over this service's lifetime.
+
+        Stable plain-int keys — the dict merges by summation like
+        ``range_stats`` and rides :class:`~repro.engine.stats.
+        EngineStats.durability` into the stats/metrics snapshots as
+        ``durability.<key>`` counters.
+        """
+        log = self._log
+        return {
+            "snapshots_taken": self.snapshots_taken,
+            "commands_applied": self.commands_applied,
+            "wal_records": self._wal_records + (
+                log.records_appended if log is not None else 0),
+            "wal_sync_batches": self._wal_sync_batches + (
+                log.syncs if log is not None else 0),
+            "wal_bytes": self._wal_bytes_total + (
+                log.bytes_appended if log is not None else 0),
+        }
 
     def sync(self) -> None:
         """Force the journal to stable storage (fsync now)."""
@@ -674,7 +724,21 @@ class DurableEngine(_DurableService):
 
     @property
     def stats(self):
+        self.engine.stats.durability = self.durability_stats()
         return self.engine.stats
+
+    def stats_snapshot(self) -> dict:
+        """The engine's counters with journal activity folded in
+        (``durability`` key; see :meth:`durability_stats`)."""
+        self.engine.stats.durability = self.durability_stats()
+        return self.engine.stats_snapshot()
+
+    def metrics_snapshot(self) -> dict:
+        """The engine's metrics snapshot joined by ``durability.*``
+        counters (see
+        :meth:`~repro.engine.engine.D3CEngine.metrics_snapshot`)."""
+        self.engine.stats.durability = self.durability_stats()
+        return self.engine.metrics_snapshot()
 
     # -- durability internals ------------------------------------------
 
@@ -884,7 +948,25 @@ class DurableCoordinator(_DurableService):
 
     @property
     def stats(self):
-        return self.coordinator.stats
+        stats = self.coordinator.stats
+        stats.durability = self.durability_stats()
+        return stats
+
+    def stats_snapshot(self) -> dict:
+        """Fleet-wide counters with journal activity folded in."""
+        stats = self.coordinator.stats
+        stats.durability = self.durability_stats()
+        return stats.snapshot()
+
+    def metrics_snapshot(self) -> dict:
+        """The fleet's merged metrics snapshot joined by
+        ``durability.*`` counters (the journal lives on the wrapper,
+        not on any one shard)."""
+        snapshot = self.coordinator.metrics_snapshot()
+        counters = snapshot["counters"]
+        for key, value in self.durability_stats().items():
+            counters[f"durability.{key}"] = value
+        return snapshot
 
     @property
     def db_version(self) -> int:

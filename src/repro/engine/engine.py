@@ -49,6 +49,12 @@ from ..core.query import EntangledQuery
 from ..core.safety import SafetyChecker
 from ..db.database import Database
 from ..errors import RecoveryError, ValidationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TRACER
+
+#: Shared attrs for hot-path settle spans — one constant dict instead
+#: of an allocation per settlement.  Never mutated by any reader.
+_SETTLED_ANSWERED = {"outcome": "answered"}
 from .futures import CoordinationTicket, TicketCallback
 from .runtime import CoordinationScheduler
 from .staleness import Clock, NeverStale, StalenessPolicy, SystemClock
@@ -78,6 +84,11 @@ class PendingRecord:
     query: EntangledQuery
     arrival_seq: int
     submitted_at: float
+    #: Originating trace id when lifecycle tracing stamped one; rides
+    #: along so a migrated component keeps contributing spans to the
+    #: trace that submitted it.  Defaults to None (tracing off, or a
+    #: record serialized before the field existed).
+    trace_id: Optional[str] = None
 
 
 class D3CEngine:
@@ -197,6 +208,11 @@ class D3CEngine:
         # staleness policies; settled entries are dropped lazily, so an
         # expiry sweep is O(expired log pending), not O(pending).
         self._expiry_heap: list[tuple] = []
+        # query_id -> trace id, maintained only while lifecycle
+        # tracing is enabled (settle/expire/export pop entries; the
+        # map stays empty — and every site skips it — when tracing is
+        # off).
+        self._trace_of: dict = {}
         # Live-mutation hook: every committed TableDelta re-queues
         # exactly the components whose plans read the mutated table
         # (held weakly by the database — a dropped engine unregisters
@@ -237,13 +253,37 @@ class D3CEngine:
         self.stats.range_index = self.database.range_stats()
         return self.stats.snapshot()
 
+    def metrics_snapshot(self) -> dict:
+        """This engine's metrics as one registry snapshot.
+
+        Supersedes :meth:`stats_snapshot`: every counter that dict
+        carries appears here under the same name (nested dicts as
+        dotted counters), joined by the database-layer cache counters
+        (``db.*``) and the scheduler's feasibility memo counters
+        (``feasibility.*``) that previously lived on their own
+        objects.  The shape is JSON-safe and merges across a fleet
+        with :func:`repro.obs.merge_snapshots`.
+        """
+        registry = MetricsRegistry()
+        with self._lock:
+            self.stats.range_index = self.database.range_stats()
+            self.stats.to_metrics(registry)
+            registry.inc("feasibility.hits",
+                         self._runtime.feasibility_hits)
+            registry.inc("feasibility.misses",
+                         self._runtime.feasibility_misses)
+            for key, value in self.database.cache_stats().items():
+                registry.inc(f"db.{key}", value)
+        return registry.snapshot()
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
 
     def submit(self, query: EntangledQuery,
                callback: TicketCallback | None = None,
-               arrival_seq: int | None = None) -> CoordinationTicket:
+               arrival_seq: int | None = None,
+               trace_id: str | None = None) -> CoordinationTicket:
         """Submit one entangled query; returns its ticket.
 
         The query is validated and renamed apart.  Query ids must be
@@ -261,6 +301,11 @@ class D3CEngine:
         single engine's choices once queries migrate between shards).
         Caller-supplied sequences must be strictly increasing across
         submissions.
+
+        *trace_id* adopts a lifecycle trace started elsewhere (the
+        sharded coordinator threads its front-door trace id through so
+        worker-side spans stitch into it); None starts a fresh trace
+        when tracing is enabled.
         """
         query.validate()
         ticket = CoordinationTicket(query.query_id)
@@ -271,7 +316,7 @@ class D3CEngine:
         with self._lock:
             self._check_new_id(query.query_id)
             working, settle_unsafe = self._admit(query, ticket,
-                                                 arrival_seq)
+                                                 arrival_seq, trace_id)
             if not settle_unsafe:
                 if self.mode == "incremental":
                     new_edges = self._runtime.ingest(working)
@@ -291,7 +336,8 @@ class D3CEngine:
         return [self.submit(query) for query in queries]
 
     def submit_many(self, queries: Iterable[EntangledQuery],
-                    arrival_seqs: Sequence[int] | None = None
+                    arrival_seqs: Sequence[int] | None = None,
+                    trace_ids: Sequence[str | None] | None = None
                     ) -> list[CoordinationTicket]:
         """Submit a block of arrivals through the batched pipeline.
 
@@ -314,6 +360,9 @@ class D3CEngine:
         if arrival_seqs is not None and len(arrival_seqs) != len(queries):
             raise ValidationError(
                 "arrival_seqs must match the block length")
+        if trace_ids is not None and len(trace_ids) != len(queries):
+            raise ValidationError(
+                "trace_ids must match the block length")
         tickets: list[CoordinationTicket] = []
         with self._lock:
             seen: set = set()
@@ -334,7 +383,9 @@ class D3CEngine:
                 working, settle_unsafe = self._admit(
                     query, ticket,
                     None if arrival_seqs is None
-                    else arrival_seqs[position])
+                    else arrival_seqs[position],
+                    None if trace_ids is None
+                    else trace_ids[position])
                 if settle_unsafe:
                     unsafe.append(ticket)
                 else:
@@ -363,14 +414,28 @@ class D3CEngine:
 
     def _admit(self, query: EntangledQuery,
                ticket: CoordinationTicket,
-               arrival_seq: int | None = None):
+               arrival_seq: int | None = None,
+               trace_id: str | None = None):
         """Shared admission: rename, arrival seq, safety, pending entry.
 
         Returns ``(working_copy, settle_unsafe)``; on safe admission
         the query is registered pending (but not yet ingested into the
         graph).
         """
-        working = query.rename_apart()
+        tracer = TRACER
+        if tracer.enabled:
+            if trace_id is None:
+                trace_id = tracer.new_trace_id()
+            site = tracer.site
+            start_ns = time.perf_counter_ns()
+            tracer.emit(("query.submit", trace_id, site, start_ns, 0,
+                         {"query": str(query.query_id)}))
+            working = query.rename_apart()
+            tracer.emit(("query.rename_apart", trace_id, site,
+                         start_ns,
+                         time.perf_counter_ns() - start_ns, None))
+        else:
+            working = query.rename_apart()
         self.stats.submitted += 1
         if arrival_seq is None:
             arrival_seq = self._next_seq
@@ -383,8 +448,14 @@ class D3CEngine:
             self.stats.safety_seconds += time.perf_counter() - start
             if unsafe:
                 self.stats.record_failure(FailureReason.UNSAFE)
+                if tracer.enabled:
+                    tracer.event("query.settle", trace_id,
+                                 query=str(query.query_id),
+                                 outcome="unsafe")
                 return working, True
         submitted_at = self.clock.now()
+        if trace_id is not None:
+            self._trace_of[query.query_id] = trace_id
         self._pending[query.query_id] = (working, ticket, submitted_at)
         if self.safety_mode == "reject":
             self._safety.add(working)
@@ -403,6 +474,7 @@ class D3CEngine:
         """Settle answered queries: tickets, safety, graph eviction."""
         resolved: list[tuple[CoordinationTicket, object]] = []
         settled: list = []
+        tracer = TRACER
         for query_id, answer in answers.items():
             entry = self._pending.pop(query_id, None)
             if entry is None:
@@ -412,6 +484,13 @@ class D3CEngine:
             self._safety.remove(query_id)
             settled.append(query_id)
             self.stats.answered += 1
+            if self._trace_of:
+                trace_id = self._trace_of.pop(query_id, None)
+                if tracer.enabled:
+                    tracer.emit(("query.settle", trace_id,
+                                 tracer.site,
+                                 time.perf_counter_ns(), 0,
+                                 _SETTLED_ANSWERED))
         self._runtime.remove_block(settled)
         for ticket, answer in resolved:
             ticket.resolve(answer)
@@ -486,7 +565,9 @@ class D3CEngine:
                         f"export it")
                 working, _, submitted_at = entry
                 records.append(PendingRecord(
-                    working, self._arrival[query_id], submitted_at))
+                    working, self._arrival[query_id], submitted_at,
+                    self._trace_of.pop(query_id, None)
+                    if self._trace_of else None))
                 self._safety.remove(query_id)
                 exported.append(query_id)
             self._runtime.remove_block(exported)
@@ -538,6 +619,10 @@ class D3CEngine:
                                          record.arrival_seq + 1)
                     self._pending[query_id] = (working, ticket,
                                                record.submitted_at)
+                    if record.trace_id is not None:
+                        # The migrated component keeps reporting into
+                        # the trace that originally submitted it.
+                        self._trace_of[query_id] = record.trace_id
                     if self.safety_mode == "reject":
                         self._safety.add(working)
                     deadline = self.staleness.deadline(
@@ -567,6 +652,7 @@ class D3CEngine:
         for query_id in prior_arrival:
             self._pending.pop(query_id, None)
             self._safety.remove(query_id)
+            self._trace_of.pop(query_id, None)
         self._runtime.remove_block(
             [query_id for query_id in prior_arrival
              if query_id in self._runtime.graph])
@@ -589,7 +675,8 @@ class D3CEngine:
         """
         with self._lock:
             records = [PendingRecord(working, self._arrival[query_id],
-                                     submitted_at)
+                                     submitted_at,
+                                     self._trace_of.get(query_id))
                        for query_id, (working, _, submitted_at)
                        in self._pending.items()]
             records.sort(key=lambda record: record.arrival_seq)
@@ -660,7 +747,15 @@ class D3CEngine:
         with self._lock:
             self.stats.coordination_rounds += 1
             answered_before = self.stats.answered
-            self._runtime.drain_all()
+            tracer = TRACER
+            if tracer.enabled:
+                start_ns = time.perf_counter_ns()
+                self._runtime.drain_all()
+                tracer.record(
+                    "engine.run_batch", start_ns,
+                    answered=self.stats.answered - answered_before)
+            else:
+                self._runtime.drain_all()
             return self.stats.answered - answered_before
 
     # ------------------------------------------------------------------
@@ -688,11 +783,21 @@ class D3CEngine:
                           if policy.is_stale(query, submitted_at, now)]
             else:
                 doomed = self._due_candidates(policy, now)
+            tracer = TRACER
             for query_id in doomed:
                 _, ticket, _ = self._pending.pop(query_id)
                 self._safety.remove(query_id)
                 expired.append(ticket)
                 self.stats.record_failure(FailureReason.STALE)
+                if self._trace_of:
+                    trace_id = self._trace_of.pop(query_id, None)
+                    if tracer.enabled:
+                        # The submit span already names the query; an
+                        # expire marker needs only the trace id.
+                        tracer.emit(("query.expire", trace_id,
+                                     tracer.site,
+                                     time.perf_counter_ns(), 0,
+                                     None))
             self._runtime.remove_block(doomed)
             # Expired ids become re-submittable (an application retry
             # is a new incarnation): drop the arrival tombstone and let

@@ -50,6 +50,7 @@ from ..core.query import EntangledQuery
 from ..core.terms import Constant, TermNumbering
 from ..core.ucs import check_ucs_graph
 from ..errors import ReproError
+from ..obs.trace import TRACER
 from .partitions import PartitionManager
 
 #: Marker for postcondition slots the body does not bind; never equal to
@@ -435,10 +436,15 @@ class CoordinationScheduler:
         """
         host = self._host
         host.stats.coordination_rounds += 1
+        tracer = TRACER
+        if tracer.enabled:
+            start_ns = time.perf_counter_ns()
         start = time.perf_counter()
         match = match_component(self.graph, members,
                                 order=host._arrival)
         host.stats.match_seconds += time.perf_counter() - start
+        if tracer.enabled:
+            self._record_match_spans(members, start_ns)
         if not match.survivors or match.global_unifier is None:
             return
         queries_by_id = {query_id: self.graph.query(query_id)
@@ -639,14 +645,32 @@ class CoordinationScheduler:
                     stack.append(chosen.src)
         return frozenset(group)
 
+    def _record_match_spans(self, members, start_ns: int) -> None:
+        """One ``query.match_attempt`` span per member that carries a
+        trace id (members with no live trace are skipped); all spans
+        share the attempt's start, so they report the same matching
+        interval from each participating query's point of view."""
+        trace_of = self._host._trace_of
+        traced = [trace_id for trace_id
+                  in map(trace_of.get, members)
+                  if trace_id is not None]
+        if traced:
+            TRACER.record_many("query.match_attempt", start_ns,
+                               traced, members=len(members))
+
     def _attempt_group(self, group: frozenset) -> bool:
         """Match, combine, and evaluate one candidate group."""
         host = self._host
         host.stats.coordination_rounds += 1
+        tracer = TRACER
+        if tracer.enabled:
+            start_ns = time.perf_counter_ns()
         start = time.perf_counter()
         match = match_component(self.graph, group,
                                 order=host._arrival)
         host.stats.match_seconds += time.perf_counter() - start
+        if tracer.enabled:
+            self._record_match_spans(group, start_ns)
         if (set(match.survivors) != set(group)
                 or match.global_unifier is None):
             # The group as chosen cannot mutually satisfy; it is a
@@ -721,9 +745,19 @@ class CoordinationScheduler:
         if not components:
             return
         order = host._arrival
+        tracer = TRACER
         start = time.perf_counter()
-        matches = [match_component(self.graph, component, order=order)
-                   for component in components]
+        if tracer.enabled:
+            matches = []
+            for component in components:
+                start_ns = time.perf_counter_ns()
+                matches.append(match_component(self.graph, component,
+                                               order=order))
+                self._record_match_spans(component, start_ns)
+        else:
+            matches = [match_component(self.graph, component,
+                                       order=order)
+                       for component in components]
         host.stats.match_seconds += time.perf_counter() - start
 
         viable = [match for match in matches
@@ -818,6 +852,9 @@ class CoordinationScheduler:
         cached upstream in the failed-group set."""
         host = self._host
         choose = max(query.choose for query in queries_by_id.values())
+        tracer = TRACER
+        if tracer.enabled:
+            start_ns = time.perf_counter_ns()
         start = time.perf_counter()
         if host.rng is None:
             valuations = list(host.database.evaluate(combined.query,
@@ -826,6 +863,10 @@ class CoordinationScheduler:
         else:
             valuations = self._sample(combined.query, choose, reusable)
         host.stats.db_seconds += time.perf_counter() - start
+        if tracer.enabled:
+            tracer.record("db.evaluate", start_ns,
+                          atoms=len(combined.query.atoms),
+                          valuations=len(valuations))
         if not valuations:
             return False
 

@@ -31,6 +31,11 @@ class EngineStats:
     #: Ordered-index pushdown counters, refreshed from the database by
     #: :meth:`repro.engine.Engine.stats_snapshot` (empty until then).
     range_index: dict = field(default_factory=dict)
+    #: Durability counters (WAL appends, fsync batches, bytes,
+    #: snapshots taken), refreshed by the durable wrappers'
+    #: ``stats_snapshot`` (empty on an unjournalled engine).  Fleet
+    #: merges sum these key-wise like :attr:`range_index`.
+    durability: dict = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -64,7 +69,35 @@ class EngineStats:
             "db_seconds": self.db_seconds,
             "safety_seconds": self.safety_seconds,
             "range_index": dict(self.range_index),
+            "durability": dict(self.durability),
         }
+
+    #: Snapshot keys that are plain monotonic counters (the gauges —
+    #: pending and the phase-seconds — and the nested dicts are listed
+    #: separately by consumers).
+    COUNTER_KEYS = ("submitted", "answered", "coordination_rounds",
+                    "combined_queries_built", "closure_events",
+                    "blocks_ingested", "components_drained")
+    SECONDS_KEYS = ("graph_seconds", "match_seconds", "db_seconds",
+                    "safety_seconds")
+
+    def to_metrics(self, registry) -> None:
+        """Pour this snapshot into a
+        :class:`repro.obs.MetricsRegistry` under the same key names
+        the plain :meth:`snapshot` dict uses (nested dicts become
+        dotted counters: ``failed.<reason>``, ``range_index.<key>``,
+        ``durability.<key>``)."""
+        for key in self.COUNTER_KEYS:
+            registry.inc(key, getattr(self, key))
+        for reason, count in self.failed.items():
+            registry.inc(f"failed.{reason.value}", count)
+        for key in self.SECONDS_KEYS:
+            registry.gauge(key, getattr(self, key))
+        registry.gauge("pending", self.pending)
+        for key, value in self.range_index.items():
+            registry.inc(f"range_index.{key}", value)
+        for key, value in self.durability.items():
+            registry.inc(f"durability.{key}", value)
 
     def __str__(self) -> str:
         failed = ", ".join(f"{reason.value}={count}"

@@ -1,0 +1,38 @@
+"""Unified observability: lifecycle tracing and a metrics registry.
+
+Two small, dependency-free layers:
+
+:mod:`repro.obs.trace`
+    Per-query lifecycle spans (``submit -> rename_apart -> route ->
+    match_attempt* -> settle|expire``) plus engine-level spans (batch
+    drains, migrations, WAL appends, snapshot publication) in an
+    in-memory ring buffer.  Zero-cost when off — every site checks
+    ``TRACER.enabled`` once.  Worker shards ship spans back to the
+    coordinator over the existing frame protocol so one query yields
+    one stitched trace.
+
+:mod:`repro.obs.metrics`
+    Typed counters/gauges/histograms behind one
+    ``MetricsRegistry.snapshot()`` with a deterministic, associative,
+    loss-free merge — the single codepath for fleet aggregation.
+"""
+
+from .metrics import (MetricsRegistry, absorb_snapshot, empty_snapshot,
+                      global_snapshot, merge_snapshots, quantiles,
+                      reset_global_metrics)
+from .trace import TRACER, Span, Tracer, format_traces, set_tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "absorb_snapshot",
+    "empty_snapshot",
+    "format_traces",
+    "global_snapshot",
+    "merge_snapshots",
+    "quantiles",
+    "reset_global_metrics",
+    "set_tracing",
+]

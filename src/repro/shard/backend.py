@@ -95,8 +95,13 @@ class ShardBackend(Protocol):
     wire_requests: int
 
     def submit_block(self, queries: Sequence[EntangledQuery],
-                     seqs: Sequence[int], now: float) -> None:
-        """Ingest a block of arrivals with global arrival seqs."""
+                     seqs: Sequence[int], now: float,
+                     trace_ids: Sequence | None = None) -> None:
+        """Ingest a block of arrivals with global arrival seqs.
+
+        *trace_ids* (one per query, or None) threads the coordinator's
+        lifecycle trace ids through so worker-side spans stitch into
+        the front-door trace."""
 
     def run_batch(self, now: float) -> int:
         """One set-at-a-time round over the shard's dirty components."""
@@ -116,7 +121,8 @@ class ShardBackend(Protocol):
     # backend's in-flight window.
 
     def begin_submit_block(self, queries: Sequence[EntangledQuery],
-                           seqs: Sequence[int], now: float) -> None: ...
+                           seqs: Sequence[int], now: float,
+                           trace_ids: Sequence | None = None) -> None: ...
 
     def finish_submit_block(self) -> None: ...
 
@@ -181,6 +187,8 @@ class ShardBackend(Protocol):
 
     def call_stats(self) -> ShardCall: ...
 
+    def call_metrics(self) -> ShardCall: ...
+
     def call_partition_sizes(self) -> ShardCall: ...
 
     def drain_events(self) -> list[Event]:
@@ -194,6 +202,10 @@ class ShardBackend(Protocol):
 
     def stats_snapshot(self) -> dict:
         """The shard engine's ``EngineStats.snapshot()``."""
+
+    def metrics_snapshot(self) -> dict:
+        """The shard engine's ``MetricsRegistry`` snapshot (see
+        :meth:`repro.engine.engine.D3CEngine.metrics_snapshot`)."""
 
     def invalidate_cache(self) -> None:
         """Forget data-dependent caches after a database mutation."""
@@ -241,14 +253,18 @@ class InProcessBackend:
     # -- command surface ------------------------------------------------
 
     def submit_block(self, queries: Sequence[EntangledQuery],
-                     seqs: Sequence[int], now: float) -> None:
+                     seqs: Sequence[int], now: float,
+                     trace_ids: Sequence | None = None) -> None:
         self.wire_requests += 1
         if len(queries) == 1:
-            ticket = self.engine.submit(queries[0], arrival_seq=seqs[0])
+            ticket = self.engine.submit(
+                queries[0], arrival_seq=seqs[0],
+                trace_id=trace_ids[0] if trace_ids else None)
             tickets = [ticket]
         else:
-            tickets = self.engine.submit_many(queries,
-                                              arrival_seqs=list(seqs))
+            tickets = self.engine.submit_many(
+                queries, arrival_seqs=list(seqs),
+                trace_ids=list(trace_ids) if trace_ids else None)
         # Wire settlement capture first, then flush tickets that
         # settled synchronously inside the engine call (their callbacks
         # fire immediately on add).
@@ -266,8 +282,10 @@ class InProcessBackend:
     # In-process "fan-out": there is no worker to overlap with, so
     # begin executes eagerly and finish hands the result back.
 
-    def begin_submit_block(self, queries, seqs, now: float) -> None:
-        self._deferred = self.submit_block(queries, seqs, now)
+    def begin_submit_block(self, queries, seqs, now: float,
+                           trace_ids=None) -> None:
+        self._deferred = self.submit_block(queries, seqs, now,
+                                           trace_ids)
 
     def finish_submit_block(self) -> None:
         self._deferred = None
@@ -352,6 +370,9 @@ class InProcessBackend:
     def call_stats(self) -> ShardCall:
         return _eager(self.stats_snapshot)
 
+    def call_metrics(self) -> ShardCall:
+        return _eager(self.metrics_snapshot)
+
     def call_partition_sizes(self) -> ShardCall:
         return _eager(self.partition_sizes)
 
@@ -366,6 +387,10 @@ class InProcessBackend:
     def stats_snapshot(self) -> dict:
         self.wire_requests += 1
         return self.engine.stats_snapshot()
+
+    def metrics_snapshot(self) -> dict:
+        self.wire_requests += 1
+        return self.engine.metrics_snapshot()
 
     def invalidate_cache(self) -> None:
         self.wire_requests += 1

@@ -35,6 +35,7 @@ per-shard).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Iterable, Sequence
 
@@ -46,6 +47,7 @@ from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
     SystemClock
 from ..engine.stats import EngineStats
 from ..errors import RecoveryError, ValidationError
+from ..obs import TRACER, merge_snapshots
 from .backend import InProcessBackend, ShardBackend
 from .router import ShardRouter
 
@@ -169,6 +171,11 @@ class ShardedCoordinator:
                 "engine": engine_kwargs,
                 "warm_indexes": [[table, list(positions)]
                                  for table, positions in warm_indexes],
+                # Captured at construction: workers enable their own
+                # tracer (site "shard<N>") and ship spans back on
+                # reply frames, so enable tracing BEFORE building the
+                # fleet to get worker-side spans.
+                "tracing": TRACER.enabled,
             }
             try:
                 for index in range(num_shards):
@@ -192,6 +199,10 @@ class ShardedCoordinator:
         # copy of every pending record, which is what lets it re-home
         # a dead worker's components without the worker's cooperation.
         self._pending_meta: dict = {}
+        # qid -> trace id, maintained only while tracing is enabled;
+        # stamps migration/re-home/snapshot records so a query keeps
+        # its originating trace wherever it lands.
+        self._trace_ids: dict = {}
         self._tickets: dict = {}
         self._used_ids: set = set()
         self._next_seq = 0
@@ -450,6 +461,9 @@ class ShardedCoordinator:
         reserved: dict = {}
         payloads: dict = {}
         failure: BaseException | None = None
+        tracer = TRACER
+        exchange_start_ns = (time.perf_counter_ns()
+                             if tracer.enabled else 0)
         try:
             calls = [(pair,
                       backends[pair[0]].call_reserve(groups[pair]))
@@ -505,6 +519,12 @@ class ShardedCoordinator:
             members = groups[pair]
             self.migrations += 1
             self.migrated_queries += len(members)
+            if tracer.enabled:
+                # One engine-level span per committed manifest; the
+                # duration covers the whole batched exchange.
+                tracer.record("shard.migration", exchange_start_ns,
+                              None, source=source, dest=target,
+                              queries=len(members))
             for query_id in members:
                 self._shard_of[query_id] = target
             try:
@@ -787,7 +807,8 @@ class ShardedCoordinator:
         if not stranded:
             return
         from ..engine.engine import PendingRecord
-        records = [PendingRecord(*self._pending_meta[query_id])
+        records = [PendingRecord(*self._pending_meta[query_id],
+                                 self._trace_ids.get(query_id))
                    for query_id in stranded]
         if self.backend_kind == "process":
             from ..dataio import manifest_to_payload
@@ -838,16 +859,35 @@ class ShardedCoordinator:
         query.validate()
         self._check_new_id(query.query_id, set())
         self._replicate()
-        working = query.rename_apart()
+        tracer = TRACER
+        trace_id = None
+        if tracer.enabled:
+            trace_id = tracer.new_trace_id()
+            tracer.event("query.submit", trace_id,
+                         query=str(query.query_id))
+            start_ns = time.perf_counter_ns()
+            working = query.rename_apart()
+            tracer.record("query.rename_apart", start_ns, trace_id)
+        else:
+            working = query.rename_apart()
         ticket = CoordinationTicket(query.query_id)
         if callback is not None:
             ticket.add_callback(callback)
         now = self._clock.now()
         seq = self._next_seq
         self._next_seq += 1
-        (target,) = self._route_block([working])
+        if tracer.enabled:
+            start_ns = time.perf_counter_ns()
+            (target,) = self._route_block([working])
+            tracer.record("query.route", start_ns, trace_id,
+                          shard=target)
+            self._trace_ids[query.query_id] = trace_id
+        else:
+            (target,) = self._route_block([working])
         self._register(working, seq, ticket, now)
-        self._backends[target].submit_block([working], [seq], now)
+        self._backends[target].submit_block(
+            [working], [seq], now,
+            trace_ids=None if trace_id is None else [trace_id])
         self._drain_all_events()
         self._maybe_autobatch()
         return ticket
@@ -874,29 +914,59 @@ class ShardedCoordinator:
             query.validate()
             self._check_new_id(query.query_id, block_seen)
         self._replicate()
-        workings = [query.rename_apart() for query in queries]
+        tracer = TRACER
+        trace_ids: list | None = None
+        if tracer.enabled:
+            trace_ids = []
+            workings = []
+            for query in queries:
+                trace_id = tracer.new_trace_id()
+                tracer.event("query.submit", trace_id,
+                             query=str(query.query_id))
+                start_ns = time.perf_counter_ns()
+                workings.append(query.rename_apart())
+                tracer.record("query.rename_apart", start_ns, trace_id)
+                trace_ids.append(trace_id)
+        else:
+            workings = [query.rename_apart() for query in queries]
         tickets = [CoordinationTicket(query.query_id)
                    for query in queries]
         now = self._clock.now()
         seqs = list(range(self._next_seq,
                           self._next_seq + len(queries)))
         self._next_seq += len(queries)
-        targets = self._route_block(workings)
+        if trace_ids is not None:
+            start_ns = time.perf_counter_ns()
+            targets = self._route_block(workings)
+            # One route span per block member (they share the block's
+            # routing duration), each tagged with its final shard.
+            for working, trace_id, target in zip(workings, trace_ids,
+                                                 targets):
+                tracer.record("query.route", start_ns, trace_id,
+                              shard=target)
+                self._trace_ids[working.query_id] = trace_id
+        else:
+            targets = self._route_block(workings)
         for working, seq, ticket in zip(workings, seqs, tickets):
             self._register(working, seq, ticket, now)
-        blocks: dict[int, tuple[list, list]] = {}
-        for working, seq, target in zip(workings, seqs, targets):
-            sub_queries, sub_seqs = blocks.setdefault(target, ([], []))
+        blocks: dict[int, tuple[list, list, list]] = {}
+        for position, (working, seq, target) in enumerate(
+                zip(workings, seqs, targets)):
+            sub_queries, sub_seqs, sub_traces = blocks.setdefault(
+                target, ([], [], []))
             sub_queries.append(working)
             sub_seqs.append(seq)
+            if trace_ids is not None:
+                sub_traces.append(trace_ids[position])
         # Fan out: every shard ingests its sub-block concurrently
         # (process workers overlap on real cores); results collected
         # and events applied in shard order for determinism.
         targets_in_order = sorted(blocks)
         for target in targets_in_order:
-            sub_queries, sub_seqs = blocks[target]
-            self._backends[target].begin_submit_block(sub_queries,
-                                                      sub_seqs, now)
+            sub_queries, sub_seqs, sub_traces = blocks[target]
+            self._backends[target].begin_submit_block(
+                sub_queries, sub_seqs, now,
+                trace_ids=sub_traces if trace_ids is not None else None)
         for target in targets_in_order:
             self._backends[target].finish_submit_block()
         self._drain_all_events()
@@ -958,6 +1028,8 @@ class ShardedCoordinator:
         from ..core.evaluate import FailureReason
         for kind, query_id, payload in events:
             ticket = self._tickets.pop(query_id, None)
+            if self._trace_ids:
+                self._trace_ids.pop(query_id, None)
             meta = self._pending_meta.pop(query_id, None)
             if meta is not None:
                 self._unindex_query(meta[0])
@@ -998,7 +1070,8 @@ class ShardedCoordinator:
         """
         from ..dataio import dump_database, record_to_payload
         from ..engine.engine import PendingRecord
-        records = [PendingRecord(working, seq, submitted_at)
+        records = [PendingRecord(working, seq, submitted_at,
+                                 self._trace_ids.get(working.query_id))
                    for working, seq, submitted_at
                    in self._pending_meta.values()]
         records.sort(key=lambda record: record.arrival_seq)
@@ -1057,6 +1130,8 @@ class ShardedCoordinator:
             self._pending_meta[query_id] = (record.query,
                                             record.arrival_seq,
                                             record.submitted_at)
+            if record.trace_id is not None:
+                self._trace_ids[query_id] = record.trace_id
             self._tickets[query_id] = ticket
             tickets[query_id] = ticket
         workings = [record.query for record in ordered]
@@ -1118,36 +1193,67 @@ class ShardedCoordinator:
         reserve/transfer/import/commit quartet instead of N."""
         return sum(backend.wire_requests for backend in self._backends)
 
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide metrics as one registry snapshot.
+
+        The single aggregation codepath: every live worker's
+        :meth:`~repro.engine.engine.D3CEngine.metrics_snapshot` is
+        collected concurrently (the calls pipeline across shards) and
+        merged key-wise with :func:`repro.obs.merge_snapshots`.  The
+        coordinator then overrides the lifecycle counters it is
+        authoritative for (``submitted`` / ``answered`` /
+        ``failed.*`` — worker-local counts double-count nothing, but
+        migrations make them misleading) and contributes the
+        fleet-level figures only it can see: ``shard.migrations`` /
+        ``shard.migrated_queries`` / ``wire.requests`` counters and
+        the global ``pending`` gauge.
+        """
+        calls = [self._backends[shard].call_metrics()
+                 for shard in self._live_shards()]
+        merged = merge_snapshots(*[call.result() for call in calls])
+        counters = merged["counters"]
+        for key in [key for key in counters
+                    if key.startswith("failed.")]:
+            del counters[key]
+        counters["submitted"] = self._submitted
+        counters["answered"] = self._answered
+        for reason, count in self._failed.items():
+            counters[f"failed.{reason.value}"] = count
+        counters["shard.migrations"] = self.migrations
+        counters["shard.migrated_queries"] = self.migrated_queries
+        counters["wire.requests"] = self.wire_requests
+        merged["gauges"]["pending"] = float(len(self._tickets))
+        return merged
+
     @property
     def stats(self) -> EngineStats:
         """Fleet-wide statistics in the engine's vocabulary.
 
         Lifecycle counters (submitted / answered / failed) come from
-        the coordinator (the shard engines' own counts double-count
-        nothing, but migrations make them misleading); work counters
-        and phase timings are summed over shards.
+        the coordinator; work counters and phase timings are summed
+        over shards.  Built on :meth:`metrics_snapshot` — the merged
+        registry is the only aggregation codepath — and rendered back
+        into :class:`~repro.engine.stats.EngineStats` for callers that
+        speak the engine's vocabulary.
         """
+        snapshot = self.metrics_snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
         merged = EngineStats()
         merged.submitted = self._submitted
         merged.answered = self._answered
         merged.failed = Counter(self._failed)
-        calls = [self._backends[shard].call_stats()
-                 for shard in self._live_shards()]
-        for call in calls:
-            snapshot = call.result()
-            merged.coordination_rounds += snapshot["coordination_rounds"]
-            merged.combined_queries_built += \
-                snapshot["combined_queries_built"]
-            merged.closure_events += snapshot["closure_events"]
-            merged.blocks_ingested += snapshot["blocks_ingested"]
-            merged.components_drained += snapshot["components_drained"]
-            merged.graph_seconds += snapshot["graph_seconds"]
-            merged.match_seconds += snapshot["match_seconds"]
-            merged.db_seconds += snapshot["db_seconds"]
-            merged.safety_seconds += snapshot["safety_seconds"]
-            for key, value in snapshot.get("range_index", {}).items():
-                merged.range_index[key] = (
-                    merged.range_index.get(key, 0) + value)
+        for key in EngineStats.COUNTER_KEYS:
+            if key in ("submitted", "answered"):
+                continue
+            setattr(merged, key, counters.get(key, 0))
+        for key in EngineStats.SECONDS_KEYS:
+            setattr(merged, key, gauges.get(key, 0.0))
+        for key, value in counters.items():
+            if key.startswith("range_index."):
+                merged.range_index[key[len("range_index."):]] = value
+            elif key.startswith("durability."):
+                merged.durability[key[len("durability."):]] = value
         return merged
 
     # ------------------------------------------------------------------

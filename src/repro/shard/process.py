@@ -59,6 +59,7 @@ from ..engine.engine import D3CEngine, PendingRecord
 from ..engine.futures import CoordinationTicket, TicketState
 from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
     TimeoutStaleness
+from ..obs.trace import TRACER, set_tracing
 from .backend import ShardCall
 
 #: ``req_id`` of the worker's one unsolicited frame: the readiness
@@ -150,6 +151,12 @@ class _Worker:
 
     def __init__(self, config: dict):
         from ..dataio import load_database
+        if config.get("tracing"):
+            # Worker-side lifecycle tracing: spans are buffered here
+            # and shipped to the coordinator piggybacked on reply
+            # frames (see _worker_main), tagged with this shard's site.
+            set_tracing(True,
+                        site=f"shard{config.get('shard_index', '?')}")
         self.database = load_database(config["database_text"])
         for spec in config.get("warm_indexes", ()):
             self.database.table(spec[0]).index_on(tuple(spec[1]))
@@ -186,12 +193,18 @@ class _Worker:
             self.clock.set(args["now"])
             queries = [from_payload(payload)
                        for payload in args["queries"]]
+            # Optional versioned field: coordinators that trace send
+            # one trace id per query; older coordinators simply omit
+            # the key (and older workers ignore it).
+            trace_ids = args.get("trace")
             if len(queries) == 1:
-                tickets = [self.engine.submit(queries[0],
-                                              arrival_seq=args["seqs"][0])]
+                tickets = [self.engine.submit(
+                    queries[0], arrival_seq=args["seqs"][0],
+                    trace_id=trace_ids[0] if trace_ids else None)]
             else:
                 tickets = self.engine.submit_many(
-                    queries, arrival_seqs=args["seqs"])
+                    queries, arrival_seqs=args["seqs"],
+                    trace_ids=trace_ids)
             for ticket in tickets:
                 self._track(ticket)
             return None
@@ -254,10 +267,23 @@ class _Worker:
             return self.engine.partition_sizes()
         if op == "stats":
             return self.engine.stats_snapshot()
+        if op == "metrics":
+            return self.engine.metrics_snapshot()
         if op == "invalidate":
             self.engine.invalidate_cache()
             return None
         raise ValueError(f"unknown shard command {op!r}")
+
+
+def _ship_spans(events: list) -> None:
+    """Piggyback buffered trace spans on an outgoing reply's events.
+
+    A ``("spans", None, payloads)`` pseudo-event; the coordinator's
+    frame pump imports it into its own tracer instead of treating it
+    as a settlement.  One flag check when tracing is off.
+    """
+    if TRACER.enabled and len(TRACER):
+        events.append(("spans", None, TRACER.drain_payloads()))
 
 
 def _worker_main(connection, config: dict) -> None:
@@ -294,10 +320,12 @@ def _worker_main(connection, config: dict) -> None:
             status = ("stale" if isinstance(error, ReplicaGapError)
                       else "err")
             events, worker.events = worker.events, []
+            _ship_spans(events)
             connection.send((req_id, status, traceback.format_exc(),
                              events))
             continue
         events, worker.events = worker.events, []
+        _ship_spans(events)
         connection.send((req_id, "ok", result, events))
     connection.close()
 
@@ -329,6 +357,9 @@ class ProcessBackend:
     def __init__(self, shard_index: int, config: dict):
         import multiprocessing
         self.shard_index = shard_index
+        # Workers need their index for trace-site tagging; stamp it
+        # into a copy so one shared config dict serves every shard.
+        config = dict(config, shard_index=shard_index)
         context = multiprocessing.get_context("spawn")
         self._connection, child = context.Pipe()
         self._process = context.Process(
@@ -402,6 +433,11 @@ class ProcessBackend:
             if kind == "answered":
                 self._events.append((kind, query_id,
                                      from_payload(payload)))
+            elif kind == "spans":
+                # Worker-side trace spans riding the reply: stitch
+                # them into the coordinator's buffer (they keep their
+                # shard site tag) — never a settlement event.
+                TRACER.import_payloads(payload)
             else:
                 self._events.append((kind, query_id,
                                      FailureReason(payload)))
@@ -443,8 +479,9 @@ class ProcessBackend:
 
     # -- command surface ------------------------------------------------
 
-    def submit_block(self, queries, seqs, now: float) -> None:
-        self.begin_submit_block(queries, seqs, now)
+    def submit_block(self, queries, seqs, now: float,
+                     trace_ids=None) -> None:
+        self.begin_submit_block(queries, seqs, now, trace_ids)
         self.finish_submit_block()
 
     def run_batch(self, now: float) -> int:
@@ -473,12 +510,17 @@ class ProcessBackend:
         self._begun.popleft()
         return self._wait(req_id)
 
-    def begin_submit_block(self, queries, seqs, now: float) -> None:
+    def begin_submit_block(self, queries, seqs, now: float,
+                           trace_ids=None) -> None:
         from ..dataio import to_payload
-        self._begun.append(("submit_block", self._send(
-            "submit_block",
+        args = dict(
             queries=[to_payload(query) for query in queries],
-            seqs=list(seqs), now=now)))
+            seqs=list(seqs), now=now)
+        if trace_ids is not None:
+            # Optional versioned frame field (see _Worker.handle).
+            args["trace"] = list(trace_ids)
+        self._begun.append(("submit_block",
+                            self._send("submit_block", **args)))
 
     def finish_submit_block(self) -> None:
         self._finish("submit_block")
@@ -543,6 +585,9 @@ class ProcessBackend:
     def call_stats(self) -> ShardCall:
         return self._call_async("stats")
 
+    def call_metrics(self) -> ShardCall:
+        return self._call_async("metrics")
+
     def call_partition_sizes(self) -> ShardCall:
         return self._call_async("sizes")
 
@@ -554,6 +599,9 @@ class ProcessBackend:
 
     def stats_snapshot(self) -> dict:
         return self._call("stats")
+
+    def metrics_snapshot(self) -> dict:
+        return self._call("metrics")
 
     def invalidate_cache(self) -> None:
         self._call("invalidate")
