@@ -1,0 +1,95 @@
+"""Committed-baseline machinery: grandfather, never grow.
+
+The baseline file (``analysis/baseline.json`` at the repo root) holds
+findings that predate a rule and are accepted for now.  The contract:
+
+* a finding matching a baseline entry is **suppressed** (reported as
+  baselined, exit 0);
+* a finding with no entry is **new** and fails the run;
+* a baseline entry with no matching finding is **stale** — the
+  violation was fixed; shrinking the file with ``--update-baseline``
+  is the celebrated direction.  Stale entries never fail a run (a fix
+  should not break CI), they are just reported.
+
+Matching is by ``(rule, path, line)``; messages are excluded so rule
+wording can improve without un-grandfathering old findings.  Entries
+still record the message for human readers of the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence
+
+from .findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """The three-way split of a run against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Finding] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> List[Finding]:
+    """Read a baseline file; raises ValueError on a malformed one."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: missing or unknown version "
+            f"(expected {BASELINE_VERSION})")
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: no findings list")
+    return [Finding.from_json(entry) for entry in entries]
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write *findings* as the new baseline (sorted, stable JSON)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": "Grandfathered invariant-linter findings. New "
+                   "findings fail CI; shrinking this file is the "
+                   "goal. Regenerate: repro lint --baseline "
+                   "analysis/baseline.json --update-baseline",
+        "findings": [finding.to_json()
+                     for finding in sort_findings(findings)],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+
+
+def diff_against_baseline(findings: Sequence[Finding],
+                          baseline: Sequence[Finding]) -> BaselineDiff:
+    """Split *findings* into new vs baselined, and find stale entries.
+
+    Multiset semantics per ``(rule, path, line)`` key: two identical
+    findings on one line need two baseline entries — one entry cannot
+    absorb an unbounded number of new violations at the same spot.
+    """
+    budget = Counter(entry.baseline_key() for entry in baseline)
+    result = BaselineDiff()
+    for finding in sort_findings(findings):
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    leftovers = +budget
+    for entry in sort_findings(baseline):
+        key = entry.baseline_key()
+        if leftovers.get(key, 0) > 0:
+            leftovers[key] -= 1
+            result.stale.append(entry)
+    return result

@@ -1,0 +1,130 @@
+"""The ``repro lint`` command implementation.
+
+Kept out of :mod:`repro.cli` so the argparse surface stays thin there;
+this module owns path resolution, baseline handling, output rendering
+(terminal lines, ``--json``, GitHub step annotations), and the exit
+code contract:
+
+* ``0`` — no new findings (baselined and stale entries allowed);
+* ``1`` — new findings (or a malformed baseline);
+* ``2`` — usage errors (missing paths, --update-baseline without
+  --baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from .baseline import (BaselineDiff, diff_against_baseline,
+                       load_baseline, save_baseline)
+from .engine import Analyzer, rule_catalog
+from .findings import Finding
+
+#: Default lint targets, relative to the repo root (missing ones are
+#: skipped so the command works in partial checkouts).
+DEFAULT_TARGETS = ("src", "tests")
+
+
+def run_lint(paths: Sequence[str], *,
+             baseline: Optional[str] = None,
+             update_baseline: bool = False,
+             as_json: bool = False,
+             list_rules: bool = False,
+             root: Optional[str] = None,
+             stdout: Optional[TextIO] = None,
+             stderr: Optional[TextIO] = None) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    analyzer = Analyzer(root=Path(root) if root else None)
+
+    if list_rules:
+        for rule_id, rule in sorted(rule_catalog().items()):
+            print(f"{rule_id}  {rule.description}", file=out)
+        return 0
+
+    if update_baseline and not baseline:
+        print("lint: --update-baseline requires --baseline PATH",
+              file=err)
+        return 2
+
+    targets = list(paths)
+    if not targets:
+        targets = [name for name in DEFAULT_TARGETS
+                   if (analyzer.root / name).is_dir()]
+        if not targets:
+            print(f"lint: no default targets "
+                  f"({', '.join(DEFAULT_TARGETS)}) under "
+                  f"{analyzer.root}", file=err)
+            return 2
+    try:
+        findings = analyzer.analyze_paths(targets)
+    except FileNotFoundError as error:
+        print(f"lint: {error}", file=err)
+        return 2
+
+    baseline_path = None
+    baseline_entries: List[Finding] = []
+    if baseline:
+        baseline_path = Path(baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = analyzer.root / baseline_path
+        if update_baseline:
+            save_baseline(baseline_path, findings)
+            print(f"lint: wrote {len(findings)} finding(s) to "
+                  f"{baseline}", file=out)
+            return 0
+        if baseline_path.exists():
+            try:
+                baseline_entries = load_baseline(baseline_path)
+            except (ValueError, json.JSONDecodeError) as error:
+                print(f"lint: {error}", file=err)
+                return 1
+        else:
+            print(f"lint: baseline {baseline} does not exist yet; "
+                  f"treating every finding as new (create it with "
+                  f"--update-baseline)", file=err)
+
+    result = diff_against_baseline(findings, baseline_entries)
+    if as_json:
+        print(json.dumps(_json_report(result), indent=2,
+                         sort_keys=True), file=out)
+    else:
+        _render_text(result, out)
+    return 1 if result.new else 0
+
+
+def _json_report(result: BaselineDiff) -> dict:
+    return {
+        "version": 1,
+        "new": [finding.to_json() for finding in result.new],
+        "baselined": [finding.to_json()
+                      for finding in result.baselined],
+        "stale_baseline": [finding.to_json()
+                           for finding in result.stale],
+        "counts": {"new": len(result.new),
+                   "baselined": len(result.baselined),
+                   "stale_baseline": len(result.stale)},
+    }
+
+
+def _render_text(result: BaselineDiff, out: TextIO) -> None:
+    annotate = bool(os.environ.get("GITHUB_ACTIONS"))
+    for finding in result.new:
+        print(finding.render(), file=out)
+        if annotate:
+            print(finding.render_github(), file=out)
+    if result.stale:
+        print(f"lint: {len(result.stale)} baselined finding(s) no "
+              f"longer present — shrink the baseline with "
+              f"--update-baseline:", file=out)
+        for entry in result.stale:
+            print(f"  (fixed) {entry.render()}", file=out)
+    summary = (f"lint: {len(result.new)} new, "
+               f"{len(result.baselined)} baselined, "
+               f"{len(result.stale)} stale baseline entr"
+               f"{'y' if len(result.stale) == 1 else 'ies'}")
+    print(summary, file=out)

@@ -1,0 +1,173 @@
+"""Per-module analysis context: parse tree, parents, pragmas.
+
+One :class:`ModuleContext` is built per analyzed file.  It owns the
+parsed ``ast`` tree (with parent back-links, which several rules need
+to ask "is this call under an ``if tracer.enabled:`` guard?"), the raw
+source lines, and the parsed per-line suppression pragmas.
+
+Pragma syntax (one per line, in a trailing comment)::
+
+    x = risky()              # lint: allow(REP001)
+    except Exception:        # lint: allow-swallow(close is best-effort)
+    y = frob()               # lint: allow(REP001, REP006) -- migration
+
+``allow(REPNNN, ...)`` suppresses the named rules on that line.
+``allow-swallow(reason)`` is the REP004-specific form; the reason is
+mandatory — an empty reason is itself a finding (the pragma system is
+self-policing), as is a malformed rule list.  Pragmas apply to the
+line they sit on, which for an ``except`` handler is the ``except``
+line itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+
+#: Rule-id shape accepted inside ``allow(...)``.
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+#: One pragma comment: a hash, ``lint:``, then ``<form>(<body>)``,
+#: with optional trailing free text after the closing parenthesis.
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*(?P<form>allow-swallow|allow)\s*\((?P<body>[^)]*)\)")
+
+#: Rule id reserved for the analyzer's own complaints (malformed
+#: pragmas, unparseable files).
+META_RULE = "REP000"
+
+
+class Pragmas:
+    """Per-line suppressions parsed from one module's source."""
+
+    def __init__(self) -> None:
+        #: line -> set of suppressed rule ids
+        self.allowed: Dict[int, Set[str]] = {}
+        #: line -> reason text (recorded for allow-swallow and ``--``)
+        self.reasons: Dict[int, str] = {}
+        #: findings about the pragmas themselves
+        self.problems: List[Finding] = []
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.allowed.get(line, ())
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """(line, text) for every real comment token in *source*.
+
+    Tokenizing — rather than scanning raw lines — keeps pragma syntax
+    mentioned inside docstrings and string literals inert: only an
+    actual ``#`` comment can suppress (or mis-spell) anything.
+    """
+    comments: List[Tuple[int, str]] = []
+    try:
+        readline = io.StringIO(source).readline
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # ast.parse accepted the module, so this is vanishingly rare;
+        # losing pragmas is safer than inventing them from raw text.
+        pass
+    return comments
+
+
+def parse_pragmas(source: str, path: str) -> Pragmas:
+    """Scan a module's comments for suppression pragmas."""
+    pragmas = Pragmas()
+    for number, text in _comment_tokens(source):
+        if "lint:" not in text:
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            # A "lint:" comment that does not parse is a typo about to
+            # silently not suppress anything; flag it.
+            if re.search(r"#\s*lint:", text):
+                pragmas.problems.append(Finding(
+                    rule=META_RULE, path=path, line=number,
+                    message="unparseable lint pragma "
+                            "(expected allow(REPNNN, ...) or "
+                            "allow-swallow(reason))"))
+            continue
+        form = match.group("form")
+        body = match.group("body").strip()
+        if form == "allow-swallow":
+            if not body:
+                pragmas.problems.append(Finding(
+                    rule=META_RULE, path=path, line=number,
+                    message="allow-swallow pragma needs a reason: "
+                            "# lint: allow-swallow(why this swallow "
+                            "is safe)"))
+                continue
+            pragmas.allowed.setdefault(number, set()).add("REP004")
+            pragmas.reasons[number] = body
+            continue
+        rules = [token.strip() for token in body.split(",")]
+        bad = [token for token in rules if not _RULE_ID.match(token)]
+        if bad or not body:
+            pragmas.problems.append(Finding(
+                rule=META_RULE, path=path, line=number,
+                message=f"allow pragma lists invalid rule ids "
+                        f"{bad or ['(empty)']}; expected REPNNN"))
+            continue
+        pragmas.allowed.setdefault(number, set()).update(rules)
+        trailer = text[match.end():].strip()
+        if trailer.startswith("--"):
+            pragmas.reasons[number] = trailer[2:].strip()
+    return pragmas
+
+
+class ModuleContext:
+    """Everything a rule may ask about the module being analyzed."""
+
+    def __init__(self, path: str, source: str,
+                 tree: Optional[ast.Module] = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source)
+        self.pragmas = parse_pragmas(source, path)
+        self._parents: Dict[int, ast.AST] = {}
+        self._scope_cache: Dict[int, dict] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- tree navigation ----------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk parent links from *node* (exclusive) to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """The nearest enclosing function (or the module)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda,
+                                     ast.Module)):
+                return ancestor
+        return self.tree
+
+    def scope_cache(self, scope: ast.AST) -> dict:
+        """A per-scope scratch dict rules may memoize analyses in
+        (e.g. REP001's local set-bindings), computed at most once per
+        scope per run."""
+        return self._scope_cache.setdefault(id(scope), {})
+
+    # -- source access ------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""

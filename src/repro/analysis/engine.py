@@ -1,0 +1,132 @@
+"""The analysis engine: parse once, walk once, dispatch to rules.
+
+:class:`Analyzer` owns a rule registry, collects ``.py`` files under
+the requested paths (sorted, so runs are deterministic), parses each
+with :mod:`ast`, and drives every applicable rule through one walk of
+the tree.  Rules never re-walk the module; node-type interest sets
+make the dispatch a dict lookup per node.
+
+Per-line pragma suppressions (see :mod:`repro.analysis.context`) are
+applied at the end: a finding whose rule is allowed on its line is
+dropped, and malformed pragmas surface as ``REP000`` findings so a
+typo'd suppression cannot silently do nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from .context import META_RULE, ModuleContext
+from .findings import Finding, sort_findings
+from .rules import MutationVersioningRule, Rule, WireCompletenessRule
+from .rules_determinism import ClockDisciplineRule, DeterminismRule
+from .rules_runtime import (SwallowedExceptionRule, TraceGuardRule,
+                            WorkerSafetyRule)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache"})
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every shipped rule, in rule-id order."""
+    return [DeterminismRule(), WireCompletenessRule(),
+            MutationVersioningRule(), SwallowedExceptionRule(),
+            TraceGuardRule(), ClockDisciplineRule(),
+            WorkerSafetyRule()]
+
+
+def rule_catalog() -> Dict[str, Rule]:
+    """rule id -> rule instance (the ``repro lint --rules`` listing)."""
+    return {rule.rule_id: rule for rule in default_rules()}
+
+
+class Analyzer:
+    """Run the rule registry over files or in-memory source."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 rules: Optional[Sequence[Rule]] = None) -> None:
+        self.root = Path(root if root is not None else ".").resolve()
+        self.rules: List[Rule] = (list(rules) if rules is not None
+                                  else default_rules())
+
+    # -- file collection ----------------------------------------------
+
+    def collect_files(self, paths: Iterable[str]) -> List[Path]:
+        """Every ``.py`` file under *paths* (repo-root-relative or
+        absolute), sorted for run-to-run determinism."""
+        files: set = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_file():
+                files.add(path)
+            elif path.is_dir():
+                for found in path.rglob("*.py"):
+                    if not _SKIP_DIRS.intersection(found.parts):
+                        files.add(found)
+            else:
+                raise FileNotFoundError(
+                    f"lint target {raw!r} does not exist "
+                    f"(resolved to {path})")
+        return sorted(files)
+
+    def relative_path(self, path: Path) -> str:
+        """Repo-relative posix path (the identity findings carry)."""
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- analysis -----------------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in self.collect_files(paths):
+            findings.extend(self.analyze_file(path))
+        return sort_findings(findings)
+
+    def analyze_file(self, path: Path) -> List[Finding]:
+        relative = self.relative_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            return [Finding(rule=META_RULE, path=relative, line=1,
+                            message=f"unreadable file: {error}")]
+        return self.analyze_source(source, relative)
+
+    def analyze_source(self, source: str,
+                       path: str) -> List[Finding]:
+        """Analyze in-memory *source* under the virtual *path* (the
+        fixture suite's entry point — the path decides which rules'
+        scopes apply)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return [Finding(rule=META_RULE, path=path,
+                            line=error.lineno or 1,
+                            message=f"syntax error: {error.msg}")]
+        module = ModuleContext(path, source, tree)
+        active = [rule for rule in self.rules
+                  if rule.applies_to(path)]
+        findings: List[Finding] = list(module.pragmas.problems)
+        for rule in active:
+            findings.extend(rule.begin_module(module))
+        dispatch: Dict[Type, List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.interests:
+                dispatch.setdefault(node_type, []).append(rule)
+        if dispatch:
+            for node in ast.walk(tree):
+                interested = dispatch.get(type(node))
+                if interested:
+                    for rule in interested:
+                        findings.extend(rule.visit(node, module))
+        for rule in active:
+            findings.extend(rule.end_module(module))
+        kept = [finding for finding in findings
+                if not module.pragmas.suppresses(finding.rule,
+                                                 finding.line)]
+        return sort_findings(kept)

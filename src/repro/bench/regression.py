@@ -526,6 +526,17 @@ def validate_report(payload: dict) -> None:
                 raise ValueError(f"series {name!r} lacks {field!r}")
 
 
+def _baseline_candidates() -> list:
+    """Committed ``BENCH_*.json`` reports a --baseline could mean.
+
+    Looks in the working directory and at the repo root (relative to
+    this file) — the two places ROADMAP conventions put reports.
+    """
+    roots = {Path.cwd(), Path(__file__).resolve().parents[3]}
+    return sorted({str(path) for root in roots
+                   for path in root.glob("BENCH_*.json")})
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.regression",
@@ -550,6 +561,18 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     before = None
     if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            import sys
+            print(f"error: --baseline {args.baseline!r} does not "
+                  f"exist", file=sys.stderr)
+            candidates = _baseline_candidates()
+            if candidates:
+                print("committed reports that do exist:",
+                      file=sys.stderr)
+                for candidate in candidates:
+                    print(f"  {candidate}", file=sys.stderr)
+            return 2
         with open(args.baseline) as fh:
             payload = json.load(fh)
         before = payload.get("series", payload)

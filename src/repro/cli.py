@@ -40,6 +40,14 @@ Commands:
     invalidation against full recompute, and the ``range_sweep``
     slot-window scenario comparing ordered-index pushdown against
     scan-and-filter bodies.
+
+``lint [PATHS ...]``
+    Run the invariant linter (:mod:`repro.analysis`) over the source
+    tree — determinism, wire-protocol, mutation-safety, exception,
+    tracing, clock, and worker-frame rules.  ``--baseline PATH``
+    grandfathers committed findings (new ones still fail);
+    ``--update-baseline`` rewrites the baseline; ``--json`` emits a
+    machine-readable report; ``--rules`` lists the rule catalog.
 """
 
 from __future__ import annotations
@@ -365,6 +373,15 @@ def _command_trace(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(arguments: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint
+    return run_lint(arguments.paths,
+                    baseline=arguments.baseline,
+                    update_baseline=arguments.update_baseline,
+                    as_json=arguments.json,
+                    list_rules=arguments.rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -457,6 +474,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export the raw spans as JSON lines "
                             "to PATH (validated up front)")
     trace.set_defaults(handler=_command_trace)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the invariant linter (determinism, wire, "
+                     "mutation-safety, exception, tracing, clock and "
+                     "worker-frame rules)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: "
+                           "src and tests)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="grandfathered-findings file; matching "
+                           "findings pass, new ones fail, stale "
+                           "entries are celebrated")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline PATH with this run's "
+                           "findings")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the rule catalog and exit")
+    lint.set_defaults(handler=_command_lint)
     return parser
 
 

@@ -52,7 +52,10 @@ def strongly_connected_components(
     stack: list[Hashable] = []
     components: list[set[Hashable]] = []
 
-    for root in all_nodes:
+    # Visit roots in a hash-independent order: the reverse-topological
+    # component list this returns feeds answer assembly downstream, so
+    # its tie-breaks must not observe PYTHONHASHSEED.
+    for root in sorted(all_nodes, key=repr):
         if root in index:
             continue
         # Each work item is (node, iterator over its successors).

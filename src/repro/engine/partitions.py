@@ -292,7 +292,7 @@ class PartitionManager:
             while (query_id, pc_pos) in self._pc_satisfied:
                 del self._pc_satisfied[(query_id, pc_pos)]
                 pc_pos += 1
-        for root in affected:
+        for root in sorted(affected, key=repr):
             members = self._root_members[root]
             if members:
                 self._stale_roots.add(root)
@@ -341,7 +341,8 @@ class PartitionManager:
             for edge in graph.out_edges(query_id):
                 if edge.dst in members:
                     self._union(query_id, edge.dst)
-        roots = list({self.find(query_id) for query_id in members})
+        roots = sorted({self.find(query_id) for query_id in members},
+                       key=repr)
         if root in self._dead and len(roots) == 1:
             # Keep the departed root resolving as a handle: callers
             # holding the old representative still reach the (single)

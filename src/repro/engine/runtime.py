@@ -154,7 +154,7 @@ class CoordinationScheduler:
             return
         relations = {atom.relation for atom in query.body}
         self._reads_of[query.query_id] = relations
-        for relation in relations:
+        for relation in sorted(relations):
             self._readers.setdefault(relation, {})[query.query_id] = None
 
     def _forget_reader(self, query_id) -> None:
@@ -238,7 +238,7 @@ class CoordinationScheduler:
         affected: set = set()
         for table in tables:
             affected.update(self._readers.get(table, ()))
-        for query_id in affected:
+        for query_id in sorted(affected, key=repr):
             self._dirty[query_id] = None
             self._drop_failed_groups_of(query_id)
         for table in tables:
@@ -650,13 +650,14 @@ class CoordinationScheduler:
         trace id (members with no live trace are skipped); all spans
         share the attempt's start, so they report the same matching
         interval from each participating query's point of view."""
-        trace_of = self._host._trace_of
-        traced = [trace_id for trace_id
-                  in map(trace_of.get, members)
-                  if trace_id is not None]
-        if traced:
-            TRACER.record_many("query.match_attempt", start_ns,
-                               traced, members=len(members))
+        if TRACER.enabled:
+            trace_of = self._host._trace_of
+            traced = [trace_id for trace_id
+                      in map(trace_of.get, members)
+                      if trace_id is not None]
+            if traced:
+                TRACER.record_many("query.match_attempt", start_ns,
+                                   traced, members=len(members))
 
     def _attempt_group(self, group: frozenset) -> bool:
         """Match, combine, and evaluate one candidate group."""

@@ -47,7 +47,7 @@ from ..engine.staleness import Clock, NeverStale, StalenessPolicy, \
     SystemClock
 from ..engine.stats import EngineStats
 from ..errors import RecoveryError, ValidationError
-from ..obs import TRACER, merge_snapshots
+from ..obs import MetricsRegistry, TRACER, merge_snapshots
 from .backend import InProcessBackend, ShardBackend
 from .router import ShardRouter
 
@@ -133,6 +133,10 @@ class ShardedCoordinator:
         # Set before backend construction: the failure path below
         # calls close(), which reads it.
         self._closed = False
+        # Fleet-health counters for best-effort failure paths (abort /
+        # close / re-home attempts that may themselves fail while a
+        # primary failure is handled); merged into metrics_snapshot().
+        self._health = MetricsRegistry()
         self._staleness = staleness or NeverStale()
         self._clock = clock or SystemClock()
         self._router = router or ShardRouter(num_shards)
@@ -375,7 +379,7 @@ class ShardedCoordinator:
         # goes to the anchor's *physical* shard, whose engine still
         # holds the component when a planned move is unflushed.
         anchors_by_shard: dict[int, list] = {}
-        for partner in resident:
+        for partner in sorted(resident, key=repr):
             anchors_by_shard.setdefault(
                 self._shard_of[partner], []).append(partner)
         queues = {shard: sorted(anchors, key=repr)[::-1]
@@ -402,7 +406,7 @@ class ShardedCoordinator:
         weight: Counter = Counter()
         for shard, members in members_by_shard.items():
             weight[shard] += len(members)
-        for partner in queued:
+        for partner in sorted(queued, key=repr):
             weight[self._shard_of[partner]] += 1
         involved = set(weight)
         # Owner: the shard already holding the most involved queries
@@ -420,7 +424,7 @@ class ShardedCoordinator:
                 physical.setdefault(
                     member, self._physical_shard(member, physical))
                 self._shard_of[member] = target
-        for partner in queued:
+        for partner in sorted(queued, key=repr):
             if self._shard_of[partner] != target:
                 self._shard_of[partner] = target
                 assignments[partner] = target
@@ -571,7 +575,9 @@ class ShardedCoordinator:
                 try:
                     self._backends[source].abort(reserved[pair])
                 except Exception:
-                    pass  # the primary failure is already propagating
+                    # The primary failure is already propagating; a
+                    # failed best-effort abort leaves only a counter.
+                    self._health.inc("shard.abort_failures")
             for query_id in groups[pair]:
                 self._shard_of[query_id] = source
 
@@ -584,6 +590,7 @@ class ShardedCoordinator:
             try:
                 backend.import_records(payload)
             except Exception:
+                self._health.inc("shard.rehome_import_failures")
                 continue
             for query_id in member_ids:
                 self._shard_of[query_id] = shard
@@ -799,7 +806,8 @@ class ShardedCoordinator:
         try:
             backend.close()
         except Exception:
-            pass
+            # Closing a worker that already died is best-effort.
+            self._health.inc("shard.close_failures")
         stranded = sorted(
             (query_id for query_id, owner in self._shard_of.items()
              if owner == shard),
@@ -821,6 +829,7 @@ class ShardedCoordinator:
                 self._sync_shard(target)
                 self._backends[target].import_records(importable)
             except Exception:
+                self._health.inc("shard.rehome_import_failures")
                 continue
             for query_id in stranded:
                 self._shard_of[query_id] = target
@@ -935,7 +944,7 @@ class ShardedCoordinator:
         seqs = list(range(self._next_seq,
                           self._next_seq + len(queries)))
         self._next_seq += len(queries)
-        if trace_ids is not None:
+        if tracer.enabled and trace_ids is not None:
             start_ns = time.perf_counter_ns()
             targets = self._route_block(workings)
             # One route span per block member (they share the block's
@@ -1210,7 +1219,8 @@ class ShardedCoordinator:
         """
         calls = [self._backends[shard].call_metrics()
                  for shard in self._live_shards()]
-        merged = merge_snapshots(*[call.result() for call in calls])
+        merged = merge_snapshots(*[call.result() for call in calls],
+                                 self._health.snapshot())
         counters = merged["counters"]
         for key in [key for key in counters
                     if key.startswith("failed.")]:

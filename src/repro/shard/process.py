@@ -290,7 +290,7 @@ def _worker_main(connection, config: dict) -> None:
     """Entry point of a shard worker process (spawned)."""
     try:
         worker = _Worker(config)
-    except BaseException:
+    except BaseException:  # lint: allow-swallow(traceback is shipped to the coordinator over the pipe)
         connection.send((READY_REQ_ID, "err", traceback.format_exc(), []))
         connection.close()
         return
