@@ -95,6 +95,13 @@ _RANGE_PROBE_REPS = 3
 #: overhead).  The acceptance budget for the enabled legs is <= 5%
 #: wall-clock over the disabled legs.
 _OBS_PROBE_REPS = 7
+#: Server-throughput probe: a two-way-pairs workload submitted over
+#: the asyncio front door (unix socket, ``SERVER_CLIENTS`` concurrent
+#: connections, real frames) paired against the same workload run
+#: directly in process — the measured gap is the protocol tax of the
+#: network-facing server.
+SERVER_QUERIES = 1_500
+SERVER_CLIENTS = 8
 
 #: The fixed probe set, in execution order.  ``--list`` prints these
 #: without building any workload, so CI and scripts can enumerate them.
@@ -113,6 +120,7 @@ PROBE_NAMES = (
     "wal_overhead",
     "range_scan",
     "obs_overhead",
+    "server_throughput",
 )
 
 #: The fig6 series the acceptance gate tracks (largest configuration).
@@ -170,6 +178,8 @@ def collect_series(scale: float = 1.0) -> dict:
         ("range_scan", lambda: _range_scan_probe(network, scale)),
         ("obs_overhead", lambda: _obs_overhead_probe(network, database,
                                                      scale)),
+        ("server_throughput", lambda: _server_throughput_probe(
+            network, database, scale)),
     )
     if tuple(name for name, _ in probes) != PROBE_NAMES:
         # A real error, not an assert: --list must never drift from
@@ -203,6 +213,8 @@ def collect_series(scale: float = 1.0) -> dict:
                       "dynamic_enabled_seconds",
                       "dynamic_disabled_seconds",
                       "dynamic_overhead_pct", "obs_overhead_pct",
+                      "clients", "delivered_events",
+                      "direct_seconds", "server_overhead_x",
                       "note"):
             if extra in metrics:
                 series[name][extra] = metrics[extra]
@@ -478,6 +490,70 @@ def _obs_overhead_probe(network, database, scale: float) -> dict:
         metrics[f"{scenario}_overhead_pct"] = round(overhead, 1)
         overheads.append(overhead)
     metrics["obs_overhead_pct"] = round(max(overheads), 1)
+    return metrics
+
+
+def _server_throughput_probe(network, database, scale: float) -> dict:
+    """A two-way-pairs workload served over the network front door,
+    paired against the same workload run directly in process.
+
+    The served leg is the loopback harness end to end: boot a
+    :class:`~repro.server.server.CoordinationServer` on a unix socket,
+    connect ``SERVER_CLIENTS`` concurrent clients (one tenant each),
+    submit every query as real frames, run one coordination batch, and
+    wait until every settled query's event has been *delivered* to the
+    client that owns it — so the timed region includes framing, CRC,
+    admission, the command queue, and event push, not just engine
+    work.  Both legs must answer identically (checked), and every
+    settled query's event must arrive (checked); the report records
+    the direct leg's seconds and ``server_overhead_x``, the end-to-end
+    slowdown factor the socket hop costs.
+    """
+    from ..dataio import to_payload
+    from ..engine.engine import D3CEngine
+    from ..server.loopback import partition_round_robin, run_loopback
+    from .harness import frozen_dataset, stopwatch
+
+    count = _sized(SERVER_QUERIES, scale)
+    count -= count % 2  # two-way pairs come in twos
+    # Specific pairs (each query names its intended partner) so the
+    # single set-at-a-time round actually coordinates the bulk of the
+    # workload — generic pairs collapse into giant unifiability
+    # components that one batch round barely dents, which would make
+    # the served throughput number mostly measure matcher give-up.
+    queries = two_way_pairs(network, count, specific=True,
+                            seed=SERVER_QUERIES)
+    # Snapshot the wire payloads before the direct leg touches the
+    # query objects, so the served leg replays an identical workload.
+    wire = [to_payload(query) for query in queries]
+    direct = run_batch(database, queries)
+    engine = D3CEngine(database, mode="batch")
+    partitions = partition_round_robin(wire, SERVER_CLIENTS)
+    with frozen_dataset():
+        with stopwatch() as elapsed:
+            served = run_loopback(engine, partitions)
+        seconds = elapsed()
+    if served["answered"] != direct["answered"]:
+        raise RuntimeError(
+            f"server_throughput probe diverged: served answered "
+            f"{served['answered']} vs direct {direct['answered']}")
+    if served["delivered"] < served["answered"]:
+        raise RuntimeError(
+            f"server_throughput probe lost events: "
+            f"{served['delivered']} delivered of "
+            f"{served['answered']} answered")
+    metrics = {
+        "queries": len(queries),
+        "seconds": seconds,
+        "throughput_qps": len(queries) / seconds if seconds > 0 else 0.0,
+        "answered": served["answered"],
+        "clients": SERVER_CLIENTS,
+        "delivered_events": served["delivered"],
+        "direct_seconds": round(direct["seconds"], 4),
+    }
+    if direct["seconds"] > 0:
+        metrics["server_overhead_x"] = round(
+            seconds / direct["seconds"], 2)
     return metrics
 
 

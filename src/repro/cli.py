@@ -48,6 +48,23 @@ Commands:
     grandfathers committed findings (new ones still fail);
     ``--update-baseline`` rewrites the baseline; ``--json`` emits a
     machine-readable report; ``--rules`` lists the rule catalog.
+
+``serve DATA``
+    Boot the network-facing coordination server (:mod:`repro.server`)
+    over the data file: ``--unix PATH`` and/or ``--port N`` pick the
+    listeners (``--port 0`` binds an ephemeral port, printed in the
+    banner), ``--shards``/``--wal-dir`` select the sharded or durable
+    service behind it, and the admission knobs (``--window``,
+    ``--queue-limit``, ``--tenant-rate``, ``--request-timeout``)
+    bound what each connection and tenant may have in flight.
+    SIGTERM/SIGINT drain gracefully: listeners stop, admitted requests
+    finish, the unix socket path is unlinked.
+
+``connect ACTION [WORKLOAD]``
+    Drive a running server as one async client: ``ping``, ``stats``,
+    ``metrics``, ``pending``, ``resolved``, ``batch``, ``expire``, or
+    ``submit WORKLOAD`` (submit an IR workload file, run a batch, and
+    print each query's settlement like ``coordinate`` does).
 """
 
 from __future__ import annotations
@@ -373,6 +390,187 @@ def _command_trace(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_service(arguments: argparse.Namespace):
+    """The engine/fleet/durable service ``repro serve`` fronts.
+
+    Mirrors ``coordinate``'s selection: ``--wal-dir`` wins (recovering
+    when the directory already holds state — the data file is then
+    ignored), ``--shards`` builds a fleet, otherwise one batch-mode
+    engine.  Safety checking is off in every served shape: admission
+    checking needs the global pending set and the paper's service
+    experiments run without it.
+    """
+    if arguments.wal_dir:
+        from .durability import DurableCoordinator, DurableEngine
+        kwargs = dict(snapshot_every=arguments.snapshot_every,
+                      mode="batch")
+        if arguments.shards:
+            cls = DurableCoordinator
+            kwargs.update(num_shards=arguments.shards,
+                          backend=arguments.shard_backend)
+        else:
+            cls = DurableEngine
+        if cls.has_state(arguments.wal_dir):
+            service = cls.recover(arguments.wal_dir, **kwargs)
+            print(f"recovered {arguments.wal_dir}: generation "
+                  f"{service.generation}, {service.commands_applied} "
+                  f"commands journalled, "
+                  f"{len(service.restored_tickets)} queries still "
+                  f"pending", file=sys.stderr)
+            return service
+        return cls(arguments.wal_dir, load_database(arguments.data),
+                   **kwargs)
+    database = load_database(arguments.data)
+    if arguments.shards:
+        from .shard import ShardedCoordinator
+        return ShardedCoordinator(database,
+                                  num_shards=arguments.shards,
+                                  backend=arguments.shard_backend,
+                                  mode="batch")
+    from .engine.engine import D3CEngine
+    return D3CEngine(database, mode="batch", safety="off")
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+    from .errors import ReproError
+    from .server import CoordinationServer, ServerConfig
+    if arguments.port is None and not arguments.unix:
+        print("serve: need --unix PATH and/or --port N",
+              file=sys.stderr)
+        return 1
+    config = ServerConfig(
+        window=arguments.window,
+        queue_limit=arguments.queue_limit,
+        tenant_rate=arguments.tenant_rate,
+        tenant_burst=arguments.tenant_burst,
+        request_timeout=arguments.request_timeout)
+    try:
+        service = _build_serve_service(arguments)
+    except ReproError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 1
+
+    async def _run() -> int:
+        server = CoordinationServer(service, config)
+        try:
+            await server.start(host=arguments.host,
+                               port=arguments.port,
+                               unix_path=arguments.unix or None)
+        except (ReproError, OSError) as error:
+            print(f"serve: {error}", file=sys.stderr)
+            close = getattr(service, "close", None)
+            if close is not None:
+                close()
+            return 1
+        server.install_signal_handlers()
+        listening = []
+        if server.unix_path:
+            listening.append(f"unix={server.unix_path}")
+        if server.tcp_address:
+            host, port = server.tcp_address
+            listening.append(f"tcp={host}:{port}")
+        # One parseable banner line; smoke scripts wait for it.
+        print(f"serving {' '.join(listening)} pid={os.getpid()}",
+              flush=True)
+        await server.serve_forever()
+        stats = server.stats()
+        print(f"drained: commands={stats['order']} "
+              f"answers={stats['answers']} "
+              f"failures={stats['failures']}", flush=True)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _command_connect(arguments: argparse.Namespace) -> int:
+    import asyncio
+    return asyncio.run(_connect_async(arguments))
+
+
+async def _connect_async(arguments: argparse.Namespace) -> int:
+    from .server import ServerClient, ServerError
+    if arguments.action == "submit" and not arguments.workload:
+        print("connect: submit needs a WORKLOAD file",
+              file=sys.stderr)
+        return 1
+    try:
+        if arguments.unix:
+            client = await ServerClient.connect_unix(
+                arguments.unix, tenant=arguments.tenant)
+        elif arguments.port is not None:
+            client = await ServerClient.connect_tcp(
+                arguments.host, arguments.port,
+                tenant=arguments.tenant)
+        else:
+            print("connect: need --unix PATH or --port N",
+                  file=sys.stderr)
+            return 1
+    except (ServerError, OSError) as error:
+        print(f"connect: {error}", file=sys.stderr)
+        return 1
+    timeout = arguments.timeout
+    try:
+        action = arguments.action
+        if action in ("ping", "stats", "metrics", "pending",
+                      "resolved"):
+            result = await client.request(action, timeout=timeout)
+            print(json.dumps(result, sort_keys=True))
+            return 0
+        if action == "batch":
+            print(f"answered {await client.run_batch(timeout=timeout)}")
+            return 0
+        if action == "expire":
+            print(f"expired {await client.expire(timeout=timeout)}")
+            return 0
+        return await _connect_submit(client, arguments, timeout)
+    except ServerError as error:
+        print(f"connect: {error.code}: {error}", file=sys.stderr)
+        return 1
+    except TimeoutError:
+        print(f"connect: no reply within {timeout}s", file=sys.stderr)
+        return 1
+    finally:
+        await client.close()
+
+
+async def _connect_submit(client, arguments: argparse.Namespace,
+                          timeout: float | None) -> int:
+    with open(arguments.workload) as handle:
+        queries = parse_ir_workload(handle.read())
+    if not queries:
+        print("workload is empty", file=sys.stderr)
+        return 1
+    if arguments.id_prefix:
+        # Workload files number queries from 0 on every run; a prefix
+        # keeps concurrent submitters (or reruns against a long-lived
+        # server) from colliding on ids.
+        from .core.query import EntangledQuery
+        queries = [EntangledQuery(
+            query_id=f"{arguments.id_prefix}{query.query_id}",
+            head=query.head, postconditions=query.postconditions,
+            body=query.body, choose=query.choose, owner=query.owner)
+            for query in queries]
+    tickets = await client.submit(queries, timeout=timeout)
+    await client.run_batch(timeout=timeout)
+    resolved = await client.resolved(timeout=timeout)
+    settled = {query_id for query_id, _ in resolved["answers"]}
+    settled.update(query_id for query_id, _ in resolved["failures"])
+    answered = 0
+    for ticket in sorted(tickets, key=lambda t: repr(t.query_id)):
+        if ticket.query_id in settled:
+            await ticket.wait(timeout)
+        if ticket.state == "answered":
+            rows = ticket.payload["rows"]
+            print(f"answered  {ticket.query_id}: {rows}")
+            answered += 1
+        elif ticket.state == "failed":
+            print(f"failed    {ticket.query_id}: {ticket.reason}")
+        else:
+            print(f"pending   {ticket.query_id}")
+    return 0 if answered else 2
+
+
 def _command_lint(arguments: argparse.Namespace) -> int:
     from .analysis.cli import run_lint
     return run_lint(arguments.paths,
@@ -494,6 +692,85 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", action="store_true",
                       help="list the rule catalog and exit")
     lint.set_defaults(handler=_command_lint)
+
+    serve = subparsers.add_parser(
+        "serve", help="boot the network-facing coordination server "
+                      "over a data file")
+    serve.add_argument("data", help="data file (repro.dataio format); "
+                                    "ignored when --wal-dir recovers")
+    serve.add_argument("--unix", metavar="PATH",
+                       help="listen on a unix socket at PATH (a stale "
+                            "leftover path is reclaimed; a live one "
+                            "fails the bind)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="listen on TCP port N (0 = ephemeral, "
+                            "printed in the banner)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve a sharded fleet with N workers")
+    serve.add_argument("--shard-backend",
+                       choices=["inprocess", "process"],
+                       default="inprocess",
+                       help="shard worker backend for --shards "
+                            "(default: inprocess)")
+    serve.add_argument("--wal-dir", metavar="DIR",
+                       help="serve a durable service journalled in "
+                            "DIR (recovers when DIR holds state)")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       metavar="N",
+                       help="with --wal-dir: snapshot cadence "
+                            "(default: 64)")
+    serve.add_argument("--window", type=int, default=64, metavar="N",
+                       help="per-connection in-flight request window "
+                            "(default: 64)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       metavar="N",
+                       help="command queue bound; beyond it requests "
+                            "shed with OVERLOADED (default: 256)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       metavar="R",
+                       help="per-tenant token-bucket refill rate in "
+                            "requests/second (default: unlimited)")
+    serve.add_argument("--tenant-burst", type=float, default=64.0,
+                       metavar="B",
+                       help="per-tenant token-bucket capacity "
+                            "(default: 64)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="queue-wait deadline per request in "
+                            "seconds (default: 30)")
+    serve.set_defaults(handler=_command_serve)
+
+    connect = subparsers.add_parser(
+        "connect", help="drive a running coordination server as one "
+                        "async client")
+    connect.add_argument("action",
+                         choices=["ping", "stats", "metrics",
+                                  "pending", "resolved", "batch",
+                                  "expire", "submit"],
+                         help="request to issue; 'submit' sends a "
+                              "workload file, runs a batch, and "
+                              "prints each settlement")
+    connect.add_argument("workload", nargs="?",
+                         help="IR workload file (submit only)")
+    connect.add_argument("--unix", metavar="PATH",
+                         help="connect over the unix socket at PATH")
+    connect.add_argument("--host", default="127.0.0.1",
+                         help="TCP host (default: 127.0.0.1)")
+    connect.add_argument("--port", type=int, default=None,
+                         metavar="N", help="TCP port")
+    connect.add_argument("--tenant", default="default",
+                         help="tenant name for admission control "
+                              "(default: 'default')")
+    connect.add_argument("--id-prefix", default="", metavar="PREFIX",
+                         help="prefix submitted query ids (keeps "
+                              "concurrent submitters from colliding)")
+    connect.add_argument("--timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="client-side wait per request in "
+                              "seconds (default: 30)")
+    connect.set_defaults(handler=_command_connect)
     return parser
 
 

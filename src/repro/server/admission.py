@@ -1,0 +1,117 @@
+"""Admission control: token buckets per tenant, windows per connection.
+
+The server decouples arrival bursts from serving with three bounded
+stages (the EMBANKS sidecar → queue → consumer shape):
+
+1. **Per-connection in-flight window** — a connection may have at most
+   ``window`` requests unanswered.  A client that pipelines past it is
+   shed immediately with ``OVERLOADED`` (its well-behaved neighbours on
+   the same socket pay nothing).
+2. **Per-tenant token bucket** — tenants (named in the hello frame)
+   refill at ``rate`` tokens/second up to ``burst``; an empty bucket
+   sheds with ``OVERLOADED``.  Buckets are lazily created, so tenancy
+   is open by default and the limit is policy, not registration.
+3. **Bounded command queue** — the single serving queue accepts at most
+   ``queue_limit`` waiting commands; beyond that even token-holding
+   requests are shed.  The queue bound is what turns a stalled engine
+   into fast typed failure instead of unbounded memory and latency.
+
+Shedding is always a *reply*: the request never blocks the socket, so
+a flooded server stays responsive to the clients it has admitted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A standard token bucket over an injectable monotonic clock.
+
+    ``try_acquire()`` takes one token if available; refill is computed
+    lazily from the elapsed time, so an idle bucket costs nothing.  A
+    ``rate`` of ``None`` disables the limit (always admits).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float | None, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate is not None and rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if self.rate and elapsed > 0:
+            self._tokens = min(self.burst,
+                               self._tokens + elapsed * self.rate)
+
+    def try_acquire(self) -> bool:
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant buckets plus the per-connection window check.
+
+    ``admit(tenant, inflight, queued)`` returns ``None`` to admit or
+    the string naming which bound shed the request (``"window"``,
+    ``"tenant"``, or ``"queue"``) — the server folds it into the
+    ``OVERLOADED`` reply message and the ``server.shed.*`` counters.
+    """
+
+    def __init__(self, *, window: int = 64,
+                 queue_limit: int = 256,
+                 tenant_rate: float | None = None,
+                 tenant_burst: float = 64.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if queue_limit <= 0:
+            raise ValueError(
+                f"queue_limit must be > 0, got {queue_limit}")
+        self.window = window
+        self.queue_limit = queue_limit
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (lazily created)."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.tenant_rate, self.tenant_burst, self._clock)
+        return bucket
+
+    def admit(self, tenant: str, inflight: int,
+              queued: int) -> str | None:
+        if inflight >= self.window:
+            return "window"
+        if queued >= self.queue_limit:
+            return "queue"
+        if not self.bucket(tenant).try_acquire():
+            return "tenant"
+        return None

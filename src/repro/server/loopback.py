@@ -1,0 +1,102 @@
+"""In-process server + clients loopback harness.
+
+Boots a :class:`CoordinationServer` on a throwaway unix socket, drives
+it with N concurrent :class:`ServerClient` tasks (each submitting its
+partition of the workload), runs one coordination batch, and waits for
+every settled query's event to reach the client that owns it.  The
+``server_throughput`` regression probe times exactly this; the CI
+smoke job and parts of the fault battery reuse it so "boot a server
+and exchange real frames" stays a one-liner.
+
+Everything runs in one event loop via :func:`asyncio.run`, so callers
+(pytest functions, the bench harness, ``python -c`` smoke lines) stay
+synchronous and need no asyncio plugin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+
+from .client import ServerClient
+from .server import CoordinationServer, ServerConfig
+
+#: Queries per submit request: large enough to amortize frames, small
+#: enough that per-connection windows see real pipelining.
+DEFAULT_CHUNK = 64
+
+
+async def _submit_partition(client: ServerClient, queries,
+                            chunk: int) -> None:
+    for start in range(0, len(queries), chunk):
+        await client.submit(queries[start:start + chunk])
+
+
+async def drive(service, partitions, *,
+                config: ServerConfig | None = None,
+                chunk: int = DEFAULT_CHUNK,
+                close_service: bool = False) -> dict:
+    """Serve *service* over a unix socket and drive one client per
+    partition: submit everything, run one batch, await delivery of
+    every settled query's event.  Returns delivery counts."""
+    server = CoordinationServer(service, config)
+    with tempfile.TemporaryDirectory(prefix="repro-loopback-") as root:
+        path = os.path.join(root, "repro.sock")
+        await server.start(unix_path=path)
+        clients = []
+        try:
+            for index in range(len(partitions)):
+                clients.append(await ServerClient.connect_unix(
+                    path, tenant=f"tenant-{index}"))
+            await asyncio.gather(*(
+                _submit_partition(client, partition, chunk)
+                for client, partition in zip(clients, partitions)
+                if partition))
+            answered = await clients[0].run_batch()
+            resolved = await clients[0].resolved()
+            settled = {query_id for query_id, _
+                       in resolved["answers"]}
+            settled.update(query_id for query_id, _
+                           in resolved["failures"])
+            delivered = 0
+            for client in clients:
+                for query_id, ticket in client.tickets.items():
+                    if query_id in settled:
+                        await ticket.wait()
+                        delivered += 1
+            histories = sorted(
+                entry for client in clients
+                for entry in client.history)
+            snapshot = server.metrics_snapshot()
+        finally:
+            for client in clients:
+                await client.close()
+            await server.drain(close_service=close_service)
+    return {
+        "answered": answered,
+        "delivered": delivered,
+        "submitted": sum(len(p) for p in partitions),
+        "clients": len(partitions),
+        "history": histories,
+        "metrics": snapshot,
+    }
+
+
+def run_loopback(service, partitions, *,
+                 config: ServerConfig | None = None,
+                 chunk: int = DEFAULT_CHUNK,
+                 close_service: bool = False) -> dict:
+    """Synchronous wrapper over :func:`drive` (fresh event loop)."""
+    return asyncio.run(drive(service, partitions, config=config,
+                             chunk=chunk,
+                             close_service=close_service))
+
+
+def partition_round_robin(items, lanes: int) -> list:
+    """Deal *items* across *lanes* lists, round-robin (the shape the
+    throughput probe uses so every client touches every round)."""
+    partitions = [[] for _ in range(lanes)]
+    for index, item in enumerate(items):
+        partitions[index % lanes].append(item)
+    return partitions

@@ -1,0 +1,335 @@
+"""The server's stream protocol: framing + message vocabulary.
+
+Frames reuse the durable log's self-checking envelope —
+``<length:u32><crc32:u32><utf-8 JSON>`` (:func:`repro.dataio.
+frame_record`) — made *incremental* for a byte stream by
+:class:`FrameDecoder`: feed it whatever the socket produced (half a
+header, three coalesced frames, one byte at a time) and it yields every
+complete payload while buffering the rest.  Unlike the WAL reader,
+which treats a torn tail as a clean end-of-log, a stream has no
+legitimate torn state: a CRC mismatch or undecodable body means the
+connection is corrupt and raises :class:`FrameError` (the server
+replies with a typed ``reject`` and closes).
+
+Every frame is a dict stamped ``proto = PROTOCOL_VERSION``; queries
+and answers embedded inside requests/events additionally carry their
+own ``wire`` stamp (:data:`repro.dataio.WIRE_VERSION`), so the one
+connection fails loudly on either kind of revision mismatch.
+
+Frame kinds
+-----------
+
+========== ============================================================
+``hello``  first client frame: ``tenant`` (admission bucket key)
+``welcome`` server's answer to hello: negotiated limits
+``reject`` connection-fatal protocol error; the server closes after it
+``req``    ``{"id": n, "op": ..., "args": {...}}``; ids are
+           per-connection, strictly increasing
+``rep``    ``{"id": n, "status": "ok"|"err", ...}``; ok replies carry
+           ``result`` and, for state-changing ops, the global
+           ``order`` the command executed at (the oracle-replay key)
+``evt``    a settlement pushed to the connection that submitted the
+           query: ``{"event": "answered"|"failed", "query": id,
+           "payload": ...}``
+========== ============================================================
+
+Typed error codes (``rep``/``reject`` frames):
+
+============== ========================================================
+``OVERLOADED``     admission shed the request (token bucket empty,
+                   in-flight window full, or command queue full) —
+                   a reply, never a hang; retry with backoff
+``TIMEOUT``        the request waited in the command queue past its
+                   deadline and was dropped unexecuted
+``SHUTTING_DOWN``  the server is draining; finish-in-flight only
+``BAD_FRAME``      protocol-level garbage: unknown ``proto`` version,
+                   oversized frame, corrupt envelope, non-request kind
+``INVALID``        a well-formed request the command layer refused
+                   (unknown op, bad payload, duplicate query id)
+``INTERNAL``       the command raised unexpectedly; message carries it
+============== ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+from ..errors import ReproError
+
+#: Version stamp of the server stream protocol; bump on changes to the
+#: frame vocabulary so mixed client/server revisions fail loudly.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON body (header ``length`` field);
+#: a declared length beyond this is rejected before any allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct("<II")
+
+#: The typed error vocabulary (see the module docstring).
+OVERLOADED = "OVERLOADED"
+TIMEOUT = "TIMEOUT"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+BAD_FRAME = "BAD_FRAME"
+INVALID = "INVALID"
+INTERNAL = "INTERNAL"
+
+ERROR_CODES = (OVERLOADED, TIMEOUT, SHUTTING_DOWN, BAD_FRAME, INVALID,
+               INTERNAL)
+
+#: Ops whose ok replies carry the global execution ``order`` — the
+#: commands that change engine state, i.e. exactly the ones an oracle
+#: replay must reproduce in order.
+ORDERED_OPS = ("submit", "run_batch", "expire", "mutate")
+
+#: The full request vocabulary the server understands.
+REQUEST_OPS = ORDERED_OPS + ("pending", "stats", "metrics", "resolved",
+                             "ping")
+
+
+class FrameError(ReproError):
+    """The byte stream does not parse as protocol frames (bad CRC,
+    undecodable body, non-dict payload).  Connection-fatal: there is
+    no way to resynchronize a corrupt length-prefixed stream.
+
+    :attr:`frames` carries any frames the same ``feed()`` call decoded
+    *before* hitting the corruption, so a receiver can still process
+    the valid prefix before rejecting and closing.
+    """
+
+    def __init__(self, message: str, frames: list | None = None):
+        self.frames = frames or []
+        super().__init__(message)
+
+
+class FrameOversizeError(FrameError):
+    """A frame header declares a body larger than the decoder's
+    limit.  Raised before any body bytes are buffered."""
+
+
+class ServerError(ReproError):
+    """Base class of client-visible server failures; ``code`` is the
+    typed error code the reply carried."""
+
+    code = INTERNAL
+
+    def __init__(self, message: str, code: str | None = None):
+        if code is not None:
+            self.code = code
+        super().__init__(message)
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control shed the request (typed ``OVERLOADED``)."""
+
+    code = OVERLOADED
+
+
+class ServerTimeoutError(ServerError):
+    """The request timed out in the server's command queue."""
+
+    code = TIMEOUT
+
+
+class ServerShuttingDownError(ServerError):
+    """The server is draining and takes no new work."""
+
+    code = SHUTTING_DOWN
+
+
+class ServerProtocolError(ServerError):
+    """The server rejected the connection's protocol usage."""
+
+    code = BAD_FRAME
+
+
+class ServerCommandError(ServerError):
+    """The command layer refused or failed the request."""
+
+    code = INVALID
+
+
+class ServerDisconnectedError(ServerError):
+    """The connection dropped with requests or tickets outstanding."""
+
+    code = INTERNAL
+
+
+#: code -> exception class, for the client to raise typed errors.
+_ERROR_TYPES = {
+    OVERLOADED: ServerOverloadedError,
+    TIMEOUT: ServerTimeoutError,
+    SHUTTING_DOWN: ServerShuttingDownError,
+    BAD_FRAME: ServerProtocolError,
+    INVALID: ServerCommandError,
+    INTERNAL: ServerCommandError,
+}
+
+
+def error_for(code: str, message: str) -> ServerError:
+    """The typed exception an error reply stands for."""
+    return _ERROR_TYPES.get(code, ServerError)(message, code=code)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload: dict,
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Render one protocol frame (envelope + JSON body).
+
+    Raises :class:`FrameOversizeError` when the rendered body exceeds
+    *max_bytes* — the sender's half of the size contract, so an
+    oversized reply can never poison a connection that was promised a
+    limit in the welcome frame.
+    """
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > max_bytes:
+        raise FrameOversizeError(
+            f"frame body is {len(body)} bytes; the connection limit "
+            f"is {max_bytes}")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an untrusted byte stream.
+
+    ``feed(data)`` buffers *data* and returns every frame completed by
+    it, in stream order.  Partial frames stay buffered across calls;
+    coalesced frames all come out of one call.  Corruption (CRC, JSON,
+    non-dict payload) raises :class:`FrameError`; a header declaring a
+    body beyond *max_bytes* raises :class:`FrameOversizeError` before
+    the body is buffered.  After a raise the decoder is poisoned —
+    length-prefixed streams cannot resynchronize — and every further
+    feed raises.
+    """
+
+    __slots__ = ("max_bytes", "_buffer", "_poisoned")
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def __len__(self) -> int:
+        """Bytes currently buffered (incomplete-frame residue)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict]:
+        if self._poisoned:
+            raise FrameError(
+                "decoder already failed; the stream cannot recover")
+        self._buffer.extend(data)
+        frames: list[dict] = []
+        while len(self._buffer) >= _HEADER.size:
+            length, crc = _HEADER.unpack_from(self._buffer)
+            if length > self.max_bytes:
+                self._poisoned = True
+                raise FrameOversizeError(
+                    f"frame declares a {length}-byte body; the "
+                    f"connection limit is {self.max_bytes}",
+                    frames=frames)
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            if zlib.crc32(body) != crc:
+                self._poisoned = True
+                raise FrameError(
+                    "frame body fails its CRC (corrupt stream)",
+                    frames=frames)
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                self._poisoned = True
+                raise FrameError(
+                    f"frame body is not JSON: {error}",
+                    frames=frames) from error
+            if not isinstance(payload, dict):
+                self._poisoned = True
+                raise FrameError(
+                    f"frame body is a {type(payload).__name__}, "
+                    f"not an object", frames=frames)
+            frames.append(payload)
+        return frames
+
+
+# ----------------------------------------------------------------------
+# message constructors / validators
+# ----------------------------------------------------------------------
+
+
+def hello_frame(tenant: str, client: str = "repro") -> dict:
+    return {"proto": PROTOCOL_VERSION, "kind": "hello",
+            "tenant": tenant, "client": client}
+
+
+def welcome_frame(window: int, queue_limit: int,
+                  max_frame: int) -> dict:
+    from ..dataio import WIRE_VERSION
+    return {"proto": PROTOCOL_VERSION, "kind": "welcome",
+            "server": "repro", "wire": WIRE_VERSION,
+            "window": window, "queue": queue_limit,
+            "max_frame": max_frame}
+
+
+def reject_frame(code: str, message: str) -> dict:
+    return {"proto": PROTOCOL_VERSION, "kind": "reject",
+            "code": code, "message": message}
+
+
+def request_frame(req_id: int, op: str, args: dict) -> dict:
+    return {"proto": PROTOCOL_VERSION, "kind": "req", "id": req_id,
+            "op": op, "args": args}
+
+
+def ok_reply(req_id: int, result, order: int | None = None) -> dict:
+    frame = {"proto": PROTOCOL_VERSION, "kind": "rep", "id": req_id,
+             "status": "ok", "result": result}
+    if order is not None:
+        frame["order"] = order
+    return frame
+
+
+def error_reply(req_id: int, code: str, message: str) -> dict:
+    return {"proto": PROTOCOL_VERSION, "kind": "rep", "id": req_id,
+            "status": "err", "code": code, "message": message}
+
+
+def event_frame(event: str, query_id, payload) -> dict:
+    return {"proto": PROTOCOL_VERSION, "kind": "evt", "event": event,
+            "query": query_id, "payload": payload}
+
+
+def check_proto(frame: dict) -> str | None:
+    """The reason *frame* is protocol-garbage, or None when it is
+    acceptable envelope-wise (kind/op checks happen later)."""
+    proto = frame.get("proto")
+    if proto != PROTOCOL_VERSION:
+        return (f"unknown protocol version {proto!r} (this server "
+                f"speaks {PROTOCOL_VERSION})")
+    if not isinstance(frame.get("kind"), str):
+        return "frame lacks a string 'kind'"
+    return None
+
+
+def check_request(frame: dict) -> str | None:
+    """The reason *frame* is not a well-formed request, or None."""
+    if frame.get("kind") != "req":
+        return f"expected a 'req' frame, got {frame.get('kind')!r}"
+    req_id = frame.get("id")
+    if not isinstance(req_id, int) or req_id <= 0:
+        return f"request id must be a positive int, got {req_id!r}"
+    if not isinstance(frame.get("args"), dict):
+        return "request 'args' must be an object"
+    op = frame.get("op")
+    if op not in REQUEST_OPS:
+        return (f"unknown op {op!r}; this server speaks "
+                f"{', '.join(REQUEST_OPS)}")
+    return None
